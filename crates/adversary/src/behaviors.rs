@@ -1,0 +1,160 @@
+//! Byzantine behaviours beyond the simnet built-ins: the two-faced
+//! (partitioning) adversary of Lemma 2 and helpers.
+
+use validity_core::{ProcessId, ProcessSet};
+use validity_simnet::{Byzantine, ByzStep, Env, Machine, Step};
+
+/// The partitioning adversary of Theorem 1 (Lemma 2): runs *two* copies of a
+/// correct machine, one facing group `A`, one facing group `C`. Messages
+/// from `A` go to the first copy, messages from `C` to the second; each
+/// copy's sends are filtered to its own group. To each side the process
+/// looks perfectly correct — with different proposals.
+///
+/// With `n ≤ 3t` the `≤ t` common processes of two compatible input
+/// configurations can all act two-faced, which is exactly how the classical
+/// partition argument manufactures disagreement.
+pub struct TwoFaced<M: Machine> {
+    face_a: M,
+    face_b: M,
+    group_a: ProcessSet,
+    group_b: ProcessSet,
+}
+
+impl<M: Machine> TwoFaced<M> {
+    /// Creates the behaviour: `face_a` interacts with `group_a`, `face_b`
+    /// with `group_b`. The groups should be disjoint; traffic from processes
+    /// in neither group is ignored.
+    pub fn new(face_a: M, group_a: ProcessSet, face_b: M, group_b: ProcessSet) -> Self {
+        TwoFaced {
+            face_a,
+            face_b,
+            group_a,
+            group_b,
+        }
+    }
+
+    fn filter(
+        steps: Vec<Step<M::Msg, M::Output>>,
+        group: ProcessSet,
+        face: u64,
+        env: &Env,
+    ) -> Vec<ByzStep<M::Msg>> {
+        let mut out = Vec::new();
+        for step in steps {
+            match step {
+                Step::Send(to, m) => {
+                    if group.contains(to) {
+                        out.push(ByzStep::Send(to, m));
+                    }
+                }
+                Step::Broadcast(m) => {
+                    for p in group.iter() {
+                        out.push(ByzStep::Send(p, m.clone()));
+                    }
+                }
+                // Namespace the two faces' timers (odd/even).
+                Step::Timer(d, tag) => out.push(ByzStep::Timer(d, tag * 2 + face)),
+                Step::Output(_) | Step::Halt => {}
+            }
+        }
+        let _ = env;
+        out
+    }
+}
+
+impl<M: Machine> Byzantine<M::Msg> for TwoFaced<M> {
+    fn init(&mut self, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        let mut out = Self::filter(self.face_a.init(env), self.group_a, 0, env);
+        out.extend(Self::filter(self.face_b.init(env), self.group_b, 1, env));
+        out
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: M::Msg, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        if self.group_a.contains(from) {
+            Self::filter(self.face_a.on_message(from, msg, env), self.group_a, 0, env)
+        } else if self.group_b.contains(from) {
+            Self::filter(self.face_b.on_message(from, msg, env), self.group_b, 1, env)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        let (face, inner) = (tag % 2, tag / 2);
+        if face == 0 {
+            Self::filter(self.face_a.on_timer(inner, env), self.group_a, 0, env)
+        } else {
+            Self::filter(self.face_b.on_timer(inner, env), self.group_b, 1, env)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::SystemParams;
+    use validity_simnet::Message;
+
+    #[derive(Clone, Debug)]
+    struct Echo(u64);
+    impl Message for Echo {}
+
+    #[derive(Clone)]
+    struct Announcer(u64);
+
+    impl Machine for Announcer {
+        type Msg = Echo;
+        type Output = u64;
+
+        fn init(&mut self, _env: &Env) -> Vec<Step<Echo, u64>> {
+            vec![Step::Broadcast(Echo(self.0))]
+        }
+
+        fn on_message(&mut self, from: ProcessId, _m: Echo, _env: &Env) -> Vec<Step<Echo, u64>> {
+            vec![Step::Send(from, Echo(self.0))]
+        }
+    }
+
+    #[test]
+    fn two_faced_announces_different_values_per_group() {
+        let group_a: ProcessSet = [0usize, 1].into_iter().collect();
+        let group_b: ProcessSet = [2usize, 3].into_iter().collect();
+        let mut tf = TwoFaced::new(Announcer(0), group_a, Announcer(1), group_b);
+        let env = Env {
+            id: ProcessId(4),
+            params: SystemParams::new(5, 2).unwrap(),
+            now: 0,
+            delta: 10,
+        };
+        let steps = tf.init(&env);
+        assert_eq!(steps.len(), 4);
+        for s in &steps {
+            match s {
+                ByzStep::Send(to, Echo(v)) => {
+                    let expected = if to.index() < 2 { 0 } else { 1 };
+                    assert_eq!(*v, expected, "wrong face shown to {to}");
+                }
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_faced_routes_incoming_by_group() {
+        let group_a: ProcessSet = [0usize].into_iter().collect();
+        let group_b: ProcessSet = [1usize].into_iter().collect();
+        let mut tf = TwoFaced::new(Announcer(10), group_a, Announcer(20), group_b);
+        let env = Env {
+            id: ProcessId(2),
+            params: SystemParams::new(3, 1).unwrap(),
+            now: 0,
+            delta: 10,
+        };
+        let steps = tf.on_message(ProcessId(0), Echo(99), &env);
+        assert!(matches!(steps.as_slice(), [ByzStep::Send(ProcessId(0), Echo(10))]));
+        let steps = tf.on_message(ProcessId(1), Echo(99), &env);
+        assert!(matches!(steps.as_slice(), [ByzStep::Send(ProcessId(1), Echo(20))]));
+        // outsiders are ignored
+        assert!(tf.on_message(ProcessId(2), Echo(99), &env).is_empty());
+    }
+}

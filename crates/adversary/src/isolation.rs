@@ -1,0 +1,138 @@
+//! Running a machine in isolation: the `β_Q` extraction of Lemma 5.
+//!
+//! Lemma 5 needs the *local behaviour* of a process that receives no
+//! messages at all: by Termination it must still decide. This module runs a
+//! single [`Machine`] against a timers-only event loop — no deliveries ever
+//! happen — and reports what (and when) it outputs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use validity_core::{ProcessId, SystemParams};
+use validity_simnet::{Env, Machine, Step, Time};
+
+/// Outcome of an isolated run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IsolatedRun<O> {
+    /// The first output, with its time, if the machine produced one.
+    pub output: Option<(Time, O)>,
+    /// Messages the machine *attempted* to send (count; they go nowhere).
+    pub sends_attempted: u64,
+    /// Time at which the run went quiescent (no pending timers).
+    pub quiesced_at: Time,
+}
+
+/// Runs `machine` as process `id` with no incoming messages until it
+/// outputs, its timer queue drains, or `max_time` elapses.
+pub fn run_isolated<M: Machine>(
+    mut machine: M,
+    id: ProcessId,
+    params: SystemParams,
+    delta: Time,
+    max_time: Time,
+) -> IsolatedRun<M::Output> {
+    let mut timers: BinaryHeap<Reverse<(Time, u64, u64)>> = BinaryHeap::new();
+    let mut now: Time = 0;
+    let mut seq: u64 = 0;
+    let mut output = None;
+    let mut sends_attempted = 0u64;
+    let mut halted = false;
+
+    let apply = |steps: Vec<Step<M::Msg, M::Output>>,
+                     now: Time,
+                     timers: &mut BinaryHeap<Reverse<(Time, u64, u64)>>,
+                     output: &mut Option<(Time, M::Output)>,
+                     sends: &mut u64,
+                     halted: &mut bool,
+                     seq: &mut u64| {
+        for step in steps {
+            match step {
+                Step::Send(..) | Step::Broadcast(..) => *sends += 1,
+                Step::Timer(d, tag) => {
+                    *seq += 1;
+                    timers.push(Reverse((now + d.max(1), *seq, tag)));
+                }
+                Step::Output(o) => {
+                    if output.is_none() {
+                        *output = Some((now, o));
+                    }
+                }
+                Step::Halt => *halted = true,
+            }
+        }
+    };
+
+    let env = Env {
+        id,
+        params,
+        now,
+        delta,
+    };
+    let steps = machine.init(&env);
+    apply(
+        steps,
+        now,
+        &mut timers,
+        &mut output,
+        &mut sends_attempted,
+        &mut halted,
+        &mut seq,
+    );
+
+    while output.is_none() && !halted {
+        let Some(Reverse((at, _, tag))) = timers.pop() else {
+            break;
+        };
+        if at > max_time {
+            break;
+        }
+        now = at;
+        let env = Env {
+            id,
+            params,
+            now,
+            delta,
+        };
+        let steps = machine.on_timer(tag, &env);
+        apply(
+            steps,
+            now,
+            &mut timers,
+            &mut output,
+            &mut sends_attempted,
+            &mut halted,
+            &mut seq,
+        );
+    }
+
+    IsolatedRun {
+        output,
+        sends_attempted,
+        quiesced_at: now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strawman::LeaderEcho;
+
+    #[test]
+    fn leader_echo_follower_decides_own_value_in_isolation() {
+        // The Lemma 5 behaviour: a follower that never hears from anyone
+        // still decides (its own input) by timeout.
+        let params = SystemParams::new(4, 1).unwrap();
+        let run = run_isolated(LeaderEcho::new(55u64), ProcessId(2), params, 100, 1_000_000);
+        let (at, v) = run.output.expect("termination forces a decision");
+        assert_eq!(v, 55);
+        assert_eq!(at, 10 * 100); // the timeout
+    }
+
+    #[test]
+    fn leader_echo_leader_decides_instantly_in_isolation() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let run = run_isolated(LeaderEcho::new(9u64), ProcessId(0), params, 100, 1_000_000);
+        assert_eq!(run.output.unwrap().1, 9);
+        assert!(run.sends_attempted > 0); // it tried to broadcast
+    }
+}

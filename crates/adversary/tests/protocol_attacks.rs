@@ -1,0 +1,215 @@
+//! Active attacks against the paper's protocols: equivocating leaders,
+//! forged certificates, unbacked proposals. Safety must survive them all —
+//! these are the attacks the quorum-intersection and signature arguments
+//! of Quad/Algorithm 1 are designed to absorb.
+
+use std::sync::Arc;
+
+use validity_core::{check_decision, InputConfig, ProcessId, StrongValidity, SystemParams};
+use validity_crypto::{sha256, KeyStore, ThresholdScheme};
+use validity_protocols::{
+    proposal_sign_bytes, QuadConfig, QuadMachine, QuadMsg, Universal, VectorAuth, VectorAuthMsg,
+};
+use validity_core::StrongLambda;
+use validity_simnet::{
+    agreement_holds, Byzantine, ByzStep, Env, NodeKind, SimConfig, Simulation,
+};
+
+type QMsg = QuadMsg<u64, u64>;
+
+/// A Byzantine Quad leader (P1 leads view 1) that equivocates: proposes
+/// value 111 to the first half and 222 to the second half of the system.
+struct EquivocatingLeader;
+
+impl Byzantine<QMsg> for EquivocatingLeader {
+    fn on_message(&mut self, _from: ProcessId, msg: QMsg, env: &Env) -> Vec<ByzStep<QMsg>> {
+        // React to view changes of view 1 by sending split proposals.
+        if let QuadMsg::ViewChange { view: 1, .. } = msg {
+            return (0..env.n())
+                .map(|i| {
+                    let value = if i < env.n() / 2 { 111 } else { 222 };
+                    ByzStep::Send(
+                        ProcessId::from_index(i),
+                        QuadMsg::Propose {
+                            view: 1,
+                            value,
+                            proof: 0,
+                            justification: None,
+                        },
+                    )
+                })
+                .collect();
+        }
+        Vec::new()
+    }
+}
+
+/// A Byzantine node that injects a `Committed` message with a *forged*
+/// threshold signature (a tsig over a different digest).
+struct ForgedCertInjector {
+    scheme: ThresholdScheme,
+    keystore: KeyStore,
+    me: ProcessId,
+}
+
+impl Byzantine<QMsg> for ForgedCertInjector {
+    fn init(&mut self, _env: &Env) -> Vec<ByzStep<QMsg>> {
+        // The only threshold signature a single Byzantine process can make
+        // progress towards is over its own chosen digest — but it cannot
+        // reach the n − t threshold alone. Simulate the best it can do:
+        // a combined signature is unobtainable, so it reuses a *partial*
+        // path by combining... which fails; instead it sends a Committed
+        // with a tsig for an unrelated digest it observed nowhere.
+        let bogus_digest = sha256(b"forged");
+        let partial = self
+            .scheme
+            .partially_sign(&self.keystore.signer(self.me), &bogus_digest);
+        // combine() with a single partial fails the threshold; so the best
+        // forgery is a tsig that simply doesn't verify. Build one by
+        // combining the single partial against a k = 1 scheme and sending
+        // it — receivers must reject it because weights don't match their
+        // n − t scheme.
+        let weak_scheme = ThresholdScheme::new(self.keystore.clone(), 1);
+        let tsig = weak_scheme
+            .combine(&bogus_digest, [partial])
+            .expect("k = 1 combines");
+        vec![ByzStep::Broadcast(QuadMsg::Committed {
+            view: 1,
+            value: 999,
+            proof: 0,
+            tsig,
+        })]
+    }
+}
+
+fn quad_nodes(
+    n: usize,
+    byz_first: bool,
+    behaviour: impl Fn(usize) -> Box<dyn Byzantine<QMsg>>,
+    seed: u64,
+) -> (SystemParams, Simulation<QuadMachine<u64, u64>>) {
+    let t = (n - 1) / 3;
+    let params = SystemParams::new(n, t).unwrap();
+    let ks = KeyStore::new(n, seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes: Vec<NodeKind<QuadMachine<u64, u64>>> = (0..n)
+        .map(|i| {
+            let is_byz = if byz_first { i == 0 } else { i == n - 1 };
+            if is_byz {
+                NodeKind::Byzantine(behaviour(i))
+            } else {
+                NodeKind::Correct(QuadMachine::new(
+                    QuadConfig {
+                        scheme: scheme.clone(),
+                        signer: ks.signer(ProcessId::from_index(i)),
+                        verify: Arc::new(|_, _| true),
+                        label: "attack/quad",
+                    },
+                    i as u64,
+                    0,
+                ))
+            }
+        })
+        .collect();
+    (params, Simulation::new(SimConfig::new(params).seed(seed), nodes))
+}
+
+#[test]
+fn equivocating_leader_cannot_split_quad() {
+    for seed in 0..3 {
+        let (_, mut sim) = quad_nodes(4, true, |_| Box::new(EquivocatingLeader), seed);
+        sim.run_until_decided();
+        assert!(sim.all_correct_decided(), "seed {seed}: liveness lost");
+        assert!(agreement_holds(sim.decisions()), "seed {seed}: split!");
+        // Split proposals cannot both assemble n − t prepare certificates:
+        // the decided value is one of the two (or a later honest leader's).
+    }
+}
+
+#[test]
+fn forged_commit_certificates_are_rejected() {
+    for seed in 0..3 {
+        let ks = KeyStore::new(4, seed);
+        let scheme = ThresholdScheme::new(ks.clone(), 3);
+        let (_, mut sim) = quad_nodes(
+            4,
+            false,
+            |i| {
+                Box::new(ForgedCertInjector {
+                    scheme: scheme.clone(),
+                    keystore: ks.clone(),
+                    me: ProcessId::from_index(i),
+                })
+            },
+            seed,
+        );
+        sim.run_until_decided();
+        assert!(sim.all_correct_decided());
+        assert!(agreement_holds(sim.decisions()));
+        // Nobody may decide the forged value 999.
+        for d in sim.decisions().iter().flatten() {
+            assert_ne!(d.1 .0, 999, "forged certificate was accepted!");
+        }
+    }
+}
+
+/// A Byzantine process sending a proposal with a stolen (invalid) signature
+/// into Algorithm 1: it must never appear in the decided vector.
+struct SignatureThief {
+    keystore: KeyStore,
+    me: ProcessId,
+}
+
+impl Byzantine<VectorAuthMsg<u64>> for SignatureThief {
+    fn init(&mut self, _env: &Env) -> Vec<ByzStep<VectorAuthMsg<u64>>> {
+        // Sign value 500 with our own key but claim it in a message sent
+        // as-if it were from P1 — the transport is authenticated, so the
+        // mismatch (sig.signer ≠ channel sender) must be caught.
+        let sig = self
+            .keystore
+            .signer(self.me)
+            .sign(proposal_sign_bytes(&500u64));
+        vec![ByzStep::Broadcast(VectorAuthMsg::Proposal { value: 500, sig })]
+    }
+}
+
+#[test]
+fn vector_auth_rejects_misattributed_signatures() {
+    let params = SystemParams::new(4, 1).unwrap();
+    let ks = KeyStore::new(4, 3);
+    let scheme = ThresholdScheme::new(ks.clone(), 3);
+    type Uni = Universal<u64, VectorAuth<u64>, StrongLambda>;
+    let inputs = [10u64, 10, 10, 10];
+    let nodes: Vec<NodeKind<Uni>> = (0..4)
+        .map(|i| {
+            if i == 3 {
+                NodeKind::Byzantine(Box::new(SignatureThief {
+                    keystore: ks.clone(),
+                    me: ProcessId(3),
+                }))
+            } else {
+                NodeKind::Correct(Universal::new(
+                    VectorAuth::new(
+                        inputs[i],
+                        ks.clone(),
+                        ks.signer(ProcessId::from_index(i)),
+                        scheme.clone(),
+                        params,
+                    ),
+                    StrongLambda,
+                ))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(SimConfig::new(params).seed(4), nodes);
+    sim.run_until_decided();
+    assert!(sim.all_correct_decided());
+    assert!(agreement_holds(sim.decisions()));
+    // The thief's 500 is a *legitimately signed* value from P4 (it owns its
+    // key), so it may legally enter the vector — but the three unanimous
+    // correct processes mean Strong Validity pins the final decision to 10.
+    let decided = sim.decisions()[0].as_ref().unwrap().1;
+    let actual = InputConfig::from_pairs(params, (0..3).map(|i| (i, 10u64))).unwrap();
+    assert!(check_decision(&StrongValidity, &actual, &decided).is_ok());
+    assert_eq!(decided, 10);
+}

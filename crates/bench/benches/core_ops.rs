@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the formalism layer: similarity checks,
+//! `sim(c)` enumeration, closed-form Λ vs brute-force Λ, classification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use validity_core::{
+    classify, enumerate_similar, is_compatible, is_similar, BruteForceLambda, Domain, InputConfig,
+    LambdaFn, MedianValidity, RankLambda, StrongLambda, StrongValidity, SystemParams,
+};
+
+fn fixtures() -> (SystemParams, InputConfig<u64>, InputConfig<u64>) {
+    let params = SystemParams::new(7, 2).unwrap();
+    let c1 = InputConfig::from_pairs(params, (0..5).map(|i| (i, (i % 3) as u64))).unwrap();
+    let c2 = InputConfig::from_pairs(params, (2..7).map(|i| (i, (i % 3) as u64))).unwrap();
+    (params, c1, c2)
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let (_, c1, c2) = fixtures();
+    c.bench_function("relations/is_similar", |b| {
+        b.iter(|| is_similar(black_box(&c1), black_box(&c2)))
+    });
+    c.bench_function("relations/is_compatible", |b| {
+        b.iter(|| is_compatible(black_box(&c1), black_box(&c2)))
+    });
+    let domain = Domain::binary();
+    let params = SystemParams::new(5, 1).unwrap();
+    let small = InputConfig::from_pairs(params, (0..4).map(|i| (i, (i % 2) as u64))).unwrap();
+    c.bench_function("relations/enumerate_similar_n5_binary", |b| {
+        b.iter(|| enumerate_similar(black_box(&small), black_box(&domain)).len())
+    });
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let params = SystemParams::new(31, 10).unwrap();
+    let vector =
+        InputConfig::from_pairs(params, (0..21).map(|i| (i, (i * 7 % 13) as u64))).unwrap();
+    c.bench_function("lambda/strong_closed_form_n31", |b| {
+        b.iter(|| StrongLambda.lambda(black_box(&vector)).unwrap())
+    });
+    let median = RankLambda::median(10, 0u64, 100);
+    c.bench_function("lambda/median_closed_form_n31", |b| {
+        b.iter(|| median.lambda(black_box(&vector)).unwrap())
+    });
+
+    // Brute force only feasible at small n — the contrast is the point.
+    let small_params = SystemParams::new(4, 1).unwrap();
+    let small =
+        InputConfig::from_pairs(small_params, (0..3).map(|i| (i, (i % 2) as u64))).unwrap();
+    let bf = BruteForceLambda::new(StrongValidity, Domain::binary());
+    c.bench_function("lambda/strong_brute_force_n4", |b| {
+        b.iter(|| bf.lambda(black_box(&small)).unwrap())
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let domain = Domain::binary();
+    let params = SystemParams::new(4, 1).unwrap();
+    c.bench_function("classify/strong_n4_binary", |b| {
+        b.iter(|| classify(black_box(&StrongValidity), params, &domain))
+    });
+    c.bench_function("classify/median_n4_binary", |b| {
+        b.iter(|| classify(black_box(&MedianValidity::with_slack(1)), params, &domain))
+    });
+}
+
+criterion_group!(benches, bench_relations, bench_lambda, bench_classification);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark for the Theorem 4 machinery: the cost of staging
+//! `E_base`, the pigeonhole step, and the full merge construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use validity_adversary::{break_leader_echo, break_quorum_vote, run_e_base, LeaderEcho};
+use validity_core::SystemParams;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let params = SystemParams::new(10, 3).unwrap();
+
+    let mut group = c.benchmark_group("impossibility_harnesses");
+    group.sample_size(20);
+
+    group.bench_function("e_base_leader_echo_n10", |b| {
+        b.iter_batched(
+            || (),
+            |_| run_e_base(params, 100, 5, |_| LeaderEcho::new(1u64)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_merge_break_leader_echo_n10", |b| {
+        b.iter_batched(
+            || (),
+            |_| break_leader_echo(params, 100, 5),
+            BatchSize::SmallInput,
+        )
+    });
+    let low = SystemParams::new(6, 2).unwrap();
+    group.bench_function("partition_break_quorum_vote_n6_t2", |b| {
+        b.iter_batched(
+            || (),
+            |_| break_quorum_vote(low, 100, 5),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion end-to-end benchmarks: full simulated runs of each algorithm
+//! at fixed (n, t) — the cost of regenerating one data point of the
+//! complexity tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use validity_bench::runs;
+use validity_core::{LambdaFn, StrongLambda, SystemParams};
+
+fn bench_protocols(c: &mut Criterion) {
+    let params = SystemParams::new(7, 2).unwrap();
+    let inputs: Vec<u64> = (0..7).collect();
+
+    let mut group = c.benchmark_group("end_to_end_n7_t2");
+    group.sample_size(20);
+
+    group.bench_function("alg1_vector_auth", |b| {
+        b.iter_batched(
+            || (),
+            |_| runs::run_vector_auth(params, 2, &inputs, 9, true),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("alg3_vector_nonauth", |b| {
+        b.iter_batched(
+            || (),
+            |_| runs::run_vector_nonauth(params, 2, &inputs, 9, true),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("alg6_vector_fast", |b| {
+        b.iter_batched(
+            || (),
+            |_| runs::run_vector_fast(params, 2, &inputs, 9, true),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("universal_strong_over_alg1", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                runs::run_universal_auth(
+                    params,
+                    2,
+                    &inputs,
+                    || Box::new(StrongLambda) as Box<dyn LambdaFn<u64, u64>>,
+                    9,
+                    true,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

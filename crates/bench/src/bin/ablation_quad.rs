@@ -1,0 +1,89 @@
+//! Ablation: Quad's leader-wait rule (DESIGN.md §5.3).
+//!
+//! Our Quad has the new leader wait 2δ after entering a view before
+//! proposing, so that (after GST) it holds *every* correct process's
+//! view-change — and therefore the highest lock. An *eager* leader
+//! (wait ≈ 0) proposes as soon as `n − t` view-changes arrive; the lock
+//! rule still protects safety, but a hidden lock can force extra views.
+//!
+//! This harness runs both variants across seeds and fault patterns and
+//! reports decision latency and message cost. Expected: identical safety,
+//! the patient leader never worse in views, the eager leader slightly
+//! faster in fault-free synchronous runs (no hidden locks exist there).
+
+use validity_bench::Table;
+use validity_core::{ProcessId, SystemParams};
+use validity_crypto::{KeyStore, ThresholdScheme};
+use validity_protocols::{QuadConfig, QuadMachine};
+use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+
+fn run(n: usize, t: usize, byz: usize, leader_wait: u64, seed: u64) -> (u64, u64, bool) {
+    let params = SystemParams::new(n, t).unwrap();
+    let ks = KeyStore::new(n, seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes: Vec<NodeKind<QuadMachine<u64, u64>>> = (0..n)
+        .map(|i| {
+            if i < n - byz {
+                let mut m = QuadMachine::new(
+                    QuadConfig {
+                        scheme: scheme.clone(),
+                        signer: ks.signer(ProcessId::from_index(i)),
+                        verify: std::sync::Arc::new(|_, _| true),
+                        label: "ablation/quad",
+                    },
+                    100 + i as u64,
+                    0,
+                );
+                m.core_mut().set_leader_wait(leader_wait);
+                NodeKind::Correct(m)
+            } else {
+                NodeKind::Byzantine(Box::new(Silent))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
+    sim.run_until_decided();
+    assert!(sim.all_correct_decided(), "liveness (wait={leader_wait})");
+    assert!(agreement_holds(sim.decisions()), "safety (wait={leader_wait})");
+    (
+        sim.stats().messages_total,
+        sim.stats().last_decision_at.unwrap(),
+        agreement_holds(sim.decisions()),
+    )
+}
+
+fn main() {
+    println!("=== Ablation: Quad leader-wait rule (2δ patient vs eager) ===\n");
+    let mut table = Table::new(vec![
+        "n", "t", "byz", "seed", "patient msgs", "eager msgs", "patient latency", "eager latency",
+    ]);
+    let mut patient_latency_sum = 0u64;
+    let mut eager_latency_sum = 0u64;
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        for byz in [0usize, t] {
+            for seed in [1u64, 2, 3] {
+                let (pm, pl, ps) = run(n, t, byz, 2, seed);
+                let (em, el, es) = run(n, t, byz, 0, seed);
+                assert!(ps && es, "both variants must stay safe");
+                patient_latency_sum += pl;
+                eager_latency_sum += el;
+                table.row(vec![
+                    n.to_string(),
+                    t.to_string(),
+                    byz.to_string(),
+                    seed.to_string(),
+                    pm.to_string(),
+                    em.to_string(),
+                    pl.to_string(),
+                    el.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "\nlatency totals: patient = {patient_latency_sum}, eager = {eager_latency_sum}"
+    );
+    println!("✔ safety identical (two-phase locking carries it); the wait trades a small");
+    println!("  constant latency for immunity against hidden-lock stalls under faults.");
+}

@@ -1,0 +1,63 @@
+//! **Appendix B.2** — Algorithm 3, the non-authenticated vector consensus,
+//! costs `O(n⁴)` messages versus Algorithm 1's `O(n²)`.
+//!
+//! Sweeps `n` at optimal resilience for both algorithms (identical inputs
+//! and seeds), prints the paper's comparison, and fits the growth
+//! exponents: Algorithm 3's should land well above Algorithm 1's ≈ 2.
+//! Also demonstrates the corollary noted in B.2: since Algorithm 3 builds
+//! vector consensus from Strong-Validity consensus, *Strong Validity is
+//! another "strongest" property* — but at a real price.
+
+use validity_bench::{fit_exponent, runs, Table};
+use validity_core::SystemParams;
+
+fn main() {
+    println!("=== Appendix B.2: Algorithm 3 (no signatures) vs Algorithm 1 ===\n");
+
+    let ns = [4usize, 7, 10, 13];
+    let mut table = Table::new(vec![
+        "n",
+        "t",
+        "Alg 1 msgs",
+        "Alg 3 msgs",
+        "ratio",
+        "Alg 1 words",
+        "Alg 3 words",
+    ]);
+    let mut pts1 = Vec::new();
+    let mut pts3 = Vec::new();
+    for &n in &ns {
+        let params = SystemParams::optimal_resilience(n).unwrap();
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let s1 = runs::run_vector_auth(params, 0, &inputs, 21, true);
+        let s3 = runs::run_vector_nonauth(params, 0, &inputs, 21, true);
+        for s in [&s1, &s3] {
+            assert!(s.decided && s.agreement, "run failed at n = {n}");
+        }
+        pts1.push((n as f64, s1.messages_after_gst as f64));
+        pts3.push((n as f64, s3.messages_after_gst as f64));
+        table.row(vec![
+            n.to_string(),
+            params.t().to_string(),
+            s1.messages_after_gst.to_string(),
+            s3.messages_after_gst.to_string(),
+            format!("{:.1}×", s3.messages_after_gst as f64 / s1.messages_after_gst as f64),
+            s1.words_after_gst.to_string(),
+            s3.words_after_gst.to_string(),
+        ]);
+    }
+    table.print();
+
+    let f1 = fit_exponent(&pts1);
+    let f3 = fit_exponent(&pts3);
+    println!(
+        "\nfitted: Alg 1 ≈ {:.2} · n^{:.2} (R² {:.3});  Alg 3 ≈ {:.2} · n^{:.2} (R² {:.3})",
+        f1.constant, f1.exponent, f1.r_squared, f3.constant, f3.exponent, f3.r_squared
+    );
+    assert!(
+        f3.exponent > f1.exponent + 0.8,
+        "Algorithm 3 must grow at least a polynomial degree faster"
+    );
+    println!("\n✔ Shape reproduced: dropping signatures costs ≈ n^{:.1} vs ≈ n^{:.1} —", f3.exponent, f1.exponent);
+    println!("  the authenticated variant wins at every n, increasingly so (paper: O(n⁴) vs O(n²)).");
+}

@@ -1,0 +1,91 @@
+//! **Lemma 1** (canonical similarity) — conformance sweep.
+//!
+//! For every quorum-sized input configuration over a binary domain at
+//! (4, 1) and a sample at (5, 1), realize the configuration as a canonical
+//! execution (processes outside π(c) are silent-Byzantine), run `Universal`
+//! (Algorithm 1 + Λ_Strong), and check the decision against the lemma's
+//! bound: `decided ∈ ∩_{c′ ∼ c} val(c′)` — computed by brute force.
+//!
+//! This ties the three layers together: the *protocol* (simulated
+//! execution), the *formalism* (the intersection over sim(c)), and the
+//! *theorem* (the bound that any correct algorithm must respect).
+
+use validity_bench::Table;
+use validity_core::{
+    admissible_intersection, enumerate_configs_of_size, Domain, LambdaFn, ProcessId,
+    StrongLambda, StrongValidity, SystemParams,
+};
+use validity_crypto::{KeyStore, ThresholdScheme};
+use validity_protocols::{Universal, VectorAuth};
+use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+
+fn run_canonical(params: SystemParams, config: &validity_core::InputConfig<u64>, seed: u64) -> u64 {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let pi = config.pi();
+    let nodes: Vec<NodeKind<Universal<u64, VectorAuth<u64>, StrongLambda>>> = (0..params.n())
+        .map(|i| {
+            let pid = ProcessId::from_index(i);
+            match config.proposal(pid) {
+                Some(v) => NodeKind::Correct(Universal::new(
+                    VectorAuth::new(*v, ks.clone(), ks.signer(pid), scheme.clone(), params),
+                    StrongLambda,
+                )),
+                None => NodeKind::Byzantine(Box::new(Silent)),
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
+    sim.run_until_decided();
+    assert!(sim.all_correct_decided(), "termination at {config:?}");
+    assert!(agreement_holds(sim.decisions()), "agreement at {config:?}");
+    let _ = pi;
+    sim.decisions()
+        .iter()
+        .flatten()
+        .next()
+        .map(|d| d.1)
+        .expect("some decision")
+}
+
+fn main() {
+    println!("=== Lemma 1: canonical-similarity conformance sweep ===\n");
+    let domain = Domain::binary();
+    let mut table = Table::new(vec!["(n, t)", "configs checked", "violations"]);
+
+    for (n, t, sample_every) in [(4usize, 1usize, 1usize), (5, 1, 4)] {
+        let params = SystemParams::new(n, t).unwrap();
+        let mut checked = 0u64;
+        let mut violations = 0u64;
+        for (idx, config) in enumerate_configs_of_size(params, &domain, params.quorum())
+            .into_iter()
+            .enumerate()
+        {
+            if idx % sample_every != 0 {
+                continue;
+            }
+            // The decision in this canonical execution…
+            let decided = run_canonical(params, &config, 100 + idx as u64);
+            // …must be in the Lemma 1 intersection.
+            let allowed = admissible_intersection(&StrongValidity, &config, &domain);
+            checked += 1;
+            if !allowed.contains(&decided) {
+                violations += 1;
+                eprintln!("VIOLATION at {config:?}: decided {decided}, allowed {allowed:?}");
+            }
+            // Λ's prediction must also be in the intersection (Definition 2).
+            let predicted = StrongLambda.lambda(&config).unwrap();
+            assert!(allowed.contains(&predicted), "Λ broke its own contract");
+        }
+        assert_eq!(violations, 0, "Lemma 1 violated!");
+        table.row(vec![
+            format!("({n}, {t})"),
+            checked.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n✔ Every canonical-execution decision fell inside ∩ sim(c) val(c′):");
+    println!("  correct processes cannot distinguish silent faulty processes from slow");
+    println!("  correct ones, and Universal never pretends otherwise.");
+}

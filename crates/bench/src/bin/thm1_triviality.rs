@@ -1,0 +1,78 @@
+//! **Theorem 1 / Figure 2** — with `n ≤ 3t`, every solvable validity
+//! property is trivial.
+//!
+//! Two executable halves:
+//!
+//! 1. The *partition attack* (Lemma 2's merge): the two-faced adversary
+//!    splits the `QuorumVote` strawman into disagreement at the figure's
+//!    exact parameters (n = 6, t = 2) and across the `n ≤ 3t` regime —
+//!    demonstrating why no algorithm can do better than a constant
+//!    decision there.
+//! 2. The *classification sweep*: the brute-force classifier confirms that
+//!    across the catalog, solvable ∧ (n ≤ 3t) ⇒ trivial, with
+//!    per-value rejection certificates for the non-trivial properties.
+
+use validity_adversary::{break_quorum_vote, partition_layout};
+use validity_bench::Table;
+use validity_core::{
+    classify, ConvexHullValidity, CorrectProposalValidity, Domain, DynValidity, MedianValidity,
+    ParityValidity, StrongValidity, SystemParams, TrivialValidity, WeakValidity,
+};
+
+fn main() {
+    println!("=== Theorem 1: n ≤ 3t forces triviality ===\n");
+
+    // --- Part 1: the partition attack (Figure 2's parameters first).
+    println!("Part 1 — Lemma 2 merge: splitting an n − t quorum protocol\n");
+    let mut table = Table::new(vec![
+        "n", "t", "group A", "byz B (two-faced)", "group C", "A decides", "C decides", "faulty",
+    ]);
+    for (n, t) in [(6usize, 2usize), (3, 1), (4, 2), (5, 2), (9, 3)] {
+        let params = SystemParams::new(n, t).unwrap();
+        let layout = partition_layout(params);
+        let ex = break_quorum_vote(params, 100, 42);
+        assert_ne!(ex.decision_a, ex.decision_c, "the split must succeed");
+        assert!(ex.faulty <= t);
+        table.row(vec![
+            n.to_string(),
+            t.to_string(),
+            layout.group_a.to_string(),
+            layout.group_b.to_string(),
+            layout.group_c.to_string(),
+            ex.decision_a.to_string(),
+            ex.decision_c.to_string(),
+            format!("{} ≤ t", ex.faulty),
+        ]);
+    }
+    table.print();
+    println!("✔ Agreement violated with ≤ t faults at every n ≤ 3t point\n");
+
+    // --- Part 2: classification — solvable ⇒ trivial below the threshold.
+    println!("Part 2 — classification sweep over the catalog (binary domain)\n");
+    let mut table = Table::new(vec!["(n, t)", "property", "verdict"]);
+    let domain = Domain::binary();
+    for (n, t) in [(3usize, 1usize), (4, 2), (5, 2), (6, 2)] {
+        let params = SystemParams::new(n, t).unwrap();
+        let props: Vec<DynValidity<u64>> = vec![
+            Box::new(StrongValidity),
+            Box::new(WeakValidity),
+            Box::new(CorrectProposalValidity),
+            Box::new(MedianValidity::with_slack(t)),
+            Box::new(ConvexHullValidity),
+            Box::new(ParityValidity),
+            Box::new(TrivialValidity::new(0u64)),
+        ];
+        for prop in props {
+            let c = classify(&prop, params, &domain);
+            assert!(
+                !c.is_solvable() || c.is_trivial(),
+                "Theorem 1 violated at ({n}, {t}) by {}",
+                prop.name()
+            );
+            table.row(vec![format!("({n}, {t})"), prop.name(), c.label().to_string()]);
+        }
+    }
+    table.print();
+    println!("✔ Theorem 1 reproduced: below n = 3t + 1, solvable ≡ trivial");
+    println!("  (Theorem 2's always_admissible procedure is the triviality witness itself.)");
+}

@@ -1,0 +1,140 @@
+//! **Theorem 5** — `Universal` solves consensus with *any* validity
+//! property satisfying `C_S` (for `n > 3t`), in `O(n²)` messages.
+//!
+//! Sweeps `n` at optimal resilience (`t = ⌊(n−1)/3⌋`) for four different
+//! validity properties' Λ functions, with and without Byzantine (silent)
+//! processes, and fits the message-count growth exponent — the paper's
+//! headline `Θ(n²)` together with Theorem 4.
+//!
+//! Every run's decision is verified admissible against the corresponding
+//! validity property (the Lemma 8 argument, checked dynamically).
+
+use parking_lot::Mutex;
+use validity_bench::{fit_exponent, runs, Table};
+use validity_core::{
+    ConvexHullLambda, ConvexHullValidity, CorrectProposalLambda,
+    CorrectProposalValidity, LambdaFn, MedianValidity, RankLambda, StrongLambda, StrongValidity,
+    SystemParams, ValidityProperty,
+};
+
+struct PropertyCase {
+    name: &'static str,
+    lambda: fn(SystemParams) -> Box<dyn LambdaFn<u64, u64>>,
+    check: Box<dyn Fn(&validity_core::InputConfig<u64>, &u64) -> bool + Send + Sync>,
+    binary_inputs: bool,
+}
+
+fn cases() -> Vec<PropertyCase> {
+    vec![
+        PropertyCase {
+            name: "Strong Validity",
+            lambda: |_p| Box::new(StrongLambda),
+            check: Box::new(|c, v| StrongValidity.is_admissible(c, v)),
+            binary_inputs: false,
+        },
+        PropertyCase {
+            name: "Median Validity (slack t)",
+            lambda: |p| Box::new(RankLambda::median(p.t(), 0u64, u64::MAX)),
+            check: Box::new(|c, v| {
+                MedianValidity::with_slack(c.params().t()).is_admissible(c, v)
+            }),
+            binary_inputs: false,
+        },
+        PropertyCase {
+            name: "Convex-Hull Validity",
+            lambda: |_p| Box::new(ConvexHullLambda),
+            check: Box::new(|c, v| ConvexHullValidity.is_admissible(c, v)),
+            binary_inputs: false,
+        },
+        PropertyCase {
+            name: "Correct-Proposal Validity (binary)",
+            lambda: |_p| Box::new(CorrectProposalLambda),
+            check: Box::new(|c, v| CorrectProposalValidity.is_admissible(c, v)),
+            binary_inputs: true,
+        },
+    ]
+}
+
+fn main() {
+    println!("=== Theorem 5: Universal = vector consensus + Λ, O(n²) messages ===\n");
+
+    let ns = [4usize, 7, 10, 13, 16, 19, 25, 31];
+
+    for case in cases() {
+        println!("--- validity property: {} ---", case.name);
+        let rows = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for &n in &ns {
+                let rows = &rows;
+                let case = &case;
+                scope.spawn(move |_| {
+                    let params = SystemParams::optimal_resilience(n).unwrap();
+                    let t = params.t();
+                    let inputs: Vec<u64> = (0..n as u64)
+                        .map(|i| if case.binary_inputs { i % 2 } else { i * 10 })
+                        .collect();
+                    for byz in [0usize, t] {
+                        let stats = runs::run_universal_auth(
+                            params,
+                            byz,
+                            &inputs,
+                            || (case.lambda)(params),
+                            1000 + n as u64,
+                            true,
+                        );
+                        assert!(stats.decided && stats.agreement, "run failed at n = {n}");
+                        // Lemma 8 check: the decision is admissible for the
+                        // actual input configuration.
+                        let actual = runs::actual_config(params, byz, &inputs);
+                        let decided: u64 = stats.decision.parse().unwrap();
+                        assert!(
+                            (case.check)(&actual, &decided),
+                            "{}: decided {decided} inadmissible at n = {n}, byz = {byz}",
+                            case.name
+                        );
+                        rows.lock().push((n, t, byz, stats));
+                    }
+                });
+            }
+        })
+        .expect("sweep threads");
+
+        let mut rows = rows.into_inner();
+        rows.sort_by_key(|r| (r.0, r.2));
+        let mut table = Table::new(vec![
+            "n", "t", "byz", "msgs [GST,∞)", "msgs/n²", "words", "latency", "decision",
+        ]);
+        let mut points = Vec::new();
+        for (n, t, byz, stats) in &rows {
+            if *byz == 0 {
+                points.push((*n as f64, stats.messages_after_gst as f64));
+            }
+            table.row(vec![
+                n.to_string(),
+                t.to_string(),
+                byz.to_string(),
+                stats.messages_after_gst.to_string(),
+                format!("{:.1}", stats.messages_after_gst as f64 / (n * n) as f64),
+                stats.words_after_gst.to_string(),
+                stats.latency.to_string(),
+                stats.decision.clone(),
+            ]);
+        }
+        table.print();
+        let fit = fit_exponent(&points);
+        println!(
+            "fitted messages ≈ {:.2} · n^{:.2}  (R² = {:.3})\n",
+            fit.constant, fit.exponent, fit.r_squared
+        );
+        assert!(
+            fit.exponent < 2.6,
+            "{}: message growth should be ≈ quadratic, got n^{:.2}",
+            case.name,
+            fit.exponent
+        );
+    }
+
+    println!("✔ Theorem 5 reproduced: every C_S property above runs on the *same*");
+    println!("  Universal machine with O(n²) messages; with Theorem 4 this gives the");
+    println!("  paper's headline: Θ(n²) message complexity for all non-trivial variants.");
+}

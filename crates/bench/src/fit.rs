@@ -1,0 +1,93 @@
+//! Power-law fitting: estimating the exponent `k` of `y ≈ c·xᵏ` from
+//! measurements, by least squares on the log–log scale.
+//!
+//! The paper's complexity claims are asymptotic *shapes* (`Θ(n²)` messages,
+//! `O(n⁴)` for the non-authenticated variant, ...); the experiments verify
+//! them by fitting the measured curves and checking the exponent lands in
+//! the expected band.
+
+/// Result of a power-law fit `y = c · xᵏ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerFit {
+    /// The fitted exponent `k`.
+    pub exponent: f64,
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination on the log–log scale.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ c·xᵏ` to the points by linear regression in log–log space.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or any coordinate is
+/// non-positive.
+pub fn fit_exponent(points: &[(f64, f64)]) -> PowerFit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "power-law fit requires positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    PowerFit {
+        exponent: slope,
+        constant: intercept.exp(),
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        let pts: Vec<(f64, f64)> = (2..10).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
+        let fit = fit_exponent(&pts);
+        assert!((fit.exponent - 2.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.constant - 3.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn recovers_quartic_with_noise() {
+        let pts: Vec<(f64, f64)> = (3..12)
+            .map(|x| {
+                let x = x as f64;
+                (x, x.powi(4) * (1.0 + 0.05 * (x as f64).sin()))
+            })
+            .collect();
+        let fit = fit_exponent(&pts);
+        assert!((fit.exponent - 4.0).abs() < 0.2, "{fit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        let _ = fit_exponent(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive() {
+        let _ = fit_exponent(&[(1.0, 0.0), (2.0, 4.0)]);
+    }
+}

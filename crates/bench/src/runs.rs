@@ -1,0 +1,264 @@
+//! Canonical protocol runners used by the experiment binaries and the
+//! Criterion benches: build a simulation for one of the three vector-
+//! consensus algorithms (optionally wrapped in `Universal`), run it, and
+//! collect the paper's complexity measures.
+
+use validity_core::{InputConfig, LambdaFn, ProcessId, SystemParams};
+use validity_crypto::{KeyStore, ThresholdScheme};
+use validity_protocols::{Universal, VectorAuth, VectorFast, VectorNonAuth};
+use validity_simnet::{
+    agreement_holds, Machine, NodeKind, SimConfig, Silent, Simulation, Time,
+};
+
+/// Complexity measures of one run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// System size.
+    pub n: usize,
+    /// Fault threshold.
+    pub t: usize,
+    /// Number of (silent) Byzantine nodes in the run.
+    pub byz: usize,
+    /// Messages sent by correct processes in `[GST, ∞)` — the paper's
+    /// message complexity (§3.1).
+    pub messages_after_gst: u64,
+    /// Words sent by correct processes in `[GST, ∞)` — the paper's
+    /// communication complexity (footnote 4).
+    pub words_after_gst: u64,
+    /// Messages over the whole execution.
+    pub messages_total: u64,
+    /// Words over the whole execution.
+    pub words_total: u64,
+    /// Time of the last correct decision.
+    pub latency: Time,
+    /// Whether all correct processes decided.
+    pub decided: bool,
+    /// Whether Agreement held.
+    pub agreement: bool,
+    /// Debug rendering of the first correct decision.
+    pub decision: String,
+}
+
+fn collect<M: Machine>(params: SystemParams, byz: usize, sim: &mut Simulation<M>) -> RunStats
+where
+    M::Output: std::fmt::Debug + PartialEq,
+{
+    sim.run_until_decided();
+    let stats = sim.stats();
+    RunStats {
+        n: params.n(),
+        t: params.t(),
+        byz,
+        messages_after_gst: stats.messages_after_gst,
+        words_after_gst: stats.words_after_gst,
+        messages_total: stats.messages_total,
+        words_total: stats.words_total,
+        latency: stats.last_decision_at.unwrap_or(0),
+        decided: sim.all_correct_decided(),
+        agreement: agreement_holds(sim.decisions()),
+        decision: sim
+            .decisions()
+            .iter()
+            .flatten()
+            .next()
+            .map(|d| format!("{:?}", d.1))
+            .unwrap_or_else(|| "⊥".to_string()),
+    }
+}
+
+fn config(params: SystemParams, seed: u64, synchronous: bool) -> SimConfig {
+    if synchronous {
+        SimConfig::synchronous(params).seed(seed)
+    } else {
+        SimConfig::new(params).seed(seed)
+    }
+}
+
+fn build_nodes<M: Machine + 'static>(
+    n: usize,
+    byz: usize,
+    mk: impl Fn(ProcessId) -> M,
+) -> Vec<NodeKind<M>> {
+    (0..n)
+        .map(|i| {
+            if i < n - byz {
+                NodeKind::Correct(mk(ProcessId::from_index(i)))
+            } else {
+                NodeKind::Byzantine(Box::new(Silent))
+            }
+        })
+        .collect()
+}
+
+/// Runs **Algorithm 1** (authenticated vector consensus).
+pub fn run_vector_auth(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes = build_nodes(params.n(), byz, |p| {
+        VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params)
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Runs **Algorithm 3** (non-authenticated vector consensus).
+pub fn run_vector_nonauth(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let nodes = build_nodes(params.n(), byz, |p| {
+        VectorNonAuth::new(inputs[p.index()], params.n())
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Runs **Algorithm 6** (subcubic vector consensus).
+pub fn run_vector_fast(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes = build_nodes(params.n(), byz, |p| {
+        VectorFast::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params)
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Runs **Universal over Algorithm 1** with the given `Λ` factory.
+pub fn run_universal_auth(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    lambda: impl Fn() -> Box<dyn LambdaFn<u64, u64>>,
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes = build_nodes(params.n(), byz, |p| {
+        Universal::new(
+            VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            lambda(),
+        )
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Runs **Universal over Algorithm 3**.
+pub fn run_universal_nonauth(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    lambda: impl Fn() -> Box<dyn LambdaFn<u64, u64>>,
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let nodes = build_nodes(params.n(), byz, |p| {
+        Universal::new(VectorNonAuth::new(inputs[p.index()], params.n()), lambda())
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Runs **Universal over Algorithm 6**.
+pub fn run_universal_fast(
+    params: SystemParams,
+    byz: usize,
+    inputs: &[u64],
+    lambda: impl Fn() -> Box<dyn LambdaFn<u64, u64>>,
+    seed: u64,
+    synchronous: bool,
+) -> RunStats {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    let nodes = build_nodes(params.n(), byz, |p| {
+        Universal::new(
+            VectorFast::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            lambda(),
+        )
+    });
+    let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
+    collect(params, byz, &mut sim)
+}
+
+/// Convenience: run Universal/Algorithm 1 under the Theorem-4 `E_base`
+/// adversary and return the lower-bound report.
+pub fn universal_e_base(
+    params: SystemParams,
+    inputs: &[u64],
+    lambda: impl Fn() -> Box<dyn LambdaFn<u64, u64>> + Copy,
+    seed: u64,
+) -> validity_adversary::EBaseReport {
+    let ks = KeyStore::new(params.n(), seed);
+    let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+    validity_adversary::run_e_base(params, validity_simnet::DEFAULT_DELTA, seed, move |p| {
+        Universal::new(
+            VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            lambda(),
+        )
+    })
+}
+
+/// Checks a decided value against the actual input configuration (correct
+/// processes only) for a validity property.
+pub fn actual_config(params: SystemParams, byz: usize, inputs: &[u64]) -> InputConfig<u64> {
+    InputConfig::from_pairs(params, (0..params.n() - byz).map(|i| (i, inputs[i])))
+        .expect("correct set within bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::StrongLambda;
+
+    #[test]
+    fn all_three_vector_runners_agree_on_basics() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let inputs = [1u64, 2, 3, 4];
+        for (name, stats) in [
+            ("alg1", run_vector_auth(params, 1, &inputs, 1, true)),
+            ("alg3", run_vector_nonauth(params, 1, &inputs, 1, true)),
+            ("alg6", run_vector_fast(params, 1, &inputs, 1, true)),
+        ] {
+            assert!(stats.decided, "{name} did not decide");
+            assert!(stats.agreement, "{name} violated agreement");
+            assert!(stats.messages_total > 0);
+        }
+    }
+
+    #[test]
+    fn universal_runners_work() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let inputs = [7u64, 7, 7, 7];
+        let mk = || Box::new(StrongLambda) as Box<dyn LambdaFn<u64, u64>>;
+        let s = run_universal_auth(params, 1, &inputs, mk, 2, true);
+        assert!(s.decided && s.agreement);
+        assert_eq!(s.decision, "7");
+    }
+
+    #[test]
+    fn e_base_runner_reports_quadratic_excess() {
+        let params = SystemParams::new(7, 2).unwrap();
+        let inputs: Vec<u64> = (0..7).collect();
+        let mk = || Box::new(StrongLambda) as Box<dyn LambdaFn<u64, u64>>;
+        let report = universal_e_base(params, &inputs, mk, 3);
+        assert!(report.decided);
+        assert!(report.exceeds_bound, "{report:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal ASCII table rendering for experiment output.
+
+use std::fmt::Display;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use validity_bench::Table;
+///
+/// let mut t = Table::new(vec!["n", "messages"]);
+/// t.row(vec!["4".into(), "123".into()]);
+/// let s = t.render();
+/// assert!(s.contains("messages"));
+/// assert!(s.contains("123"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of displayable cells.
+    pub fn row_display(&mut self, cells: Vec<&dyn Display>) -> &mut Self {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(&format!("| {:<width$} ", h, width = widths[i]));
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for i in 0..cols {
+                out.push_str(&format!("| {:<width$} ", row[i], width = widths[i]));
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // header sep, header, sep, 2 rows, sep
+        assert_eq!(lines.len(), 6);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "ragged table:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

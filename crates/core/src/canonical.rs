@@ -1,0 +1,127 @@
+//! Canonical similarity (Lemma 1): the decision checker used to validate
+//! protocol executions against the formalism.
+//!
+//! In a *canonical* execution (no faulty process takes a step) corresponding
+//! to input configuration `c`, any algorithm solving consensus with `val`
+//! may only decide values in `∩_{c′ ∼ c} val(c′)` — correct processes cannot
+//! distinguish silent faulty processes from slow correct ones. The
+//! integration tests run protocols in canonical executions and feed every
+//! decision through [`check_canonical_decision`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::config::InputConfig;
+use crate::lambda::admissible_intersection;
+use crate::validity::ValidityProperty;
+use crate::value::{Domain, Value};
+
+/// Violation of the canonical-similarity bound (Lemma 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CanonicalViolation<V> {
+    /// The decided value.
+    pub decided: V,
+    /// The input configuration of the canonical execution.
+    pub config: String,
+    /// The allowed set `∩_{c′ ∼ c} val(c′)` (over the checking domain).
+    pub allowed: BTreeSet<V>,
+}
+
+impl<V: Value> fmt::Display for CanonicalViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "canonical-similarity violation: decided {:?} in a canonical execution for {}, \
+             but Lemma 1 only allows {:?}",
+            self.decided, self.config, self.allowed
+        )
+    }
+}
+
+impl<V: Value> std::error::Error for CanonicalViolation<V> {}
+
+/// Checks a decision made in a canonical execution corresponding to `c`
+/// against Lemma 1: `decided ∈ ∩_{c′ ∼ c} val(c′)`.
+///
+/// # Errors
+///
+/// Returns a [`CanonicalViolation`] carrying the allowed set if the decision
+/// falls outside it.
+pub fn check_canonical_decision<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    c: &InputConfig<V>,
+    decided: &V,
+    domain: &Domain<V>,
+) -> Result<(), CanonicalViolation<V>> {
+    let allowed = admissible_intersection(prop, c, domain);
+    if allowed.contains(decided) {
+        Ok(())
+    } else {
+        Err(CanonicalViolation {
+            decided: decided.clone(),
+            config: format!("{c:?}"),
+            allowed,
+        })
+    }
+}
+
+/// Checks the plain validity bound (not the canonical strengthening):
+/// `decided ∈ val(c)`. Applicable to *any* execution corresponding to `c`,
+/// including ones where Byzantine processes act.
+///
+/// # Errors
+///
+/// Returns the decided value if it is inadmissible.
+pub fn check_decision<VI: Value, VO: Value>(
+    prop: &impl ValidityProperty<VI, VO>,
+    c: &InputConfig<VI>,
+    decided: &VO,
+) -> Result<(), VO> {
+    if prop.is_admissible(c, decided) {
+        Ok(())
+    } else {
+        Err(decided.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+    use crate::validity::{StrongValidity, WeakValidity};
+
+    #[test]
+    fn canonical_check_is_stricter_than_plain_validity() {
+        // Weak Validity on an incomplete unanimous configuration: val(c) =
+        // V_O (plain check passes for anything), yet Lemma 1 pins the
+        // decision to the unanimous value because the complete unanimous
+        // extension is similar.
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 1), (2, 1)]).unwrap();
+        let d = Domain::binary();
+
+        assert!(check_decision(&WeakValidity, &c, &0).is_ok());
+        let err = check_canonical_decision(&WeakValidity, &c, &0, &d).unwrap_err();
+        assert_eq!(err.allowed.into_iter().collect::<Vec<_>>(), vec![1]);
+        assert!(check_canonical_decision(&WeakValidity, &c, &1, &d).is_ok());
+    }
+
+    #[test]
+    fn plain_check_rejects_inadmissible() {
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 1), (2, 1)]).unwrap();
+        assert_eq!(check_decision(&StrongValidity, &c, &0), Err(0));
+        assert!(check_decision(&StrongValidity, &c, &1).is_ok());
+    }
+
+    #[test]
+    fn violation_display_mentions_allowed_set() {
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 1), (2, 1)]).unwrap();
+        let d = Domain::binary();
+        let err = check_canonical_decision(&StrongValidity, &c, &0, &d).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("canonical-similarity violation"));
+        assert!(msg.contains("decided 0"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The extended formalism of Appendix C, accommodating blockchain-style
+//! validity properties such as *External Validity*.
+//!
+//! The original formalism assumes processes know the whole input space `V_I`
+//! and output space `V_O`. Blockchains break that assumption: servers order
+//! client-signed transactions they cannot forge. The extension therefore
+//! adds:
+//!
+//! * **membership functions** `valid_input` / `valid_output` — bit-string
+//!   oracles for `V_I` / `V_O`;
+//! * a **discovery function** `discover : 2^{V_I} → 2^{V_O}` — which outputs
+//!   become producible once a set of inputs is known (monotone);
+//! * an **adversary pool** `P(E) ⊆ V_I` attached to each input configuration
+//!   — the inputs the adversary knows;
+//! * **Assumptions 1–2** restricting decisions to discoverable values.
+//!
+//! The paper leaves this formalism intentionally incomplete ("we leave its
+//! realization for future work"); this module implements exactly what
+//! Appendix C specifies, plus checkers for the two stated assumptions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::config::InputConfig;
+use crate::value::Value;
+
+/// A discovery function `discover : 2^{V_I} → 2^{V_O}` (Appendix C.2).
+///
+/// Implementations must be monotone: `V¹ ⊆ V² ⇒ discover(V¹) ⊆ discover(V²)`
+/// — "knowledge of the output space can only be improved upon learning more
+/// input values". [`check_monotone`] verifies this on finite samples.
+pub trait Discover<VI: Value, VO: Value> {
+    /// The outputs discoverable from the given set of known inputs.
+    fn discover(&self, inputs: &BTreeSet<VI>) -> BTreeSet<VO>;
+}
+
+/// The identity discovery function (`V_O = V_I`, each input discovers
+/// itself) — the degenerate case matching the original formalism.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityDiscover;
+
+impl<V: Value> Discover<V, V> for IdentityDiscover {
+    fn discover(&self, inputs: &BTreeSet<V>) -> BTreeSet<V> {
+        inputs.clone()
+    }
+}
+
+/// Discovery by concatenation up to pairs: from transactions `{a, b}` one
+/// can build the blocks `a`, `b`, `a‖b`, `b‖a` (the Appendix C.1 example).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PairConcatDiscover;
+
+impl Discover<Vec<u8>, Vec<u8>> for PairConcatDiscover {
+    fn discover(&self, inputs: &BTreeSet<Vec<u8>>) -> BTreeSet<Vec<u8>> {
+        let mut out: BTreeSet<Vec<u8>> = inputs.clone();
+        for a in inputs {
+            for b in inputs {
+                if a != b {
+                    let mut cat = a.clone();
+                    cat.extend_from_slice(b);
+                    out.insert(cat);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Checks monotonicity of a discovery function over all subset pairs of a
+/// small sample (test utility).
+pub fn check_monotone<VI: Value, VO: Value>(
+    d: &impl Discover<VI, VO>,
+    sample: &[VI],
+) -> Result<(), (BTreeSet<VI>, BTreeSet<VI>)> {
+    let n = sample.len();
+    assert!(n <= 12, "sample too large for exhaustive subset check");
+    let subset = |mask: usize| -> BTreeSet<VI> {
+        sample
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| v.clone())
+            .collect()
+    };
+    for m1 in 0..(1usize << n) {
+        for m2 in 0..(1usize << n) {
+            if m1 & m2 == m1 {
+                let s1 = subset(m1);
+                let s2 = subset(m2);
+                if !d.discover(&s1).is_subset(&d.discover(&s2)) {
+                    return Err((s1, s2));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An extended input configuration (Appendix C.3): process–proposal pairs
+/// *plus* the adversary pool `ρ ⊆ V_I`, with `ρ = ∅` required when all `n`
+/// processes are correct.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtInputConfig<VI> {
+    base: InputConfig<VI>,
+    pool: BTreeSet<VI>,
+}
+
+/// Error building an [`ExtInputConfig`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExtConfigError {
+    /// With `x = n` (no faulty processes) the pool must be empty.
+    PoolMustBeEmptyWhenAllCorrect,
+}
+
+impl fmt::Display for ExtConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtConfigError::PoolMustBeEmptyWhenAllCorrect => {
+                write!(f, "adversary pool must be empty when all n processes are correct")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtConfigError {}
+
+impl<VI: Value> ExtInputConfig<VI> {
+    /// Attaches an adversary pool to a base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtConfigError::PoolMustBeEmptyWhenAllCorrect`] if
+    /// `x = n` but the pool is non-empty (Appendix C.3 condition (3)).
+    pub fn new(
+        base: InputConfig<VI>,
+        pool: impl IntoIterator<Item = VI>,
+    ) -> Result<Self, ExtConfigError> {
+        let pool: BTreeSet<VI> = pool.into_iter().collect();
+        if base.len() == base.params().n() && !pool.is_empty() {
+            return Err(ExtConfigError::PoolMustBeEmptyWhenAllCorrect);
+        }
+        Ok(ExtInputConfig { base, pool })
+    }
+
+    /// The underlying process–proposal assignment.
+    pub fn base(&self) -> &InputConfig<VI> {
+        &self.base
+    }
+
+    /// `pool(c)`: the adversary's known inputs.
+    pub fn pool(&self) -> &BTreeSet<VI> {
+        &self.pool
+    }
+
+    /// `correct_proposals(c)`: the set of proposals of correct processes.
+    pub fn correct_proposals(&self) -> BTreeSet<VI> {
+        self.base.proposals().cloned().collect()
+    }
+}
+
+/// An extended validity property `val : I_ext → 2^{V_O}` presented as an
+/// admissibility oracle (Appendix C.3).
+pub trait ExtValidityProperty<VI: Value, VO: Value> {
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// Whether `v ∈ val(c)`.
+    fn is_admissible(&self, c: &ExtInputConfig<VI>, v: &VO) -> bool;
+}
+
+/// External Validity [22, 24, 93]: the decided value must satisfy a
+/// predetermined predicate (e.g. "carries a valid proof / signature").
+///
+/// Expressible only in the extended formalism because the predicate usually
+/// verifies data the processes cannot synthesize (Appendix C.1).
+pub struct ExternalValidity<F> {
+    predicate: F,
+    label: String,
+}
+
+impl<F> ExternalValidity<F> {
+    /// Builds External Validity from a predicate on decisions.
+    pub fn new(label: impl Into<String>, predicate: F) -> Self {
+        ExternalValidity {
+            predicate,
+            label: label.into(),
+        }
+    }
+}
+
+impl<VI: Value, VO: Value, F: Fn(&VO) -> bool> ExtValidityProperty<VI, VO>
+    for ExternalValidity<F>
+{
+    fn name(&self) -> String {
+        format!("External Validity ({})", self.label)
+    }
+
+    fn is_admissible(&self, _c: &ExtInputConfig<VI>, v: &VO) -> bool {
+        (self.predicate)(v)
+    }
+}
+
+/// Checks **Assumption 1**: a decision in an execution corresponding to `c`
+/// must lie in `discover(correct_proposals(c) ∪ pool(c))`.
+pub fn check_assumption_1<VI: Value, VO: Value>(
+    discover: &impl Discover<VI, VO>,
+    c: &ExtInputConfig<VI>,
+    decided: &VO,
+) -> bool {
+    let mut known = c.correct_proposals();
+    known.extend(c.pool().iter().cloned());
+    discover.discover(&known).contains(decided)
+}
+
+/// Checks **Assumption 2**: in a *canonical* execution (silent adversary),
+/// a decision must lie in `discover(correct_proposals(c))` — the hidden pool
+/// cannot help.
+pub fn check_assumption_2<VI: Value, VO: Value>(
+    discover: &impl Discover<VI, VO>,
+    c: &ExtInputConfig<VI>,
+    decided: &VO,
+) -> bool {
+    discover.discover(&c.correct_proposals()).contains(decided)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+
+    fn base(pairs: &[(usize, u64)]) -> InputConfig<u64> {
+        InputConfig::from_pairs(SystemParams::new(4, 1).unwrap(), pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn pool_must_be_empty_for_complete_configs() {
+        let complete =
+            InputConfig::complete(SystemParams::new(4, 1).unwrap(), vec![1u64, 2, 3, 4]);
+        assert!(matches!(
+            ExtInputConfig::new(complete, [9u64]),
+            Err(ExtConfigError::PoolMustBeEmptyWhenAllCorrect)
+        ));
+        let partial = base(&[(0, 1), (1, 2), (2, 3)]);
+        assert!(ExtInputConfig::new(partial, [9u64]).is_ok());
+    }
+
+    #[test]
+    fn identity_discover_is_monotone() {
+        assert!(check_monotone(&IdentityDiscover, &[1u64, 2, 3, 4]).is_ok());
+    }
+
+    #[test]
+    fn pair_concat_discover_is_monotone_and_builds_blocks() {
+        let d = PairConcatDiscover;
+        assert!(check_monotone(&d, &[vec![1u8], vec![2], vec![3]]).is_ok());
+        let known: BTreeSet<Vec<u8>> = [vec![1u8], vec![2]].into_iter().collect();
+        let out = d.discover(&known);
+        assert!(out.contains(&vec![1u8]));
+        assert!(out.contains(&vec![1u8, 2]));
+        assert!(out.contains(&vec![2u8, 1]));
+        assert!(!out.contains(&vec![3u8]));
+    }
+
+    #[test]
+    fn assumption_1_uses_the_pool_but_assumption_2_does_not() {
+        // Adversary knows value 9; correct processes propose 1, 2, 3.
+        let c = ExtInputConfig::new(base(&[(0, 1), (1, 2), (2, 3)]), [9u64]).unwrap();
+        // Deciding 9 is discoverable with the adversary's help (Assumption 1)
+        // but not in a canonical execution (Assumption 2): "correct processes
+        // cannot use hidden proposals possessed by a silent adversary".
+        assert!(check_assumption_1(&IdentityDiscover, &c, &9));
+        assert!(!check_assumption_2(&IdentityDiscover, &c, &9));
+        assert!(check_assumption_2(&IdentityDiscover, &c, &2));
+        // A value nobody knows is never discoverable.
+        assert!(!check_assumption_1(&IdentityDiscover, &c, &42));
+    }
+
+    #[test]
+    fn external_validity_checks_only_the_predicate() {
+        let even = ExternalValidity::new("even", |v: &u64| v % 2 == 0);
+        let c = ExtInputConfig::new(base(&[(0, 1), (1, 3), (2, 5)]), [2u64]).unwrap();
+        assert!(even.is_admissible(&c, &2));
+        assert!(!even.is_admissible(&c, &3));
+        assert!(ExtValidityProperty::<u64, u64>::name(&even).contains("even"));
+    }
+}

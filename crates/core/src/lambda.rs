@@ -1,0 +1,622 @@
+//! The `Λ` function of the similarity condition (Definition 2) and the
+//! canonical-similarity intersection it computes.
+//!
+//! A validity property `val` satisfies `C_S` iff there is a computable
+//! `Λ : I_{n−t} → V_O` with `Λ(c) ∈ ∩_{c′ ∼ c} val(c′)` for every
+//! `c ∈ I_{n−t}`. `Universal` (Algorithm 2) decides `Λ(vector)` for the
+//! vector decided by vector consensus, so `Λ` is the run-time bridge between
+//! the formalism and the protocol stack.
+//!
+//! Two kinds of `Λ` implementations are provided:
+//!
+//! * [`BruteForceLambda`] — enumerates `sim(c)` over a finite domain and
+//!   intersects; the *ground truth*, usable only for small `n` and domains.
+//! * Closed forms per classical property ([`StrongLambda`], [`WeakLambda`],
+//!   [`CorrectProposalLambda`], [`RankLambda`] for Median/Interval,
+//!   [`ConvexHullLambda`], [`FirstProposalLambda`]) — O(x log x) per call and
+//!   valid for unbounded domains. Each closed form is cross-checked against
+//!   [`BruteForceLambda`] by exhaustive tests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::config::InputConfig;
+use crate::relations::enumerate_similar;
+use crate::validity::ValidityProperty;
+use crate::value::{Domain, Value};
+
+/// Error returned when `Λ(c)` does not exist (the similarity condition is
+/// violated at `c`) or the input vector is malformed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LambdaError {
+    /// `∩_{c′ ∼ c} val(c′) = ∅` at this configuration: the property violates
+    /// `C_S` and is unsolvable (Theorem 3).
+    EmptyIntersection {
+        /// Debug rendering of the offending configuration.
+        config: String,
+    },
+    /// `Λ` is only defined on `I_{n−t}` (vectors of exactly `n − t` pairs).
+    WrongVectorSize {
+        /// Number of pairs in the supplied vector.
+        got: usize,
+        /// The required size `n − t`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for LambdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LambdaError::EmptyIntersection { config } => write!(
+                f,
+                "similarity condition violated: no common admissible value over sim({config})"
+            ),
+            LambdaError::WrongVectorSize { got, expected } => {
+                write!(f, "Λ requires a vector of {expected} pairs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LambdaError {}
+
+/// A computable `Λ : I_{n−t} → V_O` (Definition 2).
+pub trait LambdaFn<VI: Value, VO: Value = VI> {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Computes `Λ(vector)`, a value admissible for *every* input
+    /// configuration similar to `vector`.
+    ///
+    /// # Errors
+    ///
+    /// [`LambdaError::WrongVectorSize`] if `vector ∉ I_{n−t}`;
+    /// [`LambdaError::EmptyIntersection`] if the property violates `C_S` at
+    /// `vector`.
+    fn lambda(&self, vector: &InputConfig<VI>) -> Result<VO, LambdaError>;
+}
+
+impl<VI: Value, VO: Value, T: LambdaFn<VI, VO> + ?Sized> LambdaFn<VI, VO> for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn lambda(&self, vector: &InputConfig<VI>) -> Result<VO, LambdaError> {
+        (**self).lambda(vector)
+    }
+}
+
+impl<VI: Value, VO: Value, T: LambdaFn<VI, VO> + ?Sized> LambdaFn<VI, VO> for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn lambda(&self, vector: &InputConfig<VI>) -> Result<VO, LambdaError> {
+        (**self).lambda(vector)
+    }
+}
+
+fn expect_quorum_size<V: Value>(vector: &InputConfig<V>) -> Result<(), LambdaError> {
+    let expected = vector.params().quorum();
+    if vector.len() != expected {
+        Err(LambdaError::WrongVectorSize {
+            got: vector.len(),
+            expected,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Computes `∩_{c′ ∼ c} val(c′) ∩ domain` by exhaustive enumeration — the
+/// set a correct process may decide in a canonical execution corresponding
+/// to `c` (Lemma 1).
+pub fn admissible_intersection<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    c: &InputConfig<V>,
+    domain: &Domain<V>,
+) -> BTreeSet<V> {
+    let mut result = prop.admissible_set(c, domain);
+    if result.is_empty() {
+        return result;
+    }
+    for c2 in enumerate_similar(c, domain) {
+        result.retain(|v| prop.is_admissible(&c2, v));
+        if result.is_empty() {
+            break;
+        }
+    }
+    result
+}
+
+/// Ground-truth `Λ` by brute force over a finite domain: returns the smallest
+/// element of `∩_{c′ ∼ c} val(c′)`.
+#[derive(Clone, Debug)]
+pub struct BruteForceLambda<V, P> {
+    prop: P,
+    domain: Domain<V>,
+}
+
+impl<V: Value, P: ValidityProperty<V>> BruteForceLambda<V, P> {
+    /// Builds the brute-force `Λ` for `prop` over `domain`.
+    pub fn new(prop: P, domain: Domain<V>) -> Self {
+        BruteForceLambda { prop, domain }
+    }
+}
+
+impl<V: Value, P: ValidityProperty<V>> LambdaFn<V> for BruteForceLambda<V, P> {
+    fn name(&self) -> String {
+        format!("brute-force Λ for {}", self.prop.name())
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        admissible_intersection(&self.prop, vector, &self.domain)
+            .into_iter()
+            .next()
+            .ok_or_else(|| LambdaError::EmptyIntersection {
+                config: format!("{vector:?}"),
+            })
+    }
+}
+
+/// Closed-form `Λ` for **Strong Validity**.
+///
+/// If some value has multiplicity ≥ `n − 2t` in the vector it is the only
+/// candidate forced by unanimous similar configurations (for `n > 3t` it is
+/// unique); otherwise no similar configuration is unanimous and any value is
+/// admissible — the smallest proposal is returned for determinism.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StrongLambda;
+
+impl<V: Value> LambdaFn<V> for StrongLambda {
+    fn name(&self) -> String {
+        "Λ(Strong Validity)".to_string()
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        let params = vector.params();
+        let threshold = params.n() - 2 * params.t();
+        let mut candidates: Vec<&V> = vector
+            .proposals()
+            .filter(|v| vector.multiplicity(v) >= threshold)
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        match candidates.first() {
+            Some(v) => Ok((*v).clone()),
+            None => Ok(vector
+                .proposals()
+                .min()
+                .expect("vectors are non-empty")
+                .clone()),
+        }
+    }
+}
+
+/// Closed-form `Λ` for **Weak Validity**: a unanimous vector forces its
+/// value (the complete unanimous extension is similar); otherwise anything
+/// goes and the smallest proposal is returned.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeakLambda;
+
+impl<V: Value> LambdaFn<V> for WeakLambda {
+    fn name(&self) -> String {
+        "Λ(Weak Validity)".to_string()
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        if let Some(v) = vector.unanimous_value() {
+            return Ok(v.clone());
+        }
+        Ok(vector
+            .proposals()
+            .min()
+            .expect("vectors are non-empty")
+            .clone())
+    }
+}
+
+/// Closed-form `Λ` for **Correct-Proposal Validity**: the smallest value with
+/// multiplicity ≥ `t + 1` (such a value survives every similar
+/// configuration's pruning of up to `t` pairs). If none exists the property
+/// violates `C_S` at this vector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CorrectProposalLambda;
+
+impl<V: Value> LambdaFn<V> for CorrectProposalLambda {
+    fn name(&self) -> String {
+        "Λ(Correct-Proposal Validity)".to_string()
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        let t = vector.params().t();
+        let mut candidates: Vec<&V> = vector
+            .proposals()
+            .filter(|v| vector.multiplicity(v) >= t + 1)
+            .collect();
+        candidates.sort();
+        match candidates.first() {
+            Some(v) => Ok((*v).clone()),
+            None => Err(LambdaError::EmptyIntersection {
+                config: format!("{vector:?}"),
+            }),
+        }
+    }
+}
+
+/// Always returns the smallest proposal of the vector. A valid `Λ` for any
+/// property whose intersection always contains every proposal (e.g.
+/// [`crate::TrivialValidity`]); also usable as a deterministic fallback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstProposalLambda;
+
+impl<V: Value> LambdaFn<V> for FirstProposalLambda {
+    fn name(&self) -> String {
+        "Λ(first proposal)".to_string()
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        Ok(vector
+            .proposals()
+            .min()
+            .expect("vectors are non-empty")
+            .clone())
+    }
+}
+
+/// Which rank a [`RankLambda`] targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RankTarget {
+    /// The lower median `⌈x/2⌉`.
+    Median,
+    /// A fixed rank `k` (1-indexed), clamped to the vector size.
+    Kth(usize),
+}
+
+/// Closed-form `Λ` for the rank-windowed properties (**Median Validity** and
+/// **Interval Validity**) over a bounded ordered domain.
+///
+/// For every similar configuration `c′` the admissible set is a window
+/// `[p′_{lo}, p′_{hi}]` around the target rank. The intersection over
+/// `sim(c)` is `[L, H]` where `L` is the maximal window-low over adversarial
+/// `c′` (achieved by keeping the `s` largest proposals and adding `e` copies
+/// of the domain maximum) and `H` the minimal window-high (mirror image).
+/// All feasible `(s, e)` splits are scanned. The returned value is the
+/// vector's own target-rank proposal clamped into `[L, H]`; an empty window
+/// signals a `C_S` violation.
+#[derive(Clone, Debug)]
+pub struct RankLambda<V> {
+    target: RankTarget,
+    slack: usize,
+    domain_min: V,
+    domain_max: V,
+}
+
+impl<V: Value> RankLambda<V> {
+    /// `Λ` for Median Validity with the given slack; `domain_min`/`domain_max`
+    /// bound the proposal space `V_I`.
+    pub fn median(slack: usize, domain_min: V, domain_max: V) -> Self {
+        RankLambda {
+            target: RankTarget::Median,
+            slack,
+            domain_min,
+            domain_max,
+        }
+    }
+
+    /// `Λ` for Interval Validity around the `k`-th smallest proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn interval(k: usize, slack: usize, domain_min: V, domain_max: V) -> Self {
+        assert!(k >= 1, "ranks are 1-indexed");
+        RankLambda {
+            target: RankTarget::Kth(k),
+            slack,
+            domain_min,
+            domain_max,
+        }
+    }
+
+    fn target_rank(&self, x: usize) -> usize {
+        match self.target {
+            RankTarget::Median => x.div_ceil(2),
+            RankTarget::Kth(k) => k.min(x),
+        }
+    }
+
+    /// Window of admissible values for a configuration with sorted proposals
+    /// `sorted`: `[sorted[lo−1], sorted[hi−1]]`.
+    fn window<'a>(&self, sorted: &'a [V]) -> (&'a V, &'a V) {
+        let x = sorted.len();
+        let r = self.target_rank(x);
+        let lo = r.saturating_sub(self.slack).max(1);
+        let hi = (r + self.slack).min(x);
+        (&sorted[lo - 1], &sorted[hi - 1])
+    }
+}
+
+impl<V: Value> LambdaFn<V> for RankLambda<V> {
+    fn name(&self) -> String {
+        match self.target {
+            RankTarget::Median => format!("Λ(Median Validity, slack {})", self.slack),
+            RankTarget::Kth(k) => {
+                format!("Λ(Interval Validity, k = {k}, slack {})", self.slack)
+            }
+        }
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        let params = vector.params();
+        let (n, t) = (params.n(), params.t());
+        let sorted = vector.sorted_proposals();
+        let x = sorted.len(); // = n − t
+
+        // Scan all feasible (s, e): keep s proposals of the vector, add e
+        // foreign proposals; s + e ∈ [n − t, n], s ≤ n − t, e ≤ t.
+        let mut best_hi: Option<V> = None; // min over c′ of window-high
+        let mut best_lo: Option<V> = None; // max over c′ of window-low
+        for s in (n.saturating_sub(2 * t)).max(1)..=x {
+            for e in 0..=t {
+                let size = s + e;
+                if size < n - t || size > n {
+                    continue;
+                }
+                // Minimal window-high: s smallest kept + e domain minima.
+                let mut low_side: Vec<V> = Vec::with_capacity(size);
+                low_side.extend(std::iter::repeat(self.domain_min.clone()).take(e));
+                low_side.extend_from_slice(&sorted[..s]);
+                low_side.sort();
+                let (_, hi) = self.window(&low_side);
+                if best_hi.as_ref().map_or(true, |b| hi < b) {
+                    best_hi = Some(hi.clone());
+                }
+                // Maximal window-low: s largest kept + e domain maxima.
+                let mut high_side: Vec<V> = Vec::with_capacity(size);
+                high_side.extend_from_slice(&sorted[x - s..]);
+                high_side.extend(std::iter::repeat(self.domain_max.clone()).take(e));
+                high_side.sort();
+                let (lo, _) = self.window(&high_side);
+                if best_lo.as_ref().map_or(true, |b| lo > b) {
+                    best_lo = Some(lo.clone());
+                }
+            }
+        }
+        let lo = best_lo.expect("at least one (s, e) split is feasible");
+        let hi = best_hi.expect("at least one (s, e) split is feasible");
+        if lo > hi {
+            return Err(LambdaError::EmptyIntersection {
+                config: format!("{vector:?}"),
+            });
+        }
+        // The vector's own target value, clamped into the common window.
+        let own = sorted[self.target_rank(x) - 1].clone();
+        Ok(own.clamp(lo, hi))
+    }
+}
+
+/// Closed-form `Λ` for **Convex-Hull Validity**: the intersection of hulls
+/// over `sim(c)` is `[p_{t+1}, p_{n−2t}]` (1-indexed sorted proposals), which
+/// is non-empty exactly when `n > 3t`. Returns the vector's median clamped
+/// into that interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConvexHullLambda;
+
+impl<V: Value> LambdaFn<V> for ConvexHullLambda {
+    fn name(&self) -> String {
+        "Λ(Convex-Hull Validity)".to_string()
+    }
+
+    fn lambda(&self, vector: &InputConfig<V>) -> Result<V, LambdaError> {
+        expect_quorum_size(vector)?;
+        let params = vector.params();
+        let (n, t) = (params.n(), params.t());
+        let sorted = vector.sorted_proposals();
+        if t + 1 > n - 2 * t {
+            return Err(LambdaError::EmptyIntersection {
+                config: format!("{vector:?}"),
+            });
+        }
+        let lo = sorted[t].clone(); // p_{t+1}
+        let hi = sorted[n - 2 * t - 1].clone(); // p_{n−2t}
+        let own = sorted[sorted.len().div_ceil(2) - 1].clone();
+        Ok(own.clamp(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs_of_size;
+    use crate::process::SystemParams;
+    use crate::validity::{
+        ConvexHullValidity, CorrectProposalValidity, ExactMedianValidity, IntervalValidity,
+        MedianValidity, ParityValidity, StrongValidity, TrivialValidity, WeakValidity,
+    };
+
+    fn params(n: usize, t: usize) -> SystemParams {
+        SystemParams::new(n, t).unwrap()
+    }
+
+    /// Exhaustively checks that `closed` agrees with the brute-force ground
+    /// truth: wherever brute force finds a non-empty intersection, `closed`
+    /// must return a member of it; wherever brute force finds ∅, `closed`
+    /// must error.
+    fn assert_closed_form_sound<P>(prop: P, closed: &dyn LambdaFn<u64>, n: usize, t: usize, d: &Domain<u64>)
+    where
+        P: ValidityProperty<u64> + Clone,
+    {
+        let p = params(n, t);
+        for c in enumerate_configs_of_size(p, d, p.quorum()) {
+            let truth = admissible_intersection(&prop, &c, d);
+            match closed.lambda(&c) {
+                Ok(v) => assert!(
+                    truth.contains(&v),
+                    "{}: Λ({c:?}) = {v:?} not in ground truth {truth:?}",
+                    closed.name()
+                ),
+                Err(LambdaError::EmptyIntersection { .. }) => assert!(
+                    truth.is_empty(),
+                    "{}: Λ({c:?}) claims ∅ but ground truth is {truth:?}",
+                    closed.name()
+                ),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strong_lambda_sound_binary() {
+        assert_closed_form_sound(StrongValidity, &StrongLambda, 4, 1, &Domain::binary());
+        assert_closed_form_sound(StrongValidity, &StrongLambda, 5, 1, &Domain::binary());
+    }
+
+    #[test]
+    fn strong_lambda_sound_ternary() {
+        assert_closed_form_sound(StrongValidity, &StrongLambda, 4, 1, &Domain::range(3));
+    }
+
+    #[test]
+    fn weak_lambda_sound() {
+        assert_closed_form_sound(WeakValidity, &WeakLambda, 4, 1, &Domain::binary());
+        assert_closed_form_sound(WeakValidity, &WeakLambda, 5, 1, &Domain::range(3));
+    }
+
+    #[test]
+    fn correct_proposal_lambda_sound() {
+        assert_closed_form_sound(
+            CorrectProposalValidity,
+            &CorrectProposalLambda,
+            4,
+            1,
+            &Domain::binary(),
+        );
+        // Ternary at (4, 1): some configurations have no t+1-multiplicity
+        // value, so Λ must error there — covered by the ∅ branch.
+        assert_closed_form_sound(
+            CorrectProposalValidity,
+            &CorrectProposalLambda,
+            4,
+            1,
+            &Domain::range(3),
+        );
+    }
+
+    #[test]
+    fn median_lambda_sound() {
+        let d = Domain::range(3);
+        let l = RankLambda::median(1, 0u64, 2);
+        assert_closed_form_sound(MedianValidity::with_slack(1), &l, 4, 1, &d);
+        let d = Domain::binary();
+        let l = RankLambda::median(1, 0u64, 1);
+        assert_closed_form_sound(MedianValidity::with_slack(1), &l, 5, 1, &d);
+    }
+
+    #[test]
+    fn median_lambda_sound_t2() {
+        let d = Domain::binary();
+        let l = RankLambda::median(2, 0u64, 1);
+        assert_closed_form_sound(MedianValidity::with_slack(2), &l, 7, 2, &d);
+    }
+
+    #[test]
+    fn interval_lambda_sound() {
+        let d = Domain::range(3);
+        for k in 1..=3 {
+            let l = RankLambda::interval(k, 1, 0u64, 2);
+            assert_closed_form_sound(IntervalValidity::new(k, 1), &l, 4, 1, &d);
+        }
+    }
+
+    #[test]
+    fn convex_hull_lambda_sound() {
+        assert_closed_form_sound(ConvexHullValidity, &ConvexHullLambda, 4, 1, &Domain::range(3));
+        assert_closed_form_sound(ConvexHullValidity, &ConvexHullLambda, 5, 1, &Domain::binary());
+    }
+
+    #[test]
+    fn exact_median_brute_force_fails_on_split_vectors() {
+        // Exact-median (slack 0) violates C_S on non-unanimous vectors.
+        let p = params(4, 1);
+        let d = Domain::binary();
+        let bf = BruteForceLambda::new(ExactMedianValidity, d.clone());
+        let split = InputConfig::from_pairs(p, [(0usize, 0u64), (1, 0), (2, 1)]).unwrap();
+        assert!(matches!(
+            bf.lambda(&split),
+            Err(LambdaError::EmptyIntersection { .. })
+        ));
+        // ... but succeeds on unanimous ones.
+        let unanimous = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 1), (2, 1)]).unwrap();
+        assert_eq!(bf.lambda(&unanimous).unwrap(), 1);
+    }
+
+    #[test]
+    fn parity_brute_force_always_fails() {
+        let p = params(4, 1);
+        let d = Domain::binary();
+        let bf = BruteForceLambda::new(ParityValidity, d.clone());
+        for c in enumerate_configs_of_size(p, &d, 3) {
+            assert!(
+                matches!(bf.lambda(&c), Err(LambdaError::EmptyIntersection { .. })),
+                "parity should violate C_S at every configuration, got Λ({c:?}) ok"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_lambda_via_first_proposal() {
+        assert_closed_form_sound(
+            TrivialValidity::new(0u64),
+            &FirstProposalLambda,
+            4,
+            1,
+            &Domain::binary(),
+        );
+    }
+
+    #[test]
+    fn lambda_rejects_wrong_vector_size() {
+        let p = params(4, 1);
+        let complete = InputConfig::complete(p, vec![1u64, 1, 1, 1]);
+        assert!(matches!(
+            StrongLambda.lambda(&complete),
+            Err(LambdaError::WrongVectorSize { got: 4, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn strong_lambda_unanimous_returns_that_value() {
+        let p = params(7, 2);
+        let c = InputConfig::from_pairs(p, (0..5).map(|i| (i as usize, 9u64))).unwrap();
+        assert_eq!(StrongLambda.lambda(&c).unwrap(), 9);
+    }
+
+    #[test]
+    fn strong_lambda_majority_returns_pinned_value() {
+        // n = 7, t = 2: threshold n − 2t = 3; value 4 appears 3 times.
+        let p = params(7, 2);
+        let c = InputConfig::from_pairs(
+            p,
+            [(0usize, 4u64), (1, 4), (2, 4), (3, 0), (4, 1)],
+        )
+        .unwrap();
+        assert_eq!(StrongLambda.lambda(&c).unwrap(), 4);
+    }
+
+    #[test]
+    fn convex_hull_lambda_clamps_into_safe_interval() {
+        // n = 7, t = 2, proposals 0..5 sorted: safe interval [p3, p3] = [2, 2].
+        let p = params(7, 2);
+        let c = InputConfig::from_pairs(
+            p,
+            [(0usize, 0u64), (1, 1), (2, 2), (3, 3), (4, 4)],
+        )
+        .unwrap();
+        assert_eq!(ConvexHullLambda.lambda(&c).unwrap(), 2);
+    }
+}

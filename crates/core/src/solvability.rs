@@ -1,0 +1,355 @@
+//! Solvability classification of validity properties (§4, §5).
+//!
+//! The paper's characterization, made executable over finite domains:
+//!
+//! * **Theorem 1/2** — with `n ≤ 3t`, a validity property is solvable iff it
+//!   is *trivial* (some value is admissible for every input configuration),
+//!   in which case an `always_admissible` procedure exists.
+//! * **Theorem 3** — the *similarity condition* `C_S` (existence of a
+//!   computable `Λ`) is necessary for solvability at every resilience.
+//! * **Theorem 5** — with `n > 3t`, `C_S` is also sufficient (`Universal`
+//!   solves the property).
+//!
+//! [`classify`] runs the full decision procedure and returns
+//! machine-checkable witnesses: the always-admissible value, the full `Λ`
+//! table over `I_{n−t}`, or the configuration at which `C_S` fails.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::config::{enumerate_all_configs, enumerate_configs_of_size, InputConfig};
+use crate::lambda::admissible_intersection;
+use crate::process::SystemParams;
+use crate::validity::ValidityProperty;
+use crate::value::{Domain, Value};
+
+/// The outcome of classifying a validity property at given `(n, t)` over a
+/// finite domain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Classification<V> {
+    /// The property is trivial: `witness` is admissible for every input
+    /// configuration. Solvable at any resilience — decide `witness` with no
+    /// communication (Theorem 2's `always_admissible` procedure).
+    Trivial {
+        /// A value in `∩_{c ∈ I} val(c)`.
+        witness: V,
+    },
+    /// Non-trivial but satisfies `C_S` with `n > 3t`: solvable by
+    /// `Universal`, with `Θ(n²)` messages (Theorems 4 + 5).
+    SolvableNonTrivial {
+        /// `Λ(c)` for every `c ∈ I_{n−t}` (the table Universal consults).
+        lambda_table: Vec<(InputConfig<V>, V)>,
+    },
+    /// Unsolvable, with the reason as a witness.
+    Unsolvable(UnsolvableReason<V>),
+}
+
+/// Why a validity property is unsolvable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnsolvableReason<V> {
+    /// `n ≤ 3t` and the property is non-trivial (Theorem 1): `witness_pair`
+    /// exhibits, for every candidate value, a configuration rejecting it.
+    LowResilience {
+        /// For each domain value, a configuration where it is inadmissible.
+        rejections: Vec<(V, InputConfig<V>)>,
+    },
+    /// The similarity condition fails (Theorem 3): at `config ∈ I_{n−t}`,
+    /// `∩_{c′ ∼ config} val(c′) = ∅`.
+    SimilarityViolation {
+        /// The configuration whose similarity neighbourhood has no common
+        /// admissible value.
+        config: InputConfig<V>,
+    },
+}
+
+impl<V: Value> Classification<V> {
+    /// Whether the property was classified as solvable.
+    pub fn is_solvable(&self) -> bool {
+        !matches!(self, Classification::Unsolvable(_))
+    }
+
+    /// Whether the property was classified as trivial.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Classification::Trivial { .. })
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Classification::Trivial { .. } => "trivial (solvable)",
+            Classification::SolvableNonTrivial { .. } => "solvable, non-trivial",
+            Classification::Unsolvable(UnsolvableReason::LowResilience { .. }) => {
+                "unsolvable (n ≤ 3t, non-trivial)"
+            }
+            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { .. }) => {
+                "unsolvable (C_S violated)"
+            }
+        }
+    }
+}
+
+impl<V: Value> fmt::Display for Classification<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Searches for an always-admissible value: `v ∈ ∩_{c ∈ I} val(c)`
+/// (the triviality witness of Theorem 1, and Theorem 2's
+/// `always_admissible` procedure realized by exhaustive search).
+///
+/// Returns the smallest such domain value, or `None` if the property is
+/// non-trivial over this domain.
+pub fn always_admissible<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    params: SystemParams,
+    domain: &Domain<V>,
+) -> Option<V> {
+    let mut candidates: BTreeSet<V> = domain.iter().cloned().collect();
+    for c in enumerate_all_configs(params, domain) {
+        candidates.retain(|v| prop.is_admissible(&c, v));
+        if candidates.is_empty() {
+            return None;
+        }
+    }
+    candidates.into_iter().next()
+}
+
+/// For each domain value, finds a configuration rejecting it — the
+/// non-triviality certificate used in [`UnsolvableReason::LowResilience`].
+///
+/// Returns `None` if some value is never rejected (i.e. the property is
+/// trivial).
+pub fn non_triviality_certificate<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    params: SystemParams,
+    domain: &Domain<V>,
+) -> Option<Vec<(V, InputConfig<V>)>> {
+    let all = enumerate_all_configs(params, domain);
+    let mut rejections = Vec::with_capacity(domain.len());
+    for v in domain.iter() {
+        let rejecting = all.iter().find(|c| !prop.is_admissible(c, v))?;
+        rejections.push((v.clone(), rejecting.clone()));
+    }
+    Some(rejections)
+}
+
+/// Checks the similarity condition `C_S` (Definition 2) over a finite
+/// domain: for every `c ∈ I_{n−t}`, `∩_{c′ ∼ c} val(c′)` must be non-empty.
+///
+/// # Errors
+///
+/// On success returns the full `Λ` table (smallest member per
+/// configuration); on failure, the violating configuration.
+pub fn check_similarity_condition<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    params: SystemParams,
+    domain: &Domain<V>,
+) -> Result<Vec<(InputConfig<V>, V)>, InputConfig<V>> {
+    let mut table = Vec::new();
+    for c in enumerate_configs_of_size(params, domain, params.quorum()) {
+        match admissible_intersection(prop, &c, domain).into_iter().next() {
+            Some(v) => table.push((c, v)),
+            None => return Err(c),
+        }
+    }
+    Ok(table)
+}
+
+/// Full classification per the paper's decision procedure (Theorems 1, 3, 5).
+///
+/// ```text
+/// trivial?            ─ yes → Trivial { witness }
+///   │ no
+/// n ≤ 3t?             ─ yes → Unsolvable (Theorem 1)
+///   │ no
+/// C_S holds?          ─ yes → SolvableNonTrivial { Λ table } (Theorem 5)
+///   │ no
+/// Unsolvable (Theorem 3)
+/// ```
+pub fn classify<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    params: SystemParams,
+    domain: &Domain<V>,
+) -> Classification<V> {
+    if let Some(witness) = always_admissible(prop, params, domain) {
+        return Classification::Trivial { witness };
+    }
+    if !params.supports_non_trivial() {
+        let rejections = non_triviality_certificate(prop, params, domain)
+            .expect("always_admissible returned None, so every value has a rejection");
+        return Classification::Unsolvable(UnsolvableReason::LowResilience { rejections });
+    }
+    match check_similarity_condition(prop, params, domain) {
+        Ok(lambda_table) => Classification::SolvableNonTrivial { lambda_table },
+        Err(config) => {
+            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::{
+        ConstantSetValidity, ConvexHullValidity, CorrectProposalValidity, ExactMedianValidity,
+        MedianValidity, ParityValidity, StrongValidity, TrivialValidity, WeakValidity,
+    };
+
+    fn params(n: usize, t: usize) -> SystemParams {
+        SystemParams::new(n, t).unwrap()
+    }
+
+    #[test]
+    fn strong_validity_is_nontrivial_solvable_iff_n_gt_3t() {
+        let d = Domain::binary();
+        let good = classify(&StrongValidity, params(4, 1), &d);
+        assert!(matches!(good, Classification::SolvableNonTrivial { .. }));
+
+        let bad = classify(&StrongValidity, params(3, 1), &d);
+        assert!(matches!(
+            bad,
+            Classification::Unsolvable(UnsolvableReason::LowResilience { .. })
+        ));
+    }
+
+    #[test]
+    fn weak_validity_matches_strong_classification() {
+        let d = Domain::binary();
+        assert!(classify(&WeakValidity, params(4, 1), &d).is_solvable());
+        assert!(!classify(&WeakValidity, params(3, 1), &d).is_solvable());
+        // n = 6 ≤ 3t with t = 2:
+        assert!(!classify(&WeakValidity, params(6, 2), &d).is_solvable());
+        // n = 7 > 3t with t = 2:
+        assert!(classify(&WeakValidity, params(7, 2), &d).is_solvable());
+    }
+
+    #[test]
+    fn trivial_validity_is_trivial_everywhere() {
+        let d = Domain::binary();
+        for (n, t) in [(3, 1), (4, 1), (6, 2), (7, 2)] {
+            let c = classify(&TrivialValidity::new(0u64), params(n, t), &d);
+            assert!(matches!(c, Classification::Trivial { witness: 0 }));
+        }
+    }
+
+    #[test]
+    fn constant_set_is_trivial() {
+        let d = Domain::range(3);
+        let prop = ConstantSetValidity::new([1u64, 2]);
+        let c = classify(&prop, params(3, 1), &d);
+        assert!(matches!(c, Classification::Trivial { witness: 1 }));
+    }
+
+    #[test]
+    fn parity_is_unsolvable_even_with_high_resilience() {
+        let d = Domain::binary();
+        let c = classify(&ParityValidity, params(4, 1), &d);
+        assert!(matches!(
+            c,
+            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_median_is_unsolvable_for_n_gt_3t() {
+        let d = Domain::binary();
+        let c = classify(&ExactMedianValidity, params(4, 1), &d);
+        assert!(matches!(
+            c,
+            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn median_with_slack_t_is_solvable() {
+        let d = Domain::binary();
+        let c = classify(&MedianValidity::with_slack(1), params(4, 1), &d);
+        assert!(matches!(c, Classification::SolvableNonTrivial { .. }));
+    }
+
+    #[test]
+    fn convex_hull_is_solvable_for_n_gt_3t() {
+        let d = Domain::range(3);
+        assert!(classify(&ConvexHullValidity, params(4, 1), &d).is_solvable());
+        assert!(!classify(&ConvexHullValidity, params(3, 1), &d).is_solvable());
+    }
+
+    #[test]
+    fn correct_proposal_solvability_depends_on_domain_size() {
+        // Binary domain at (4, 1): every c ∈ I_3 has a value with count ≥ 2 =
+        // t + 1, so C_S holds.
+        let c = classify(&CorrectProposalValidity, params(4, 1), &Domain::binary());
+        assert!(matches!(c, Classification::SolvableNonTrivial { .. }));
+
+        // Ternary domain at (4, 1): ⟨(P1,0),(P2,1),(P3,2)⟩ has no value with
+        // multiplicity ≥ 2 — C_S fails.
+        let c = classify(&CorrectProposalValidity, params(4, 1), &Domain::range(3));
+        assert!(matches!(
+            c,
+            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_table_entries_are_admissible_for_all_similar() {
+        // Certificate check: every table entry must be in the intersection.
+        let d = Domain::binary();
+        let p = params(4, 1);
+        if let Classification::SolvableNonTrivial { lambda_table } =
+            classify(&StrongValidity, p, &d)
+        {
+            assert_eq!(lambda_table.len(), 32); // |I_3| = C(4,3)·2³
+            for (c, v) in &lambda_table {
+                let truth = admissible_intersection(&StrongValidity, c, &d);
+                assert!(truth.contains(v));
+            }
+        } else {
+            panic!("expected solvable classification");
+        }
+    }
+
+    #[test]
+    fn low_resilience_rejections_are_genuine() {
+        let d = Domain::binary();
+        let p = params(3, 1);
+        if let Classification::Unsolvable(UnsolvableReason::LowResilience { rejections }) =
+            classify(&StrongValidity, p, &d)
+        {
+            assert_eq!(rejections.len(), 2);
+            for (v, c) in &rejections {
+                assert!(!StrongValidity.is_admissible(c, v));
+            }
+        } else {
+            panic!("expected low-resilience unsolvability");
+        }
+    }
+
+    #[test]
+    fn theorem_1_shape_all_catalog_properties() {
+        // With n ≤ 3t, solvable ⇒ trivial across the whole catalog.
+        let d = Domain::binary();
+        for (n, t) in [(3usize, 1usize), (4, 2), (6, 2)] {
+            let p = params(n, t);
+            let props: Vec<crate::validity::DynValidity<u64>> = vec![
+                Box::new(StrongValidity),
+                Box::new(WeakValidity),
+                Box::new(CorrectProposalValidity),
+                Box::new(MedianValidity::with_slack(t)),
+                Box::new(ConvexHullValidity),
+                Box::new(ParityValidity),
+                Box::new(TrivialValidity::new(0u64)),
+            ];
+            for prop in &props {
+                let c = classify(prop, p, &d);
+                if c.is_solvable() {
+                    assert!(
+                        c.is_trivial(),
+                        "{} at (n={n}, t={t}): solvable but not trivial, contradicting Theorem 1",
+                        prop.name()
+                    );
+                }
+            }
+        }
+    }
+}

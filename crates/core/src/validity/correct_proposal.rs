@@ -1,0 +1,56 @@
+//! Correct-Proposal Validity \[46, 88\]: a decided value must have been
+//! proposed by a correct process.
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// Correct-Proposal Validity.
+///
+/// ```text
+/// val(c) = { v | ∃ P_i ∈ π(c): proposal(c[i]) = v }
+/// ```
+///
+/// A subtle consequence of the paper's similarity condition: this property is
+/// solvable in partial synchrony iff *every* configuration in `I_{n−t}`
+/// contains a value with multiplicity at least `t + 1` — equivalently, iff
+/// `⌈(n−t)/|V_I|⌉ ≥ t + 1`. Binary proposals with `n > 3t` qualify; ternary
+/// proposals generally do not (see `crate::solvability` tests), matching the
+/// known hardness of "strong consensus" \[46\].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CorrectProposalValidity;
+
+impl<V: Value> ValidityProperty<V> for CorrectProposalValidity {
+    fn name(&self) -> String {
+        "Correct-Proposal Validity".to_string()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<V>, v: &V) -> bool {
+        c.proposals().any(|p| p == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+    use crate::value::Domain;
+
+    #[test]
+    fn only_proposed_values_admissible() {
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 3u64), (1, 5), (2, 3)]).unwrap();
+        assert!(CorrectProposalValidity.is_admissible(&c, &3));
+        assert!(CorrectProposalValidity.is_admissible(&c, &5));
+        assert!(!CorrectProposalValidity.is_admissible(&c, &4));
+    }
+
+    #[test]
+    fn admissible_set_equals_proposal_set() {
+        let p = SystemParams::new(5, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 0u64), (1, 2), (2, 2), (3, 1)]).unwrap();
+        let d = Domain::range(4);
+        let set: Vec<u64> = CorrectProposalValidity.admissible_set(&c, &d).into_iter().collect();
+        assert_eq!(set, vec![0, 1, 2]);
+    }
+}

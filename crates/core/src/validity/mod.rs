@@ -1,0 +1,150 @@
+//! Validity properties (§3.3).
+//!
+//! A validity property is a function `val : I → 2^{V_O}` with `val(c) ≠ ∅`
+//! for every input configuration `c`: it maps each assignment of proposals to
+//! correct processes to the set of decisions admissible under that
+//! assignment. An algorithm satisfies `val` iff in every execution `E`
+//! correct processes only decide values in `val(input_conf(E))`.
+//!
+//! This module defines the [`ValidityProperty`] trait (an admissibility
+//! *oracle*, so that infinite `V_O` can be handled) and the catalog of
+//! properties studied in the paper and its related work:
+//!
+//! | Property | Module | Solvable (n > 3t)? |
+//! |---|---|---|
+//! | Strong Validity | [`StrongValidity`] | yes |
+//! | Weak Validity | [`WeakValidity`] | yes |
+//! | Correct-Proposal Validity | [`CorrectProposalValidity`] | iff `⌈(n−t)/|V_I|⌉ > t` |
+//! | Median Validity (slack t) | [`MedianValidity`] | yes |
+//! | Interval Validity (k-th smallest, slack t) | [`IntervalValidity`] | yes |
+//! | Convex-Hull Validity | [`ConvexHullValidity`] | yes |
+//! | Exact-Median Validity | [`ExactMedianValidity`] | no (C_S violated) |
+//! | Parity Validity | [`ParityValidity`] | no (C_S violated) |
+//! | Trivial / constant-set | [`TrivialValidity`] | yes (trivially) |
+//! | Vector Validity | [`VectorValidity`] | yes (it is a *strongest* property) |
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use crate::config::InputConfig;
+use crate::value::{Domain, Value};
+
+mod correct_proposal;
+mod rank;
+mod special;
+mod strong;
+mod support;
+mod vector;
+mod weak;
+
+pub use correct_proposal::CorrectProposalValidity;
+pub use rank::{ConvexHullValidity, ExactMedianValidity, IntervalValidity, MedianValidity};
+pub use special::{ConstantSetValidity, ParityValidity, TrivialValidity};
+pub use strong::StrongValidity;
+pub use support::SupportValidity;
+pub use vector::VectorValidity;
+pub use weak::WeakValidity;
+
+/// A validity property `val : I → 2^{V_O}` presented as an admissibility
+/// oracle.
+///
+/// `VI` is the proposal space `V_I`, `VO` the decision space `V_O` (most
+/// classical properties have `VO = VI`; *Vector Validity* does not).
+///
+/// Implementations must guarantee `val(c) ≠ ∅` for every valid `c` — this is
+/// checked for the whole catalog by exhaustive tests over finite domains.
+pub trait ValidityProperty<VI: Value, VO: Value = VI> {
+    /// Human-readable name used in reports and classification tables.
+    fn name(&self) -> String;
+
+    /// Whether `v ∈ val(c)`.
+    fn is_admissible(&self, c: &InputConfig<VI>, v: &VO) -> bool;
+
+    /// Materializes `val(c) ∩ domain` for a finite decision domain.
+    fn admissible_set(&self, c: &InputConfig<VI>, domain: &Domain<VO>) -> BTreeSet<VO> {
+        domain
+            .iter()
+            .filter(|v| self.is_admissible(c, v))
+            .cloned()
+            .collect()
+    }
+}
+
+impl<VI: Value, VO: Value, T: ValidityProperty<VI, VO> + ?Sized> ValidityProperty<VI, VO>
+    for &T
+{
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn is_admissible(&self, c: &InputConfig<VI>, v: &VO) -> bool {
+        (**self).is_admissible(c, v)
+    }
+}
+
+impl<VI: Value, VO: Value, T: ValidityProperty<VI, VO> + ?Sized> ValidityProperty<VI, VO>
+    for Box<T>
+{
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn is_admissible(&self, c: &InputConfig<VI>, v: &VO) -> bool {
+        (**self).is_admissible(c, v)
+    }
+}
+
+/// A boxed, dynamically typed validity property with `VO = VI` — the shape
+/// used by the classification catalog.
+pub type DynValidity<V> = Box<dyn ValidityProperty<V, V>>;
+
+/// Exhaustively asserts the `val(c) ≠ ∅` well-formedness requirement of the
+/// formalism over finite domains. Intended for tests of new properties.
+pub fn assert_well_formed<VI: Value, VO: Value + Debug>(
+    prop: &impl ValidityProperty<VI, VO>,
+    configs: &[InputConfig<VI>],
+    domain: &Domain<VO>,
+) {
+    for c in configs {
+        assert!(
+            !prop.admissible_set(c, domain).is_empty(),
+            "{}: val({c:?}) ∩ domain is empty — property is not well-formed \
+             over this domain",
+            prop.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_all_configs;
+    use crate::process::SystemParams;
+
+    /// Every shipped `VO = VI` property must be well-formed (val(c) ≠ ∅) over
+    /// a binary and a ternary domain at several (n, t).
+    #[test]
+    fn catalog_is_well_formed() {
+        for (n, t) in [(3usize, 1usize), (4, 1), (5, 1), (6, 2)] {
+            let params = SystemParams::new(n, t).unwrap();
+            for dsize in [2u64, 3] {
+                let domain = Domain::range(dsize);
+                let configs = enumerate_all_configs(params, &domain);
+                let props: Vec<DynValidity<u64>> = vec![
+                    Box::new(StrongValidity),
+                    Box::new(WeakValidity),
+                    Box::new(CorrectProposalValidity),
+                    Box::new(MedianValidity::with_slack(t)),
+                    Box::new(IntervalValidity::new(1, t)),
+                    Box::new(ConvexHullValidity),
+                    Box::new(ExactMedianValidity),
+                    Box::new(ParityValidity),
+                    Box::new(TrivialValidity::new(0u64)),
+                    Box::new(SupportValidity::new(1)),
+                    Box::new(SupportValidity::new(t + 1)),
+                ];
+                for prop in &props {
+                    assert_well_formed(prop, &configs, &domain);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Trivial, constant-set, and parity validity properties — the extreme
+//! points of the classification (Figure 1).
+
+use std::collections::BTreeSet;
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// A trivial validity property: a fixed value is always admissible (alongside
+/// everything else).
+///
+/// Theorem 1 shows that with `n ≤ 3t` *only* trivial properties are solvable;
+/// `TrivialValidity` is the canonical inhabitant of that region of Figure 1.
+/// Solving consensus with it is immediate: decide `always` without
+/// communication (the `always_admissible` procedure of Theorem 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrivialValidity<V> {
+    always: V,
+}
+
+impl<V: Value> TrivialValidity<V> {
+    /// A property admitting every decision, with `always` as the designated
+    /// always-admissible witness.
+    pub fn new(always: V) -> Self {
+        TrivialValidity { always }
+    }
+
+    /// The always-admissible witness value.
+    pub fn witness(&self) -> &V {
+        &self.always
+    }
+}
+
+impl<V: Value> ValidityProperty<V> for TrivialValidity<V> {
+    fn name(&self) -> String {
+        format!("Trivial Validity (witness {:?})", self.always)
+    }
+
+    fn is_admissible(&self, _c: &InputConfig<V>, _v: &V) -> bool {
+        true
+    }
+}
+
+/// A validity property that admits a fixed set of values for every input
+/// configuration: `val(c) = allowed` for all `c`.
+///
+/// Trivial whenever `allowed ≠ ∅` (which the constructor enforces), but
+/// useful for exercising the classifier with non-singleton constant maps.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConstantSetValidity<V> {
+    allowed: BTreeSet<V>,
+}
+
+impl<V: Value> ConstantSetValidity<V> {
+    /// Builds the property admitting exactly `allowed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty (`val(c) ≠ ∅` is required by §3.3).
+    pub fn new(allowed: impl IntoIterator<Item = V>) -> Self {
+        let allowed: BTreeSet<V> = allowed.into_iter().collect();
+        assert!(!allowed.is_empty(), "val(c) must be non-empty");
+        ConstantSetValidity { allowed }
+    }
+
+    /// The constant admissible set.
+    pub fn allowed(&self) -> &BTreeSet<V> {
+        &self.allowed
+    }
+}
+
+impl<V: Value> ValidityProperty<V> for ConstantSetValidity<V> {
+    fn name(&self) -> String {
+        format!("Constant-Set Validity ({} values)", self.allowed.len())
+    }
+
+    fn is_admissible(&self, _c: &InputConfig<V>, v: &V) -> bool {
+        self.allowed.contains(v)
+    }
+}
+
+/// Parity Validity: the decision must equal the parity (XOR) of the correct
+/// proposals' low bits.
+///
+/// ```text
+/// val(c) = { (Σ_{P_i ∈ π(c)} proposal(c[i])) mod 2 }
+/// ```
+///
+/// Well-formed but *not* solvable for any `0 < t < n`: two similar
+/// configurations differing in one extra process flip the parity, so
+/// `∩_{c′ ∼ c} val(c′) = ∅` and the similarity condition fails (Theorem 3).
+/// Used as an unsolvable witness throughout the tests and experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ParityValidity;
+
+impl ValidityProperty<u64> for ParityValidity {
+    fn name(&self) -> String {
+        "Parity Validity".to_string()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<u64>, v: &u64) -> bool {
+        let parity = c.proposals().fold(0u64, |acc, p| acc ^ (p & 1));
+        *v & 1 == parity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+    use crate::value::Domain;
+
+    fn cfg(n: usize, t: usize, pairs: &[(usize, u64)]) -> InputConfig<u64> {
+        InputConfig::from_pairs(SystemParams::new(n, t).unwrap(), pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn trivial_admits_everything() {
+        let c = cfg(3, 1, &[(0, 0), (1, 1)]);
+        let t = TrivialValidity::new(0u64);
+        assert!(t.is_admissible(&c, &0));
+        assert!(t.is_admissible(&c, &17));
+        assert_eq!(*t.witness(), 0);
+    }
+
+    #[test]
+    fn constant_set_is_input_independent() {
+        let prop = ConstantSetValidity::new([2u64, 4]);
+        let c1 = cfg(3, 1, &[(0, 0), (1, 1)]);
+        let c2 = cfg(3, 1, &[(0, 4), (1, 4), (2, 4)]);
+        for c in [&c1, &c2] {
+            assert!(prop.is_admissible(c, &2));
+            assert!(prop.is_admissible(c, &4));
+            assert!(!prop.is_admissible(c, &0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn constant_set_rejects_empty() {
+        let _ = ConstantSetValidity::<u64>::new([]);
+    }
+
+    #[test]
+    fn parity_tracks_xor_of_low_bits() {
+        let c = cfg(4, 1, &[(0, 1), (1, 1), (2, 0)]);
+        // parity = 1 ^ 1 ^ 0 = 0
+        assert!(ParityValidity.is_admissible(&c, &0));
+        assert!(!ParityValidity.is_admissible(&c, &1));
+        let c = cfg(4, 1, &[(0, 1), (1, 0), (2, 0)]);
+        assert!(ParityValidity.is_admissible(&c, &1));
+    }
+
+    #[test]
+    fn parity_is_singleton_over_binary_domain() {
+        let d = Domain::binary();
+        let c = cfg(4, 1, &[(0, 1), (1, 1), (2, 1)]);
+        assert_eq!(ParityValidity.admissible_set(&c, &d).len(), 1);
+    }
+}

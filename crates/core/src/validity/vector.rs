@@ -1,0 +1,80 @@
+//! Vector Validity (§5.2.1): the validity property of *vector consensus*.
+//!
+//! Here the decision space differs from the proposal space: processes
+//! propose values in `V_I` but decide input configurations with exactly
+//! `n − t` process–proposal pairs (`V_O = I_{n−t}`).
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// Vector Validity.
+///
+/// If a correct process decides a vector containing the pair `(P, v)` and `P`
+/// is correct, then `P` proposed `v`. Equivalently, a decided vector must
+/// agree with the actual input configuration `c` on every correct process it
+/// names — which is exactly the statement `vector ∼ c` whenever the vector
+/// names at least one correct process, the fact Lemma 8 exploits.
+///
+/// The paper shows Vector Validity is a *strongest* validity property: a
+/// solution to vector consensus yields a solution to every solvable
+/// non-trivial consensus variant at no extra cost (Universal, §5.2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VectorValidity;
+
+impl<V: Value> ValidityProperty<V, InputConfig<V>> for VectorValidity {
+    fn name(&self) -> String {
+        "Vector Validity".to_string()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<V>, vector: &InputConfig<V>) -> bool {
+        if vector.len() != c.params().quorum() {
+            return false;
+        }
+        vector.pairs().all(|(p, v)| match c.proposal(p) {
+            Some(actual) => actual == v, // named correct process: proposal must match
+            None => true,                // named faulty process: unconstrained
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+
+    fn cfg(n: usize, t: usize, pairs: &[(usize, u64)]) -> InputConfig<u64> {
+        InputConfig::from_pairs(SystemParams::new(n, t).unwrap(), pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn matching_vector_is_admissible() {
+        let c = cfg(4, 1, &[(0, 1), (1, 2), (2, 3)]);
+        let vector = cfg(4, 1, &[(0, 1), (1, 2), (3, 9)]); // P4 faulty: any claim ok
+        assert!(VectorValidity.is_admissible(&c, &vector));
+    }
+
+    #[test]
+    fn misreported_correct_proposal_is_inadmissible() {
+        let c = cfg(4, 1, &[(0, 1), (1, 2), (2, 3)]);
+        let vector = cfg(4, 1, &[(0, 1), (1, 7), (3, 9)]); // P2 is correct but reported as 7
+        assert!(!VectorValidity.is_admissible(&c, &vector));
+    }
+
+    #[test]
+    fn wrong_size_vector_is_inadmissible() {
+        let c = cfg(4, 1, &[(0, 1), (1, 2), (2, 3)]);
+        let vector = cfg(4, 1, &[(0, 1), (1, 2), (2, 3), (3, 4)]); // 4 pairs ≠ n − t = 3
+        assert!(!VectorValidity.is_admissible(&c, &vector));
+    }
+
+    #[test]
+    fn decided_vector_is_similar_to_input_configuration() {
+        // The Lemma 8 fact: an admissible vector naming a correct process is
+        // similar to the execution's input configuration.
+        let c = cfg(4, 1, &[(0, 1), (1, 2), (2, 3)]);
+        let vector = cfg(4, 1, &[(0, 1), (2, 3), (3, 0)]);
+        assert!(VectorValidity.is_admissible(&c, &vector));
+        assert!(crate::relations::is_similar(&vector, &c));
+    }
+}

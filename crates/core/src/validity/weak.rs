@@ -1,0 +1,66 @@
+//! Weak Validity (§3.3): if all processes are correct and propose the same
+//! value, that value must be decided.
+
+use crate::config::InputConfig;
+use crate::validity::ValidityProperty;
+use crate::value::Value;
+
+/// Weak Validity.
+///
+/// ```text
+/// val(c) = {v}   if π(c) = Π and ∀ P_i ∈ π(c): proposal(c[i]) = v
+///          V_O   otherwise
+/// ```
+///
+/// Only failure-free unanimous executions constrain the decision. Despite
+/// being the weakest of the classical properties, it is non-trivial, hence
+/// (by Theorem 4) it still costs Ω(t²) messages — the open conjecture the
+/// paper settles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WeakValidity;
+
+impl<V: Value> ValidityProperty<V> for WeakValidity {
+    fn name(&self) -> String {
+        "Weak Validity".to_string()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<V>, v: &V) -> bool {
+        if c.len() != c.params().n() {
+            return true;
+        }
+        match c.unanimous_value() {
+            Some(u) => u == v,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SystemParams;
+
+    #[test]
+    fn complete_unanimous_pins_decision() {
+        let p = SystemParams::new(3, 1).unwrap();
+        let c = InputConfig::complete(p, vec![4u64, 4, 4]);
+        assert!(WeakValidity.is_admissible(&c, &4));
+        assert!(!WeakValidity.is_admissible(&c, &5));
+    }
+
+    #[test]
+    fn incomplete_unanimous_is_unconstrained() {
+        // The same unanimous proposals, but with one faulty process: Weak
+        // Validity says nothing (contrast with Strong Validity).
+        let p = SystemParams::new(3, 1).unwrap();
+        let c = InputConfig::from_pairs(p, [(0usize, 4u64), (1, 4)]).unwrap();
+        assert!(WeakValidity.is_admissible(&c, &5));
+    }
+
+    #[test]
+    fn complete_split_is_unconstrained() {
+        let p = SystemParams::new(3, 1).unwrap();
+        let c = InputConfig::complete(p, vec![4u64, 4, 5]);
+        assert!(WeakValidity.is_admissible(&c, &9));
+    }
+}

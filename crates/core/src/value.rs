@@ -1,0 +1,148 @@
+//! Proposal and decision values.
+//!
+//! The paper denotes by `V_I` the set of values processes can propose and by
+//! `V_O` the set of values they can decide (§3.2). Both may be infinite; the
+//! brute-force analysis routines in [`crate::solvability`] operate over an
+//! explicit finite [`Domain`], while protocols and closed-form Λ functions are
+//! generic over any [`Value`].
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker trait for values: anything clonable, totally ordered, hashable and
+/// debuggable qualifies. Blanket-implemented.
+///
+/// The `Ord` bound gives deterministic tie-breaking everywhere (e.g. picking
+/// the canonical representative of an admissible set), which the paper's
+/// deterministic-process model requires.
+pub trait Value: Clone + Eq + Ord + Hash + Debug + 'static {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug + 'static> Value for T {}
+
+/// An explicit finite value domain used for exhaustive analysis.
+///
+/// All impossibility and solvability phenomena in the paper already manifest
+/// over small finite domains: the proofs of Theorems 1–5 only ever distinguish
+/// a handful of values. `Domain` materializes such a `V_I = V_O` so that
+/// `sim(c)` and `I` can be enumerated.
+///
+/// # Examples
+///
+/// ```
+/// use validity_core::Domain;
+///
+/// let d = Domain::binary();
+/// assert_eq!(d.values(), &[0u64, 1]);
+/// assert_eq!(d.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Domain<V> {
+    values: Vec<V>,
+}
+
+impl<V: Value> Domain<V> {
+    /// Creates a domain from the given values, deduplicating and sorting them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty: a consensus value domain is never empty.
+    pub fn new(mut values: Vec<V>) -> Self {
+        assert!(!values.is_empty(), "a value domain must be non-empty");
+        values.sort();
+        values.dedup();
+        Domain { values }
+    }
+
+    /// The values, in ascending order.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Number of values in the domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the domain has exactly one value (degenerate).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> &V {
+        &self.values[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> &V {
+        &self.values[self.values.len() - 1]
+    }
+
+    /// Whether `v` belongs to the domain.
+    pub fn contains(&self, v: &V) -> bool {
+        self.values.binary_search(v).is_ok()
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &V> {
+        self.values.iter()
+    }
+}
+
+impl Domain<u64> {
+    /// The binary domain `{0, 1}`.
+    pub fn binary() -> Self {
+        Domain::new(vec![0, 1])
+    }
+
+    /// The domain `{0, 1, ..., k−1}`.
+    pub fn range(k: u64) -> Self {
+        Domain::new((0..k).collect())
+    }
+}
+
+impl<V: Value> FromIterator<V> for Domain<V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Domain::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_sorts_and_dedups() {
+        let d = Domain::new(vec![3u64, 1, 2, 1, 3]);
+        assert_eq!(d.values(), &[1, 2, 3]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(*d.min(), 1);
+        assert_eq!(*d.max(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = Domain::<u64>::new(vec![]);
+    }
+
+    #[test]
+    fn domain_contains() {
+        let d = Domain::range(4);
+        assert!(d.contains(&0));
+        assert!(d.contains(&3));
+        assert!(!d.contains(&4));
+    }
+
+    #[test]
+    fn binary_domain() {
+        let d = Domain::binary();
+        assert_eq!(d.values(), &[0, 1]);
+    }
+
+    #[test]
+    fn domain_from_iterator() {
+        let d: Domain<&'static str> = ["b", "a", "a"].into_iter().collect();
+        assert_eq!(d.values(), &["a", "b"]);
+    }
+}

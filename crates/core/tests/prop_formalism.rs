@@ -1,0 +1,138 @@
+//! Property-based tests of the formalism's data structures and relations:
+//! the axioms the paper states in prose (§3.4, §4.1), checked on random
+//! instances.
+
+use proptest::prelude::*;
+use validity_core::{
+    admissible_intersection, is_compatible, is_similar, Domain, InputConfig, ProcessId,
+    ProcessSet, StrongValidity, SystemParams, ValidityProperty, WeakValidity,
+};
+
+fn arb_params() -> impl Strategy<Value = SystemParams> {
+    (4usize..9).prop_flat_map(|n| {
+        (Just(n), 1usize..=(n - 1) / 3 + 1)
+            .prop_filter("0 < t < n", |(n, t)| *t >= 1 && t < n)
+            .prop_map(|(n, t)| SystemParams::new(n, t).unwrap())
+    })
+}
+
+/// A random valid input configuration over a small value range.
+fn arb_config(params: SystemParams) -> impl Strategy<Value = InputConfig<u64>> {
+    let n = params.n();
+    let q = params.quorum();
+    (
+        q..=n,
+        prop::collection::vec(0u64..3, n),
+        prop::collection::vec(any::<u32>(), n),
+    )
+        .prop_map(move |(x, values, prio)| {
+            // pick x distinct processes by priority order
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&i| prio[i]);
+            idx.truncate(x);
+            InputConfig::from_pairs(params, idx.into_iter().map(|i| (i, values[i])))
+                .expect("x distinct pairs in range")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ProcessSet behaves like a set of small integers.
+    #[test]
+    fn process_set_semantics(
+        members in prop::collection::btree_set(0usize..64, 0..20),
+        probe in 0usize..64,
+    ) {
+        let set: ProcessSet = members.iter().copied().collect();
+        prop_assert_eq!(set.len(), members.len());
+        prop_assert_eq!(
+            set.contains(ProcessId::from_index(probe)),
+            members.contains(&probe)
+        );
+        let as_vec: Vec<usize> = set.iter().map(|p| p.index()).collect();
+        let expected: Vec<usize> = members.iter().copied().collect();
+        prop_assert_eq!(as_vec, expected, "iteration must be sorted");
+    }
+
+    /// Set algebra laws on random pairs.
+    #[test]
+    fn process_set_algebra(
+        a in prop::collection::btree_set(0usize..32, 0..12),
+        b in prop::collection::btree_set(0usize..32, 0..12),
+    ) {
+        let sa: ProcessSet = a.iter().copied().collect();
+        let sb: ProcessSet = b.iter().copied().collect();
+        prop_assert_eq!(sa.intersection(sb), sb.intersection(sa));
+        prop_assert_eq!(sa.union(sb), sb.union(sa));
+        prop_assert_eq!(
+            sa.union(sb).len() + sa.intersection(sb).len(),
+            sa.len() + sb.len(),
+            "inclusion-exclusion"
+        );
+        prop_assert!(sa.difference(sb).intersection(sb).is_empty());
+        prop_assert!(sa.intersection(sb).is_subset(sa));
+    }
+
+    /// Similarity is reflexive and symmetric on random configurations
+    /// (§3.4: "the similarity relation is symmetric and reflexive").
+    #[test]
+    fn similarity_axioms(
+        (c1, c2) in arb_params().prop_flat_map(|p| (arb_config(p), arb_config(p))),
+    ) {
+        prop_assert!(is_similar(&c1, &c1));
+        prop_assert_eq!(is_similar(&c1, &c2), is_similar(&c2, &c1));
+    }
+
+    /// Compatibility is irreflexive and symmetric (§4.1).
+    #[test]
+    fn compatibility_axioms(
+        (c1, c2) in arb_params().prop_flat_map(|p| (arb_config(p), arb_config(p))),
+    ) {
+        prop_assert!(!is_compatible(&c1, &c1));
+        prop_assert_eq!(is_compatible(&c1, &c2), is_compatible(&c2, &c1));
+    }
+
+    /// Configuration invariants survive arbitrary construction.
+    #[test]
+    fn config_invariants(c in arb_params().prop_flat_map(arb_config)) {
+        let params = c.params();
+        prop_assert!(c.len() >= params.quorum() && c.len() <= params.n());
+        prop_assert_eq!(c.pi().len(), c.len());
+        // multiplicities sum to the pair count
+        let mut values: Vec<u64> = c.proposals().cloned().collect();
+        values.sort();
+        values.dedup();
+        let total: usize = values.iter().map(|v| c.multiplicity(v)).sum();
+        prop_assert_eq!(total, c.len());
+        // sorted_proposals is sorted and same length
+        let sorted = c.sorted_proposals();
+        prop_assert_eq!(sorted.len(), c.len());
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Strong ⊑ Weak pointwise on random configurations: anything Strong
+    /// admits, Weak admits.
+    #[test]
+    fn strong_refines_weak_pointwise(
+        c in arb_params().prop_flat_map(arb_config),
+        v in 0u64..3,
+    ) {
+        if StrongValidity.is_admissible(&c, &v) {
+            prop_assert!(WeakValidity.is_admissible(&c, &v));
+        }
+    }
+
+    /// The canonical-similarity intersection is a subset of val(c) itself
+    /// (c ∈ sim(c) by reflexivity).
+    #[test]
+    fn intersection_subset_of_val(
+        c in Just(SystemParams::new(4, 1).unwrap()).prop_flat_map(arb_config),
+    ) {
+        prop_assume!(c.len() == 3); // brute force cost control: quorum-size only
+        let domain = Domain::binary();
+        for v in admissible_intersection(&StrongValidity, &c, &domain) {
+            prop_assert!(StrongValidity.is_admissible(&c, &v));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Simulated public-key infrastructure (§3.1 "Cryptographic primitives").
+//!
+//! The paper assumes that "faulty processes cannot forge signatures of
+//! correct processes". Inside a closed simulation this contract can be
+//! enforced *by construction*: a [`Signer`] holds a per-process secret and is
+//! handed only to the node that owns it; signatures are HMAC-style SHA-256
+//! tags over (secret, signer id, message). Byzantine behaviours receive their
+//! own signers only, so the only way to produce `⟨m⟩_{σ_i}` is to *be*
+//! `P_i`. Verification recomputes the tag via the shared [`KeyStore`].
+//!
+//! This substitutes computational unforgeability with structural
+//! unforgeability — the property actually used by the paper's proofs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use validity_core::ProcessId;
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// A digital signature `⟨m⟩_{σ_i}`: the claimed signer plus the tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    signer: ProcessId,
+    tag: Digest,
+}
+
+impl Signature {
+    /// The process that (claims to have) produced the signature.
+    pub fn signer(&self) -> ProcessId {
+        self.signer
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨…⟩σ{}", self.signer.0 + 1)
+    }
+}
+
+/// The shared key material of the PKI: per-process secrets derived from a
+/// setup seed. Cheap to clone (`Arc` inside).
+///
+/// # Examples
+///
+/// ```
+/// use validity_core::ProcessId;
+/// use validity_crypto::sig::KeyStore;
+///
+/// let ks = KeyStore::new(4, 42);
+/// let signer = ks.signer(ProcessId(0));
+/// let sig = signer.sign(b"hello");
+/// assert!(ks.verify(b"hello", &sig));
+/// assert!(!ks.verify(b"tampered", &sig));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyStore {
+    inner: Arc<KeyStoreInner>,
+}
+
+#[derive(Debug)]
+struct KeyStoreInner {
+    secrets: Vec<Digest>,
+}
+
+impl KeyStore {
+    /// Generates key material for `n` processes from a setup seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let secrets = (0..n)
+            .map(|i| {
+                let mut h = Sha256::new();
+                h.update(b"validity-crypto/keygen");
+                h.update(seed.to_le_bytes());
+                h.update((i as u64).to_le_bytes());
+                h.finalize()
+            })
+            .collect();
+        KeyStore {
+            inner: Arc::new(KeyStoreInner { secrets }),
+        }
+    }
+
+    /// Number of processes provisioned.
+    pub fn n(&self) -> usize {
+        self.inner.secrets.len()
+    }
+
+    /// Hands out the signing capability of process `p`.
+    ///
+    /// In a simulation harness, call this once per node and give each node
+    /// only its own signer — that is what makes forgery impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn signer(&self, p: ProcessId) -> Signer {
+        assert!(p.index() < self.n(), "no key material for {p}");
+        Signer {
+            keystore: self.clone(),
+            id: p,
+        }
+    }
+
+    fn tag(&self, p: ProcessId, msg: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"validity-crypto/sig");
+        h.update(self.inner.secrets[p.index()]);
+        h.update((p.index() as u64).to_le_bytes());
+        h.update((msg.len() as u64).to_le_bytes());
+        h.update(msg);
+        h.finalize()
+    }
+
+    /// Verifies `sig` over `msg` (public operation).
+    pub fn verify(&self, msg: impl AsRef<[u8]>, sig: &Signature) -> bool {
+        sig.signer.index() < self.n() && self.tag(sig.signer, msg.as_ref()) == sig.tag
+    }
+}
+
+/// The signing capability of a single process.
+#[derive(Clone, Debug)]
+pub struct Signer {
+    keystore: KeyStore,
+    id: ProcessId,
+}
+
+impl Signer {
+    /// The owning process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Signs `msg` as this process.
+    pub fn sign(&self, msg: impl AsRef<[u8]>) -> Signature {
+        Signature {
+            signer: self.id,
+            tag: self.keystore.tag(self.id, msg.as_ref()),
+        }
+    }
+}
+
+/// Serializes a value to bytes for signing by hashing its `Debug` rendering
+/// plus a domain tag. Deterministic within a single build, which is all a
+/// closed simulation needs.
+pub fn message_bytes(domain: &str, parts: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(domain.as_bytes());
+    out.push(0);
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Convenience: digest of [`message_bytes`].
+pub fn message_digest(domain: &str, parts: &[&[u8]]) -> Digest {
+    sha256(message_bytes(domain, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let ks = KeyStore::new(4, 7);
+        for i in 0..4 {
+            let s = ks.signer(ProcessId(i));
+            let sig = s.sign(b"msg");
+            assert!(ks.verify(b"msg", &sig));
+            assert_eq!(sig.signer(), ProcessId(i));
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let ks = KeyStore::new(4, 7);
+        let sig = ks.signer(ProcessId(1)).sign(b"original");
+        assert!(!ks.verify(b"other", &sig));
+    }
+
+    #[test]
+    fn claimed_signer_must_match() {
+        // A signature by P2 presented as P3's is rejected: the tag binds the
+        // signer identity.
+        let ks = KeyStore::new(4, 7);
+        let sig = ks.signer(ProcessId(1)).sign(b"m");
+        let forged = Signature {
+            signer: ProcessId(2),
+            tag: sig.tag,
+        };
+        assert!(!ks.verify(b"m", &forged));
+    }
+
+    #[test]
+    fn different_seeds_are_incompatible() {
+        let ks1 = KeyStore::new(4, 1);
+        let ks2 = KeyStore::new(4, 2);
+        let sig = ks1.signer(ProcessId(0)).sign(b"m");
+        assert!(!ks2.verify(b"m", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "no key material")]
+    fn signer_out_of_range_panics() {
+        let ks = KeyStore::new(2, 1);
+        let _ = ks.signer(ProcessId(5));
+    }
+
+    #[test]
+    fn message_bytes_is_injective_on_parts() {
+        // Length prefixes prevent concatenation ambiguity.
+        let a = message_bytes("d", &[b"ab", b"c"]);
+        let b = message_bytes("d", &[b"a", b"bc"]);
+        assert_ne!(a, b);
+        assert_ne!(message_digest("d1", &[b"x"]), message_digest("d2", &[b"x"]));
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulated `(k, n)`-threshold signatures [65, 87], used by Quad and by
+//! vector dissemination (Appendix B.3).
+//!
+//! `k` distinct valid partial signatures over the same message combine into
+//! a single [`ThresholdSignature`]. Following the paper's word-complexity
+//! accounting (footnote 4), a combined threshold signature counts as **one
+//! word** regardless of `k`; internally the simulation keeps the signer
+//! bitmask so verification can re-check the quorum.
+
+use std::fmt;
+
+use validity_core::{ProcessId, ProcessSet};
+
+use crate::sha256::Digest;
+use crate::sig::{KeyStore, Signature, Signer};
+
+/// A partial signature: an ordinary signature tagged for threshold use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PartialSignature {
+    sig: Signature,
+}
+
+impl PartialSignature {
+    /// The contributing process.
+    pub fn signer(&self) -> ProcessId {
+        self.sig.signer()
+    }
+}
+
+/// A combined `(k, n)`-threshold signature over a message digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThresholdSignature {
+    digest: Digest,
+    signers: ProcessSet,
+}
+
+impl ThresholdSignature {
+    /// The digest that was signed.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// The set of contributing signers.
+    pub fn signers(&self) -> ProcessSet {
+        self.signers
+    }
+
+    /// Number of contributing signers.
+    pub fn weight(&self) -> usize {
+        self.signers.len()
+    }
+}
+
+impl fmt::Debug for ThresholdSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tsig[{} signers]", self.signers.len())
+    }
+}
+
+/// Errors from combining partial signatures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ThresholdError {
+    /// Fewer than `k` *distinct* valid partials were supplied.
+    NotEnoughPartials {
+        /// Distinct valid partials seen.
+        got: usize,
+        /// The threshold `k`.
+        needed: usize,
+    },
+    /// A partial signature failed verification.
+    InvalidPartial(ProcessId),
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::NotEnoughPartials { got, needed } => {
+                write!(f, "need {needed} distinct valid partial signatures, got {got}")
+            }
+            ThresholdError::InvalidPartial(p) => {
+                write!(f, "partial signature of {p} failed verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+/// The threshold-signature scheme: a [`KeyStore`] plus the threshold `k`.
+#[derive(Clone, Debug)]
+pub struct ThresholdScheme {
+    keystore: KeyStore,
+    k: usize,
+}
+
+impl ThresholdScheme {
+    /// Builds a `(k, n)` scheme over existing key material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn new(keystore: KeyStore, k: usize) -> Self {
+        assert!(k >= 1 && k <= keystore.n(), "threshold k out of range");
+        ThresholdScheme { keystore, k }
+    }
+
+    /// The threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the partial signature of `signer` over `digest`.
+    pub fn partially_sign(&self, signer: &Signer, digest: &Digest) -> PartialSignature {
+        PartialSignature {
+            sig: signer.sign(digest),
+        }
+    }
+
+    /// Verifies a single partial signature over `digest`.
+    pub fn verify_partial(&self, digest: &Digest, partial: &PartialSignature) -> bool {
+        self.keystore.verify(digest, &partial.sig)
+    }
+
+    /// Combines `k` (or more) distinct valid partials into a threshold
+    /// signature.
+    ///
+    /// # Errors
+    ///
+    /// [`ThresholdError::InvalidPartial`] if any partial fails verification;
+    /// [`ThresholdError::NotEnoughPartials`] if fewer than `k` distinct
+    /// signers contributed.
+    pub fn combine(
+        &self,
+        digest: &Digest,
+        partials: impl IntoIterator<Item = PartialSignature>,
+    ) -> Result<ThresholdSignature, ThresholdError> {
+        let mut signers = ProcessSet::new();
+        for p in partials {
+            if !self.verify_partial(digest, &p) {
+                return Err(ThresholdError::InvalidPartial(p.signer()));
+            }
+            signers.insert(p.signer());
+        }
+        if signers.len() < self.k {
+            return Err(ThresholdError::NotEnoughPartials {
+                got: signers.len(),
+                needed: self.k,
+            });
+        }
+        Ok(ThresholdSignature {
+            digest: *digest,
+            signers,
+        })
+    }
+
+    /// Verifies a combined threshold signature over `digest`.
+    pub fn verify(&self, digest: &Digest, tsig: &ThresholdSignature) -> bool {
+        tsig.digest == *digest && tsig.weight() >= self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn scheme(n: usize, k: usize) -> (ThresholdScheme, Vec<Signer>) {
+        let ks = KeyStore::new(n, 99);
+        let signers = (0..n).map(|i| ks.signer(ProcessId(i as u32))).collect();
+        (ThresholdScheme::new(ks, k), signers)
+    }
+
+    #[test]
+    fn combine_and_verify() {
+        let (ts, signers) = scheme(4, 3);
+        let d = sha256(b"value");
+        let partials: Vec<_> = signers[..3]
+            .iter()
+            .map(|s| ts.partially_sign(s, &d))
+            .collect();
+        let tsig = ts.combine(&d, partials).unwrap();
+        assert!(ts.verify(&d, &tsig));
+        assert_eq!(tsig.weight(), 3);
+    }
+
+    #[test]
+    fn too_few_distinct_partials_fail() {
+        let (ts, signers) = scheme(4, 3);
+        let d = sha256(b"value");
+        // Two distinct + one duplicate = 2 distinct.
+        let partials = vec![
+            ts.partially_sign(&signers[0], &d),
+            ts.partially_sign(&signers[1], &d),
+            ts.partially_sign(&signers[1], &d),
+        ];
+        assert!(matches!(
+            ts.combine(&d, partials),
+            Err(ThresholdError::NotEnoughPartials { got: 2, needed: 3 })
+        ));
+    }
+
+    #[test]
+    fn partial_over_wrong_digest_is_invalid() {
+        let (ts, signers) = scheme(4, 2);
+        let d1 = sha256(b"a");
+        let d2 = sha256(b"b");
+        let bad = ts.partially_sign(&signers[0], &d2);
+        let good = ts.partially_sign(&signers[1], &d1);
+        assert!(matches!(
+            ts.combine(&d1, vec![bad, good]),
+            Err(ThresholdError::InvalidPartial(p)) if p == ProcessId(0)
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_digest() {
+        let (ts, signers) = scheme(4, 2);
+        let d1 = sha256(b"a");
+        let partials: Vec<_> = signers[..2]
+            .iter()
+            .map(|s| ts.partially_sign(s, &d1))
+            .collect();
+        let tsig = ts.combine(&d1, partials).unwrap();
+        assert!(!ts.verify(&sha256(b"b"), &tsig));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_threshold_panics() {
+        let ks = KeyStore::new(3, 1);
+        let _ = ThresholdScheme::new(ks, 0);
+    }
+}

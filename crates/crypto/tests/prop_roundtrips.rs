@@ -1,0 +1,90 @@
+//! Property-based tests for the crypto substrate: coding round-trips under
+//! random data, erasures and errors; hashing invariants.
+
+use proptest::prelude::*;
+use validity_crypto::{sha256, ReedSolomon, Sha256};
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(1usize..64, 0..10),
+    ) {
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for &c in &cuts {
+            let take = c.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn rs_roundtrip_from_random_erasure_patterns(
+        data in prop::collection::vec(any::<u8>(), 3..6),
+        keep_mask in 0u16..(1 << 10),
+    ) {
+        let k = data.len();
+        let n = 10usize;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let code = rs.encode(&data).unwrap();
+        let shares: Vec<(usize, u8)> = (0..n)
+            .filter(|i| keep_mask & (1 << i) != 0)
+            .map(|i| (i, code[i]))
+            .collect();
+        prop_assume!(shares.len() >= k);
+        prop_assert_eq!(rs.decode(&shares, 0).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_corrects_random_errors_within_capacity(
+        data in prop::collection::vec(any::<u8>(), 3..5),
+        err_pos in prop::collection::btree_set(0usize..12, 0..3),
+        err_xor in 1u8..,
+    ) {
+        let k = data.len();
+        let n = 12usize;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let capacity = (n - k) / 2;
+        prop_assume!(err_pos.len() <= capacity);
+        let mut code = rs.encode(&data).unwrap();
+        for &i in &err_pos {
+            code[i] ^= err_xor;
+        }
+        let shares: Vec<(usize, u8)> = code.iter().copied().enumerate().collect();
+        prop_assert_eq!(rs.decode(&shares, capacity).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_blob_roundtrip_random(
+        blob in prop::collection::vec(any::<u8>(), 0..300),
+        corrupt in 0usize..3,
+    ) {
+        let rs = ReedSolomon::new(3, 9).unwrap();
+        let mut shares = rs.encode_blob(&blob);
+        for s in shares.iter_mut().take(corrupt) {
+            for b in &mut s.data {
+                *b ^= 0x5a;
+            }
+        }
+        prop_assert_eq!(rs.decode_blob(&shares, corrupt.max(1)).unwrap(), blob);
+    }
+
+    #[test]
+    fn signatures_never_cross_verify(
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        use validity_core::ProcessId;
+        use validity_crypto::KeyStore;
+        let ks_a = KeyStore::new(3, seed_a);
+        let ks_b = KeyStore::new(3, seed_b);
+        let sig = ks_a.signer(ProcessId(0)).sign(&msg);
+        prop_assert!(ks_a.verify(&msg, &sig));
+        prop_assert!(!ks_b.verify(&msg, &sig));
+    }
+}

@@ -1,0 +1,126 @@
+//! Best-effort broadcast \[23\] — the weakest dissemination primitive in the
+//! paper's stack (used by Algorithms 1, 5 and 6).
+//!
+//! Guarantees *validity* (a correct sender's message reaches every correct
+//! process) and *no duplication / no creation* per instance, but nothing if
+//! the sender is faulty. In the effect-machine model a best-effort
+//! broadcast is simply [`Step::Broadcast`]; this module provides the
+//! explicit instance wrapper for protocols that want per-instance
+//! bookkeeping (sequence numbers, duplicate suppression) and for tests that
+//! exercise the primitive in isolation.
+
+use std::collections::HashSet;
+
+use validity_core::ProcessId;
+use validity_simnet::{Env, Step};
+
+use crate::codec::Words;
+
+/// A best-effort broadcast message: instance-tagged payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BebMsg<P> {
+    /// Sender-local sequence number (suppresses duplicates).
+    pub seq: u64,
+    /// The payload.
+    pub payload: P,
+}
+
+impl<P: Words> Words for BebMsg<P> {
+    fn words(&self) -> usize {
+        1 + self.payload.words()
+    }
+}
+
+/// One best-effort broadcast endpoint: broadcasts with sequence numbers and
+/// delivers each `(sender, seq)` at most once.
+#[derive(Clone, Debug, Default)]
+pub struct Beb<P> {
+    next_seq: u64,
+    delivered: HashSet<(ProcessId, u64)>,
+    _marker: std::marker::PhantomData<P>,
+}
+
+impl<P: Clone + std::fmt::Debug + 'static> Beb<P> {
+    /// Creates an endpoint.
+    pub fn new() -> Self {
+        Beb {
+            next_seq: 0,
+            delivered: HashSet::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Broadcasts `payload` to every process (including self).
+    pub fn broadcast(&mut self, payload: P) -> Vec<Step<BebMsg<P>, (ProcessId, P)>> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        vec![Step::Broadcast(BebMsg { seq, payload })]
+    }
+
+    /// Handles an incoming message; outputs `(sender, payload)` on first
+    /// delivery of each `(sender, seq)`.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BebMsg<P>,
+        _env: &Env,
+    ) -> Vec<Step<BebMsg<P>, (ProcessId, P)>> {
+        if self.delivered.insert((from, msg.seq)) {
+            vec![Step::Output((from, msg.payload))]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::SystemParams;
+
+    fn env() -> Env {
+        Env {
+            id: ProcessId(0),
+            params: SystemParams::new(4, 1).unwrap(),
+            now: 0,
+            delta: 10,
+        }
+    }
+
+    #[test]
+    fn broadcast_assigns_increasing_seq() {
+        let mut beb = Beb::<u64>::new();
+        let s1 = beb.broadcast(7);
+        let s2 = beb.broadcast(8);
+        match (&s1[0], &s2[0]) {
+            (Step::Broadcast(a), Step::Broadcast(b)) => {
+                assert_eq!(a.seq, 0);
+                assert_eq!(b.seq, 1);
+            }
+            _ => panic!("expected broadcasts"),
+        }
+    }
+
+    #[test]
+    fn duplicate_delivery_suppressed() {
+        let mut beb = Beb::<u64>::new();
+        let msg = BebMsg { seq: 3, payload: 9 };
+        let first = beb.on_message(ProcessId(2), msg.clone(), &env());
+        assert!(matches!(first.as_slice(), [Step::Output((ProcessId(2), 9))]));
+        assert!(beb.on_message(ProcessId(2), msg, &env()).is_empty());
+    }
+
+    #[test]
+    fn same_seq_different_senders_both_deliver() {
+        let mut beb = Beb::<u64>::new();
+        let msg = BebMsg { seq: 0, payload: 1 };
+        assert_eq!(beb.on_message(ProcessId(1), msg.clone(), &env()).len(), 1);
+        assert_eq!(beb.on_message(ProcessId(2), msg, &env()).len(), 1);
+    }
+
+    #[test]
+    fn words_accounting() {
+        let msg = BebMsg { seq: 0, payload: 5u64 };
+        assert_eq!(Words::words(&msg), 2);
+    }
+}

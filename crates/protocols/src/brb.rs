@@ -1,0 +1,281 @@
+//! Byzantine Reliable Broadcast (Bracha \[20\]) — the non-authenticated
+//! dissemination primitive used by Algorithm 3 (Appendix B.2).
+//!
+//! Guarantees (for `n > 3t`): *validity* (a correct sender's message is
+//! delivered), *consistency* (no two correct processes deliver different
+//! messages), *integrity* (at most one delivery, and only of a message the
+//! sender broadcast if it is correct) and *totality* (if one correct process
+//! delivers, all do).
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use validity_core::{ProcessId, ProcessSet};
+use validity_simnet::{Env, Step};
+
+use crate::codec::Words;
+
+/// Wire messages of one BRB instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BrbMsg<P> {
+    /// The sender's initial dissemination.
+    Init(P),
+    /// Witness echo of the payload.
+    Echo(P),
+    /// Delivery-commitment amplification.
+    Ready(P),
+}
+
+impl<P: Words> Words for BrbMsg<P> {
+    fn words(&self) -> usize {
+        match self {
+            BrbMsg::Init(p) | BrbMsg::Echo(p) | BrbMsg::Ready(p) => 1 + p.words(),
+        }
+    }
+}
+
+impl<P: Clone + Debug + Words + 'static> validity_simnet::Message for BrbMsg<P> {
+    fn words(&self) -> usize {
+        Words::words(self)
+    }
+}
+
+/// One instance of Bracha reliable broadcast, parameterized by the
+/// designated sender. The component outputs the delivered payload.
+#[derive(Clone, Debug)]
+pub struct BrbInstance<P> {
+    sender: ProcessId,
+    echoed: bool,
+    sent_ready: bool,
+    delivered: bool,
+    echoes: HashMap<P, ProcessSet>,
+    readies: HashMap<P, ProcessSet>,
+}
+
+impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
+    /// Creates the instance for broadcasts by `sender`.
+    pub fn new(sender: ProcessId) -> Self {
+        BrbInstance {
+            sender,
+            echoed: false,
+            sent_ready: false,
+            delivered: false,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+        }
+    }
+
+    /// The designated sender.
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// Whether this instance has delivered.
+    pub fn has_delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// Initiates the broadcast (only meaningful at the designated sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called by a process other than the designated sender.
+    pub fn broadcast(&mut self, payload: P, env: &Env) -> Vec<Step<BrbMsg<P>, P>> {
+        assert_eq!(env.id, self.sender, "only the designated sender broadcasts");
+        vec![Step::Broadcast(BrbMsg::Init(payload))]
+    }
+
+    /// Echo quorum: `⌈(n + t + 1) / 2⌉`.
+    fn echo_threshold(env: &Env) -> usize {
+        (env.n() + env.t() + 1).div_ceil(2)
+    }
+
+    /// Handles a message belonging to this instance.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BrbMsg<P>,
+        env: &Env,
+    ) -> Vec<Step<BrbMsg<P>, P>> {
+        let mut steps = Vec::new();
+        match msg {
+            BrbMsg::Init(p) => {
+                // Only the designated sender's INIT is honoured.
+                if from == self.sender && !self.echoed {
+                    self.echoed = true;
+                    steps.push(Step::Broadcast(BrbMsg::Echo(p)));
+                }
+            }
+            BrbMsg::Echo(p) => {
+                let set = self.echoes.entry(p.clone()).or_default();
+                if set.insert(from)
+                    && set.len() >= Self::echo_threshold(env)
+                    && !self.sent_ready
+                {
+                    self.sent_ready = true;
+                    steps.push(Step::Broadcast(BrbMsg::Ready(p)));
+                }
+            }
+            BrbMsg::Ready(p) => {
+                let set = self.readies.entry(p.clone()).or_default();
+                if set.insert(from) {
+                    let count = set.len();
+                    if count >= env.t() + 1 && !self.sent_ready {
+                        self.sent_ready = true;
+                        steps.push(Step::Broadcast(BrbMsg::Ready(p.clone())));
+                    }
+                    if count >= 2 * env.t() + 1 && !self.delivered {
+                        self.delivered = true;
+                        steps.push(Step::Output(p));
+                    }
+                }
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::SystemParams;
+    use validity_simnet::{
+        agreement_holds, Byzantine, ByzStep, Machine, NodeKind, SimConfig, Silent, Simulation,
+    };
+
+    /// Standalone machine wrapping one BRB instance with P1 as sender.
+    #[derive(Clone, Debug)]
+    struct BrbNode {
+        instance: BrbInstance<u64>,
+        payload: u64,
+    }
+
+    impl Machine for BrbNode {
+        type Msg = BrbMsg<u64>;
+        type Output = u64;
+
+        fn init(&mut self, env: &Env) -> Vec<Step<BrbMsg<u64>, u64>> {
+            if env.id == self.instance.sender() {
+                self.instance.broadcast(self.payload, env)
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: BrbMsg<u64>,
+            env: &Env,
+        ) -> Vec<Step<BrbMsg<u64>, u64>> {
+            self.instance.on_message(from, msg, env)
+        }
+    }
+
+    fn node(payload: u64) -> BrbNode {
+        BrbNode {
+            instance: BrbInstance::new(ProcessId(0)),
+            payload,
+        }
+    }
+
+    #[test]
+    fn correct_sender_delivers_everywhere() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let nodes = vec![
+            NodeKind::Correct(node(42)),
+            NodeKind::Correct(node(42)),
+            NodeKind::Correct(node(42)),
+            NodeKind::Byzantine(Box::new(Silent)),
+        ];
+        let mut sim = Simulation::new(SimConfig::new(params).seed(1), nodes);
+        sim.run_until_decided();
+        assert!(sim.all_correct_decided());
+        for d in sim.decisions().iter().take(3) {
+            assert_eq!(d.as_ref().unwrap().1, 42);
+        }
+    }
+
+    /// Equivocating sender: INIT(1) to low half, INIT(2) to high half.
+    struct EquivocatingSender;
+
+    impl Byzantine<BrbMsg<u64>> for EquivocatingSender {
+        fn init(&mut self, env: &Env) -> Vec<ByzStep<BrbMsg<u64>>> {
+            (0..env.n())
+                .map(|i| {
+                    let v = if i < env.n() / 2 { 1 } else { 2 };
+                    ByzStep::Send(ProcessId::from_index(i), BrbMsg::Init(v))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_cannot_split_delivery() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let nodes: Vec<NodeKind<BrbNode>> = vec![
+            NodeKind::Byzantine(Box::new(EquivocatingSender)),
+            NodeKind::Correct(node(0)),
+            NodeKind::Correct(node(0)),
+            NodeKind::Correct(node(0)),
+        ];
+        let mut sim = Simulation::new(SimConfig::new(params).seed(2), nodes);
+        sim.run_to_quiescence();
+        // Consistency: whatever was delivered (possibly nothing) is unanimous.
+        assert!(agreement_holds(sim.decisions()));
+    }
+
+    #[test]
+    fn non_sender_init_is_ignored() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(1),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        let mut inst = BrbInstance::<u64>::new(ProcessId(0));
+        // INIT claimed from a process that is not the designated sender:
+        let steps = inst.on_message(ProcessId(2), BrbMsg::Init(9), &env);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn duplicate_echoes_do_not_double_count() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(1),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        let mut inst = BrbInstance::<u64>::new(ProcessId(0));
+        // echo threshold for (4,1) is ⌈6/2⌉ = 3; the same echo twice must not count as two
+        assert!(inst.on_message(ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
+        assert!(inst.on_message(ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
+        assert!(inst.on_message(ProcessId(2), BrbMsg::Echo(9), &env).is_empty());
+        let steps = inst.on_message(ProcessId(3), BrbMsg::Echo(9), &env);
+        assert!(matches!(steps.as_slice(), [Step::Broadcast(BrbMsg::Ready(9))]));
+    }
+
+    #[test]
+    fn ready_amplification_at_t_plus_one() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(1),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        let mut inst = BrbInstance::<u64>::new(ProcessId(0));
+        assert!(inst.on_message(ProcessId(2), BrbMsg::Ready(9), &env).is_empty());
+        let steps = inst.on_message(ProcessId(3), BrbMsg::Ready(9), &env);
+        // t + 1 = 2 readies → amplify
+        assert!(matches!(steps.as_slice(), [Step::Broadcast(BrbMsg::Ready(9))]));
+        // 2t + 1 = 3 readies → deliver
+        let steps = inst.on_message(ProcessId(0), BrbMsg::Ready(9), &env);
+        assert!(matches!(steps.as_slice(), [Step::Output(9)]));
+        assert!(inst.has_delivered());
+    }
+}

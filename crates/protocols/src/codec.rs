@@ -1,0 +1,283 @@
+//! Value encoding and word-size accounting shared by all protocols.
+//!
+//! Protocols need two things from the values they carry:
+//!
+//! * a deterministic byte encoding ([`Codec`]) — for signing (`⟨m⟩_{σ_i}`),
+//!   hashing (Appendix B.3), and erasure coding (ADD);
+//! * a size in *words* ([`Words`]) — the paper's communication-complexity
+//!   unit (footnote 4: a word holds a constant number of values, hashes,
+//!   and signatures).
+
+use validity_core::{InputConfig, ProcessId, SystemParams, Value};
+
+/// Bytes per word for blob-size accounting.
+pub const BYTES_PER_WORD: usize = 8;
+
+/// Rounds a byte length up to words (at least one word).
+pub fn bytes_to_words(bytes: usize) -> usize {
+    bytes.div_ceil(BYTES_PER_WORD).max(1)
+}
+
+/// A deterministic, self-delimiting byte encoding.
+///
+/// Implementations must round-trip: `decode(encode(v)) == Some((v, len))`.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)>;
+
+    /// Encodes to a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a value that must consume the entire buffer.
+    fn decode_all(bytes: &[u8]) -> Option<Self> {
+        match Self::decode_from(bytes) {
+            Some((v, used)) if used == bytes.len() => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let chunk: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        Some((u64::from_le_bytes(chunk), 8))
+    }
+}
+
+impl Codec for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let chunk: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+        Some((u32::from_le_bytes(chunk), 4))
+    }
+}
+
+impl Codec for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        match bytes.first()? {
+            0 => Some((false, 1)),
+            1 => Some((true, 1)),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for Vec<u8> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self);
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let len: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+        let len = u32::from_le_bytes(len) as usize;
+        let data = bytes.get(4..4 + len)?;
+        Some((data.to_vec(), 4 + len))
+    }
+}
+
+impl Codec for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode_into(out);
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (raw, used) = Vec::<u8>::decode_from(bytes)?;
+        Some((String::from_utf8(raw).ok()?, used))
+    }
+}
+
+impl<V: Value + Codec> Codec for InputConfig<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let params = self.params();
+        out.extend_from_slice(&(params.n() as u32).to_le_bytes());
+        out.extend_from_slice(&(params.t() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for (p, v) in self.pairs() {
+            out.extend_from_slice(&(p.index() as u32).to_le_bytes());
+            v.encode_into(out);
+        }
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let mut at = 0usize;
+        let mut read_u32 = |bytes: &[u8]| -> Option<u32> {
+            let chunk: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+            at += 4;
+            Some(u32::from_le_bytes(chunk))
+        };
+        let n = read_u32(bytes)? as usize;
+        let t = read_u32(bytes)? as usize;
+        let count = read_u32(bytes)? as usize;
+        let params = SystemParams::new(n, t).ok()?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let chunk: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+            at += 4;
+            let pid = u32::from_le_bytes(chunk) as usize;
+            let (v, used) = V::decode_from(bytes.get(at..)?)?;
+            at += used;
+            pairs.push((ProcessId::from_index(pid), v));
+        }
+        let cfg = InputConfig::from_pairs(params, pairs).ok()?;
+        Some((cfg, at))
+    }
+}
+
+/// Word-size accounting for payloads (footnote 4 of the paper).
+pub trait Words {
+    /// Size in words.
+    fn words(&self) -> usize;
+}
+
+impl Words for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for bool {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for String {
+    fn words(&self) -> usize {
+        bytes_to_words(self.len())
+    }
+}
+
+impl Words for Vec<u8> {
+    fn words(&self) -> usize {
+        bytes_to_words(self.len())
+    }
+}
+
+impl<V: Value + Words> Words for InputConfig<V> {
+    fn words(&self) -> usize {
+        // one word of framing + one word-count per contained proposal
+        1 + self.proposals().map(Words::words).sum::<usize>()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(t) => t.words(),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode();
+        assert_eq!(T::decode_all(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(12345u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip("hello κόσμος".to_string());
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        assert!(bool::decode_all(&[2]).is_none());
+    }
+
+    #[test]
+    fn input_config_roundtrip() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let c =
+            InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
+        roundtrip(c);
+    }
+
+    #[test]
+    fn decode_all_rejects_trailing_bytes() {
+        let mut bytes = 7u64.encode();
+        bytes.push(0);
+        assert!(u64::decode_all(&bytes).is_none());
+    }
+
+    #[test]
+    fn words_accounting() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!(vec![0u8; 17].words(), 3);
+        assert_eq!(bytes_to_words(0), 1);
+        let params = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
+        assert_eq!(c.words(), 4); // 1 framing + 3 values
+    }
+}
+
+impl Words for validity_crypto::Digest {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Codec for validity_crypto::Digest {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let chunk: [u8; 32] = bytes.get(..32)?.try_into().ok()?;
+        Some((validity_crypto::Digest(chunk), 32))
+    }
+}
+
+impl Words for validity_crypto::Signature {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for validity_crypto::ThresholdSignature {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for validity_crypto::PartialSignature {
+    fn words(&self) -> usize {
+        1
+    }
+}

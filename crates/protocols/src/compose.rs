@@ -1,0 +1,104 @@
+//! Composition helpers: embedding sub-protocol state machines inside outer
+//! machines.
+//!
+//! Protocols in this crate are written as *components*: plain structs whose
+//! hooks return `Vec<Step<Msg, Out>>`. An outer machine embeds a component,
+//! wraps its messages into the outer message enum, namespaces its timer
+//! tags, and intercepts its outputs. [`lift`] performs the mechanical part.
+
+use validity_simnet::Step;
+
+/// Number of distinct children an outer machine can host: timer tags are
+/// namespaced as `inner_tag * CHILD_STRIDE + child_index`.
+pub const CHILD_STRIDE: u64 = 8;
+
+/// Namespaces an inner timer tag for child `child`.
+pub fn tag_wrap(child: u64, inner: u64) -> u64 {
+    debug_assert!(child < CHILD_STRIDE);
+    inner * CHILD_STRIDE + child
+}
+
+/// Splits a namespaced tag into `(child, inner)`.
+pub fn tag_unwrap(tag: u64) -> (u64, u64) {
+    (tag % CHILD_STRIDE, tag / CHILD_STRIDE)
+}
+
+/// Result of lifting a batch of inner steps into an outer message space:
+/// the mapped steps, the inner outputs (for the outer machine to act on),
+/// and whether the inner machine halted.
+pub struct Lifted<MO, OO, OI> {
+    /// Outer-space steps (sends, broadcasts, namespaced timers).
+    pub steps: Vec<Step<MO, OO>>,
+    /// Outputs produced by the inner component.
+    pub outputs: Vec<OI>,
+    /// Whether the inner component requested `Halt` (the outer machine
+    /// should stop routing events to it — but usually keeps running).
+    pub halted: bool,
+}
+
+impl<MO, OO, OI> Default for Lifted<MO, OO, OI> {
+    fn default() -> Self {
+        Lifted {
+            steps: Vec::new(),
+            outputs: Vec::new(),
+            halted: false,
+        }
+    }
+}
+
+/// Lifts inner steps into the outer message space.
+///
+/// * `wrap` embeds an inner message into the outer enum;
+/// * `child` namespaces the inner component's timer tags.
+pub fn lift<MI, OI, MO, OO>(
+    steps: Vec<Step<MI, OI>>,
+    child: u64,
+    wrap: impl Fn(MI) -> MO,
+) -> Lifted<MO, OO, OI> {
+    let mut out = Lifted::default();
+    for step in steps {
+        match step {
+            Step::Send(to, m) => out.steps.push(Step::Send(to, wrap(m))),
+            Step::Broadcast(m) => out.steps.push(Step::Broadcast(wrap(m))),
+            Step::Timer(d, tag) => out.steps.push(Step::Timer(d, tag_wrap(child, tag))),
+            Step::Output(o) => out.outputs.push(o),
+            Step::Halt => out.halted = true,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::ProcessId;
+
+    #[test]
+    fn tag_roundtrip() {
+        for child in 0..CHILD_STRIDE {
+            for inner in [0u64, 1, 7, 1000] {
+                assert_eq!(tag_unwrap(tag_wrap(child, inner)), (child, inner));
+            }
+        }
+    }
+
+    #[test]
+    fn lift_maps_and_collects() {
+        let steps: Vec<Step<u8, &str>> = vec![
+            Step::Send(ProcessId(1), 5),
+            Step::Broadcast(6),
+            Step::Timer(10, 3),
+            Step::Output("inner done"),
+            Step::Halt,
+        ];
+        let lifted: Lifted<String, (), &str> = lift(steps, 2, |m| format!("wrapped:{m}"));
+        assert_eq!(lifted.steps.len(), 3);
+        assert!(matches!(
+            &lifted.steps[0],
+            Step::Send(ProcessId(1), s) if s == "wrapped:5"
+        ));
+        assert!(matches!(&lifted.steps[2], Step::Timer(10, tag) if *tag == tag_wrap(2, 3)));
+        assert_eq!(lifted.outputs, vec!["inner done"]);
+        assert!(lifted.halted);
+    }
+}

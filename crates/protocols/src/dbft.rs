@@ -1,0 +1,471 @@
+//! Binary DBFT consensus (Crain–Gramoli–Larrea–Raynal \[35\]) — the
+//! non-authenticated binary Byzantine consensus with a *weak coordinator*
+//! used as a closed box by Algorithm 3 (Appendix B.2).
+//!
+//! Structure per round `r`:
+//!
+//! 1. **BV-broadcast** of the round estimate: `EST(r, v)` is echoed once
+//!    `t + 1` distinct processes sent it and enters `bin_values_r` at
+//!    `2t + 1` — Byzantine processes alone can never insert a value.
+//! 2. The round's coordinator (`(r − 1) mod n`) suggests one of its
+//!    `bin_values`; processes wait out a round timer before committing to an
+//!    `AUX` value (the coordinator's if it arrived and is justified, any
+//!    `bin_values` member otherwise).
+//! 3. On `n − t` `AUX` messages carrying justified values, the round's value
+//!    set `V` is computed: `V = {v}` adopts `v` (and decides if `v` is the
+//!    round's favoured parity `r mod 2`); otherwise the favoured parity is
+//!    adopted.
+//!
+//! Deciders broadcast `DONE(v)`, which counts as `EST`/`AUX` for every round
+//! so that halting early never stalls the others; `t + 1` `DONE(v)` is
+//! itself a decision proof. Satisfies **Strong Validity** for binary values.
+
+use std::collections::HashMap;
+
+use validity_core::{ProcessId, ProcessSet};
+use validity_simnet::{Env, Step, Time};
+
+use crate::codec::Words;
+
+/// Wire messages of one DBFT binary instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DbftMsg {
+    /// BV-broadcast estimate for a round.
+    Est {
+        /// Round number (from 1).
+        round: u32,
+        /// The estimate.
+        value: bool,
+    },
+    /// Committed auxiliary value for a round.
+    Aux {
+        /// Round number.
+        round: u32,
+        /// The committed value (must be in the receiver's `bin_values`).
+        value: bool,
+    },
+    /// The weak coordinator's suggestion for a round.
+    Coord {
+        /// Round number.
+        round: u32,
+        /// Suggested value.
+        value: bool,
+    },
+    /// Decision announcement; counts as `EST`/`AUX` everywhere.
+    Done {
+        /// The decided value.
+        value: bool,
+    },
+}
+
+impl Words for DbftMsg {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl validity_simnet::Message for DbftMsg {
+    fn words(&self) -> usize {
+        Words::words(self)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct RoundState {
+    est_seen: [ProcessSet; 2],
+    est_echoed: [bool; 2],
+    coord_value: Option<bool>,
+    aux_from: [ProcessSet; 2],
+    aux_sent: bool,
+    timer_set: bool,
+    timer_fired: bool,
+    coord_sent: bool,
+}
+
+/// One instance of binary DBFT consensus (a composable component).
+#[derive(Clone, Debug, Default)]
+pub struct DbftBinary {
+    started: bool,
+    est: bool,
+    round: u32,
+    rounds: HashMap<u32, RoundState>,
+    done_votes: [ProcessSet; 2],
+    decided: Option<bool>,
+    halted: bool,
+}
+
+impl DbftBinary {
+    /// Creates an undecided, un-proposed instance.
+    pub fn new() -> Self {
+        DbftBinary::default()
+    }
+
+    /// Whether this instance has a proposal yet.
+    pub fn has_proposed(&self) -> bool {
+        self.started
+    }
+
+    /// The decision, if reached.
+    pub fn decided(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// The coordinator of round `r`: `P_{(r−1) mod n}` (1-indexed rounds).
+    fn coordinator(r: u32, env: &Env) -> ProcessId {
+        ProcessId::from_index(((r - 1) as usize) % env.n())
+    }
+
+    /// The round's favoured parity: `r mod 2` (round 1 favours `true`).
+    fn favored(r: u32) -> bool {
+        r % 2 == 1
+    }
+
+    /// Round timer duration: grows linearly so that post-GST rounds give the
+    /// coordinator's suggestion time to arrive.
+    fn timeout(r: u32, env: &Env) -> Time {
+        (3 + r as Time) * env.delta
+    }
+
+    fn round_state(&mut self, r: u32) -> &mut RoundState {
+        self.rounds.entry(r).or_default()
+    }
+
+    fn effective_est(&self, r: u32, v: bool) -> ProcessSet {
+        let base = self
+            .rounds
+            .get(&r)
+            .map(|s| s.est_seen[v as usize])
+            .unwrap_or_default();
+        base.union(self.done_votes[v as usize])
+    }
+
+    fn effective_aux(&self, r: u32, v: bool) -> ProcessSet {
+        let base = self
+            .rounds
+            .get(&r)
+            .map(|s| s.aux_from[v as usize])
+            .unwrap_or_default();
+        base.union(self.done_votes[v as usize])
+    }
+
+    fn bin_value(&self, r: u32, v: bool, env: &Env) -> bool {
+        self.effective_est(r, v).len() >= 2 * env.t() + 1
+    }
+
+    /// Proposes a value, starting round 1.
+    pub fn propose(&mut self, value: bool, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+        assert!(!self.started, "propose exactly once");
+        self.started = true;
+        self.est = value;
+        self.round = 1;
+        self.poll(env)
+    }
+
+    /// Handles an incoming message of this instance.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: DbftMsg,
+        env: &Env,
+    ) -> Vec<Step<DbftMsg, bool>> {
+        if self.halted {
+            return Vec::new();
+        }
+        match msg {
+            DbftMsg::Est { round, value } => {
+                self.round_state(round).est_seen[value as usize].insert(from);
+            }
+            DbftMsg::Aux { round, value } => {
+                self.round_state(round).aux_from[value as usize].insert(from);
+            }
+            DbftMsg::Coord { round, value } => {
+                if from == Self::coordinator(round, env) {
+                    let s = self.round_state(round);
+                    if s.coord_value.is_none() {
+                        s.coord_value = Some(value);
+                    }
+                }
+            }
+            DbftMsg::Done { value } => {
+                self.done_votes[value as usize].insert(from);
+            }
+        }
+        self.poll(env)
+    }
+
+    /// Handles a namespaced round timer (tag = round number).
+    pub fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+        if self.halted {
+            return Vec::new();
+        }
+        self.round_state(tag as u32).timer_fired = true;
+        self.poll(env)
+    }
+
+    /// Evaluates every enabled transition; idempotent.
+    fn poll(&mut self, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+        let mut steps = Vec::new();
+        if self.halted {
+            return steps;
+        }
+
+        // Decision via DONE certificates (t + 1 distinct deciders).
+        for v in [false, true] {
+            if self.done_votes[v as usize].len() >= env.t() + 1 {
+                return self.decide(v, &mut steps);
+            }
+        }
+        if !self.started {
+            return steps;
+        }
+
+        loop {
+            let r = self.round;
+
+            // Broadcast own estimate for the current round (BV init).
+            let est = self.est;
+            if !self.round_state(r).est_echoed[est as usize] {
+                self.round_state(r).est_echoed[est as usize] = true;
+                steps.push(Step::Broadcast(DbftMsg::Est {
+                    round: r,
+                    value: est,
+                }));
+            }
+
+            // BV echo rule, any round with data.
+            let known_rounds: Vec<u32> = self.rounds.keys().copied().collect();
+            for r2 in known_rounds {
+                for v in [false, true] {
+                    if self.effective_est(r2, v).len() >= env.t() + 1
+                        && !self.round_state(r2).est_echoed[v as usize]
+                    {
+                        self.round_state(r2).est_echoed[v as usize] = true;
+                        steps.push(Step::Broadcast(DbftMsg::Est {
+                            round: r2,
+                            value: v,
+                        }));
+                    }
+                }
+            }
+
+            let bin0 = self.bin_value(r, false, env);
+            let bin1 = self.bin_value(r, true, env);
+            if !(bin0 || bin1) {
+                break; // wait for BV progress
+            }
+
+            // Weak coordinator's suggestion.
+            if Self::coordinator(r, env) == env.id && !self.round_state(r).coord_sent {
+                self.round_state(r).coord_sent = true;
+                let v = if bin1 { true } else { false };
+                steps.push(Step::Broadcast(DbftMsg::Coord { round: r, value: v }));
+            }
+
+            // Arm the round timer once bin_values is non-empty.
+            if !self.round_state(r).timer_set {
+                self.round_state(r).timer_set = true;
+                steps.push(Step::Timer(Self::timeout(r, env), r as u64));
+            }
+
+            // Commit an AUX value after the timer.
+            if self.round_state(r).timer_fired && !self.round_state(r).aux_sent {
+                let coord = self.round_state(r).coord_value;
+                let value = match coord {
+                    Some(v) if self.bin_value(r, v, env) => v,
+                    _ => bin1, // any member of bin_values: prefer `true` iff present
+                };
+                self.round_state(r).aux_sent = true;
+                steps.push(Step::Broadcast(DbftMsg::Aux { round: r, value }));
+            }
+            if !self.round_state(r).aux_sent {
+                break;
+            }
+
+            // Round completion: n − t justified AUX senders.
+            let mut senders = ProcessSet::new();
+            let mut values = [false, false];
+            for v in [false, true] {
+                if self.bin_value(r, v, env) {
+                    let s = self.effective_aux(r, v);
+                    if !s.is_empty() {
+                        senders = senders.union(s);
+                        values[v as usize] = true;
+                    }
+                }
+            }
+            if senders.len() < env.quorum() {
+                break;
+            }
+            match (values[0], values[1]) {
+                (true, false) | (false, true) => {
+                    let v = values[1];
+                    self.est = v;
+                    if v == Self::favored(r) {
+                        return self.decide(v, &mut steps);
+                    }
+                }
+                _ => {
+                    self.est = Self::favored(r);
+                }
+            }
+            self.round = r + 1;
+        }
+        steps
+    }
+
+    fn decide(&mut self, v: bool, steps: &mut Vec<Step<DbftMsg, bool>>) -> Vec<Step<DbftMsg, bool>> {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+            steps.push(Step::Broadcast(DbftMsg::Done { value: v }));
+            steps.push(Step::Output(v));
+        }
+        self.halted = true;
+        std::mem::take(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::SystemParams;
+    use validity_simnet::{agreement_holds, Machine, NodeKind, SimConfig, Silent, Simulation};
+
+    #[derive(Clone, Debug)]
+    struct DbftNode {
+        inner: DbftBinary,
+        proposal: bool,
+    }
+
+    impl Machine for DbftNode {
+        type Msg = DbftMsg;
+        type Output = bool;
+
+        fn init(&mut self, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+            self.inner.propose(self.proposal, env)
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: DbftMsg, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+            self.inner.on_message(from, msg, env)
+        }
+
+        fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+            self.inner.on_timer(tag, env)
+        }
+    }
+
+    fn run(n: usize, t: usize, proposals: &[bool], byz: usize, seed: u64) -> Vec<Option<bool>> {
+        let params = SystemParams::new(n, t).unwrap();
+        let nodes: Vec<NodeKind<DbftNode>> = (0..n)
+            .map(|i| {
+                if i < n - byz {
+                    NodeKind::Correct(DbftNode {
+                        inner: DbftBinary::new(),
+                        proposal: proposals[i],
+                    })
+                } else {
+                    NodeKind::Byzantine(Box::new(Silent))
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
+        let outcome = sim.run_until_decided();
+        assert_eq!(outcome, validity_simnet::RunOutcome::AllDecided, "no termination");
+        assert!(agreement_holds(sim.decisions()), "agreement violated");
+        sim.decisions().iter().map(|d| d.as_ref().map(|x| x.1)).collect()
+    }
+
+    #[test]
+    fn unanimous_true_decides_true() {
+        for seed in 0..3 {
+            let d = run(4, 1, &[true; 4], 0, seed);
+            assert!(d.iter().all(|x| *x == Some(true)), "strong validity violated");
+        }
+    }
+
+    #[test]
+    fn unanimous_false_decides_false() {
+        for seed in 0..3 {
+            let d = run(4, 1, &[false; 4], 0, seed);
+            assert!(d.iter().all(|x| *x == Some(false)));
+        }
+    }
+
+    #[test]
+    fn split_proposals_decide_something() {
+        for seed in 0..5 {
+            let d = run(4, 1, &[true, false, true, false], 0, seed);
+            let v = d[0].unwrap();
+            assert!(d.iter().all(|x| *x == Some(v)));
+        }
+    }
+
+    #[test]
+    fn tolerates_silent_byzantine() {
+        for seed in 0..3 {
+            let d = run(4, 1, &[true, true, true, false], 1, seed);
+            // 3 correct, unanimous `true` → must decide true (strong validity)
+            assert!(d.iter().take(3).all(|x| *x == Some(true)));
+        }
+    }
+
+    #[test]
+    fn larger_system_with_faults() {
+        let proposals: Vec<bool> = (0..7).map(|i| i % 2 == 0).collect();
+        let d = run(7, 2, &proposals, 2, 11);
+        let v = d[0].unwrap();
+        assert!(d.iter().take(5).all(|x| *x == Some(v)));
+    }
+
+    #[test]
+    fn favored_parity_alternates() {
+        assert!(DbftBinary::favored(1));
+        assert!(!DbftBinary::favored(2));
+        assert!(DbftBinary::favored(3));
+    }
+
+    #[test]
+    fn done_certificate_decides_without_proposing() {
+        // t + 1 DONE(v) alone decides even before propose (late joiner).
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(3),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        let mut dbft = DbftBinary::new();
+        assert!(dbft
+            .on_message(ProcessId(0), DbftMsg::Done { value: true }, &env)
+            .is_empty());
+        let steps = dbft.on_message(ProcessId(1), DbftMsg::Done { value: true }, &env);
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, Step::Output(true))));
+        assert_eq!(dbft.decided(), Some(true));
+    }
+
+    #[test]
+    fn coordinator_rotation() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(0),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        assert_eq!(DbftBinary::coordinator(1, &env), ProcessId(0));
+        assert_eq!(DbftBinary::coordinator(2, &env), ProcessId(1));
+        assert_eq!(DbftBinary::coordinator(5, &env), ProcessId(0));
+    }
+
+    #[test]
+    fn byzantine_cannot_inject_foreign_value() {
+        // BV-broadcast justification: with all correct proposing `false`,
+        // t Byzantine EST(true) messages never reach 2t+1, so `true` can
+        // never be decided.
+        for seed in 0..3 {
+            let d = run(4, 1, &[false, false, false, true], 1, seed);
+            assert!(d.iter().take(3).all(|x| *x == Some(false)));
+        }
+    }
+}

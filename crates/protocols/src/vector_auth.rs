@@ -1,0 +1,322 @@
+//! **Algorithm 1** — authenticated vector consensus (§5.2.1).
+//!
+//! Each process signs and broadcasts its proposal. Upon receiving `n − t`
+//! signed `PROPOSAL` messages it assembles an input configuration `vector`
+//! (the candidate decision) together with the proof `Σ` (the signed
+//! messages themselves), and proposes `(vector, Σ)` to Quad instantiated
+//! with
+//!
+//! ```text
+//! verify(vector, Σ) = true  ⟺  every pair (P_j, v_j) ∈ vector is backed by
+//!                              ⟨PROPOSAL, v_j⟩_{σ_j} ∈ Σ
+//! ```
+//!
+//! Whatever pair Quad decides is the vector-consensus decision. Message
+//! complexity: `O(n²)` (`n²` proposal messages + Quad); communication:
+//! `O(n³)` words since proofs are linear-size.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use validity_core::{InputConfig, ProcessId, SystemParams, Value};
+use validity_crypto::{KeyStore, Signature, Signer};
+use validity_simnet::{Env, Machine, Message, Step};
+
+use crate::codec::{Codec, Words};
+use crate::quad::{QuadConfig, QuadCore, QuadMsg};
+
+/// A signed proposal message, as carried inside Quad proofs.
+#[derive(Clone, Debug)]
+pub struct SignedProposal<V> {
+    /// The proposing process.
+    pub from: ProcessId,
+    /// The proposed value.
+    pub value: V,
+    /// Signature over the proposal.
+    pub sig: Signature,
+}
+
+impl<V: Words> Words for SignedProposal<V> {
+    fn words(&self) -> usize {
+        self.value.words() + 1
+    }
+}
+
+/// The Quad proof type of Algorithm 1: `n − t` signed proposal messages.
+pub type VectorProof<V> = Vec<SignedProposal<V>>;
+
+impl<V: Words> Words for VectorProof<V> {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum::<usize>().max(1)
+    }
+}
+
+/// Domain-separated bytes signed for a proposal of `v`.
+pub fn proposal_sign_bytes<V: Codec>(v: &V) -> Vec<u8> {
+    validity_crypto::sig::message_bytes("validity/alg1/proposal", &[&v.encode()])
+}
+
+/// Builds the Quad `verify` function of Algorithm 1.
+pub fn vector_verify<V>(
+    keystore: KeyStore,
+    params: SystemParams,
+) -> Arc<dyn Fn(&InputConfig<V>, &VectorProof<V>) -> bool + Send + Sync>
+where
+    V: Value + Codec,
+{
+    Arc::new(move |vector, proof| {
+        if vector.params() != params || vector.len() != params.quorum() {
+            return false;
+        }
+        vector.pairs().all(|(p, v)| {
+            proof.iter().any(|sp| {
+                sp.from == p
+                    && sp.sig.signer() == p
+                    && &sp.value == v
+                    && keystore.verify(proposal_sign_bytes(v), &sp.sig)
+            })
+        })
+    })
+}
+
+/// Wire messages of Algorithm 1.
+#[derive(Clone, Debug)]
+pub enum VectorAuthMsg<V> {
+    /// A signed proposal.
+    Proposal {
+        /// The proposed value.
+        value: V,
+        /// Signature by the sender.
+        sig: Signature,
+    },
+    /// An embedded Quad message.
+    Quad(QuadMsg<InputConfig<V>, VectorProof<V>>),
+}
+
+impl<V: Value + Words> Message for VectorAuthMsg<V> {
+    fn words(&self) -> usize {
+        match self {
+            VectorAuthMsg::Proposal { value, .. } => value.words() + 1,
+            VectorAuthMsg::Quad(m) => m.words(),
+        }
+    }
+}
+
+/// The Algorithm 1 machine. Output: the decided `vector ∈ I_{n−t}`.
+pub struct VectorAuth<V: Value> {
+    input: V,
+    signer: Signer,
+    quad: QuadCore<InputConfig<V>, VectorProof<V>>,
+    proposals: BTreeMap<ProcessId, SignedProposal<V>>,
+    keystore: KeyStore,
+    proposed_to_quad: bool,
+    decided: bool,
+}
+
+impl<V> VectorAuth<V>
+where
+    V: Value + Codec + Words,
+{
+    /// Creates the machine for one process.
+    ///
+    /// `keystore` is the shared PKI; `signer` must belong to this process;
+    /// the Quad threshold scheme must use `k = n − t`.
+    pub fn new(
+        input: V,
+        keystore: KeyStore,
+        signer: Signer,
+        scheme: validity_crypto::ThresholdScheme,
+        params: SystemParams,
+    ) -> Self {
+        let verify = vector_verify::<V>(keystore.clone(), params);
+        let quad = QuadCore::new(QuadConfig {
+            scheme,
+            signer: signer.clone(),
+            verify,
+            label: "validity/alg1/quad",
+        });
+        VectorAuth {
+            input,
+            signer,
+            quad,
+            proposals: BTreeMap::new(),
+            keystore,
+            proposed_to_quad: false,
+            decided: false,
+        }
+    }
+
+    fn handle_quad_steps(
+        &mut self,
+        steps: Vec<Step<QuadMsg<InputConfig<V>, VectorProof<V>>, (InputConfig<V>, VectorProof<V>)>>,
+    ) -> Vec<Step<VectorAuthMsg<V>, InputConfig<V>>> {
+        let mut out = Vec::new();
+        for step in steps {
+            match step {
+                Step::Send(to, m) => out.push(Step::Send(to, VectorAuthMsg::Quad(m))),
+                Step::Broadcast(m) => out.push(Step::Broadcast(VectorAuthMsg::Quad(m))),
+                Step::Timer(d, tag) => out.push(Step::Timer(d, tag)),
+                Step::Output((vector, _proof)) => {
+                    if !self.decided {
+                        self.decided = true;
+                        out.push(Step::Output(vector));
+                    }
+                }
+                Step::Halt => out.push(Step::Halt),
+            }
+        }
+        out
+    }
+}
+
+impl<V> Machine for VectorAuth<V>
+where
+    V: Value + Codec + Words,
+{
+    type Msg = VectorAuthMsg<V>;
+    type Output = InputConfig<V>;
+
+    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+        let sig = self.signer.sign(proposal_sign_bytes(&self.input));
+        let mut steps = vec![Step::Broadcast(VectorAuthMsg::Proposal {
+            value: self.input.clone(),
+            sig,
+        })];
+        let quad_steps = self.quad.start(env);
+        steps.extend(self.handle_quad_steps(quad_steps));
+        steps
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        env: &Env,
+    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        match msg {
+            VectorAuthMsg::Proposal { value, sig } => {
+                // lines 10–17 of Algorithm 1: collect the first n − t valid
+                // signed proposals, then propose to Quad.
+                if self.proposed_to_quad
+                    || self.proposals.contains_key(&from)
+                    || sig.signer() != from
+                    || !self.keystore.verify(proposal_sign_bytes(&value), &sig)
+                {
+                    return Vec::new();
+                }
+                self.proposals
+                    .insert(from, SignedProposal { from, value, sig });
+                if self.proposals.len() < env.quorum() {
+                    return Vec::new();
+                }
+                self.proposed_to_quad = true;
+                let vector = InputConfig::from_pairs(
+                    env.params,
+                    self.proposals.values().map(|sp| (sp.from, sp.value.clone())),
+                )
+                .expect("n − t distinct proposals form a valid configuration");
+                let proof: VectorProof<V> = self.proposals.values().cloned().collect();
+                let steps = self.quad.propose(vector, proof, env);
+                self.handle_quad_steps(steps)
+            }
+            VectorAuthMsg::Quad(inner) => {
+                let steps = self.quad.on_message(from, inner, env);
+                self.handle_quad_steps(steps)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+        let steps = self.quad.on_timer(tag, env);
+        self.handle_quad_steps(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::{check_decision, SystemParams, VectorValidity};
+    use validity_crypto::ThresholdScheme;
+    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+
+    fn build(
+        n: usize,
+        t: usize,
+        inputs: &[u64],
+        byz: usize,
+        seed: u64,
+    ) -> Simulation<VectorAuth<u64>> {
+        let params = SystemParams::new(n, t).unwrap();
+        let ks = KeyStore::new(n, seed);
+        let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
+        let nodes: Vec<NodeKind<VectorAuth<u64>>> = (0..n)
+            .map(|i| {
+                if i < n - byz {
+                    NodeKind::Correct(VectorAuth::new(
+                        inputs[i],
+                        ks.clone(),
+                        ks.signer(ProcessId(i as u32)),
+                        scheme.clone(),
+                        params,
+                    ))
+                } else {
+                    NodeKind::Byzantine(Box::new(Silent))
+                }
+            })
+            .collect();
+        Simulation::new(SimConfig::new(params).seed(seed), nodes)
+    }
+
+    #[test]
+    fn decides_a_valid_vector() {
+        let inputs = [10u64, 20, 30, 40];
+        let mut sim = build(4, 1, &inputs, 0, 1);
+        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert!(agreement_holds(sim.decisions()));
+        let vector = &sim.decisions()[0].as_ref().unwrap().1;
+        assert_eq!(vector.len(), 3);
+        // Vector Validity: every named process's value matches its input.
+        let params = SystemParams::new(4, 1).unwrap();
+        let real = InputConfig::complete(params, inputs.to_vec());
+        for (p, v) in vector.pairs() {
+            assert_eq!(real.proposal(p), Some(v));
+        }
+    }
+
+    #[test]
+    fn vector_validity_with_silent_byzantine() {
+        let inputs = [1u64, 2, 3, 4, 5, 6, 7];
+        for seed in 0..3 {
+            let mut sim = build(7, 2, &inputs, 2, seed);
+            assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+            assert!(agreement_holds(sim.decisions()));
+            let vector = &sim.decisions()[0].as_ref().unwrap().1;
+            // Check against the formalism's Vector Validity property.
+            let params = SystemParams::new(7, 2).unwrap();
+            let actual_config =
+                InputConfig::from_pairs(params, (0..5).map(|i| (i, inputs[i]))).unwrap();
+            assert!(
+                check_decision(&VectorValidity, &actual_config, vector).is_ok(),
+                "vector validity violated: {vector:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_complexity_shape_is_quadratic() {
+        // Failure-free runs at increasing n: messages / n² stays bounded.
+        let mut ratios = Vec::new();
+        for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+            let inputs: Vec<u64> = (0..n as u64).collect();
+            let mut sim = build(n, t, &inputs, 0, 7);
+            sim.run_until_decided();
+            let msgs = sim.stats().messages_total as f64;
+            ratios.push(msgs / (n * n) as f64);
+        }
+        // quadratic shape: the ratio must not grow superlinearly
+        assert!(
+            ratios[2] < ratios[0] * 8.0,
+            "msgs/n² grew too fast: {ratios:?}"
+        );
+    }
+}

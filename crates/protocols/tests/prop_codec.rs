@@ -1,0 +1,78 @@
+//! Property-based tests of the wire codec and word accounting used by
+//! every protocol: deterministic round-trips, prefix-decoding discipline,
+//! and monotone word sizes.
+
+use proptest::prelude::*;
+use validity_core::{InputConfig, SystemParams};
+use validity_protocols::{bytes_to_words, Codec, Words};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::decode_all(&v.encode()), Some(v));
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in prop::collection::vec(any::<u8>(), 0..200)) {
+        let enc = v.encode();
+        prop_assert_eq!(Vec::<u8>::decode_all(&enc), Some(v));
+    }
+
+    #[test]
+    fn string_roundtrip(v in "\\PC{0,40}") {
+        prop_assert_eq!(String::decode_all(&v.encode()), Some(v));
+    }
+
+    /// decode_from reports exactly how many bytes it consumed: appending
+    /// more data after an encoding still decodes the original prefix.
+    #[test]
+    fn prefix_decoding(v in any::<u64>(), tail in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut enc = v.encode();
+        let consumed_expected = enc.len();
+        enc.extend_from_slice(&tail);
+        let (decoded, consumed) = u64::decode_from(&enc).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(consumed, consumed_expected);
+    }
+
+    /// Input configurations round-trip with arbitrary correct sets.
+    #[test]
+    fn input_config_roundtrip(
+        values in prop::collection::vec(any::<u64>(), 7),
+        drop in 0usize..3,
+    ) {
+        let params = SystemParams::new(7, 2).unwrap();
+        let cfg = InputConfig::from_pairs(
+            params,
+            (0..7 - drop).map(|i| (i, values[i])),
+        ).unwrap();
+        let enc = cfg.encode();
+        prop_assert_eq!(InputConfig::<u64>::decode_all(&enc), Some(cfg));
+    }
+
+    /// Truncated encodings never decode.
+    #[test]
+    fn truncation_detected(v in any::<u64>(), cut in 1usize..8) {
+        let enc = v.encode();
+        prop_assert!(u64::decode_all(&enc[..enc.len() - cut]).is_none());
+    }
+
+    /// Word accounting is monotone in byte length and never zero.
+    #[test]
+    fn word_size_monotone(a in 0usize..4096, b in 0usize..4096) {
+        prop_assert!(bytes_to_words(a) >= 1);
+        if a <= b {
+            prop_assert!(bytes_to_words(a) <= bytes_to_words(b));
+        }
+    }
+
+    /// A configuration's word size is 1 + one word per u64 proposal.
+    #[test]
+    fn config_words(count in 5usize..8) {
+        let params = SystemParams::new(7, 2).unwrap();
+        let cfg = InputConfig::from_pairs(params, (0..count).map(|i| (i, i as u64))).unwrap();
+        prop_assert_eq!(Words::words(&cfg), 1 + count);
+    }
+}

@@ -1,0 +1,73 @@
+//! # validity-simnet
+//!
+//! A deterministic discrete-event simulator of the partially synchronous
+//! model of *On the Validity of Consensus* (PODC 2023, §3.1):
+//!
+//! * `n` processes, up to `t` Byzantine, reliable authenticated channels;
+//! * a Global Stabilization Time (GST) with delays ≤ `δ` afterwards and an
+//!   adversary-controlled schedule before;
+//! * message- and word-complexity accounting exactly as the paper defines it
+//!   (messages sent by correct processes in `[GST, ∞)`);
+//! * deterministic, seedable executions — the replayability that the
+//!   paper's execution-merging proofs (Lemmas 2, 3, 7) need to become
+//!   executable tests.
+//!
+//! Protocols are written as effect-returning [`Machine`]s; Byzantine
+//! behaviours implement [`Byzantine`] and may send arbitrary messages,
+//! equivocate, or stay [`Silent`] (canonical executions).
+//!
+//! ## Example
+//!
+//! ```
+//! use validity_core::{ProcessId, SystemParams};
+//! use validity_simnet::{
+//!     Env, Machine, Message, NodeKind, SimConfig, Silent, Simulation, Step,
+//! };
+//!
+//! #[derive(Clone, Debug)]
+//! struct Hello;
+//! impl Message for Hello {}
+//!
+//! /// Decides as soon as it hears from a quorum.
+//! #[derive(Default)]
+//! struct Quorum { heard: usize }
+//!
+//! impl Machine for Quorum {
+//!     type Msg = Hello;
+//!     type Output = usize;
+//!     fn init(&mut self, _env: &Env) -> Vec<Step<Hello, usize>> {
+//!         vec![Step::Broadcast(Hello)]
+//!     }
+//!     fn on_message(&mut self, _f: ProcessId, _m: Hello, env: &Env) -> Vec<Step<Hello, usize>> {
+//!         self.heard += 1;
+//!         if self.heard == env.quorum() { vec![Step::Output(self.heard)] } else { vec![] }
+//!     }
+//! }
+//!
+//! let params = SystemParams::new(4, 1)?;
+//! let nodes = vec![
+//!     NodeKind::Correct(Quorum::default()),
+//!     NodeKind::Correct(Quorum::default()),
+//!     NodeKind::Correct(Quorum::default()),
+//!     NodeKind::Byzantine(Box::new(Silent)),
+//! ];
+//! let mut sim = Simulation::new(SimConfig::new(params), nodes);
+//! sim.run_until_decided();
+//! assert!(sim.all_correct_decided());
+//! # Ok::<(), validity_core::ParamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use node::{Byzantine, ByzStep, Env, FilteredMachine, Machine, Message, Silent, Step};
+pub use sim::{agreement_holds, NodeKind, PreGstPolicy, RunOutcome, SimConfig, Simulation};
+pub use stats::NetStats;
+pub use trace::{Trace, TraceEvent};
+pub use time::{Time, DEFAULT_DELTA, DEFAULT_GST};

@@ -1,0 +1,325 @@
+//! The process model: deterministic state machines ([`Machine`]) for correct
+//! processes and unconstrained [`Byzantine`] behaviours for faulty ones.
+//!
+//! Machines are *effect-returning*: every hook returns a list of [`Step`]s
+//! (sends, broadcasts, timers, outputs). This style makes protocols
+//! composable — an outer protocol embeds an inner machine, maps its message
+//! type, and intercepts its outputs — and keeps the whole execution
+//! deterministic and replayable, which the paper's execution-merging
+//! arguments (Lemmas 2, 3, 7) require.
+
+use std::fmt::Debug;
+
+use validity_core::{ProcessId, SystemParams};
+
+use crate::time::Time;
+
+/// A protocol message. `words()` implements the paper's communication-
+/// complexity accounting (footnote 4): a *word* holds a constant number of
+/// values, hashes, and signatures.
+pub trait Message: Clone + Debug + 'static {
+    /// Size of the message in words. Defaults to 1.
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// The read-only environment a machine observes: its identity, the system
+/// parameters, the current local time, and the (known) post-GST delay bound
+/// `δ`. GST itself is *not* exposed — processes do not know it (§3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct Env {
+    /// This process's identifier.
+    pub id: ProcessId,
+    /// System parameters `(n, t)`.
+    pub params: SystemParams,
+    /// Current local time.
+    pub now: Time,
+    /// The known message-delay bound `δ` (holds after GST).
+    pub delta: Time,
+}
+
+impl Env {
+    /// Number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Fault threshold `t`.
+    pub fn t(&self) -> usize {
+        self.params.t()
+    }
+
+    /// Quorum size `n − t`.
+    pub fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+}
+
+/// An effect requested by a correct machine.
+#[derive(Clone, Debug)]
+pub enum Step<M, O> {
+    /// Send `msg` to one process (point-to-point, authenticated, reliable).
+    Send(ProcessId, M),
+    /// Send `msg` to every process, including self.
+    Broadcast(M),
+    /// Request `on_timer(tag)` after `delay` ticks of local time.
+    Timer(Time, u64),
+    /// Produce a protocol output (e.g. decide). Multiple outputs are
+    /// allowed; consumers usually care about the first.
+    Output(O),
+    /// Stop participating: no further events are delivered to this machine.
+    Halt,
+}
+
+/// A deterministic correct-process state machine.
+pub trait Machine {
+    /// Wire message type.
+    type Msg: Message;
+    /// Output (decision) type.
+    type Output: Clone + Debug + 'static;
+
+    /// Called once when the process starts (before any delivery).
+    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>>;
+
+    /// Called on delivery of `msg` from `from`.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        env: &Env,
+    ) -> Vec<Step<Self::Msg, Self::Output>>;
+
+    /// Called when a timer set via [`Step::Timer`] fires.
+    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+        Vec::new()
+    }
+}
+
+/// An effect requested by a Byzantine behaviour. Byzantine nodes cannot
+/// "decide" (their outputs are meaningless to the problem) but can send
+/// arbitrary messages to arbitrary subsets — including equivocating.
+#[derive(Clone, Debug)]
+pub enum ByzStep<M> {
+    /// Send an arbitrary message to one process.
+    Send(ProcessId, M),
+    /// Send the same message to every process.
+    Broadcast(M),
+    /// Request a timer callback.
+    Timer(Time, u64),
+}
+
+/// An arbitrary (Byzantine) behaviour over the protocol's message type.
+///
+/// The only power the model denies Byzantine processes is signature forgery,
+/// which the crypto substrate enforces structurally.
+pub trait Byzantine<Msg: Message> {
+    /// Called once at start.
+    fn init(&mut self, _env: &Env) -> Vec<ByzStep<Msg>> {
+        Vec::new()
+    }
+
+    /// Called on delivery.
+    fn on_message(&mut self, _from: ProcessId, _msg: Msg, _env: &Env) -> Vec<ByzStep<Msg>> {
+        Vec::new()
+    }
+
+    /// Called on timer expiry.
+    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<ByzStep<Msg>> {
+        Vec::new()
+    }
+}
+
+/// The silent Byzantine behaviour: sends nothing, ever. Running *all* faulty
+/// processes silently yields a *canonical execution* (§3.1), the setting of
+/// Lemma 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl<M: Message> Byzantine<M> for Silent {}
+
+/// Runs a correct machine as a Byzantine node, with message filters — the
+/// "behaves correctly, except..." adversaries of the paper's proofs.
+///
+/// Theorem 4's group-B behaviour is exactly
+/// `FilteredMachine::new(correct).ignore_first(t/2).omit_to(group_b)`.
+#[derive(Clone, Debug)]
+pub struct FilteredMachine<M: Machine> {
+    inner: M,
+    ignore_first: usize,
+    received: usize,
+    omit_to: Vec<ProcessId>,
+    crash_after: Option<Time>,
+    halted: bool,
+}
+
+impl<M: Machine> FilteredMachine<M> {
+    /// Wraps `inner`, initially with no filtering (honest-but-faulty).
+    pub fn new(inner: M) -> Self {
+        FilteredMachine {
+            inner,
+            ignore_first: 0,
+            received: 0,
+            omit_to: Vec::new(),
+            crash_after: None,
+            halted: false,
+        }
+    }
+
+    /// Ignore the first `k` received messages (Theorem 4, E_base step 5.1).
+    pub fn ignore_first(mut self, k: usize) -> Self {
+        self.ignore_first = k;
+        self
+    }
+
+    /// Omit all sends to the given processes (Theorem 4, E_base step 5.2).
+    pub fn omit_to(mut self, targets: impl IntoIterator<Item = ProcessId>) -> Self {
+        self.omit_to = targets.into_iter().collect();
+        self
+    }
+
+    /// Crash (become silent) at the given absolute time.
+    pub fn crash_after(mut self, at: Time) -> Self {
+        self.crash_after = Some(at);
+        self
+    }
+
+    fn filter(&mut self, env: &Env, steps: Vec<Step<M::Msg, M::Output>>) -> Vec<ByzStep<M::Msg>> {
+        let mut out = Vec::new();
+        for step in steps {
+            match step {
+                Step::Send(to, m) => {
+                    if !self.omit_to.contains(&to) {
+                        out.push(ByzStep::Send(to, m));
+                    }
+                }
+                Step::Broadcast(m) => {
+                    for i in 0..env.n() {
+                        let to = ProcessId::from_index(i);
+                        if !self.omit_to.contains(&to) {
+                            out.push(ByzStep::Send(to, m.clone()));
+                        }
+                    }
+                }
+                Step::Timer(d, tag) => out.push(ByzStep::Timer(d, tag)),
+                Step::Output(_) => {} // faulty "decisions" don't count
+                Step::Halt => self.halted = true,
+            }
+        }
+        out
+    }
+
+    fn crashed(&self, env: &Env) -> bool {
+        self.halted || self.crash_after.is_some_and(|at| env.now >= at)
+    }
+}
+
+impl<M: Machine> Byzantine<M::Msg> for FilteredMachine<M> {
+    fn init(&mut self, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        if self.crashed(env) {
+            return Vec::new();
+        }
+        let steps = self.inner.init(env);
+        self.filter(env, steps)
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: M::Msg, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        if self.crashed(env) {
+            return Vec::new();
+        }
+        if self.received < self.ignore_first {
+            self.received += 1;
+            return Vec::new();
+        }
+        self.received += 1;
+        let steps = self.inner.on_message(from, msg, env);
+        self.filter(env, steps)
+    }
+
+    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<ByzStep<M::Msg>> {
+        if self.crashed(env) {
+            return Vec::new();
+        }
+        let steps = self.inner.on_timer(tag, env);
+        self.filter(env, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Message for u32 {}
+
+    /// Echoes every received message back to its sender and outputs it.
+    #[derive(Clone, Debug, Default)]
+    struct Echo;
+
+    impl Machine for Echo {
+        type Msg = u32;
+        type Output = u32;
+
+        fn init(&mut self, _env: &Env) -> Vec<Step<u32, u32>> {
+            vec![Step::Broadcast(0)]
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, _env: &Env) -> Vec<Step<u32, u32>> {
+            vec![Step::Send(from, msg + 1), Step::Output(msg)]
+        }
+    }
+
+    fn env() -> Env {
+        Env {
+            id: ProcessId(0),
+            params: SystemParams::new(4, 1).unwrap(),
+            now: 0,
+            delta: 10,
+        }
+    }
+
+    #[test]
+    fn silent_behaviour_emits_nothing() {
+        let mut s = Silent;
+        assert!(Byzantine::<u32>::init(&mut s, &env()).is_empty());
+        assert!(s.on_message(ProcessId(1), 5u32, &env()).is_empty());
+    }
+
+    #[test]
+    fn filtered_machine_ignores_first_k() {
+        let mut b = FilteredMachine::new(Echo).ignore_first(2);
+        let e = env();
+        assert!(b.on_message(ProcessId(1), 1, &e).is_empty());
+        assert!(b.on_message(ProcessId(1), 2, &e).is_empty());
+        let steps = b.on_message(ProcessId(1), 3, &e);
+        assert_eq!(steps.len(), 1); // the echo Send; Output filtered out
+        assert!(matches!(steps[0], ByzStep::Send(ProcessId(1), 4)));
+    }
+
+    #[test]
+    fn filtered_machine_omits_targets() {
+        let mut b = FilteredMachine::new(Echo).omit_to([ProcessId(2), ProcessId(3)]);
+        let e = env();
+        // init broadcasts to n = 4, minus 2 omitted
+        let steps = b.init(&e);
+        assert_eq!(steps.len(), 2);
+        // echo back to an omitted process is dropped
+        assert!(b.on_message(ProcessId(2), 9, &e).is_empty());
+    }
+
+    #[test]
+    fn filtered_machine_crashes_at_time() {
+        let mut b = FilteredMachine::new(Echo).crash_after(5);
+        let mut e = env();
+        assert!(!b.on_message(ProcessId(1), 1, &e).is_empty());
+        e.now = 5;
+        assert!(b.on_message(ProcessId(1), 2, &e).is_empty());
+    }
+
+    #[test]
+    fn env_accessors() {
+        let e = env();
+        assert_eq!(e.n(), 4);
+        assert_eq!(e.t(), 1);
+        assert_eq!(e.quorum(), 3);
+    }
+}

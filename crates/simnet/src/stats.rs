@@ -1,0 +1,139 @@
+//! Complexity accounting (§3.1).
+//!
+//! The paper defines the *message complexity* of an execution as the number
+//! of messages sent by **correct** processes during `[GST, ∞)`, and measures
+//! communication in *words* (footnote 4). [`NetStats`] tracks both, plus
+//! totals, per-process counters (the Dolev–Reischuk pigeonhole argument
+//! needs per-receiver counts), and latency.
+
+use validity_core::ProcessId;
+
+use crate::time::Time;
+
+/// Counters collected by a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages sent by correct processes at or after GST — the paper's
+    /// message complexity measure.
+    pub messages_after_gst: u64,
+    /// Words sent by correct processes at or after GST — the paper's
+    /// communication complexity measure.
+    pub words_after_gst: u64,
+    /// All messages sent by correct processes (whole execution).
+    pub messages_total: u64,
+    /// All words sent by correct processes (whole execution).
+    pub words_total: u64,
+    /// Messages sent by Byzantine processes (not part of the paper's
+    /// measure; recorded for diagnostics).
+    pub byzantine_messages: u64,
+    /// Per-process count of messages *sent* (correct senders only).
+    pub sent_by: Vec<u64>,
+    /// Per-process count of messages *received* (from any sender).
+    pub received_by: Vec<u64>,
+    /// Delivery events processed.
+    pub deliveries: u64,
+    /// Timer events processed.
+    pub timer_fires: u64,
+    /// Time of the first decision by a correct process, if any.
+    pub first_decision_at: Option<Time>,
+    /// Time of the last decision by a correct process, if any.
+    pub last_decision_at: Option<Time>,
+}
+
+impl NetStats {
+    /// Creates zeroed counters for `n` processes.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            sent_by: vec![0; n],
+            received_by: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_send(
+        &mut self,
+        from: ProcessId,
+        words: usize,
+        at: Time,
+        gst: Time,
+        sender_correct: bool,
+    ) {
+        if sender_correct {
+            self.messages_total += 1;
+            self.words_total += words as u64;
+            self.sent_by[from.index()] += 1;
+            if at >= gst {
+                self.messages_after_gst += 1;
+                self.words_after_gst += words as u64;
+            }
+        } else {
+            self.byzantine_messages += 1;
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, to: ProcessId) {
+        self.deliveries += 1;
+        self.received_by[to.index()] += 1;
+    }
+
+    pub(crate) fn record_decision(&mut self, at: Time) {
+        if self.first_decision_at.is_none() {
+            self.first_decision_at = Some(at);
+        }
+        self.last_decision_at = Some(at);
+    }
+
+    /// The process (among `candidates`) that received the fewest messages —
+    /// the pigeonhole step of Lemma 5.
+    pub fn min_receiver(&self, candidates: impl IntoIterator<Item = ProcessId>) -> Option<(ProcessId, u64)> {
+        candidates
+            .into_iter()
+            .map(|p| (p, self.received_by[p.index()]))
+            .min_by_key(|&(p, c)| (c, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accounting_splits_on_gst() {
+        let mut s = NetStats::new(3);
+        s.record_send(ProcessId(0), 2, 50, 100, true); // before GST
+        s.record_send(ProcessId(0), 3, 100, 100, true); // at GST
+        s.record_send(ProcessId(1), 1, 150, 100, true); // after GST
+        s.record_send(ProcessId(2), 9, 150, 100, false); // byzantine
+        assert_eq!(s.messages_total, 3);
+        assert_eq!(s.words_total, 6);
+        assert_eq!(s.messages_after_gst, 2);
+        assert_eq!(s.words_after_gst, 4);
+        assert_eq!(s.byzantine_messages, 1);
+        assert_eq!(s.sent_by, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn min_receiver_breaks_ties_by_id() {
+        let mut s = NetStats::new(4);
+        s.record_delivery(ProcessId(0));
+        s.record_delivery(ProcessId(0));
+        s.record_delivery(ProcessId(2));
+        let (p, c) = s
+            .min_receiver([ProcessId(0), ProcessId(2), ProcessId(3)])
+            .unwrap();
+        assert_eq!(p, ProcessId(3));
+        assert_eq!(c, 0);
+        let (p, c) = s.min_receiver([ProcessId(0), ProcessId(2)]).unwrap();
+        assert_eq!((p, c), (ProcessId(2), 1));
+    }
+
+    #[test]
+    fn decision_times_track_first_and_last() {
+        let mut s = NetStats::new(2);
+        assert!(s.first_decision_at.is_none());
+        s.record_decision(10);
+        s.record_decision(30);
+        assert_eq!(s.first_decision_at, Some(10));
+        assert_eq!(s.last_decision_at, Some(30));
+    }
+}

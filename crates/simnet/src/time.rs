@@ -1,0 +1,14 @@
+//! Simulated time.
+//!
+//! Time is a `u64` tick counter. The paper's model only needs relative
+//! bounds (message delays ≤ `δ` after GST, timers), so the unit is
+//! arbitrary; experiments use `δ = 100` ticks by convention.
+
+/// A point in (or duration of) simulated time.
+pub type Time = u64;
+
+/// A conventional `δ` used by the experiment harnesses.
+pub const DEFAULT_DELTA: Time = 100;
+
+/// A conventional GST used by the experiment harnesses (asynchrony first).
+pub const DEFAULT_GST: Time = 1_000;
