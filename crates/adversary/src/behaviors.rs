@@ -2,7 +2,7 @@
 //! (partitioning) adversary of Lemma 2 and helpers.
 
 use validity_core::{ProcessId, ProcessSet};
-use validity_simnet::{Byzantine, ByzStep, Env, Machine, Step};
+use validity_simnet::{ByzStep, Byzantine, Env, Machine, Step};
 
 /// The partitioning adversary of Theorem 1 (Lemma 2): runs *two* copies of a
 /// correct machine, one facing group `A`, one facing group `C`. Messages
@@ -151,9 +151,15 @@ mod tests {
             delta: 10,
         };
         let steps = tf.on_message(ProcessId(0), Echo(99), &env);
-        assert!(matches!(steps.as_slice(), [ByzStep::Send(ProcessId(0), Echo(10))]));
+        assert!(matches!(
+            steps.as_slice(),
+            [ByzStep::Send(ProcessId(0), Echo(10))]
+        ));
         let steps = tf.on_message(ProcessId(1), Echo(99), &env);
-        assert!(matches!(steps.as_slice(), [ByzStep::Send(ProcessId(1), Echo(20))]));
+        assert!(matches!(
+            steps.as_slice(),
+            [ByzStep::Send(ProcessId(1), Echo(20))]
+        ));
         // outsiders are ignored
         assert!(tf.on_message(ProcessId(2), Echo(99), &env).is_empty());
     }

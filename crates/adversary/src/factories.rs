@@ -1,0 +1,176 @@
+//! Named, protocol-generic Byzantine behaviour factories.
+//!
+//! The concrete attack modules in this crate ([`crate::strawman`],
+//! [`crate::dolev_reischuk`], …) target specific protocols. Scenario sweeps
+//! (`validity-lab`) instead need behaviours that can wrap *any*
+//! [`Machine`]: [`BehaviorId`] names that family, and
+//! [`BehaviorId::instantiate`] builds one for a node slot given a factory
+//! for the underlying correct machine.
+//!
+//! Every behaviour here is deterministic, so sweeps stay replayable.
+
+use validity_core::{ProcessId, ProcessSet, SystemParams};
+use validity_simnet::{Byzantine, FilteredMachine, Machine, Silent, Time};
+
+use crate::behaviors::TwoFaced;
+
+/// Names a protocol-generic Byzantine behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BehaviorId {
+    /// Sends nothing, ever — the canonical-execution adversary (§3.1).
+    Silent,
+    /// Behaves correctly, then crashes halfway to GST.
+    Crash,
+    /// Behaves correctly but drops the first `t` incoming messages
+    /// (the Theorem-4 `E_base` step 5.1 shape).
+    Stale,
+    /// Behaves correctly but omits all sends to the upper half of the
+    /// system (the Theorem-4 `E_base` step 5.2 shape).
+    OmitHalf,
+    /// Runs two correct copies with different proposals, one facing the
+    /// lower half, one the upper half — the Lemma-2 partitioner.
+    TwoFaced,
+}
+
+impl BehaviorId {
+    /// Every registered behaviour, in presentation order.
+    pub const ALL: [BehaviorId; 5] = [
+        BehaviorId::Silent,
+        BehaviorId::Crash,
+        BehaviorId::Stale,
+        BehaviorId::OmitHalf,
+        BehaviorId::TwoFaced,
+    ];
+
+    /// The stable registry name (used by CLIs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BehaviorId::Silent => "silent",
+            BehaviorId::Crash => "crash",
+            BehaviorId::Stale => "stale",
+            BehaviorId::OmitHalf => "omit-half",
+            BehaviorId::TwoFaced => "two-faced",
+        }
+    }
+
+    /// Looks a behaviour up by its registry name.
+    pub fn parse(name: &str) -> Option<BehaviorId> {
+        BehaviorId::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// One-line description for `lab list`-style output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BehaviorId::Silent => "sends nothing (canonical execution)",
+            BehaviorId::Crash => "correct until a mid-run crash",
+            BehaviorId::Stale => "correct but ignores its first t deliveries",
+            BehaviorId::OmitHalf => "correct but omits sends to the upper half",
+            BehaviorId::TwoFaced => "two correct faces with different proposals",
+        }
+    }
+
+    /// Builds the behaviour for the node in `slot`.
+    ///
+    /// `mk(slot, face)` must return the correct machine that slot would run,
+    /// proposing its regular input for `face = 0` and a different (but still
+    /// domain-valid) input for `face = 1` — only [`BehaviorId::TwoFaced`]
+    /// requests the second face.
+    pub fn instantiate<M: Machine + 'static>(
+        self,
+        params: SystemParams,
+        gst: Time,
+        slot: ProcessId,
+        mk: &dyn Fn(ProcessId, u64) -> M,
+    ) -> Box<dyn Byzantine<M::Msg>> {
+        let n = params.n();
+        let lower: ProcessSet = (0..n / 2).collect();
+        let upper: ProcessSet = (n / 2..n).collect();
+        match self {
+            BehaviorId::Silent => Box::new(Silent),
+            BehaviorId::Crash => {
+                Box::new(FilteredMachine::new(mk(slot, 0)).crash_after((gst / 2).max(1)))
+            }
+            BehaviorId::Stale => {
+                Box::new(FilteredMachine::new(mk(slot, 0)).ignore_first(params.t()))
+            }
+            BehaviorId::OmitHalf => {
+                Box::new(FilteredMachine::new(mk(slot, 0)).omit_to(upper.iter()))
+            }
+            BehaviorId::TwoFaced => Box::new(TwoFaced::new(mk(slot, 0), lower, mk(slot, 1), upper)),
+        }
+    }
+}
+
+impl std::fmt::Display for BehaviorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_core::SystemParams;
+    use validity_simnet::{agreement_holds, Env, Message, NodeKind, SimConfig, Simulation, Step};
+
+    #[derive(Clone, Debug)]
+    struct Val(#[allow(dead_code)] u64); // payload carried for Debug-trace realism
+    impl Message for Val {}
+
+    /// Broadcasts its input; decides on quorum receipt count.
+    #[derive(Clone, Debug)]
+    struct Bcast(u64, usize);
+
+    impl Machine for Bcast {
+        type Msg = Val;
+        type Output = u64;
+        fn init(&mut self, _env: &Env) -> Vec<Step<Val, u64>> {
+            vec![Step::Broadcast(Val(self.0))]
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: Val, env: &Env) -> Vec<Step<Val, u64>> {
+            self.1 += 1;
+            if self.1 == env.quorum() {
+                vec![Step::Output(self.1 as u64)]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in BehaviorId::ALL {
+            assert_eq!(BehaviorId::parse(b.name()), Some(b));
+        }
+        assert_eq!(BehaviorId::parse("?"), None);
+    }
+
+    #[test]
+    fn every_behavior_runs_against_a_quorum_protocol() {
+        let params = SystemParams::new(4, 1).unwrap();
+        for b in BehaviorId::ALL {
+            let mk = |_p: ProcessId, face: u64| Bcast(10 + face, 0);
+            let nodes: Vec<NodeKind<Bcast>> = (0..4)
+                .map(|i| {
+                    if i < 3 {
+                        NodeKind::Correct(Bcast(i as u64, 0))
+                    } else {
+                        NodeKind::Byzantine(b.instantiate(
+                            params,
+                            validity_simnet::DEFAULT_GST,
+                            ProcessId::from_index(i),
+                            &mk,
+                        ))
+                    }
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::new(params).seed(5), nodes);
+            sim.run_until_decided();
+            assert!(
+                sim.all_correct_decided(),
+                "behavior {b} starved a quorum protocol that tolerates t = 1"
+            );
+            assert!(agreement_holds(sim.decisions()));
+        }
+    }
+}

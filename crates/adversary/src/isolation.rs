@@ -39,12 +39,12 @@ pub fn run_isolated<M: Machine>(
     let mut halted = false;
 
     let apply = |steps: Vec<Step<M::Msg, M::Output>>,
-                     now: Time,
-                     timers: &mut BinaryHeap<Reverse<(Time, u64, u64)>>,
-                     output: &mut Option<(Time, M::Output)>,
-                     sends: &mut u64,
-                     halted: &mut bool,
-                     seq: &mut u64| {
+                 now: Time,
+                 timers: &mut BinaryHeap<Reverse<(Time, u64, u64)>>,
+                 output: &mut Option<(Time, M::Output)>,
+                 sends: &mut u64,
+                 halted: &mut bool,
+                 seq: &mut u64| {
         for step in steps {
             match step {
                 Step::Send(..) | Step::Broadcast(..) => *sends += 1,

@@ -20,12 +20,14 @@
 
 pub mod behaviors;
 pub mod dolev_reischuk;
+pub mod factories;
 pub mod isolation;
 pub mod partition;
 pub mod strawman;
 
 pub use behaviors::TwoFaced;
 pub use dolev_reischuk::{break_leader_echo, half_t, run_e_base, Disagreement, EBaseReport};
+pub use factories::BehaviorId;
 pub use isolation::{run_isolated, IsolatedRun};
 pub use partition::{break_quorum_vote, partition_layout, PartitionExhibit, PartitionLayout};
 pub use strawman::{LeaderEcho, LeaderValue, QuorumVote, Vote};

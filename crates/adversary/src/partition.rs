@@ -102,8 +102,8 @@ pub fn break_quorum_vote(params: SystemParams, delta: Time, seed: u64) -> Partit
     let (ga, gc) = (layout.group_a, layout.group_c);
     let policy = PreGstPolicy::PerLink(std::sync::Arc::new(
         move |from: ProcessId, to: ProcessId, _at| {
-            let cross = (ga.contains(from) && gc.contains(to))
-                || (gc.contains(from) && ga.contains(to));
+            let cross =
+                (ga.contains(from) && gc.contains(to)) || (gc.contains(from) && ga.contains(to));
             if cross {
                 Time::MAX / 8
             } else {

@@ -65,7 +65,12 @@ impl<V: Value + Words> Machine for LeaderEcho<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, _env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        _env: &Env,
+    ) -> Vec<Step<Self::Msg, V>> {
         if self.decided || from != ProcessId(0) {
             return Vec::new();
         }
@@ -136,7 +141,12 @@ impl<V: Value + Words> Machine for QuorumVote<V> {
         ]
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: Self::Msg, env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: Self::Msg,
+        env: &Env,
+    ) -> Vec<Step<Self::Msg, V>> {
         if self.decided {
             return Vec::new();
         }
@@ -168,7 +178,7 @@ impl<V: Value + Words> Machine for QuorumVote<V> {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
     #[test]
     fn leader_echo_works_in_nice_runs() {
@@ -177,10 +187,13 @@ mod tests {
             .map(|i| NodeKind::Correct(LeaderEcho::new(40 + i as u64)))
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(1), nodes);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         assert_eq!(sim.decisions()[1].as_ref().unwrap().1, 40); // leader's value
-        // sub-quadratic cost: exactly n messages (one broadcast)
+                                                                // sub-quadratic cost: exactly n messages (one broadcast)
         assert_eq!(sim.stats().messages_total, 4);
     }
 
@@ -197,7 +210,10 @@ mod tests {
             })
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(2), nodes);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         // everyone fell back to their own value: termination holds,
         // agreement already wobbles (the protocol is broken by design).
         assert_eq!(sim.decisions()[1].as_ref().unwrap().1, 41);
@@ -211,7 +227,10 @@ mod tests {
             .map(|_| NodeKind::Correct(QuorumVote::new(7u64)))
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(3), nodes);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         assert_eq!(sim.decisions()[0].as_ref().unwrap().1, 7);
     }

@@ -5,15 +5,13 @@
 
 use std::sync::Arc;
 
+use validity_core::StrongLambda;
 use validity_core::{check_decision, InputConfig, ProcessId, StrongValidity, SystemParams};
 use validity_crypto::{sha256, KeyStore, ThresholdScheme};
 use validity_protocols::{
     proposal_sign_bytes, QuadConfig, QuadMachine, QuadMsg, Universal, VectorAuth, VectorAuthMsg,
 };
-use validity_core::StrongLambda;
-use validity_simnet::{
-    agreement_holds, Byzantine, ByzStep, Env, NodeKind, SimConfig, Simulation,
-};
+use validity_simnet::{agreement_holds, ByzStep, Byzantine, Env, NodeKind, SimConfig, Simulation};
 
 type QMsg = QuadMsg<u64, u64>;
 
@@ -111,7 +109,10 @@ fn quad_nodes(
             }
         })
         .collect();
-    (params, Simulation::new(SimConfig::new(params).seed(seed), nodes))
+    (
+        params,
+        Simulation::new(SimConfig::new(params).seed(seed), nodes),
+    )
 }
 
 #[test]
@@ -169,7 +170,10 @@ impl Byzantine<VectorAuthMsg<u64>> for SignatureThief {
             .keystore
             .signer(self.me)
             .sign(proposal_sign_bytes(&500u64));
-        vec![ByzStep::Broadcast(VectorAuthMsg::Proposal { value: 500, sig })]
+        vec![ByzStep::Broadcast(VectorAuthMsg::Proposal {
+            value: 500,
+            sig,
+        })]
     }
 }
 

@@ -44,8 +44,7 @@ fn bench_lambda(c: &mut Criterion) {
 
     // Brute force only feasible at small n — the contrast is the point.
     let small_params = SystemParams::new(4, 1).unwrap();
-    let small =
-        InputConfig::from_pairs(small_params, (0..3).map(|i| (i, (i % 2) as u64))).unwrap();
+    let small = InputConfig::from_pairs(small_params, (0..3).map(|i| (i, (i % 2) as u64))).unwrap();
     let bf = BruteForceLambda::new(StrongValidity, Domain::binary());
     c.bench_function("lambda/strong_brute_force_n4", |b| {
         b.iter(|| bf.lambda(black_box(&small)).unwrap())

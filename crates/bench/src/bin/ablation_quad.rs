@@ -15,7 +15,7 @@ use validity_bench::Table;
 use validity_core::{ProcessId, SystemParams};
 use validity_crypto::{KeyStore, ThresholdScheme};
 use validity_protocols::{QuadConfig, QuadMachine};
-use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
 fn run(n: usize, t: usize, byz: usize, leader_wait: u64, seed: u64) -> (u64, u64, bool) {
     let params = SystemParams::new(n, t).unwrap();
@@ -44,7 +44,10 @@ fn run(n: usize, t: usize, byz: usize, leader_wait: u64, seed: u64) -> (u64, u64
     let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
     sim.run_until_decided();
     assert!(sim.all_correct_decided(), "liveness (wait={leader_wait})");
-    assert!(agreement_holds(sim.decisions()), "safety (wait={leader_wait})");
+    assert!(
+        agreement_holds(sim.decisions()),
+        "safety (wait={leader_wait})"
+    );
     (
         sim.stats().messages_total,
         sim.stats().last_decision_at.unwrap(),
@@ -55,7 +58,14 @@ fn run(n: usize, t: usize, byz: usize, leader_wait: u64, seed: u64) -> (u64, u64
 fn main() {
     println!("=== Ablation: Quad leader-wait rule (2δ patient vs eager) ===\n");
     let mut table = Table::new(vec![
-        "n", "t", "byz", "seed", "patient msgs", "eager msgs", "patient latency", "eager latency",
+        "n",
+        "t",
+        "byz",
+        "seed",
+        "patient msgs",
+        "eager msgs",
+        "patient latency",
+        "eager latency",
     ]);
     let mut patient_latency_sum = 0u64;
     let mut eager_latency_sum = 0u64;
@@ -81,9 +91,7 @@ fn main() {
         }
     }
     table.print();
-    println!(
-        "\nlatency totals: patient = {patient_latency_sum}, eager = {eager_latency_sum}"
-    );
+    println!("\nlatency totals: patient = {patient_latency_sum}, eager = {eager_latency_sum}");
     println!("✔ safety identical (two-phase locking carries it); the wait trades a small");
     println!("  constant latency for immunity against hidden-lock stalls under faults.");
 }

@@ -4,94 +4,73 @@
 //! The deterministic simulator draws per-message jitter from a seed and a
 //! pre-GST delay policy. If the measured message counts depended on those
 //! choices, the complexity tables would be artefacts of the scheduler.
-//! This harness re-runs the Theorem-5 measurement point (Universal over
-//! Algorithm 1, failure-free, synchronous/asynchronous variants) across
-//! seeds × policies and reports the spread.
+//! This harness sweeps the Theorem-5 measurement point (Algorithm 1, raw
+//! and under `Universal`, failure-free) across seeds × schedules via the
+//! `validity-lab` engine and reports the spread.
 
-use std::sync::Arc;
-
-use validity_bench::{runs, Table};
-use validity_core::{LambdaFn, ProcessId, StrongLambda, SystemParams};
-use validity_simnet::Time;
+use validity_bench::Table;
+use validity_lab::{suites, Outcome, SweepEngine};
 
 fn main() {
     println!("=== Ablation: complexity measurements vs schedule ===\n");
-    let params = SystemParams::new(10, 3).unwrap();
-    let inputs: Vec<u64> = (0..10).collect();
 
-    let mut table = Table::new(vec!["pre-GST policy", "seed", "msgs total", "msgs [GST,∞)"]);
-    let mut sync_counts = Vec::new();
-    for seed in [1u64, 7, 42, 1001, 9999] {
-        let stats = runs::run_vector_auth(params, 0, &inputs, seed, true);
-        assert!(stats.decided && stats.agreement);
-        sync_counts.push(stats.messages_after_gst);
+    let matrix = suites::build("schedules").expect("built-in suite");
+    let engine = SweepEngine::new(0);
+    let (report, run) = engine.run(&matrix);
+    eprintln!(
+        "({} cells on {} worker threads in {:.3}s)\n",
+        report.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64()
+    );
+
+    let mut table = Table::new(vec!["cell", "msgs total", "msgs [GST,∞)"]);
+    // Fault-free *synchronous* counts must be identical across seeds: the
+    // protocol's message pattern is schedule-independent.
+    let mut sync_counts: Vec<u64> = Vec::new();
+    for cell in &report.cells {
+        let Outcome::Run(r) = &cell.outcome else {
+            continue;
+        };
+        assert!(r.decided, "{}: did not decide", cell.key);
+        assert!(r.agreement, "{}: agreement violated", cell.key);
+        if cell.group.contains("/sync/") && cell.group.starts_with("run/alg1-auth/") {
+            sync_counts.push(r.messages_after_gst);
+        }
         table.row(vec![
-            "synchronous (GST = 0)".into(),
-            seed.to_string(),
-            stats.messages_total.to_string(),
-            stats.messages_after_gst.to_string(),
+            cell.key.clone(),
+            r.messages_total.to_string(),
+            r.messages_after_gst.to_string(),
         ]);
     }
-    // Fault-free synchronous counts must be *identical* across seeds: the
-    // protocol's message pattern is schedule-independent.
+    table.print();
+
     assert!(
         sync_counts.windows(2).all(|w| w[0] == w[1]),
         "fault-free counts must not depend on the seed: {sync_counts:?}"
     );
 
-    for seed in [1u64, 7, 42] {
-        let stats = runs::run_vector_auth(params, 0, &inputs, seed, false);
-        assert!(stats.decided && stats.agreement);
-        table.row(vec![
-            "uniform chaos before GST".into(),
-            seed.to_string(),
-            stats.messages_total.to_string(),
-            stats.messages_after_gst.to_string(),
+    // Per-group summary: min == max within every synchronous group.
+    println!();
+    let mut summary = Table::new(vec!["group", "runs", "msgs/GST mean", "min", "max"]);
+    for g in &report.groups {
+        summary.row(vec![
+            g.key.clone(),
+            g.runs.to_string(),
+            g.messages_after_gst.mean(),
+            g.messages_after_gst.min.to_string(),
+            g.messages_after_gst.max.to_string(),
         ]);
+        if g.key.contains("/sync/") {
+            assert_eq!(
+                g.messages_after_gst.min, g.messages_after_gst.max,
+                "synchronous spread must be zero: {}",
+                g.key
+            );
+        }
     }
+    summary.print();
 
-    // A hostile per-link policy (one process's links stalled until GST).
-    use validity_simnet::{NodeKind, PreGstPolicy, SimConfig, Simulation};
-    use validity_crypto::{KeyStore, ThresholdScheme};
-    use validity_protocols::{Universal, VectorAuth};
-    for seed in [1u64, 7] {
-        let ks = KeyStore::new(10, seed);
-        let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
-        let nodes: Vec<NodeKind<_>> = (0..10)
-            .map(|i| {
-                NodeKind::Correct(Universal::new(
-                    VectorAuth::new(
-                        inputs[i],
-                        ks.clone(),
-                        ks.signer(ProcessId::from_index(i)),
-                        scheme.clone(),
-                        params,
-                    ),
-                    StrongLambda,
-                ))
-            })
-            .collect();
-        let policy = PreGstPolicy::PerLink(Arc::new(|from: ProcessId, to: ProcessId, _| {
-            if from == ProcessId(0) || to == ProcessId(0) {
-                Time::MAX / 8
-            } else {
-                3
-            }
-        }));
-        let cfg = SimConfig::new(params).pre_gst(policy).seed(seed);
-        let mut sim = Simulation::new(cfg, nodes);
-        sim.run_until_decided();
-        assert!(sim.all_correct_decided());
-        table.row(vec![
-            "P1 isolated until GST".into(),
-            seed.to_string(),
-            sim.stats().messages_total.to_string(),
-            sim.stats().messages_after_gst.to_string(),
-        ]);
-    }
-    table.print();
-
-    let _ = || -> Box<dyn LambdaFn<u64, u64>> { Box::new(StrongLambda) };
     println!("\n✔ fault-free synchronous counts are seed-invariant; adversarial pre-GST");
     println!("  scheduling changes *when* messages flow, not the post-GST totals' shape —");
     println!("  the complexity tables measure the protocol, not the scheduler.");

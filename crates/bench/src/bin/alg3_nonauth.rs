@@ -41,7 +41,10 @@ fn main() {
             params.t().to_string(),
             s1.messages_after_gst.to_string(),
             s3.messages_after_gst.to_string(),
-            format!("{:.1}×", s3.messages_after_gst as f64 / s1.messages_after_gst as f64),
+            format!(
+                "{:.1}×",
+                s3.messages_after_gst as f64 / s1.messages_after_gst as f64
+            ),
             s1.words_after_gst.to_string(),
             s3.words_after_gst.to_string(),
         ]);
@@ -58,6 +61,11 @@ fn main() {
         f3.exponent > f1.exponent + 0.8,
         "Algorithm 3 must grow at least a polynomial degree faster"
     );
-    println!("\n✔ Shape reproduced: dropping signatures costs ≈ n^{:.1} vs ≈ n^{:.1} —", f3.exponent, f1.exponent);
-    println!("  the authenticated variant wins at every n, increasingly so (paper: O(n⁴) vs O(n²)).");
+    println!(
+        "\n✔ Shape reproduced: dropping signatures costs ≈ n^{:.1} vs ≈ n^{:.1} —",
+        f3.exponent, f1.exponent
+    );
+    println!(
+        "  the authenticated variant wins at every n, increasingly so (paper: O(n⁴) vs O(n²))."
+    );
 }

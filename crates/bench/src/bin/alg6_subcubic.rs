@@ -44,7 +44,10 @@ fn main() {
             params.t().to_string(),
             s1.words_after_gst.to_string(),
             s6.words_after_gst.to_string(),
-            format!("{:.2}×", s1.words_after_gst as f64 / s6.words_after_gst as f64),
+            format!(
+                "{:.2}×",
+                s1.words_after_gst as f64 / s6.words_after_gst as f64
+            ),
             s1.latency.to_string(),
             s6.latency.to_string(),
             format!("{:.1}×", s6.latency as f64 / s1.latency as f64),
@@ -71,7 +74,13 @@ fn main() {
         s6.latency > s1.latency,
         "the slow-broadcast latency price must show"
     );
-    println!("\n✔ Trade-off reproduced: Algorithm 6 wins on communication (n^{:.1} vs n^{:.1})", f6.exponent, f1.exponent);
-    println!("  and loses on latency ({} vs {} ticks at n = 13 with t faults) — exactly", s6.latency, s1.latency);
+    println!(
+        "\n✔ Trade-off reproduced: Algorithm 6 wins on communication (n^{:.1} vs n^{:.1})",
+        f6.exponent, f1.exponent
+    );
+    println!(
+        "  and loses on latency ({} vs {} ticks at n = 13 with t faults) — exactly",
+        s6.latency, s1.latency
+    );
     println!("  the open-question trade-off of §6 (subcubic words *and* polynomial latency?).");
 }

@@ -1,13 +1,11 @@
 //! **Figure 1** — the classification of validity properties, regenerated as
 //! a machine-checked table.
 //!
-//! The figure's regions become rows: for each validity property in the
-//! catalog and each resilience regime, the brute-force classifier (running
-//! the decision procedure of Theorems 1, 3 and 5 over a finite domain)
-//! reports trivial / solvable-non-trivial / unsolvable, together with the
-//! witness that certifies the verdict.
+//! The grid itself now lives in `validity-lab` (`suites::fig1`) and is
+//! executed by the parallel sweep engine; this binary renders the engine's
+//! records in the historical per-regime table format and re-asserts the
+//! paper's claims:
 //!
-//! Expected shape (the paper's claims):
 //! * every property solvable at `n ≤ 3t` is trivial (Theorem 1);
 //! * at `n > 3t`, the classical properties (Strong, Weak, Median-with-slack,
 //!   Convex-Hull) are solvable non-trivial (C_S holds — Theorem 5);
@@ -18,89 +16,96 @@
 //!   `|V_I|`.
 
 use validity_bench::Table;
-use validity_core::{
-    classify, Classification, ConvexHullValidity, CorrectProposalValidity, Domain, DynValidity,
-    ExactMedianValidity, MedianValidity, ParityValidity, StrongValidity, SystemParams,
-    TrivialValidity, UnsolvableReason, WeakValidity,
-};
-
-fn catalog(t: usize) -> Vec<DynValidity<u64>> {
-    vec![
-        Box::new(StrongValidity),
-        Box::new(WeakValidity),
-        Box::new(CorrectProposalValidity),
-        Box::new(MedianValidity::with_slack(t)),
-        Box::new(ConvexHullValidity),
-        Box::new(ExactMedianValidity),
-        Box::new(ParityValidity),
-        Box::new(TrivialValidity::new(0u64)),
-    ]
-}
-
-fn witness<V: validity_core::Value + std::fmt::Debug>(c: &Classification<V>) -> String {
-    match c {
-        Classification::Trivial { witness } => format!("always-admissible {witness:?}"),
-        Classification::SolvableNonTrivial { lambda_table } => {
-            format!("Λ table over |I_(n-t)| = {}", lambda_table.len())
-        }
-        Classification::Unsolvable(UnsolvableReason::LowResilience { rejections }) => {
-            format!("{} per-value rejections", rejections.len())
-        }
-        Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config }) => {
-            format!("∩ sim = ∅ at {config:?}")
-        }
-    }
-}
+use validity_lab::{suites, Outcome, ScenarioMatrix, SweepEngine};
 
 fn main() {
     println!("=== Figure 1: classification of validity properties ===\n");
-    println!("(brute-force over finite domains; every verdict carries a certificate)\n");
+    println!("(brute-force over finite domains; every verdict carries a certificate;");
+    println!(" executed by the validity-lab sweep engine)\n");
 
-    for (n, t, dom_size) in [
-        (3usize, 1usize, 2u64),
-        (6, 2, 2),
-        (4, 1, 2),
-        (4, 1, 3),
-        (7, 2, 2),
-    ] {
-        let params = SystemParams::new(n, t).unwrap();
-        let domain = Domain::range(dom_size);
-        let regime = if params.supports_non_trivial() {
-            "n > 3t"
-        } else {
-            "n ≤ 3t"
-        };
+    // The classification grid of the fig1 suite, without its simulation
+    // cells — this binary is only about the table.
+    let mut matrix = ScenarioMatrix::new("fig1-classification");
+    matrix.classifications = suites::fig1().classifications;
+
+    let engine = SweepEngine::new(0);
+    let (report, run) = engine.run(&matrix);
+    eprintln!(
+        "({} cells on {} worker threads in {:.3}s)\n",
+        report.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64()
+    );
+
+    // Group rows by (n, t, domain) regime, preserving suite order.
+    let mut regimes: Vec<String> = Vec::new();
+    for row in &report.classifications {
+        // key = classify/<validity>/n<k>t<k>/d<k>
+        let regime = row
+            .key
+            .splitn(3, '/')
+            .nth(2)
+            .expect("well-formed key")
+            .to_string();
+        if !regimes.contains(&regime) {
+            regimes.push(regime);
+        }
+    }
+
+    for regime in &regimes {
+        let rows: Vec<_> = report
+            .classifications
+            .iter()
+            .filter(|r| r.key.ends_with(regime.as_str()) || r.key.contains(&format!("/{regime}")))
+            .collect();
+        let high_resilience = rows
+            .first()
+            .map(|r| r.record.high_resilience)
+            .unwrap_or(false);
         println!(
-            "--- n = {n}, t = {t} ({regime}), domain = {{0..{}}} ---",
-            dom_size - 1
+            "--- {regime} ({}) ---",
+            if high_resilience {
+                "n > 3t"
+            } else {
+                "n ≤ 3t"
+            }
         );
         let mut table = Table::new(vec!["validity property", "classification", "certificate"]);
         let mut solvable_nontrivial = 0;
-        for prop in catalog(t) {
-            let c = classify(&prop, params, &domain);
-            if c.is_solvable() && !c.is_trivial() {
+        for row in &rows {
+            let name = row.key.split('/').nth(1).expect("well-formed key");
+            let verdict = &row.record.verdict;
+            if verdict.starts_with("solvable") {
                 solvable_nontrivial += 1;
             }
-            // Theorem 1 consistency check.
-            if !params.supports_non_trivial() {
-                assert!(
-                    !c.is_solvable() || c.is_trivial(),
-                    "Theorem 1 violated by {}",
-                    prop.name()
-                );
-            }
-            table.row(vec![prop.name(), c.label().to_string(), witness(&c)]);
+            assert!(
+                row.record.theorem1_consistent,
+                "Theorem 1 violated by {name} at {regime}"
+            );
+            table.row(vec![
+                name.to_string(),
+                verdict.clone(),
+                row.record.certificate.clone(),
+            ]);
         }
         table.print();
-        if !params.supports_non_trivial() {
+        if high_resilience {
+            println!(
+                "✔ {solvable_nontrivial} non-trivial properties solvable via C_S (Theorem 5)\n"
+            );
+        } else {
             assert_eq!(
                 solvable_nontrivial, 0,
                 "n ≤ 3t admitted a non-trivial solvable property"
             );
             println!("✔ Theorem 1 confirmed: every solvable property above is trivial\n");
-        } else {
-            println!("✔ {solvable_nontrivial} non-trivial properties solvable via C_S (Theorem 5)\n");
         }
+    }
+
+    // The report itself doubles as a regression artifact: identical runs
+    // (any thread count) produce these exact bytes.
+    for outcome in report.cells.iter().map(|c| &c.outcome) {
+        assert!(matches!(outcome, Outcome::Classify(_)));
     }
     println!("Figure 1 regions reproduced: trivial ⊂ solvable; non-trivial solvability");
     println!("exists only for n > 3t; C_S-violating properties sit outside the solvable set.");

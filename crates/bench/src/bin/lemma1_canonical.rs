@@ -12,12 +12,12 @@
 
 use validity_bench::Table;
 use validity_core::{
-    admissible_intersection, enumerate_configs_of_size, Domain, LambdaFn, ProcessId,
-    StrongLambda, StrongValidity, SystemParams,
+    admissible_intersection, enumerate_configs_of_size, Domain, LambdaFn, ProcessId, StrongLambda,
+    StrongValidity, SystemParams,
 };
 use validity_crypto::{KeyStore, ThresholdScheme};
 use validity_protocols::{Universal, VectorAuth};
-use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
 fn run_canonical(params: SystemParams, config: &validity_core::InputConfig<u64>, seed: u64) -> u64 {
     let ks = KeyStore::new(params.n(), seed);

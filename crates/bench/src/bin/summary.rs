@@ -57,14 +57,18 @@ fn main() {
     println!("--- one machine, every solvable validity property (n = 10, t = 3) ---\n");
     let params = SystemParams::optimal_resilience(10).unwrap();
     let mut table = Table::new(vec!["Λ plugged into Universal", "decision", "msgs"]);
-    let lambdas: Vec<(&str, Box<dyn Fn() -> Box<dyn LambdaFn<u64, u64>>>)> = vec![
+    type BoxedLambdaFactory = Box<dyn Fn() -> Box<dyn LambdaFn<u64, u64>>>;
+    let lambdas: Vec<(&str, BoxedLambdaFactory)> = vec![
         ("Λ(Strong Validity)", Box::new(|| Box::new(StrongLambda))),
         ("Λ(Weak Validity)", Box::new(|| Box::new(WeakLambda))),
         (
             "Λ(Median Validity, slack t)",
             Box::new(|| Box::new(RankLambda::median(3, 0u64, u64::MAX))),
         ),
-        ("Λ(Convex-Hull Validity)", Box::new(|| Box::new(ConvexHullLambda))),
+        (
+            "Λ(Convex-Hull Validity)",
+            Box::new(|| Box::new(ConvexHullLambda)),
+        ),
         (
             "Λ(Correct-Proposal, binary)",
             Box::new(|| Box::new(CorrectProposalLambda)),

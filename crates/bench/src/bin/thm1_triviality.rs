@@ -25,7 +25,14 @@ fn main() {
     // --- Part 1: the partition attack (Figure 2's parameters first).
     println!("Part 1 — Lemma 2 merge: splitting an n − t quorum protocol\n");
     let mut table = Table::new(vec![
-        "n", "t", "group A", "byz B (two-faced)", "group C", "A decides", "C decides", "faulty",
+        "n",
+        "t",
+        "group A",
+        "byz B (two-faced)",
+        "group C",
+        "A decides",
+        "C decides",
+        "faulty",
     ]);
     for (n, t) in [(6usize, 2usize), (3, 1), (4, 2), (5, 2), (9, 3)] {
         let params = SystemParams::new(n, t).unwrap();
@@ -69,7 +76,11 @@ fn main() {
                 "Theorem 1 violated at ({n}, {t}) by {}",
                 prop.name()
             );
-            table.row(vec![format!("({n}, {t})"), prop.name(), c.label().to_string()]);
+            table.row(vec![
+                format!("({n}, {t})"),
+                prop.name(),
+                c.label().to_string(),
+            ]);
         }
     }
     table.print();

@@ -21,7 +21,12 @@ fn main() {
     // --- Part 1: the strawman is broken by the merge construction.
     println!("Part 1 — Dolev–Reischuk merge vs. the O(n) LeaderEcho strawman\n");
     let mut table = Table::new(vec![
-        "n", "t", "Q (starved)", "β_Q decides", "E_v decides", "merged verdict",
+        "n",
+        "t",
+        "Q (starved)",
+        "β_Q decides",
+        "E_v decides",
+        "merged verdict",
     ]);
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
         let params = SystemParams::new(n, t).unwrap();
@@ -66,8 +71,14 @@ fn main() {
             t.to_string(),
             report.bound.to_string(),
             report.messages_after_gst.to_string(),
-            format!("{:.1}×", report.messages_after_gst as f64 / report.bound.max(1) as f64),
-            format!("{} msgs (pigeonhole witness {})", report.q_received, report.q),
+            format!(
+                "{:.1}×",
+                report.messages_after_gst as f64 / report.bound.max(1) as f64
+            ),
+            format!(
+                "{} msgs (pigeonhole witness {})",
+                report.q_received, report.q
+            ),
         ]);
     }
     table.print();
@@ -80,7 +91,10 @@ fn main() {
         fit.exponent > 1.45,
         "measured growth should be (at least) quadratic in t"
     );
-    println!("\n✔ Ω(t²) floor respected at every t; measured growth exponent {:.2} ≈ 2", fit.exponent);
+    println!(
+        "\n✔ Ω(t²) floor respected at every t; measured growth exponent {:.2} ≈ 2",
+        fit.exponent
+    );
     println!("  (Lemma 5's pigeonhole: with ≤ (⌈t/2⌉)² messages, some Q ∈ B would receive");
     println!("   ≤ ⌈t/2⌉ messages and the merge of Part 1 would apply to *any* protocol.)");
 }

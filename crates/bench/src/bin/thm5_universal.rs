@@ -9,18 +9,21 @@
 //! Every run's decision is verified admissible against the corresponding
 //! validity property (the Lemma 8 argument, checked dynamically).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use validity_bench::{fit_exponent, runs, Table};
 use validity_core::{
-    ConvexHullLambda, ConvexHullValidity, CorrectProposalLambda,
-    CorrectProposalValidity, LambdaFn, MedianValidity, RankLambda, StrongLambda, StrongValidity,
-    SystemParams, ValidityProperty,
+    ConvexHullLambda, ConvexHullValidity, CorrectProposalLambda, CorrectProposalValidity, LambdaFn,
+    MedianValidity, RankLambda, StrongLambda, StrongValidity, SystemParams, ValidityProperty,
 };
+
+/// Dynamic admissibility oracle shared across the sweep threads.
+type AdmissibilityCheck = Box<dyn Fn(&validity_core::InputConfig<u64>, &u64) -> bool + Send + Sync>;
 
 struct PropertyCase {
     name: &'static str,
     lambda: fn(SystemParams) -> Box<dyn LambdaFn<u64, u64>>,
-    check: Box<dyn Fn(&validity_core::InputConfig<u64>, &u64) -> bool + Send + Sync>,
+    check: AdmissibilityCheck,
     binary_inputs: bool,
 }
 
@@ -35,9 +38,7 @@ fn cases() -> Vec<PropertyCase> {
         PropertyCase {
             name: "Median Validity (slack t)",
             lambda: |p| Box::new(RankLambda::median(p.t(), 0u64, u64::MAX)),
-            check: Box::new(|c, v| {
-                MedianValidity::with_slack(c.params().t()).is_admissible(c, v)
-            }),
+            check: Box::new(|c, v| MedianValidity::with_slack(c.params().t()).is_admissible(c, v)),
             binary_inputs: false,
         },
         PropertyCase {
@@ -63,11 +64,11 @@ fn main() {
     for case in cases() {
         println!("--- validity property: {} ---", case.name);
         let rows = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for &n in &ns {
                 let rows = &rows;
                 let case = &case;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let params = SystemParams::optimal_resilience(n).unwrap();
                     let t = params.t();
                     let inputs: Vec<u64> = (0..n as u64)
@@ -92,17 +93,23 @@ fn main() {
                             "{}: decided {decided} inadmissible at n = {n}, byz = {byz}",
                             case.name
                         );
-                        rows.lock().push((n, t, byz, stats));
+                        rows.lock().expect("sweep mutex").push((n, t, byz, stats));
                     }
                 });
             }
-        })
-        .expect("sweep threads");
+        });
 
-        let mut rows = rows.into_inner();
+        let mut rows = rows.into_inner().expect("sweep mutex");
         rows.sort_by_key(|r| (r.0, r.2));
         let mut table = Table::new(vec![
-            "n", "t", "byz", "msgs [GST,∞)", "msgs/n²", "words", "latency", "decision",
+            "n",
+            "t",
+            "byz",
+            "msgs [GST,∞)",
+            "msgs/n²",
+            "words",
+            "latency",
+            "decision",
         ]);
         let mut points = Vec::new();
         for (n, t, byz, stats) in &rows {

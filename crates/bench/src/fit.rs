@@ -45,7 +45,11 @@ pub fn fit_exponent(points: &[(f64, f64)]) -> PowerFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
 
     PowerFit {
         exponent: slope,
@@ -72,7 +76,7 @@ mod tests {
         let pts: Vec<(f64, f64)> = (3..12)
             .map(|x| {
                 let x = x as f64;
-                (x, x.powi(4) * (1.0 + 0.05 * (x as f64).sin()))
+                (x, x.powi(4) * (1.0 + 0.05 * x.sin()))
             })
             .collect();
         let fit = fit_exponent(&pts);

@@ -6,9 +6,7 @@
 use validity_core::{InputConfig, LambdaFn, ProcessId, SystemParams};
 use validity_crypto::{KeyStore, ThresholdScheme};
 use validity_protocols::{Universal, VectorAuth, VectorFast, VectorNonAuth};
-use validity_simnet::{
-    agreement_holds, Machine, NodeKind, SimConfig, Silent, Simulation, Time,
-};
+use validity_simnet::{agreement_holds, Machine, NodeKind, Silent, SimConfig, Simulation, Time};
 
 /// Complexity measures of one run.
 #[derive(Clone, Debug)]
@@ -101,7 +99,13 @@ pub fn run_vector_auth(
     let ks = KeyStore::new(params.n(), seed);
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     let nodes = build_nodes(params.n(), byz, |p| {
-        VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params)
+        VectorAuth::new(
+            inputs[p.index()],
+            ks.clone(),
+            ks.signer(p),
+            scheme.clone(),
+            params,
+        )
     });
     let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
     collect(params, byz, &mut sim)
@@ -133,7 +137,13 @@ pub fn run_vector_fast(
     let ks = KeyStore::new(params.n(), seed);
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     let nodes = build_nodes(params.n(), byz, |p| {
-        VectorFast::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params)
+        VectorFast::new(
+            inputs[p.index()],
+            ks.clone(),
+            ks.signer(p),
+            scheme.clone(),
+            params,
+        )
     });
     let mut sim = Simulation::new(config(params, seed, synchronous), nodes);
     collect(params, byz, &mut sim)
@@ -152,7 +162,13 @@ pub fn run_universal_auth(
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     let nodes = build_nodes(params.n(), byz, |p| {
         Universal::new(
-            VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            VectorAuth::new(
+                inputs[p.index()],
+                ks.clone(),
+                ks.signer(p),
+                scheme.clone(),
+                params,
+            ),
             lambda(),
         )
     });
@@ -189,7 +205,13 @@ pub fn run_universal_fast(
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     let nodes = build_nodes(params.n(), byz, |p| {
         Universal::new(
-            VectorFast::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            VectorFast::new(
+                inputs[p.index()],
+                ks.clone(),
+                ks.signer(p),
+                scheme.clone(),
+                params,
+            ),
             lambda(),
         )
     });
@@ -209,7 +231,13 @@ pub fn universal_e_base(
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     validity_adversary::run_e_base(params, validity_simnet::DEFAULT_DELTA, seed, move |p| {
         Universal::new(
-            VectorAuth::new(inputs[p.index()], ks.clone(), ks.signer(p), scheme.clone(), params),
+            VectorAuth::new(
+                inputs[p.index()],
+                ks.clone(),
+                ks.signer(p),
+                scheme.clone(),
+                params,
+            ),
             lambda(),
         )
     })

@@ -132,11 +132,7 @@ impl<V: Value> InputConfig<V> {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if `|correct|` is outside `[n − t, n]`.
-    pub fn unanimous(
-        params: SystemParams,
-        correct: ProcessSet,
-        v: V,
-    ) -> Result<Self, ConfigError> {
+    pub fn unanimous(params: SystemParams, correct: ProcessSet, v: V) -> Result<Self, ConfigError> {
         InputConfig::from_pairs(params, correct.iter().map(|p| (p, v.clone())))
     }
 
@@ -213,9 +209,7 @@ impl<V: Value> InputConfig<V> {
     /// constructions which immediately re-add a pair); the caller is expected
     /// to restore it. Returns `None` if `p ∉ π(c)`.
     pub fn without(&self, p: ProcessId) -> Option<RawConfig<V>> {
-        if self.proposal(p).is_none() {
-            return None;
-        }
+        self.proposal(p)?;
         let mut slots = self.slots.clone();
         slots[p.index()] = None;
         Some(RawConfig {
@@ -366,8 +360,7 @@ pub fn enumerate_configs_of_size<V: Value>(
                 .zip(digits.iter())
                 .map(|(p, &di)| (*p, domain.values()[di].clone()));
             out.push(
-                InputConfig::from_pairs(params, pairs)
-                    .expect("enumeration respects invariants"),
+                InputConfig::from_pairs(params, pairs).expect("enumeration respects invariants"),
             );
             // increment odometer
             let mut i = 0;
@@ -425,9 +418,8 @@ mod tests {
         assert!(matches!(err, ConfigError::SizeOutOfRange { x: 2, .. }));
         // 5 pairs with n = 4 is impossible to even build distinctly, but a
         // duplicate is the natural error there:
-        let err =
-            InputConfig::from_pairs(params(4, 1), [(0usize, 1u64), (0, 2), (1, 3), (2, 4)])
-                .unwrap_err();
+        let err = InputConfig::from_pairs(params(4, 1), [(0usize, 1u64), (0, 2), (1, 3), (2, 4)])
+            .unwrap_err();
         assert!(matches!(err, ConfigError::DuplicateProcess(ProcessId(0))));
     }
 
@@ -458,9 +450,8 @@ mod tests {
 
     #[test]
     fn multiplicity_and_sorted() {
-        let c =
-            InputConfig::from_pairs(params(5, 1), [(0usize, 3u64), (1, 1), (2, 3), (3, 2)])
-                .unwrap();
+        let c = InputConfig::from_pairs(params(5, 1), [(0usize, 3u64), (1, 1), (2, 3), (3, 2)])
+            .unwrap();
         assert_eq!(c.multiplicity(&3), 2);
         assert_eq!(c.multiplicity(&9), 0);
         assert_eq!(c.sorted_proposals(), vec![1, 2, 3, 3]);
@@ -483,7 +474,11 @@ mod tests {
         // The Lemma 6 construction: remove Q's pair, add (Z, any proposal).
         let p = params(4, 1);
         let c = InputConfig::from_pairs(p, [(0usize, 1u64), (1, 2), (2, 3)]).unwrap();
-        let swapped = c.without(ProcessId(2)).unwrap().with(ProcessId(3), 9).unwrap();
+        let swapped = c
+            .without(ProcessId(2))
+            .unwrap()
+            .with(ProcessId(3), 9)
+            .unwrap();
         assert_eq!(swapped.proposal(ProcessId(2)), None);
         assert_eq!(swapped.proposal(ProcessId(3)), Some(&9));
     }

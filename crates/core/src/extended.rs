@@ -116,7 +116,10 @@ impl fmt::Display for ExtConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtConfigError::PoolMustBeEmptyWhenAllCorrect => {
-                write!(f, "adversary pool must be empty when all n processes are correct")
+                write!(
+                    f,
+                    "adversary pool must be empty when all n processes are correct"
+                )
             }
         }
     }
@@ -188,9 +191,7 @@ impl<F> ExternalValidity<F> {
     }
 }
 
-impl<VI: Value, VO: Value, F: Fn(&VO) -> bool> ExtValidityProperty<VI, VO>
-    for ExternalValidity<F>
-{
+impl<VI: Value, VO: Value, F: Fn(&VO) -> bool> ExtValidityProperty<VI, VO> for ExternalValidity<F> {
     fn name(&self) -> String {
         format!("External Validity ({})", self.label)
     }
@@ -234,8 +235,7 @@ mod tests {
 
     #[test]
     fn pool_must_be_empty_for_complete_configs() {
-        let complete =
-            InputConfig::complete(SystemParams::new(4, 1).unwrap(), vec![1u64, 2, 3, 4]);
+        let complete = InputConfig::complete(SystemParams::new(4, 1).unwrap(), vec![1u64, 2, 3, 4]);
         assert!(matches!(
             ExtInputConfig::new(complete, [9u64]),
             Err(ExtConfigError::PoolMustBeEmptyWhenAllCorrect)
@@ -277,7 +277,7 @@ mod tests {
 
     #[test]
     fn external_validity_checks_only_the_predicate() {
-        let even = ExternalValidity::new("even", |v: &u64| v % 2 == 0);
+        let even = ExternalValidity::new("even", |v: &u64| v.is_multiple_of(2));
         let c = ExtInputConfig::new(base(&[(0, 1), (1, 3), (2, 5)]), [2u64]).unwrap();
         assert!(even.is_admissible(&c, &2));
         assert!(!even.is_admissible(&c, &3));

@@ -133,10 +133,13 @@ mod tests {
             &d
         )
         .is_refinement());
-        assert!(
-            compare(&MedianValidity::with_slack(1), &ConvexHullValidity, params(), &d)
-                .is_refinement()
-        );
+        assert!(compare(
+            &MedianValidity::with_slack(1),
+            &ConvexHullValidity,
+            params(),
+            &d
+        )
+        .is_refinement());
     }
 
     #[test]
@@ -180,8 +183,9 @@ mod tests {
         let p = params();
         let d = Domain::binary();
         // Exact-Median refines Median(slack 1)…
-        assert!(compare(&ExactMedianValidity, &MedianValidity::with_slack(1), p, &d)
-            .is_refinement());
+        assert!(
+            compare(&ExactMedianValidity, &MedianValidity::with_slack(1), p, &d).is_refinement()
+        );
         // …but the finer property is unsolvable while the coarser is solvable.
         assert!(!classify(&ExactMedianValidity, p, &d).is_solvable());
         assert!(classify(&MedianValidity::with_slack(1), p, &d).is_solvable());

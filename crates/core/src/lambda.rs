@@ -61,7 +61,10 @@ impl fmt::Display for LambdaError {
 impl std::error::Error for LambdaError {}
 
 /// A computable `Λ : I_{n−t} → V_O` (Definition 2).
-pub trait LambdaFn<VI: Value, VO: Value = VI> {
+///
+/// `Send + Sync` so that boxed Λ functions can ride inside machines that the
+/// `validity-lab` worker pool fans out across threads.
+pub trait LambdaFn<VI: Value, VO: Value = VI>: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> String;
 
@@ -234,7 +237,7 @@ impl<V: Value> LambdaFn<V> for CorrectProposalLambda {
         let t = vector.params().t();
         let mut candidates: Vec<&V> = vector
             .proposals()
-            .filter(|v| vector.multiplicity(v) >= t + 1)
+            .filter(|v| vector.multiplicity(v) > t)
             .collect();
         candidates.sort();
         match candidates.first() {
@@ -369,20 +372,20 @@ impl<V: Value> LambdaFn<V> for RankLambda<V> {
                 }
                 // Minimal window-high: s smallest kept + e domain minima.
                 let mut low_side: Vec<V> = Vec::with_capacity(size);
-                low_side.extend(std::iter::repeat(self.domain_min.clone()).take(e));
+                low_side.extend(std::iter::repeat_n(self.domain_min.clone(), e));
                 low_side.extend_from_slice(&sorted[..s]);
                 low_side.sort();
                 let (_, hi) = self.window(&low_side);
-                if best_hi.as_ref().map_or(true, |b| hi < b) {
+                if best_hi.as_ref().is_none_or(|b| hi < b) {
                     best_hi = Some(hi.clone());
                 }
                 // Maximal window-low: s largest kept + e domain maxima.
                 let mut high_side: Vec<V> = Vec::with_capacity(size);
                 high_side.extend_from_slice(&sorted[x - s..]);
-                high_side.extend(std::iter::repeat(self.domain_max.clone()).take(e));
+                high_side.extend(std::iter::repeat_n(self.domain_max.clone(), e));
                 high_side.sort();
                 let (lo, _) = self.window(&high_side);
-                if best_lo.as_ref().map_or(true, |b| lo > b) {
+                if best_lo.as_ref().is_none_or(|b| lo > b) {
                     best_lo = Some(lo.clone());
                 }
             }
@@ -447,8 +450,13 @@ mod tests {
     /// truth: wherever brute force finds a non-empty intersection, `closed`
     /// must return a member of it; wherever brute force finds ∅, `closed`
     /// must error.
-    fn assert_closed_form_sound<P>(prop: P, closed: &dyn LambdaFn<u64>, n: usize, t: usize, d: &Domain<u64>)
-    where
+    fn assert_closed_form_sound<P>(
+        prop: P,
+        closed: &dyn LambdaFn<u64>,
+        n: usize,
+        t: usize,
+        d: &Domain<u64>,
+    ) where
         P: ValidityProperty<u64> + Clone,
     {
         let p = params(n, t);
@@ -535,8 +543,20 @@ mod tests {
 
     #[test]
     fn convex_hull_lambda_sound() {
-        assert_closed_form_sound(ConvexHullValidity, &ConvexHullLambda, 4, 1, &Domain::range(3));
-        assert_closed_form_sound(ConvexHullValidity, &ConvexHullLambda, 5, 1, &Domain::binary());
+        assert_closed_form_sound(
+            ConvexHullValidity,
+            &ConvexHullLambda,
+            4,
+            1,
+            &Domain::range(3),
+        );
+        assert_closed_form_sound(
+            ConvexHullValidity,
+            &ConvexHullLambda,
+            5,
+            1,
+            &Domain::binary(),
+        );
     }
 
     #[test]
@@ -585,7 +605,10 @@ mod tests {
         let complete = InputConfig::complete(p, vec![1u64, 1, 1, 1]);
         assert!(matches!(
             StrongLambda.lambda(&complete),
-            Err(LambdaError::WrongVectorSize { got: 4, expected: 3 })
+            Err(LambdaError::WrongVectorSize {
+                got: 4,
+                expected: 3
+            })
         ));
     }
 
@@ -600,11 +623,8 @@ mod tests {
     fn strong_lambda_majority_returns_pinned_value() {
         // n = 7, t = 2: threshold n − 2t = 3; value 4 appears 3 times.
         let p = params(7, 2);
-        let c = InputConfig::from_pairs(
-            p,
-            [(0usize, 4u64), (1, 4), (2, 4), (3, 0), (4, 1)],
-        )
-        .unwrap();
+        let c =
+            InputConfig::from_pairs(p, [(0usize, 4u64), (1, 4), (2, 4), (3, 0), (4, 1)]).unwrap();
         assert_eq!(StrongLambda.lambda(&c).unwrap(), 4);
     }
 
@@ -612,11 +632,8 @@ mod tests {
     fn convex_hull_lambda_clamps_into_safe_interval() {
         // n = 7, t = 2, proposals 0..5 sorted: safe interval [p3, p3] = [2, 2].
         let p = params(7, 2);
-        let c = InputConfig::from_pairs(
-            p,
-            [(0usize, 0u64), (1, 1), (2, 2), (3, 3), (4, 4)],
-        )
-        .unwrap();
+        let c =
+            InputConfig::from_pairs(p, [(0usize, 0u64), (1, 1), (2, 2), (3, 3), (4, 4)]).unwrap();
         assert_eq!(ConvexHullLambda.lambda(&c).unwrap(), 2);
     }
 }

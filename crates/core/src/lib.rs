@@ -53,11 +53,11 @@ pub mod validity;
 pub mod value;
 
 pub use canonical::{check_canonical_decision, check_decision, CanonicalViolation};
-pub use hierarchy::{compare, Comparison};
 pub use config::{
     enumerate_all_configs, enumerate_configs_of_size, subsets_of_size, ConfigError, InputConfig,
     RawConfig,
 };
+pub use hierarchy::{compare, Comparison};
 pub use lambda::{
     admissible_intersection, BruteForceLambda, ConvexHullLambda, CorrectProposalLambda,
     FirstProposalLambda, LambdaError, LambdaFn, RankLambda, StrongLambda, WeakLambda,

@@ -82,9 +82,7 @@ impl From<usize> for ProcessId {
 /// assert!(a.intersection(b).contains(ProcessId(2)));
 /// assert_eq!(a.difference(b).len(), 2);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ProcessSet(u128);
 
 impl ProcessSet {
@@ -243,9 +241,7 @@ impl fmt::Display for ProcessSet {
 /// assert_eq!(params.quorum(), 5);         // n − t
 /// # Ok::<(), validity_core::ParamError>(())
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct SystemParams {
     n: usize,
     t: usize,
@@ -275,7 +271,10 @@ impl fmt::Display for ParamError {
                 write!(f, "fault threshold t = {t} must satisfy 0 < t < n = {n}")
             }
             ParamError::TooManyProcesses { n } => {
-                write!(f, "n = {n} exceeds the supported maximum of {MAX_PROCESSES} processes")
+                write!(
+                    f,
+                    "n = {n} exceeds the supported maximum of {MAX_PROCESSES} processes"
+                )
             }
         }
     }
@@ -448,7 +447,7 @@ mod tests {
         let p = SystemParams::optimal_resilience(10).unwrap();
         assert_eq!(p.t(), 3);
         assert!(p.supports_non_trivial());
-        assert!(SystemParams::new(10, 4).unwrap().supports_non_trivial() == false);
+        assert!(!SystemParams::new(10, 4).unwrap().supports_non_trivial());
     }
 
     #[test]

@@ -42,9 +42,7 @@ pub fn is_compatible<V: Value>(c1: &InputConfig<V>, c2: &InputConfig<V>) -> bool
     let t = c1.params().t();
     let p1 = c1.pi();
     let p2 = c2.pi();
-    p1.intersection(p2).len() <= t
-        && !p1.difference(p2).is_empty()
-        && !p2.difference(p1).is_empty()
+    p1.intersection(p2).len() <= t && !p1.difference(p2).is_empty() && !p2.difference(p1).is_empty()
 }
 
 /// Enumerates `sim(c) = { c' ∈ I | c' ∼ c }` over a finite `domain`.
@@ -53,10 +51,7 @@ pub fn is_compatible<V: Value>(c1: &InputConfig<V>, c2: &InputConfig<V>) -> bool
 /// `π'` intersecting `π(c)`, the shared processes are pinned to `c`'s
 /// proposals and only the remaining slots range over the domain. `c` itself
 /// is included (similarity is reflexive).
-pub fn enumerate_similar<V: Value>(
-    c: &InputConfig<V>,
-    domain: &Domain<V>,
-) -> Vec<InputConfig<V>> {
+pub fn enumerate_similar<V: Value>(c: &InputConfig<V>, domain: &Domain<V>) -> Vec<InputConfig<V>> {
     let params = c.params();
     let pi_c = c.pi();
     let mut out = Vec::new();
@@ -210,8 +205,7 @@ mod tests {
         let all = enumerate_all_configs(p, &d);
         for c in all.iter().take(12) {
             let mut direct = enumerate_similar(c, &d);
-            let mut filtered: Vec<_> =
-                all.iter().filter(|c2| is_similar(c, c2)).cloned().collect();
+            let mut filtered: Vec<_> = all.iter().filter(|c2| is_similar(c, c2)).cloned().collect();
             direct.sort();
             filtered.sort();
             assert_eq!(direct, filtered, "sim({c:?}) mismatch");

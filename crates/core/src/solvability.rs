@@ -182,9 +182,7 @@ pub fn classify<V: Value>(
     }
     match check_similarity_condition(prop, params, domain) {
         Ok(lambda_table) => Classification::SolvableNonTrivial { lambda_table },
-        Err(config) => {
-            Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config })
-        }
+        Err(config) => Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config }),
     }
 }
 

@@ -50,7 +50,10 @@ mod tests {
         let p = SystemParams::new(5, 1).unwrap();
         let c = InputConfig::from_pairs(p, [(0usize, 0u64), (1, 2), (2, 2), (3, 1)]).unwrap();
         let d = Domain::range(4);
-        let set: Vec<u64> = CorrectProposalValidity.admissible_set(&c, &d).into_iter().collect();
+        let set: Vec<u64> = CorrectProposalValidity
+            .admissible_set(&c, &d)
+            .into_iter()
+            .collect();
         assert_eq!(set, vec![0, 1, 2]);
     }
 }

@@ -53,7 +53,10 @@ pub use weak::WeakValidity;
 ///
 /// Implementations must guarantee `val(c) ≠ ∅` for every valid `c` — this is
 /// checked for the whole catalog by exhaustive tests over finite domains.
-pub trait ValidityProperty<VI: Value, VO: Value = VI> {
+///
+/// `Send + Sync` so properties (and the classification work built on them)
+/// can be evaluated from the `validity-lab` worker pool.
+pub trait ValidityProperty<VI: Value, VO: Value = VI>: Send + Sync {
     /// Human-readable name used in reports and classification tables.
     fn name(&self) -> String;
 
@@ -70,9 +73,7 @@ pub trait ValidityProperty<VI: Value, VO: Value = VI> {
     }
 }
 
-impl<VI: Value, VO: Value, T: ValidityProperty<VI, VO> + ?Sized> ValidityProperty<VI, VO>
-    for &T
-{
+impl<VI: Value, VO: Value, T: ValidityProperty<VI, VO> + ?Sized> ValidityProperty<VI, VO> for &T {
     fn name(&self) -> String {
         (**self).name()
     }

@@ -229,7 +229,10 @@ mod tests {
     fn exact_median_singleton() {
         let c = cfg(4, 1, &[(0, 2), (1, 8), (2, 5)]);
         let d = Domain::new(vec![2u64, 5, 8]);
-        let set: Vec<u64> = ExactMedianValidity.admissible_set(&c, &d).into_iter().collect();
+        let set: Vec<u64> = ExactMedianValidity
+            .admissible_set(&c, &d)
+            .into_iter()
+            .collect();
         assert_eq!(set, vec![5]);
     }
 

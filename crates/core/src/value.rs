@@ -14,10 +14,12 @@ use std::hash::Hash;
 ///
 /// The `Ord` bound gives deterministic tie-breaking everywhere (e.g. picking
 /// the canonical representative of an admissible set), which the paper's
-/// deterministic-process model requires.
-pub trait Value: Clone + Eq + Ord + Hash + Debug + 'static {}
+/// deterministic-process model requires. The `Send + Sync` bounds let values
+/// (and everything built from them — messages, machines, whole simulations)
+/// cross threads, which the `validity-lab` sweep engine relies on.
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
 
-impl<T: Clone + Eq + Ord + Hash + Debug + 'static> Value for T {}
+impl<T: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static> Value for T {}
 
 /// An explicit finite value domain used for exhaustive analysis.
 ///

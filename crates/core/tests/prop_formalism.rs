@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use validity_core::{
-    admissible_intersection, is_compatible, is_similar, Domain, InputConfig, ProcessId,
-    ProcessSet, StrongValidity, SystemParams, ValidityProperty, WeakValidity,
+    admissible_intersection, is_compatible, is_similar, Domain, InputConfig, ProcessId, ProcessSet,
+    StrongValidity, SystemParams, ValidityProperty, WeakValidity,
 };
 
 fn arb_params() -> impl Strategy<Value = SystemParams> {

@@ -5,6 +5,11 @@
 //! `x⁸ + x⁴ + x³ + x + 1` (0x11b), with generator 0x03. Multiplication uses
 //! log/exp tables built once at first use.
 
+// In characteristic 2, addition *is* xor and subtraction *is* addition;
+// clippy's suspicion that `^` in `Add` (etc.) is a typo does not apply to a
+// field implementation.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::sync::OnceLock;
@@ -22,8 +27,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
             log[x as usize] = i as u8;
             // multiply x by the generator 0x03 = x·2 ⊕ x
             let x2 = {
@@ -33,7 +38,7 @@ fn tables() -> &'static Tables {
                 }
                 v
             };
-            x = x2 ^ x;
+            x ^= x2;
         }
         for i in 255..512 {
             exp[i] = exp[i - 255];
@@ -202,7 +207,7 @@ pub fn poly_divmod(num: &[Gf256], den: &[Gf256]) -> (Vec<Gf256>, Vec<Gf256>) {
         quot[i] = coef;
         if !coef.is_zero() {
             for j in 0..=dd {
-                rem[i + j] = rem[i + j] - coef * den[j];
+                rem[i + j] -= coef * den[j];
             }
         }
     }
@@ -214,10 +219,7 @@ pub fn poly_divmod(num: &[Gf256], den: &[Gf256]) -> (Vec<Gf256>, Vec<Gf256>) {
 ///
 /// `a` is row-major with `rows × cols` entries; underdetermined free
 /// variables are set to zero. Returns `None` if the system is inconsistent.
-pub fn solve_linear(
-    mut a: Vec<Vec<Gf256>>,
-    mut b: Vec<Gf256>,
-) -> Option<Vec<Gf256>> {
+pub fn solve_linear(mut a: Vec<Vec<Gf256>>, mut b: Vec<Gf256>) -> Option<Vec<Gf256>> {
     let rows = a.len();
     if rows == 0 {
         return Some(Vec::new());
@@ -233,13 +235,17 @@ pub fn solve_linear(
         a.swap(r, pr);
         b.swap(r, pr);
         let inv = a[r][c].inv().expect("pivot is non-zero");
-        for j in c..cols {
-            a[r][j] = a[r][j] * inv;
+        for v in &mut a[r][c..cols] {
+            *v *= inv;
         }
-        b[r] = b[r] * inv;
+        b[r] *= inv;
         for i in 0..rows {
             if i != r && !a[i][c].is_zero() {
                 let f = a[i][c];
+                // Indexed loop: rows `i` and `r` are read/written
+                // simultaneously, which iterator adapters cannot express
+                // without cloning the pivot row.
+                #[allow(clippy::needless_range_loop)]
                 for j in c..cols {
                     a[i][j] = a[i][j] - f * a[r][j];
                 }
@@ -253,10 +259,8 @@ pub fn solve_linear(
         }
     }
     // consistency: zero rows must have zero rhs
-    for i in r..rows {
-        if !b[i].is_zero() {
-            return None;
-        }
+    if b[r..rows].iter().any(|v| !v.is_zero()) {
+        return None;
     }
     let mut x = vec![Gf256::ZERO; cols];
     for c in 0..cols {
@@ -368,10 +372,7 @@ mod tests {
     #[test]
     fn solve_linear_simple() {
         // x + y = 3, x = 1  (over GF(256): + is xor)
-        let a = vec![
-            vec![Gf256(1), Gf256(1)],
-            vec![Gf256(1), Gf256(0)],
-        ];
+        let a = vec![vec![Gf256(1), Gf256(1)], vec![Gf256(1), Gf256(0)]];
         let b = vec![Gf256(3), Gf256(1)];
         let x = solve_linear(a, b).unwrap();
         assert_eq!(x, vec![Gf256(1), Gf256(2)]);
@@ -379,10 +380,7 @@ mod tests {
 
     #[test]
     fn solve_linear_detects_inconsistency() {
-        let a = vec![
-            vec![Gf256(1), Gf256(1)],
-            vec![Gf256(1), Gf256(1)],
-        ];
+        let a = vec![vec![Gf256(1), Gf256(1)], vec![Gf256(1), Gf256(1)]];
         let b = vec![Gf256(3), Gf256(4)];
         assert!(solve_linear(a, b).is_none());
     }

@@ -322,7 +322,10 @@ mod tests {
         let rs = ReedSolomon::new(3, 5).unwrap();
         assert!(matches!(
             rs.encode(&[1, 2]),
-            Err(RsError::WrongDataLen { got: 2, expected: 3 })
+            Err(RsError::WrongDataLen {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 
@@ -367,8 +370,8 @@ mod tests {
         let rs = ReedSolomon::new(3, 7).unwrap(); // capacity 2
         let data = [9u8, 8, 7];
         let mut code = rs.encode(&data).unwrap();
-        for i in 0..3 {
-            code[i] ^= 0xff; // 3 errors > capacity
+        for c in code.iter_mut().take(3) {
+            *c ^= 0xff; // 3 errors > capacity
         }
         let shares: Vec<(usize, u8)> = code.iter().copied().enumerate().collect();
         match rs.decode(&shares, 2) {

@@ -75,7 +75,10 @@ impl fmt::Display for ThresholdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ThresholdError::NotEnoughPartials { got, needed } => {
-                write!(f, "need {needed} distinct valid partial signatures, got {got}")
+                write!(
+                    f,
+                    "need {needed} distinct valid partial signatures, got {got}"
+                )
             }
             ThresholdError::InvalidPartial(p) => {
                 write!(f, "partial signature of {p} failed verification")

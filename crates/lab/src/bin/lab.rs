@@ -1,0 +1,305 @@
+//! The `lab` CLI: run scenario sweeps, list the registries, diff reports.
+//!
+//! ```text
+//! lab list
+//! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
+//! lab run --protocols universal/alg1-auth --validities strong,median \
+//!         --behaviors silent,crash --schedules sync,partial-sync \
+//!         --systems 4,1;7,2 --faults 0,max --seeds 0..8
+//! lab diff fig1.json other.json
+//! ```
+
+use std::process::ExitCode;
+
+use validity_adversary::BehaviorId;
+use validity_lab::json::Json;
+use validity_lab::{suites, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec};
+use validity_protocols::VectorKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"list", _)) => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some((&"run", rest)) => run(rest),
+        Some((&"diff", rest)) => diff(rest),
+        _ => {
+            eprintln!(
+                "usage: lab <list | run | diff> ...\n\n\
+                 lab list\n\
+                 lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
+                 lab run --protocols P,.. --validities V,.. --behaviors B,..\n\
+                 \x20        --schedules S,.. --systems n,t;n,t --faults 0,max --seeds a..b\n\
+                 lab diff <a.json> <b.json>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("suites:");
+    for name in suites::ALL {
+        println!("  {name:12} {}", suites::describe(name).unwrap_or(""));
+    }
+    println!("\nprotocols (raw; prefix with 'universal/' to wrap in Algorithm 2):");
+    for kind in VectorKind::ALL {
+        println!("  {:14} {}", kind.name(), kind.complexity());
+    }
+    println!("\nvalidities:");
+    for v in ValiditySpec::ALL {
+        let runnable = if ValiditySpec::RUNNABLE.contains(&v) {
+            "Λ available (runnable under Universal)"
+        } else {
+            "classification only"
+        };
+        println!("  {:18} {}", v.name(), runnable);
+    }
+    println!("\nbehaviors:");
+    for b in BehaviorId::ALL {
+        println!("  {:10} {}", b.name(), b.describe());
+    }
+    println!("\nschedules:");
+    for s in ScheduleSpec::ALL {
+        println!("  {}", s.name());
+    }
+}
+
+/// Every flag `lab run` understands; each takes exactly one value.
+const RUN_FLAGS: [&str; 11] = [
+    "--suite",
+    "--threads",
+    "--json",
+    "--md",
+    "--protocols",
+    "--validities",
+    "--behaviors",
+    "--schedules",
+    "--systems",
+    "--faults",
+    "--seeds",
+];
+
+/// Rejects misspelled or unknown options instead of silently falling back
+/// to defaults (a sweep that quietly measures the wrong scenario is worse
+/// than an error).
+fn check_flags(rest: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i];
+        if arg.starts_with("--") {
+            if !RUN_FLAGS.contains(&arg) {
+                return Err(format!(
+                    "unknown option '{arg}'; known: {}",
+                    RUN_FLAGS.join(" ")
+                ));
+            }
+            if i + 1 >= rest.len() {
+                return Err(format!("option '{arg}' wants a value"));
+            }
+            i += 2;
+        } else {
+            return Err(format!("unexpected argument '{arg}'"));
+        }
+    }
+    Ok(())
+}
+
+fn opt_value<'a>(rest: &'a [&'a str], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| rest.get(i + 1).copied())
+}
+
+fn parse_list<T>(
+    text: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).ok_or_else(|| format!("unknown {what}: '{s}'")))
+        .collect()
+}
+
+fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
+    let mut m = ScenarioMatrix::new("custom");
+    m.protocols = parse_list(
+        opt_value(rest, "--protocols").unwrap_or("universal/alg1-auth"),
+        "protocol",
+        ProtocolSpec::parse,
+    )?;
+    m.validities = parse_list(
+        opt_value(rest, "--validities").unwrap_or("strong"),
+        "validity",
+        ValiditySpec::parse,
+    )?;
+    m.behaviors = parse_list(
+        opt_value(rest, "--behaviors").unwrap_or("silent"),
+        "behavior",
+        BehaviorId::parse,
+    )?;
+    m.schedules = parse_list(
+        opt_value(rest, "--schedules").unwrap_or("partial-sync"),
+        "schedule",
+        ScheduleSpec::parse,
+    )?;
+    m.faults = parse_list(
+        opt_value(rest, "--faults").unwrap_or("max"),
+        "fault load",
+        |s| match s {
+            "max" => Some(usize::MAX),
+            s => s.parse().ok(),
+        },
+    )?;
+    m.systems = opt_value(rest, "--systems")
+        .unwrap_or("4,1;7,2")
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (n, t) = pair
+                .split_once(',')
+                .ok_or_else(|| format!("bad (n,t) pair: '{pair}'"))?;
+            Ok((
+                n.trim().parse().map_err(|_| format!("bad n: '{n}'"))?,
+                t.trim().parse().map_err(|_| format!("bad t: '{t}'"))?,
+            ))
+        })
+        .collect::<Result<Vec<(usize, usize)>, String>>()?;
+    let seeds = opt_value(rest, "--seeds").unwrap_or("0..4");
+    let (lo, hi) = seeds
+        .split_once("..")
+        .ok_or_else(|| format!("bad seed range: '{seeds}' (want a..b)"))?;
+    m.seeds = lo.parse().map_err(|_| format!("bad seed: '{lo}'"))?
+        ..hi.parse().map_err(|_| format!("bad seed: '{hi}'"))?;
+    Ok(m)
+}
+
+fn run(rest: &[&str]) -> ExitCode {
+    if let Err(e) = check_flags(rest) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = match opt_value(rest, "--suite") {
+        Some(name) => match suites::build(name) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown suite '{name}'; see `lab list`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match build_custom(rest) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let engine = SweepEngine::new(threads);
+    eprintln!(
+        "sweep '{}': {} cells on {} worker thread(s)...",
+        matrix.name,
+        matrix.len(),
+        engine.threads()
+    );
+    let (report, sweep) = engine.run(&matrix);
+    eprintln!(
+        "done in {:.3}s wall ({} cells, {} violations)",
+        sweep.wall.as_secs_f64(),
+        report.cells.len(),
+        report.violations()
+    );
+
+    let json_path = opt_value(rest, "--json")
+        .map(String::from)
+        .unwrap_or_else(|| format!("lab-{}.json", matrix.name));
+    let md_path = opt_value(rest, "--md")
+        .map(String::from)
+        .unwrap_or_else(|| format!("lab-{}.md", matrix.name));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+        eprintln!("cannot write {md_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("reports: {json_path}, {md_path}");
+    print!("{}", report.to_markdown());
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn diff(rest: &[&str]) -> ExitCode {
+    let [a_path, b_path] = rest else {
+        eprintln!("usage: lab diff <a.json> <b.json>");
+        return ExitCode::FAILURE;
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Index both reports by cell key once; the comparison is then linear.
+    fn cells_of(v: &Json) -> &[Json] {
+        v.get("cells").and_then(Json::as_arr).unwrap_or(&[])
+    }
+    fn key_of(c: &Json) -> &str {
+        c.get("key").and_then(Json::as_str).unwrap_or("?")
+    }
+    let (ca, cb) = (cells_of(&a), cells_of(&b));
+    let index_a: std::collections::BTreeMap<&str, &Json> =
+        ca.iter().map(|c| (key_of(c), c)).collect();
+    let index_b: std::collections::BTreeMap<&str, &Json> =
+        cb.iter().map(|c| (key_of(c), c)).collect();
+    let mut differences = 0usize;
+    for cell_a in ca {
+        let key = key_of(cell_a);
+        match index_b.get(key) {
+            None => {
+                println!("- {key}: only in {a_path}");
+                differences += 1;
+            }
+            Some(cell_b) if cell_a != *cell_b => {
+                println!("~ {key}: differs");
+                differences += 1;
+            }
+            Some(_) => {}
+        }
+    }
+    for cell_b in cb {
+        let key = key_of(cell_b);
+        if !index_a.contains_key(key) {
+            println!("+ {key}: only in {b_path}");
+            differences += 1;
+        }
+    }
+    if differences == 0 {
+        println!(
+            "identical: {} cells match across {a_path} and {b_path}",
+            ca.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{differences} difference(s)");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,59 @@
+//! # validity-lab
+//!
+//! A parallel scenario-sweep engine over the deterministic simulator of
+//! *On the Validity of Consensus* (PODC 2023).
+//!
+//! The paper's results are claims over whole *families* of executions:
+//! every validity property, every adversary, every schedule, every
+//! `(n, t)`. This crate turns the one-run-at-a-time simulator into an
+//! experiment engine that sweeps such families in one shot:
+//!
+//! * **[`ScenarioMatrix`]** (module [`matrix`]) — the cartesian product of
+//!   the experiment axes: protocol (the [`validity_protocols`] registry,
+//!   raw or under `Universal`), validity property, Byzantine behaviour
+//!   ([`validity_adversary::BehaviorId`]), network schedule, fault load,
+//!   `(n, t)`, and seed — plus a grid of solvability-classification cells.
+//!   Enumeration order is deterministic, and incompatible combinations
+//!   (e.g. `Universal` with a property that violates `C_S`) are skipped.
+//! * **[`SweepEngine`]** (module [`executor`]) — a worker pool fanning the
+//!   cells out across threads. Simulations are deterministic and
+//!   independent, so the sweep is embarrassingly parallel; results are
+//!   collected *in matrix order*, making every report byte-for-byte
+//!   independent of the worker count.
+//! * **[`SweepReport`]** (module [`report`]) — per-configuration
+//!   aggregation (decision latency, message/word complexity, safety and
+//!   validity violations) with JSON and Markdown emitters.
+//! * **[`suites`]** — curated matrices reproducing the paper's experiment
+//!   families, including the Figure-1 classification grid as one sweep.
+//! * the **`lab`** binary — `run` / `list` / `diff` over all of the above.
+//!
+//! ## Example
+//!
+//! ```
+//! use validity_lab::{suites, SweepEngine};
+//!
+//! let matrix = suites::build("quick").expect("built-in suite");
+//! let (report, run) = SweepEngine::new(2).run(&matrix);
+//! assert!(run.threads >= 1);
+//! assert_eq!(report.violations(), 0);
+//! // Same matrix, different worker count — identical bytes.
+//! let (again, _) = SweepEngine::new(1).run(&matrix);
+//! assert_eq!(report.to_json(), again.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod json;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+pub mod suites;
+
+pub use executor::{SweepEngine, SweepRun};
+pub use matrix::{
+    CellSpec, ClassifyCell, ProtocolSpec, RunCell, ScenarioMatrix, ScheduleSpec, ValiditySpec,
+};
+pub use report::{GroupSummary, SweepReport};
+pub use runner::{execute, CellRecord, ClassifyRecord, Outcome, RunRecord};

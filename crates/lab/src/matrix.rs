@@ -1,0 +1,559 @@
+//! Scenario matrices: the cartesian product of every experiment axis.
+//!
+//! A [`ScenarioMatrix`] names a family of executions — protocol × validity
+//! property × Byzantine behaviour × network schedule × `(n, t)` × seed —
+//! plus an optional grid of solvability-classification cells. Enumerating
+//! it yields a flat, deterministically ordered list of [`CellSpec`]s that
+//! the executor fans out across workers.
+
+use std::fmt;
+use std::ops::Range;
+
+use validity_adversary::BehaviorId;
+use validity_core::{
+    ConvexHullLambda, ConvexHullValidity, CorrectProposalLambda, CorrectProposalValidity,
+    DynValidity, ExactMedianValidity, LambdaFn, MedianValidity, ParityValidity, RankLambda,
+    StrongLambda, StrongValidity, SystemParams, TrivialValidity, WeakLambda, WeakValidity,
+};
+use validity_protocols::VectorKind;
+use validity_simnet::{PreGstPolicy, SimConfig, Time, DEFAULT_DELTA};
+
+/// Names a validity property from the paper's catalog, with enough
+/// structure to build both the property (for admissibility checks and
+/// classification) and, when one exists, its closed-form `Λ` (for running
+/// `Universal`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ValiditySpec {
+    /// Strong Validity.
+    Strong,
+    /// Weak Validity.
+    Weak,
+    /// Median Validity with slack `t`.
+    Median,
+    /// Convex-Hull Validity.
+    ConvexHull,
+    /// Correct-Proposal Validity (binary domain).
+    CorrectProposal,
+    /// Exact-Median Validity — violates `C_S`, unsolvable.
+    ExactMedian,
+    /// Parity Validity — violates `C_S`, unsolvable.
+    Parity,
+    /// The trivial property with witness 0.
+    Trivial,
+}
+
+impl ValiditySpec {
+    /// Every registered property, in presentation order.
+    pub const ALL: [ValiditySpec; 8] = [
+        ValiditySpec::Strong,
+        ValiditySpec::Weak,
+        ValiditySpec::Median,
+        ValiditySpec::ConvexHull,
+        ValiditySpec::CorrectProposal,
+        ValiditySpec::ExactMedian,
+        ValiditySpec::Parity,
+        ValiditySpec::Trivial,
+    ];
+
+    /// The properties `Universal` can actually solve (a closed-form `Λ`
+    /// exists and `C_S` holds for `n > 3t`).
+    pub const RUNNABLE: [ValiditySpec; 5] = [
+        ValiditySpec::Strong,
+        ValiditySpec::Weak,
+        ValiditySpec::Median,
+        ValiditySpec::ConvexHull,
+        ValiditySpec::CorrectProposal,
+    ];
+
+    /// The stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValiditySpec::Strong => "strong",
+            ValiditySpec::Weak => "weak",
+            ValiditySpec::Median => "median",
+            ValiditySpec::ConvexHull => "convex-hull",
+            ValiditySpec::CorrectProposal => "correct-proposal",
+            ValiditySpec::ExactMedian => "exact-median",
+            ValiditySpec::Parity => "parity",
+            ValiditySpec::Trivial => "trivial",
+        }
+    }
+
+    /// Looks a property up by its registry name.
+    pub fn parse(name: &str) -> Option<ValiditySpec> {
+        ValiditySpec::ALL.into_iter().find(|v| v.name() == name)
+    }
+
+    /// Builds the property for fault threshold `t`.
+    pub fn property(self, t: usize) -> DynValidity<u64> {
+        match self {
+            ValiditySpec::Strong => Box::new(StrongValidity),
+            ValiditySpec::Weak => Box::new(WeakValidity),
+            ValiditySpec::Median => Box::new(MedianValidity::with_slack(t)),
+            ValiditySpec::ConvexHull => Box::new(ConvexHullValidity),
+            ValiditySpec::CorrectProposal => Box::new(CorrectProposalValidity),
+            ValiditySpec::ExactMedian => Box::new(ExactMedianValidity),
+            ValiditySpec::Parity => Box::new(ParityValidity),
+            ValiditySpec::Trivial => Box::new(TrivialValidity::new(0u64)),
+        }
+    }
+
+    /// The closed-form `Λ` for `Universal`, if the property has one.
+    pub fn lambda(self, params: SystemParams) -> Option<Box<dyn LambdaFn<u64, u64>>> {
+        match self {
+            ValiditySpec::Strong => Some(Box::new(StrongLambda)),
+            ValiditySpec::Weak => Some(Box::new(WeakLambda)),
+            ValiditySpec::Median => Some(Box::new(RankLambda::median(params.t(), 0u64, u64::MAX))),
+            ValiditySpec::ConvexHull => Some(Box::new(ConvexHullLambda)),
+            ValiditySpec::CorrectProposal => Some(Box::new(CorrectProposalLambda)),
+            _ => None,
+        }
+    }
+
+    /// Whether runs of this property must use binary proposals.
+    pub fn binary_inputs(self) -> bool {
+        matches!(
+            self,
+            ValiditySpec::CorrectProposal | ValiditySpec::Parity | ValiditySpec::Trivial
+        )
+    }
+
+    /// The proposal of process `i` in an `n`-process run of this property.
+    pub fn input_for(self, i: usize) -> u64 {
+        if self.binary_inputs() {
+            (i % 2) as u64
+        } else {
+            (i as u64) * 10
+        }
+    }
+
+    /// A different but still domain-valid proposal (the second face of the
+    /// two-faced adversary).
+    pub fn alt_input_for(self, i: usize) -> u64 {
+        if self.binary_inputs() {
+            ((i + 1) % 2) as u64
+        } else {
+            (i as u64) * 10 + 5
+        }
+    }
+}
+
+impl fmt::Display for ValiditySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Names a network schedule: GST placement plus the pre-GST delay policy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ScheduleSpec {
+    /// GST = 0 — synchrony from the start.
+    Synchronous,
+    /// The default partially synchronous setup (GST = 1000, uniform jitter
+    /// before it).
+    PartialSync,
+    /// Every pre-GST message takes `3δ`.
+    FixedSlow,
+    /// All links touching `P1` are stalled until GST; everything else is
+    /// fast.
+    IsolateFirst,
+}
+
+impl ScheduleSpec {
+    /// Every registered schedule, in presentation order.
+    pub const ALL: [ScheduleSpec; 4] = [
+        ScheduleSpec::Synchronous,
+        ScheduleSpec::PartialSync,
+        ScheduleSpec::FixedSlow,
+        ScheduleSpec::IsolateFirst,
+    ];
+
+    /// The stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleSpec::Synchronous => "sync",
+            ScheduleSpec::PartialSync => "partial-sync",
+            ScheduleSpec::FixedSlow => "fixed-slow",
+            ScheduleSpec::IsolateFirst => "isolate-p1",
+        }
+    }
+
+    /// Looks a schedule up by its registry name.
+    pub fn parse(name: &str) -> Option<ScheduleSpec> {
+        ScheduleSpec::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Builds the simulator configuration for one run.
+    pub fn build(self, params: SystemParams, seed: u64) -> SimConfig {
+        match self {
+            ScheduleSpec::Synchronous => SimConfig::synchronous(params).seed(seed),
+            ScheduleSpec::PartialSync => SimConfig::new(params).seed(seed),
+            ScheduleSpec::FixedSlow => SimConfig::new(params)
+                .pre_gst(PreGstPolicy::Fixed(3 * DEFAULT_DELTA))
+                .seed(seed),
+            ScheduleSpec::IsolateFirst => SimConfig::new(params)
+                .pre_gst(PreGstPolicy::PerLink(std::sync::Arc::new(
+                    |from: validity_core::ProcessId, to: validity_core::ProcessId, _at: Time| {
+                        if from.index() == 0 || to.index() == 0 {
+                            Time::MAX / 8
+                        } else {
+                            3
+                        }
+                    },
+                )))
+                .seed(seed),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One protocol column of the matrix: a vector-consensus engine, run either
+/// raw (deciding whole vectors) or under `Universal` (deciding values via
+/// the cell's `Λ`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProtocolSpec {
+    /// Which vector-consensus engine.
+    pub kind: VectorKind,
+    /// Whether to wrap it in `Universal` (Algorithm 2).
+    pub universal: bool,
+}
+
+impl ProtocolSpec {
+    /// The registry name: `alg1-auth` raw, `universal/alg1-auth` wrapped.
+    pub fn name(self) -> String {
+        if self.universal {
+            format!("universal/{}", self.kind.name())
+        } else {
+            self.kind.name().to_string()
+        }
+    }
+
+    /// Parses `alg1-auth` or `universal/alg1-auth`.
+    pub fn parse(name: &str) -> Option<ProtocolSpec> {
+        if let Some(rest) = name.strip_prefix("universal/") {
+            Some(ProtocolSpec {
+                kind: VectorKind::parse(rest)?,
+                universal: true,
+            })
+        } else {
+            Some(ProtocolSpec {
+                kind: VectorKind::parse(name)?,
+                universal: false,
+            })
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// One classification cell: classify `validity` at `(n, t)` over the
+/// domain `{0, .., domain - 1}`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassifyCell {
+    /// The property to classify.
+    pub validity: ValiditySpec,
+    /// System size.
+    pub n: usize,
+    /// Fault threshold.
+    pub t: usize,
+    /// Domain size `|V_I|`.
+    pub domain: u64,
+}
+
+impl ClassifyCell {
+    /// The cell's stable key.
+    pub fn key(&self) -> String {
+        format!(
+            "classify/{}/n{}t{}/d{}",
+            self.validity, self.n, self.t, self.domain
+        )
+    }
+}
+
+/// One simulation cell, fully determined by its fields (plus the engine's
+/// deterministic substrate derivation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunCell {
+    /// Protocol engine + mode.
+    pub protocol: ProtocolSpec,
+    /// Validity property; `None` for raw vector-consensus cells (their
+    /// specification *is* Vector Validity).
+    pub validity: Option<ValiditySpec>,
+    /// Byzantine behaviour filling the faulty slots.
+    pub behavior: BehaviorId,
+    /// Number of faulty slots (`≤ t`).
+    pub byz: usize,
+    /// Network schedule.
+    pub schedule: ScheduleSpec,
+    /// System size.
+    pub n: usize,
+    /// Fault threshold.
+    pub t: usize,
+    /// Simulation seed (also derives the PKI).
+    pub seed: u64,
+}
+
+impl RunCell {
+    /// The key all seeds of this configuration share — the aggregation
+    /// bucket.
+    pub fn group_key(&self) -> String {
+        format!(
+            "run/{}/{}/{}x{}/{}/n{}t{}",
+            self.protocol.name(),
+            self.validity.map_or("vector", |v| v.name()),
+            self.behavior,
+            self.byz,
+            self.schedule,
+            self.n,
+            self.t,
+        )
+    }
+
+    /// The full per-cell key (group key + seed).
+    pub fn key(&self) -> String {
+        format!("{}/s{}", self.group_key(), self.seed)
+    }
+}
+
+/// A single unit of work for the executor.
+#[derive(Clone, Debug)]
+pub enum CellSpec {
+    /// Run the simulator.
+    Run(RunCell),
+    /// Run the solvability classifier.
+    Classify(ClassifyCell),
+}
+
+impl CellSpec {
+    /// The cell's stable key.
+    pub fn key(&self) -> String {
+        match self {
+            CellSpec::Run(c) => c.key(),
+            CellSpec::Classify(c) => c.key(),
+        }
+    }
+}
+
+/// The cartesian product of every axis, plus a classification grid.
+#[derive(Clone, Debug)]
+pub struct ScenarioMatrix {
+    /// Matrix name (suite name or "custom").
+    pub name: String,
+    /// Protocol axis.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Validity axis (applies to `universal` protocols; raw vector cells
+    /// ignore it).
+    pub validities: Vec<ValiditySpec>,
+    /// Byzantine-behaviour axis.
+    pub behaviors: Vec<BehaviorId>,
+    /// Fault-load axis: how many faulty slots to fill (each clamped to the
+    /// cell's `t`).
+    pub faults: Vec<usize>,
+    /// Schedule axis.
+    pub schedules: Vec<ScheduleSpec>,
+    /// `(n, t)` axis.
+    pub systems: Vec<(usize, usize)>,
+    /// Seed axis.
+    pub seeds: Range<u64>,
+    /// Additional classification cells (not a product axis).
+    pub classifications: Vec<ClassifyCell>,
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioMatrix {
+            name: name.into(),
+            protocols: Vec::new(),
+            validities: Vec::new(),
+            behaviors: Vec::new(),
+            faults: vec![0],
+            schedules: Vec::new(),
+            systems: Vec::new(),
+            seeds: 0..1,
+            classifications: Vec::new(),
+        }
+    }
+
+    /// Enumerates the matrix into a deterministically ordered cell list:
+    /// classification cells first, then the run product in axis order
+    /// (protocol, validity, behavior, fault load, schedule, system, seed).
+    ///
+    /// Incompatible combinations are skipped rather than failed:
+    /// `universal` requires a property with a closed-form `Λ`; raw vector
+    /// cells collapse the validity axis; a zero fault load collapses the
+    /// behaviour axis (no faulty slot to fill).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out: Vec<CellSpec> = self
+            .classifications
+            .iter()
+            .map(|c| CellSpec::Classify(*c))
+            .collect();
+        // Several axis combinations can collapse onto the same cell — raw
+        // protocols ignore the validity axis, and distinct fault loads can
+        // clamp to the same byz count (e.g. `1` and `max` at t = 1) — so
+        // every run cell is deduplicated by its full key.
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for &protocol in &self.protocols {
+            let validity_axis: Vec<Option<ValiditySpec>> = if protocol.universal {
+                self.validities.iter().map(|&v| Some(v)).collect()
+            } else {
+                vec![None]
+            };
+            for &validity in &validity_axis {
+                for &behavior in &self.behaviors {
+                    for &fault in &self.faults {
+                        if fault == 0 && behavior != self.behaviors[0] {
+                            continue; // behaviour is moot with no faulty slot
+                        }
+                        for &schedule in &self.schedules {
+                            for &(n, t) in &self.systems {
+                                let Ok(params) = SystemParams::new(n, t) else {
+                                    continue; // invalid (n, t): not a scenario
+                                };
+                                if let Some(v) = validity {
+                                    if v.lambda(params).is_none() {
+                                        continue; // no Λ — Universal cannot run it
+                                    }
+                                }
+                                for seed in self.seeds.clone() {
+                                    let cell = RunCell {
+                                        protocol,
+                                        validity,
+                                        behavior,
+                                        byz: fault.min(t),
+                                        schedule,
+                                        n,
+                                        t,
+                                        seed,
+                                    };
+                                    if !seen.insert(cell.key()) {
+                                        continue;
+                                    }
+                                    out.push(CellSpec::Run(cell));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total cell count (what [`ScenarioMatrix::cells`] will produce).
+    pub fn len(&self) -> usize {
+        self.cells().len()
+    }
+
+    /// Whether the matrix enumerates no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_matrix() -> ScenarioMatrix {
+        let mut m = ScenarioMatrix::new("test");
+        m.protocols = vec![
+            ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: true,
+            },
+            ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: false,
+            },
+        ];
+        m.validities = vec![ValiditySpec::Strong, ValiditySpec::Parity];
+        m.behaviors = vec![BehaviorId::Silent, BehaviorId::Crash];
+        m.faults = vec![0, 1];
+        m.schedules = vec![ScheduleSpec::Synchronous];
+        m.systems = vec![(4, 1)];
+        m.seeds = 0..2;
+        m
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_dedupes() {
+        let m = small_matrix();
+        let a: Vec<String> = m.cells().iter().map(|c| c.key()).collect();
+        let b: Vec<String> = m.cells().iter().map(|c| c.key()).collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "duplicate cells in {a:?}");
+    }
+
+    #[test]
+    fn incompatible_combinations_are_skipped() {
+        let m = small_matrix();
+        for cell in m.cells() {
+            if let CellSpec::Run(c) = cell {
+                // Parity has no Λ: it must never appear under Universal.
+                assert_ne!(c.validity, Some(ValiditySpec::Parity));
+                // Raw cells have no validity axis.
+                if !c.protocol.universal {
+                    assert_eq!(c.validity, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_systems_are_skipped_for_raw_and_universal_cells() {
+        let mut m = small_matrix();
+        m.systems = vec![(3, 0), (4, 4), (4, 1)];
+        for cell in m.cells() {
+            if let CellSpec::Run(c) = cell {
+                assert_eq!((c.n, c.t), (4, 1), "invalid (n, t) leaked into {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fault_load_collapses_behavior_axis() {
+        let m = small_matrix();
+        let fault_free: Vec<RunCell> = m
+            .cells()
+            .into_iter()
+            .filter_map(|c| match c {
+                CellSpec::Run(r) if r.byz == 0 => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert!(!fault_free.is_empty());
+        assert!(
+            fault_free.iter().all(|c| c.behavior == BehaviorId::Silent),
+            "fault-free cells must not multiply across behaviours"
+        );
+    }
+
+    #[test]
+    fn registry_names_roundtrip() {
+        for v in ValiditySpec::ALL {
+            assert_eq!(ValiditySpec::parse(v.name()), Some(v));
+        }
+        for s in ScheduleSpec::ALL {
+            assert_eq!(ScheduleSpec::parse(s.name()), Some(s));
+        }
+        let p = ProtocolSpec {
+            kind: VectorKind::Fast,
+            universal: true,
+        };
+        assert_eq!(ProtocolSpec::parse(&p.name()), Some(p));
+    }
+}

@@ -1,0 +1,459 @@
+//! Aggregation and report emission.
+//!
+//! Per-cell records fold into per-configuration summaries (all seeds of one
+//! configuration share a group), then render to JSON (machine-readable,
+//! used by `lab diff`) and Markdown (human-readable). Both emitters walk
+//! records in matrix order and use only deterministic arithmetic, so report
+//! bytes are a pure function of the matrix — independent of thread count.
+
+use std::fmt::Write as _;
+
+use validity_simnet::{NetStats, Time};
+
+use crate::runner::{CellRecord, ClassifyRecord, Outcome, RunRecord};
+
+/// Statistics of one u64-valued measure across a group's runs.
+///
+/// Carries its own observation count: a measure may be observed on only a
+/// subset of a group's runs (latency is only meaningful for runs that
+/// decided), so the group's run count is not the right divisor.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MeasureStats {
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Sum of observations (mean = sum / count, rendered at fixed
+    /// precision).
+    pub sum: u64,
+    /// Number of observations folded in.
+    pub count: u64,
+}
+
+impl MeasureStats {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean with one decimal, as a string (deterministic rendering);
+    /// `"-"` when nothing was observed.
+    pub fn mean(&self) -> String {
+        if self.count == 0 {
+            return "-".into();
+        }
+        let scaled = (self.sum * 10 + self.count / 2) / self.count;
+        format!("{}.{}", scaled / 10, scaled % 10)
+    }
+}
+
+/// Aggregated view of all seeds of one run configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSummary {
+    /// The configuration key (a [`crate::matrix::RunCell::group_key`]).
+    pub key: String,
+    /// Number of runs folded in.
+    pub runs: u64,
+    /// Runs in which every correct process decided.
+    pub decided: u64,
+    /// Runs violating Agreement.
+    pub agreement_failures: u64,
+    /// Runs deciding an inadmissible value.
+    pub validity_failures: u64,
+    /// Message complexity (`[GST, ∞)`) across runs.
+    pub messages_after_gst: MeasureStats,
+    /// Word complexity (`[GST, ∞)`) across runs.
+    pub words_after_gst: MeasureStats,
+    /// Decision latency across the runs in which every correct process
+    /// decided (undecided runs have no latency to observe).
+    pub latency: MeasureStats,
+    /// All runs' simulator counters pooled via [`NetStats::merge`] —
+    /// the source of delivery/Byzantine-traffic totals, which the scalar
+    /// measures above do not track.
+    pub pooled: NetStats,
+}
+
+/// A classification cell in the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassifyRow {
+    /// The cell key.
+    pub key: String,
+    /// The classifier's output.
+    pub record: ClassifyRecord,
+}
+
+/// The full, deterministic sweep report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Matrix/suite name.
+    pub matrix: String,
+    /// Every cell record, in matrix order.
+    pub cells: Vec<CellRecord>,
+    /// Per-configuration aggregates, in first-appearance order.
+    pub groups: Vec<GroupSummary>,
+    /// Classification results, in matrix order.
+    pub classifications: Vec<ClassifyRow>,
+}
+
+impl SweepReport {
+    /// Folds ordered cell records into a report.
+    pub fn aggregate(matrix: &str, records: &[CellRecord]) -> SweepReport {
+        let mut groups: Vec<GroupSummary> = Vec::new();
+        let mut classifications = Vec::new();
+        for rec in records {
+            match &rec.outcome {
+                Outcome::Classify(c) => classifications.push(ClassifyRow {
+                    key: rec.key.clone(),
+                    record: c.clone(),
+                }),
+                Outcome::Run(r) => {
+                    let group = match groups.iter_mut().find(|g| g.key == rec.group) {
+                        Some(g) => g,
+                        None => {
+                            groups.push(GroupSummary {
+                                key: rec.group.clone(),
+                                runs: 0,
+                                decided: 0,
+                                agreement_failures: 0,
+                                validity_failures: 0,
+                                messages_after_gst: MeasureStats::default(),
+                                words_after_gst: MeasureStats::default(),
+                                latency: MeasureStats::default(),
+                                pooled: NetStats::default(),
+                            });
+                            groups.last_mut().expect("just pushed")
+                        }
+                    };
+                    group.runs += 1;
+                    group.decided += u64::from(r.decided);
+                    group.agreement_failures += u64::from(!r.agreement);
+                    group.validity_failures += u64::from(r.validity_ok == Some(false));
+                    group.messages_after_gst.observe(r.messages_after_gst);
+                    group.words_after_gst.observe(r.words_after_gst);
+                    if r.decided {
+                        group.latency.observe(r.latency);
+                    }
+                    group.pooled.merge(&r.stats);
+                }
+            }
+        }
+        SweepReport {
+            matrix: matrix.to_string(),
+            cells: records.to_vec(),
+            groups,
+            classifications,
+        }
+    }
+
+    /// Total violations (a healthy sweep reports 0 unless it *exists* to
+    /// exhibit violations, like the partition suites).
+    pub fn violations(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.agreement_failures + g.validity_failures + (g.runs - g.decided))
+            .sum()
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"matrix\": {},", json_str(&self.matrix));
+        let _ = writeln!(out, "  \"cell_count\": {},", self.cells.len());
+        out.push_str("  \"cells\": [\n");
+        for (i, rec) in self.cells.iter().enumerate() {
+            out.push_str("    ");
+            cell_json(&mut out, rec);
+            out.push_str(if i + 1 == self.cells.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n  \"groups\": [\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            out.push_str("    ");
+            group_json(&mut out, g);
+            out.push_str(if i + 1 == self.groups.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable Markdown report.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Sweep report: {}\n", self.matrix);
+        let _ = writeln!(
+            out,
+            "{} cells ({} runs, {} classifications); {} violation(s).\n",
+            self.cells.len(),
+            self.cells.len() - self.classifications.len(),
+            self.classifications.len(),
+            self.violations(),
+        );
+        if !self.classifications.is_empty() {
+            out.push_str("## Classification grid\n\n");
+            out.push_str("| cell | verdict | Thm 1 | certificate |\n");
+            out.push_str("|---|---|---|---|\n");
+            for row in &self.classifications {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    row.key,
+                    row.record.verdict,
+                    if row.record.theorem1_consistent {
+                        "✔"
+                    } else {
+                        "✘ VIOLATED"
+                    },
+                    md_cell(&row.record.certificate),
+                );
+            }
+            out.push('\n');
+        }
+        if !self.groups.is_empty() {
+            out.push_str("## Run groups (aggregated over seeds)\n\n");
+            out.push_str(
+                "| configuration | runs | decided | agree✘ | valid✘ \
+                 | msgs/GST mean | msgs/GST max | words/GST mean | latency mean \
+                 | deliveries Σ | byz msgs Σ |\n",
+            );
+            out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+            for g in &self.groups {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    g.key,
+                    g.runs,
+                    g.decided,
+                    g.agreement_failures,
+                    g.validity_failures,
+                    g.messages_after_gst.mean(),
+                    g.messages_after_gst.max,
+                    g.words_after_gst.mean(),
+                    g.latency.mean(),
+                    g.pooled.deliveries,
+                    g.pooled.byzantine_messages,
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Escapes a string into a JSON literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+fn run_json(out: &mut String, r: &RunRecord) {
+    let _ = write!(
+        out,
+        "\"decided\": {}, \"agreement\": {}, \"validity_ok\": {}, \
+         \"messages_after_gst\": {}, \"words_after_gst\": {}, \
+         \"messages_total\": {}, \"words_total\": {}, \"latency\": {}, \
+         \"decision\": {}",
+        r.decided,
+        r.agreement,
+        match r.validity_ok {
+            None => "null".to_string(),
+            Some(b) => b.to_string(),
+        },
+        r.messages_after_gst,
+        r.words_after_gst,
+        r.messages_total,
+        r.words_total,
+        r.latency as Time,
+        json_str(&r.decision),
+    );
+}
+
+fn cell_json(out: &mut String, rec: &CellRecord) {
+    let _ = write!(out, "{{\"key\": {}, ", json_str(&rec.key));
+    match &rec.outcome {
+        Outcome::Run(r) => {
+            out.push_str("\"type\": \"run\", ");
+            run_json(out, r);
+        }
+        Outcome::Classify(c) => {
+            let _ = write!(
+                out,
+                "\"type\": \"classify\", \"verdict\": {}, \"theorem1_consistent\": {}, \
+                 \"certificate\": {}",
+                json_str(&c.verdict),
+                c.theorem1_consistent,
+                json_str(&c.certificate),
+            );
+        }
+    }
+    out.push('}');
+}
+
+fn group_json(out: &mut String, g: &GroupSummary) {
+    let _ = write!(
+        out,
+        "{{\"key\": {}, \"runs\": {}, \"decided\": {}, \"agreement_failures\": {}, \
+         \"validity_failures\": {}, \"messages_after_gst_mean\": {}, \
+         \"messages_after_gst_max\": {}, \"words_after_gst_mean\": {}, \
+         \"latency_mean\": {}, \"deliveries_total\": {}, \
+         \"byzantine_messages_total\": {}}}",
+        json_str(&g.key),
+        g.runs,
+        g.decided,
+        g.agreement_failures,
+        g.validity_failures,
+        json_str(&g.messages_after_gst.mean()),
+        g.messages_after_gst.max,
+        json_str(&g.words_after_gst.mean()),
+        json_str(&g.latency.mean()),
+        g.pooled.deliveries,
+        g.pooled.byzantine_messages,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_record(msgs: u64, latency: u64) -> RunRecord {
+        let mut stats = NetStats::new(2);
+        stats.messages_total = msgs;
+        stats.deliveries = msgs;
+        RunRecord {
+            decided: true,
+            agreement: true,
+            validity_ok: Some(true),
+            messages_after_gst: msgs,
+            words_after_gst: msgs * 3,
+            messages_total: msgs,
+            words_total: msgs * 3,
+            latency,
+            decision: "7".into(),
+            stats,
+        }
+    }
+
+    fn record(key: &str, group: &str, msgs: u64, latency: u64) -> CellRecord {
+        CellRecord {
+            key: key.into(),
+            group: group.into(),
+            outcome: Outcome::Run(run_record(msgs, latency)),
+        }
+    }
+
+    #[test]
+    fn aggregation_folds_by_group_in_order() {
+        let records = vec![
+            record("g1/s0", "g1", 10, 100),
+            record("g2/s0", "g2", 50, 300),
+            record("g1/s1", "g1", 20, 200),
+        ];
+        let report = SweepReport::aggregate("t", &records);
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.groups[0].key, "g1");
+        assert_eq!(report.groups[0].runs, 2);
+        assert_eq!(report.groups[0].messages_after_gst.min, 10);
+        assert_eq!(report.groups[0].messages_after_gst.max, 20);
+        assert_eq!(report.groups[0].messages_after_gst.mean(), "15.0");
+        assert_eq!(report.groups[0].latency.mean(), "150.0");
+        // Pooled counters flow through NetStats::merge.
+        assert_eq!(report.groups[0].pooled.deliveries, 30);
+        assert_eq!(report.groups[1].pooled.deliveries, 50);
+        assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn undecided_runs_do_not_skew_latency() {
+        let mut undecided = run_record(5, 0);
+        undecided.decided = false;
+        let records = vec![
+            record("g/s0", "g", 10, 100),
+            CellRecord {
+                key: "g/s1".into(),
+                group: "g".into(),
+                outcome: Outcome::Run(undecided),
+            },
+        ];
+        let report = SweepReport::aggregate("t", &records);
+        let g = &report.groups[0];
+        assert_eq!(g.runs, 2);
+        assert_eq!(g.decided, 1);
+        // Latency reflects only the decided run, not a phantom zero.
+        assert_eq!(g.latency.count, 1);
+        assert_eq!(g.latency.min, 100);
+        assert_eq!(g.latency.mean(), "100.0");
+        // Message measures still cover every run.
+        assert_eq!(g.messages_after_gst.count, 2);
+    }
+
+    #[test]
+    fn violations_counted() {
+        let mut bad = run_record(5, 10);
+        bad.agreement = false;
+        bad.validity_ok = Some(false);
+        let records = vec![CellRecord {
+            key: "g/s0".into(),
+            group: "g".into(),
+            outcome: Outcome::Run(bad),
+        }];
+        let report = SweepReport::aggregate("t", &records);
+        assert_eq!(report.violations(), 2);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("⟨P1⟩"), "\"⟨P1⟩\"");
+    }
+
+    #[test]
+    fn reports_render_and_are_deterministic() {
+        let records = vec![record("g1/s0", "g1", 10, 100)];
+        let report = SweepReport::aggregate("demo", &records);
+        assert_eq!(report.to_json(), report.to_json());
+        assert!(report.to_json().contains("\"matrix\": \"demo\""));
+        assert!(report.to_markdown().contains("| g1 |"));
+    }
+
+    #[test]
+    fn mean_rounds_half_up_deterministically() {
+        let mut m = MeasureStats::default();
+        m.observe(1);
+        m.observe(2);
+        assert_eq!(m.mean(), "1.5");
+        assert_eq!(MeasureStats::default().mean(), "-");
+    }
+}

@@ -1,0 +1,315 @@
+//! Executes a single scenario cell: builds the nodes, runs the simulator
+//! (or the classifier), and condenses the outcome into a [`CellRecord`].
+//!
+//! Everything here is a pure function of the cell — no globals, no clocks,
+//! no thread-local state — which is what lets the executor fan cells out
+//! across any number of workers and still aggregate byte-identical results.
+
+use validity_adversary::BehaviorId;
+use validity_core::{
+    classify, Classification, Domain, InputConfig, ProcessId, SystemParams, UnsolvableReason,
+};
+use validity_protocols::{Universal, VectorContext};
+use validity_simnet::{agreement_holds, Machine, NetStats, NodeKind, Simulation, Time};
+
+use crate::matrix::{CellSpec, ClassifyCell, RunCell, ValiditySpec};
+
+/// Condensed result of one simulation cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Whether every correct process decided.
+    pub decided: bool,
+    /// Whether Agreement held among correct decisions.
+    pub agreement: bool,
+    /// Whether every correct decision was admissible for the cell's
+    /// validity property (`None` when the run did not decide).
+    pub validity_ok: Option<bool>,
+    /// Messages sent by correct processes in `[GST, ∞)`.
+    pub messages_after_gst: u64,
+    /// Words sent by correct processes in `[GST, ∞)`.
+    pub words_after_gst: u64,
+    /// Messages over the whole execution.
+    pub messages_total: u64,
+    /// Words over the whole execution.
+    pub words_total: u64,
+    /// Time of the last correct decision (0 when undecided).
+    pub latency: Time,
+    /// Debug rendering of the first correct decision.
+    pub decision: String,
+    /// The run's full simulator counters, for [`NetStats::merge`]-based
+    /// pooling in the aggregation layer.
+    pub stats: NetStats,
+}
+
+/// Condensed result of one classification cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassifyRecord {
+    /// The classifier's verdict label.
+    pub verdict: String,
+    /// The certificate accompanying the verdict.
+    pub certificate: String,
+    /// `n > 3t` (the regime in which non-trivial solvability is possible).
+    pub high_resilience: bool,
+    /// Theorem-1 consistency: at `n ≤ 3t`, solvable ⇒ trivial.
+    pub theorem1_consistent: bool,
+}
+
+/// The result of one cell, tagged with its stable keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Full per-cell key.
+    pub key: String,
+    /// Aggregation bucket (equals `key` for classification cells).
+    pub group: String,
+    /// The outcome payload.
+    pub outcome: Outcome,
+}
+
+/// Outcome payload of a cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A simulation ran.
+    Run(RunRecord),
+    /// The classifier ran.
+    Classify(ClassifyRecord),
+}
+
+/// Executes one cell to completion.
+pub fn execute(cell: &CellSpec) -> CellRecord {
+    match cell {
+        CellSpec::Run(c) => CellRecord {
+            key: c.key(),
+            group: c.group_key(),
+            outcome: Outcome::Run(execute_run(c)),
+        },
+        CellSpec::Classify(c) => CellRecord {
+            key: c.key(),
+            group: c.key(),
+            outcome: Outcome::Classify(execute_classify(c)),
+        },
+    }
+}
+
+fn params_of(n: usize, t: usize) -> SystemParams {
+    SystemParams::new(n, t).expect("matrix enumerated an invalid (n, t)")
+}
+
+fn execute_run(cell: &RunCell) -> RunRecord {
+    let params = params_of(cell.n, cell.t);
+    if cell.protocol.universal {
+        let validity = cell
+            .validity
+            .expect("universal cells always carry a validity");
+        run_universal(cell, params, validity)
+    } else {
+        run_raw(cell, params)
+    }
+}
+
+/// Builds the node vector for machine type `M`: correct machines in the
+/// first `n − byz` slots, the cell's behaviour in the rest.
+fn build_nodes<M: Machine + 'static>(
+    params: SystemParams,
+    byz: usize,
+    behavior: BehaviorId,
+    gst: Time,
+    mk: impl Fn(ProcessId, u64) -> M,
+) -> Vec<NodeKind<M>> {
+    (0..params.n())
+        .map(|i| {
+            let p = ProcessId::from_index(i);
+            if i < params.n() - byz {
+                NodeKind::Correct(mk(p, 0))
+            } else {
+                NodeKind::Byzantine(behavior.instantiate(params, gst, p, &mk))
+            }
+        })
+        .collect()
+}
+
+/// The actual input configuration: correct processes only.
+fn actual_config(
+    params: SystemParams,
+    byz: usize,
+    input_of: impl Fn(usize) -> u64,
+) -> InputConfig<u64> {
+    InputConfig::from_pairs(params, (0..params.n() - byz).map(|i| (i, input_of(i))))
+        .expect("n − byz ≥ n − t pairs are always a valid configuration")
+}
+
+fn collect<M: Machine>(sim: &mut Simulation<M>, check: impl Fn(&M::Output) -> bool) -> RunRecord
+where
+    M::Output: std::fmt::Debug + PartialEq,
+{
+    sim.run_until_decided();
+    let stats = sim.stats();
+    let decided = sim.all_correct_decided();
+    let decisions = sim.decisions();
+    let outputs: Vec<&M::Output> = decisions.iter().flatten().map(|(_, o)| o).collect();
+    RunRecord {
+        decided,
+        agreement: agreement_holds(decisions),
+        validity_ok: if outputs.is_empty() {
+            None
+        } else {
+            Some(outputs.iter().all(|o| check(o)))
+        },
+        messages_after_gst: stats.messages_after_gst,
+        words_after_gst: stats.words_after_gst,
+        messages_total: stats.messages_total,
+        words_total: stats.words_total,
+        latency: stats.last_decision_at.unwrap_or(0),
+        decision: outputs
+            .first()
+            .map(|o| format!("{o:?}"))
+            .unwrap_or_else(|| "⊥".to_string()),
+        stats: stats.clone(),
+    }
+}
+
+fn run_universal(cell: &RunCell, params: SystemParams, validity: ValiditySpec) -> RunRecord {
+    let ctx = VectorContext::new(params, cell.seed);
+    let cfg = cell.schedule.build(params, cell.seed);
+    let gst = cfg.gst;
+    let kind = cell.protocol.kind;
+    let mk = |p: ProcessId, face: u64| {
+        let input = if face == 0 {
+            validity.input_for(p.index())
+        } else {
+            validity.alt_input_for(p.index())
+        };
+        Universal::new(
+            kind.machine::<u64>(&ctx, p, input),
+            validity
+                .lambda(params)
+                .expect("matrix only pairs Universal with Λ-bearing properties"),
+        )
+    };
+    let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
+    let mut sim = Simulation::new(cfg, nodes);
+    let actual = actual_config(params, cell.byz, |i| validity.input_for(i));
+    let property = validity.property(params.t());
+    collect(&mut sim, |v: &u64| property.is_admissible(&actual, v))
+}
+
+fn run_raw(cell: &RunCell, params: SystemParams) -> RunRecord {
+    let ctx = VectorContext::new(params, cell.seed);
+    let cfg = cell.schedule.build(params, cell.seed);
+    let gst = cfg.gst;
+    let kind = cell.protocol.kind;
+    let input_of = |i: usize| (i as u64) * 10;
+    let mk = |p: ProcessId, face: u64| kind.machine::<u64>(&ctx, p, input_of(p.index()) + face * 5);
+    let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
+    let mut sim = Simulation::new(cfg, nodes);
+    // Vector Validity: the decided vector has ≥ n − t entries and every
+    // entry attributed to a *correct* process carries its real proposal.
+    let quorum = params.quorum();
+    let correct_bound = params.n() - cell.byz;
+    collect(&mut sim, move |vector: &InputConfig<u64>| {
+        vector.pi().len() >= quorum
+            && vector
+                .pairs()
+                .all(|(p, v)| p.index() >= correct_bound || *v == input_of(p.index()))
+    })
+}
+
+fn execute_classify(cell: &ClassifyCell) -> ClassifyRecord {
+    let params = params_of(cell.n, cell.t);
+    let domain = Domain::range(cell.domain);
+    let property = cell.validity.property(cell.t);
+    let c = classify(&property, params, &domain);
+    let certificate = match &c {
+        Classification::Trivial { witness } => format!("always-admissible {witness:?}"),
+        Classification::SolvableNonTrivial { lambda_table } => {
+            format!("Λ table over |I_(n-t)| = {}", lambda_table.len())
+        }
+        Classification::Unsolvable(UnsolvableReason::LowResilience { rejections }) => {
+            format!("{} per-value rejections", rejections.len())
+        }
+        Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config }) => {
+            format!("∩ sim = ∅ at {config:?}")
+        }
+    };
+    ClassifyRecord {
+        verdict: c.label().to_string(),
+        certificate,
+        high_resilience: params.supports_non_trivial(),
+        theorem1_consistent: params.supports_non_trivial() || !c.is_solvable() || c.is_trivial(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{ProtocolSpec, ScheduleSpec};
+    use validity_protocols::VectorKind;
+
+    fn strong_cell(seed: u64) -> CellSpec {
+        CellSpec::Run(RunCell {
+            protocol: ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: true,
+            },
+            validity: Some(ValiditySpec::Strong),
+            behavior: BehaviorId::Silent,
+            byz: 1,
+            schedule: ScheduleSpec::Synchronous,
+            n: 4,
+            t: 1,
+            seed,
+        })
+    }
+
+    #[test]
+    fn universal_cell_decides_admissibly() {
+        let rec = execute(&strong_cell(1));
+        let Outcome::Run(r) = rec.outcome else {
+            panic!("expected run outcome")
+        };
+        assert!(r.decided && r.agreement);
+        assert_eq!(r.validity_ok, Some(true));
+        assert!(r.messages_total > 0);
+    }
+
+    #[test]
+    fn same_cell_is_byte_identical() {
+        assert_eq!(execute(&strong_cell(7)), execute(&strong_cell(7)));
+    }
+
+    #[test]
+    fn raw_vector_cell_checks_vector_validity() {
+        let cell = CellSpec::Run(RunCell {
+            protocol: ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: false,
+            },
+            validity: None,
+            behavior: BehaviorId::Crash,
+            byz: 1,
+            schedule: ScheduleSpec::PartialSync,
+            n: 4,
+            t: 1,
+            seed: 3,
+        });
+        let Outcome::Run(r) = execute(&cell).outcome else {
+            panic!("expected run outcome")
+        };
+        assert!(r.decided && r.agreement);
+        assert_eq!(r.validity_ok, Some(true));
+    }
+
+    #[test]
+    fn classification_cell_matches_fig1() {
+        let cell = CellSpec::Classify(ClassifyCell {
+            validity: ValiditySpec::Parity,
+            n: 4,
+            t: 1,
+            domain: 2,
+        });
+        let Outcome::Classify(c) = execute(&cell).outcome else {
+            panic!("expected classify outcome")
+        };
+        assert!(c.verdict.contains("unsolvable"), "{c:?}");
+        assert!(c.theorem1_consistent);
+    }
+}

@@ -1,0 +1,184 @@
+//! Curated built-in suites.
+//!
+//! Each suite is a [`ScenarioMatrix`] reproducing (and extending) one of
+//! the paper's experiment families. `lab run --suite <name>` executes one;
+//! the `validity-bench` binaries reuse them so the historical experiment
+//! CLIs and the sweep engine cannot drift apart.
+
+use validity_adversary::BehaviorId;
+use validity_protocols::VectorKind;
+
+use crate::matrix::{ClassifyCell, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ValiditySpec};
+
+/// Names of all built-in suites, in presentation order.
+pub const ALL: [&str; 4] = ["fig1", "schedules", "complexity", "quick"];
+
+/// One-line description of a suite.
+pub fn describe(name: &str) -> Option<&'static str> {
+    match name {
+        "fig1" => Some(
+            "Figure 1: the full classification grid, plus simulation runs \
+             verifying every solvable property end-to-end",
+        ),
+        "schedules" => Some(
+            "schedule-insensitivity ablation: the same measurement point \
+             across seeds × pre-GST policies",
+        ),
+        "complexity" => Some(
+            "message/word complexity of Algorithms 1, 3, 6 across (n, t) \
+             at optimal resilience",
+        ),
+        "quick" => Some("a seconds-scale smoke sweep touching every axis"),
+        _ => None,
+    }
+}
+
+/// Builds a suite by name.
+pub fn build(name: &str) -> Option<ScenarioMatrix> {
+    match name {
+        "fig1" => Some(fig1()),
+        "schedules" => Some(schedules()),
+        "complexity" => Some(complexity()),
+        "quick" => Some(quick()),
+        _ => None,
+    }
+}
+
+/// The Figure-1 grid: classify every cataloged property at every regime
+/// the figure distinguishes, then *run* each solvable non-trivial property
+/// (Universal over Algorithm 1) under representative adversaries and
+/// schedules, checking each decision's admissibility — the classification
+/// table and its operational meaning in one sweep.
+pub fn fig1() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("fig1");
+    for (n, t, domain) in [
+        (3usize, 1usize, 2u64),
+        (6, 2, 2),
+        (4, 1, 2),
+        (4, 1, 3),
+        (7, 2, 2),
+    ] {
+        for validity in ValiditySpec::ALL {
+            m.classifications.push(ClassifyCell {
+                validity,
+                n,
+                t,
+                domain,
+            });
+        }
+    }
+    m.protocols = vec![ProtocolSpec {
+        kind: VectorKind::Auth,
+        universal: true,
+    }];
+    m.validities = ValiditySpec::RUNNABLE.to_vec();
+    m.behaviors = vec![BehaviorId::Silent, BehaviorId::Crash, BehaviorId::TwoFaced];
+    m.faults = vec![0, usize::MAX]; // usize::MAX clamps to t: "maximum load"
+    m.schedules = vec![ScheduleSpec::Synchronous, ScheduleSpec::PartialSync];
+    m.systems = vec![(4, 1), (7, 2), (10, 3)];
+    m.seeds = 0..8;
+    m
+}
+
+/// The `ablation_schedules` measurement, as a matrix: one protocol, one
+/// point, every schedule, many seeds.
+pub fn schedules() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("schedules");
+    m.protocols = vec![
+        ProtocolSpec {
+            kind: VectorKind::Auth,
+            universal: false,
+        },
+        ProtocolSpec {
+            kind: VectorKind::Auth,
+            universal: true,
+        },
+    ];
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = vec![BehaviorId::Silent];
+    m.faults = vec![0];
+    m.schedules = ScheduleSpec::ALL.to_vec();
+    m.systems = vec![(10, 3)];
+    m.seeds = 0..5;
+    m
+}
+
+/// Complexity growth: all three vector-consensus engines, raw, across
+/// `(n, t)` at optimal resilience.
+pub fn complexity() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("complexity");
+    m.protocols = VectorKind::ALL
+        .into_iter()
+        .map(|kind| ProtocolSpec {
+            kind,
+            universal: false,
+        })
+        .collect();
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = vec![BehaviorId::Silent];
+    m.faults = vec![0, usize::MAX];
+    m.schedules = vec![ScheduleSpec::Synchronous];
+    m.systems = vec![(4, 1), (7, 2), (10, 3), (13, 4)];
+    m.seeds = 0..3;
+    m
+}
+
+/// A fast sweep touching every axis once — the demo/smoke suite.
+pub fn quick() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("quick");
+    m.classifications = vec![
+        ClassifyCell {
+            validity: ValiditySpec::Strong,
+            n: 4,
+            t: 1,
+            domain: 2,
+        },
+        ClassifyCell {
+            validity: ValiditySpec::Parity,
+            n: 4,
+            t: 1,
+            domain: 2,
+        },
+    ];
+    m.protocols = vec![
+        ProtocolSpec {
+            kind: VectorKind::Auth,
+            universal: true,
+        },
+        ProtocolSpec {
+            kind: VectorKind::NonAuth,
+            universal: false,
+        },
+    ];
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = vec![BehaviorId::Silent, BehaviorId::Stale];
+    m.faults = vec![usize::MAX];
+    m.schedules = vec![ScheduleSpec::Synchronous, ScheduleSpec::PartialSync];
+    m.systems = vec![(4, 1)];
+    m.seeds = 0..2;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_builds_and_is_nonempty() {
+        for name in ALL {
+            let m = build(name).expect(name);
+            assert!(!m.is_empty(), "suite {name} enumerates no cells");
+            assert!(describe(name).is_some());
+        }
+        assert!(build("nope").is_none());
+    }
+
+    #[test]
+    fn fig1_covers_the_whole_catalog_grid() {
+        let m = fig1();
+        // 8 properties × 5 (n, t, domain) regimes.
+        assert_eq!(m.classifications.len(), 40);
+        // And it actually runs things too.
+        assert!(m.len() > m.classifications.len());
+    }
+}

@@ -1,0 +1,91 @@
+//! Deterministic-replay regression tests: the lab's whole value rests on
+//! sweeps being pure functions of the matrix. The same cell run twice, and
+//! the same matrix run on different worker counts, must produce
+//! byte-identical reports.
+
+use validity_adversary::BehaviorId;
+use validity_lab::{
+    execute, suites, CellSpec, ProtocolSpec, RunCell, ScenarioMatrix, ScheduleSpec, SweepEngine,
+    ValiditySpec,
+};
+use validity_protocols::VectorKind;
+
+/// A matrix that exercises every axis kind: both protocol modes, a
+/// classification grid, multiple behaviours/schedules/systems/seeds.
+fn cross_section() -> ScenarioMatrix {
+    let mut m = suites::build("quick").expect("built-in suite");
+    m.name = "determinism-cross-section".into();
+    m.behaviors = vec![BehaviorId::Silent, BehaviorId::TwoFaced, BehaviorId::Crash];
+    m.schedules = vec![
+        ScheduleSpec::Synchronous,
+        ScheduleSpec::PartialSync,
+        ScheduleSpec::IsolateFirst,
+    ];
+    m.systems = vec![(4, 1), (7, 2)];
+    m.seeds = 0..3;
+    m
+}
+
+#[test]
+fn same_cell_twice_is_byte_identical() {
+    let cell = CellSpec::Run(RunCell {
+        protocol: ProtocolSpec {
+            kind: VectorKind::Fast,
+            universal: true,
+        },
+        validity: Some(ValiditySpec::Median),
+        behavior: BehaviorId::Stale,
+        byz: 2,
+        schedule: ScheduleSpec::PartialSync,
+        n: 7,
+        t: 2,
+        seed: 42,
+    });
+    let a = execute(&cell);
+    let b = execute(&cell);
+    assert_eq!(a, b);
+    // "Byte-identical" in the strictest sense: through the debug/report
+    // renderings too.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn worker_count_never_changes_the_report_bytes() {
+    let m = cross_section();
+    let baseline = SweepEngine::new(1).run(&m).0;
+    for threads in [2, 3, 8] {
+        let report = SweepEngine::new(threads).run(&m).0;
+        assert_eq!(
+            baseline.to_json(),
+            report.to_json(),
+            "JSON drifted at {threads} workers"
+        );
+        assert_eq!(
+            baseline.to_markdown(),
+            report.to_markdown(),
+            "Markdown drifted at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn sweep_rerun_is_byte_identical() {
+    let m = cross_section();
+    let a = SweepEngine::new(4).run(&m).0;
+    let b = SweepEngine::new(4).run(&m).0;
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn fig1_suite_completes_cleanly_and_deterministically() {
+    // The acceptance scenario, scaled down in seeds to stay test-friendly:
+    // full classification grid + a slice of the run product.
+    let mut m = suites::build("fig1").expect("built-in suite");
+    m.seeds = 0..1;
+    m.systems = vec![(4, 1), (7, 2)];
+    let one = SweepEngine::new(1).run(&m).0;
+    let many = SweepEngine::new(6).run(&m).0;
+    assert_eq!(one.to_json(), many.to_json());
+    assert_eq!(one.violations(), 0, "fig1 must be violation-free");
+    assert_eq!(one.classifications.len(), 40);
+}

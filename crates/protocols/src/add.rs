@@ -123,7 +123,7 @@ impl Add {
                 if !votes.insert(from) {
                     return Vec::new();
                 }
-                if votes.len() >= env.t() + 1 {
+                if votes.len() > env.t() {
                     self.my_fragment = Some(share.data);
                     return self.maybe_echo(env);
                 }
@@ -208,7 +208,7 @@ pub fn stamp_echo_index(msg: &mut AddMsg, sender: ProcessId) {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::{Machine, Message, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{Machine, Message, NodeKind, Silent, SimConfig, Simulation};
 
     impl Message for AddMsg {
         fn words(&self) -> usize {
@@ -235,7 +235,12 @@ mod tests {
             steps
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: AddMsg, env: &Env) -> Vec<Step<AddMsg, Vec<u8>>> {
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: AddMsg,
+            env: &Env,
+        ) -> Vec<Step<AddMsg, Vec<u8>>> {
             let mut steps = self.add.on_message(from, msg, env);
             for s in &mut steps {
                 if let Step::Broadcast(m) | Step::Send(_, m) = s {
@@ -327,7 +332,10 @@ mod tests {
             })
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(7), nodes);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         for d in sim.decisions().iter().take(5) {
             assert_eq!(d.as_ref().unwrap().1, blob);
         }

@@ -106,7 +106,10 @@ mod tests {
         let mut beb = Beb::<u64>::new();
         let msg = BebMsg { seq: 3, payload: 9 };
         let first = beb.on_message(ProcessId(2), msg.clone(), &env());
-        assert!(matches!(first.as_slice(), [Step::Output((ProcessId(2), 9))]));
+        assert!(matches!(
+            first.as_slice(),
+            [Step::Output((ProcessId(2), 9))]
+        ));
         assert!(beb.on_message(ProcessId(2), msg, &env()).is_empty());
     }
 
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn words_accounting() {
-        let msg = BebMsg { seq: 0, payload: 5u64 };
+        let msg = BebMsg {
+            seq: 0,
+            payload: 5u64,
+        };
         assert_eq!(Words::words(&msg), 2);
     }
 }

@@ -35,7 +35,7 @@ impl<P: Words> Words for BrbMsg<P> {
     }
 }
 
-impl<P: Clone + Debug + Words + 'static> validity_simnet::Message for BrbMsg<P> {
+impl<P: Clone + Debug + Words + Send + 'static> validity_simnet::Message for BrbMsg<P> {
     fn words(&self) -> usize {
         Words::words(self)
     }
@@ -109,10 +109,7 @@ impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
             }
             BrbMsg::Echo(p) => {
                 let set = self.echoes.entry(p.clone()).or_default();
-                if set.insert(from)
-                    && set.len() >= Self::echo_threshold(env)
-                    && !self.sent_ready
-                {
+                if set.insert(from) && set.len() >= Self::echo_threshold(env) && !self.sent_ready {
                     self.sent_ready = true;
                     steps.push(Step::Broadcast(BrbMsg::Ready(p)));
                 }
@@ -121,11 +118,11 @@ impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
                 let set = self.readies.entry(p.clone()).or_default();
                 if set.insert(from) {
                     let count = set.len();
-                    if count >= env.t() + 1 && !self.sent_ready {
+                    if count > env.t() && !self.sent_ready {
                         self.sent_ready = true;
                         steps.push(Step::Broadcast(BrbMsg::Ready(p.clone())));
                     }
-                    if count >= 2 * env.t() + 1 && !self.delivered {
+                    if count > 2 * env.t() && !self.delivered {
                         self.delivered = true;
                         steps.push(Step::Output(p));
                     }
@@ -141,7 +138,7 @@ mod tests {
     use super::*;
     use validity_core::SystemParams;
     use validity_simnet::{
-        agreement_holds, Byzantine, ByzStep, Machine, NodeKind, SimConfig, Silent, Simulation,
+        agreement_holds, ByzStep, Byzantine, Machine, NodeKind, Silent, SimConfig, Simulation,
     };
 
     /// Standalone machine wrapping one BRB instance with P1 as sender.
@@ -252,11 +249,20 @@ mod tests {
         };
         let mut inst = BrbInstance::<u64>::new(ProcessId(0));
         // echo threshold for (4,1) is ⌈6/2⌉ = 3; the same echo twice must not count as two
-        assert!(inst.on_message(ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
-        assert!(inst.on_message(ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
-        assert!(inst.on_message(ProcessId(2), BrbMsg::Echo(9), &env).is_empty());
+        assert!(inst
+            .on_message(ProcessId(0), BrbMsg::Echo(9), &env)
+            .is_empty());
+        assert!(inst
+            .on_message(ProcessId(0), BrbMsg::Echo(9), &env)
+            .is_empty());
+        assert!(inst
+            .on_message(ProcessId(2), BrbMsg::Echo(9), &env)
+            .is_empty());
         let steps = inst.on_message(ProcessId(3), BrbMsg::Echo(9), &env);
-        assert!(matches!(steps.as_slice(), [Step::Broadcast(BrbMsg::Ready(9))]));
+        assert!(matches!(
+            steps.as_slice(),
+            [Step::Broadcast(BrbMsg::Ready(9))]
+        ));
     }
 
     #[test]
@@ -269,10 +275,15 @@ mod tests {
             delta: 10,
         };
         let mut inst = BrbInstance::<u64>::new(ProcessId(0));
-        assert!(inst.on_message(ProcessId(2), BrbMsg::Ready(9), &env).is_empty());
+        assert!(inst
+            .on_message(ProcessId(2), BrbMsg::Ready(9), &env)
+            .is_empty());
         let steps = inst.on_message(ProcessId(3), BrbMsg::Ready(9), &env);
         // t + 1 = 2 readies → amplify
-        assert!(matches!(steps.as_slice(), [Step::Broadcast(BrbMsg::Ready(9))]));
+        assert!(matches!(
+            steps.as_slice(),
+            [Step::Broadcast(BrbMsg::Ready(9))]
+        ));
         // 2t + 1 = 3 readies → deliver
         let steps = inst.on_message(ProcessId(0), BrbMsg::Ready(9), &env);
         assert!(matches!(steps.as_slice(), [Step::Output(9)]));

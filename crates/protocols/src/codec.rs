@@ -195,58 +195,6 @@ impl<T: Words> Words for Option<T> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
-        let bytes = v.encode();
-        assert_eq!(T::decode_all(&bytes), Some(v));
-    }
-
-    #[test]
-    fn primitive_roundtrips() {
-        roundtrip(0u64);
-        roundtrip(u64::MAX);
-        roundtrip(12345u32);
-        roundtrip(true);
-        roundtrip(false);
-        roundtrip(vec![1u8, 2, 3]);
-        roundtrip(Vec::<u8>::new());
-        roundtrip("hello κόσμος".to_string());
-    }
-
-    #[test]
-    fn bool_rejects_garbage() {
-        assert!(bool::decode_all(&[2]).is_none());
-    }
-
-    #[test]
-    fn input_config_roundtrip() {
-        let params = SystemParams::new(4, 1).unwrap();
-        let c =
-            InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
-        roundtrip(c);
-    }
-
-    #[test]
-    fn decode_all_rejects_trailing_bytes() {
-        let mut bytes = 7u64.encode();
-        bytes.push(0);
-        assert!(u64::decode_all(&bytes).is_none());
-    }
-
-    #[test]
-    fn words_accounting() {
-        assert_eq!(5u64.words(), 1);
-        assert_eq!(vec![0u8; 17].words(), 3);
-        assert_eq!(bytes_to_words(0), 1);
-        let params = SystemParams::new(4, 1).unwrap();
-        let c = InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
-        assert_eq!(c.words(), 4); // 1 framing + 3 values
-    }
-}
-
 impl Words for validity_crypto::Digest {
     fn words(&self) -> usize {
         1
@@ -279,5 +227,56 @@ impl Words for validity_crypto::ThresholdSignature {
 impl Words for validity_crypto::PartialSignature {
     fn words(&self) -> usize {
         1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode();
+        assert_eq!(T::decode_all(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(12345u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip("hello κόσμος".to_string());
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        assert!(bool::decode_all(&[2]).is_none());
+    }
+
+    #[test]
+    fn input_config_roundtrip() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
+        roundtrip(c);
+    }
+
+    #[test]
+    fn decode_all_rejects_trailing_bytes() {
+        let mut bytes = 7u64.encode();
+        bytes.push(0);
+        assert!(u64::decode_all(&bytes).is_none());
+    }
+
+    #[test]
+    fn words_accounting() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!(vec![0u8; 17].words(), 3);
+        assert_eq!(bytes_to_words(0), 1);
+        let params = SystemParams::new(4, 1).unwrap();
+        let c = InputConfig::from_pairs(params, [(0usize, 5u64), (2, 7), (3, 9)]).unwrap();
+        assert_eq!(c.words(), 4); // 1 framing + 3 values
     }
 }

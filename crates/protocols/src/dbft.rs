@@ -149,7 +149,7 @@ impl DbftBinary {
     }
 
     fn bin_value(&self, r: u32, v: bool, env: &Env) -> bool {
-        self.effective_est(r, v).len() >= 2 * env.t() + 1
+        self.effective_est(r, v).len() > 2 * env.t()
     }
 
     /// Proposes a value, starting round 1.
@@ -211,7 +211,7 @@ impl DbftBinary {
 
         // Decision via DONE certificates (t + 1 distinct deciders).
         for v in [false, true] {
-            if self.done_votes[v as usize].len() >= env.t() + 1 {
+            if self.done_votes[v as usize].len() > env.t() {
                 return self.decide(v, &mut steps);
             }
         }
@@ -236,7 +236,7 @@ impl DbftBinary {
             let known_rounds: Vec<u32> = self.rounds.keys().copied().collect();
             for r2 in known_rounds {
                 for v in [false, true] {
-                    if self.effective_est(r2, v).len() >= env.t() + 1
+                    if self.effective_est(r2, v).len() > env.t()
                         && !self.round_state(r2).est_echoed[v as usize]
                     {
                         self.round_state(r2).est_echoed[v as usize] = true;
@@ -257,7 +257,7 @@ impl DbftBinary {
             // Weak coordinator's suggestion.
             if Self::coordinator(r, env) == env.id && !self.round_state(r).coord_sent {
                 self.round_state(r).coord_sent = true;
-                let v = if bin1 { true } else { false };
+                let v = bin1;
                 steps.push(Step::Broadcast(DbftMsg::Coord { round: r, value: v }));
             }
 
@@ -313,7 +313,11 @@ impl DbftBinary {
         steps
     }
 
-    fn decide(&mut self, v: bool, steps: &mut Vec<Step<DbftMsg, bool>>) -> Vec<Step<DbftMsg, bool>> {
+    fn decide(
+        &mut self,
+        v: bool,
+        steps: &mut Vec<Step<DbftMsg, bool>>,
+    ) -> Vec<Step<DbftMsg, bool>> {
         if self.decided.is_none() {
             self.decided = Some(v);
             steps.push(Step::Broadcast(DbftMsg::Done { value: v }));
@@ -328,7 +332,7 @@ impl DbftBinary {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::{agreement_holds, Machine, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, Machine, NodeKind, Silent, SimConfig, Simulation};
 
     #[derive(Clone, Debug)]
     struct DbftNode {
@@ -344,7 +348,12 @@ mod tests {
             self.inner.propose(self.proposal, env)
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: DbftMsg, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: DbftMsg,
+            env: &Env,
+        ) -> Vec<Step<DbftMsg, bool>> {
             self.inner.on_message(from, msg, env)
         }
 
@@ -369,16 +378,26 @@ mod tests {
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
         let outcome = sim.run_until_decided();
-        assert_eq!(outcome, validity_simnet::RunOutcome::AllDecided, "no termination");
+        assert_eq!(
+            outcome,
+            validity_simnet::RunOutcome::AllDecided,
+            "no termination"
+        );
         assert!(agreement_holds(sim.decisions()), "agreement violated");
-        sim.decisions().iter().map(|d| d.as_ref().map(|x| x.1)).collect()
+        sim.decisions()
+            .iter()
+            .map(|d| d.as_ref().map(|x| x.1))
+            .collect()
     }
 
     #[test]
     fn unanimous_true_decides_true() {
         for seed in 0..3 {
             let d = run(4, 1, &[true; 4], 0, seed);
-            assert!(d.iter().all(|x| *x == Some(true)), "strong validity violated");
+            assert!(
+                d.iter().all(|x| *x == Some(true)),
+                "strong validity violated"
+            );
         }
     }
 
@@ -438,9 +457,7 @@ mod tests {
             .on_message(ProcessId(0), DbftMsg::Done { value: true }, &env)
             .is_empty());
         let steps = dbft.on_message(ProcessId(1), DbftMsg::Done { value: true }, &env);
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, Step::Output(true))));
+        assert!(steps.iter().any(|s| matches!(s, Step::Output(true))));
         assert_eq!(dbft.decided(), Some(true));
     }
 

@@ -34,6 +34,7 @@ pub mod compose;
 pub mod dbft;
 pub mod dissemination;
 pub mod quad;
+pub mod registry;
 pub mod slow_broadcast;
 pub mod universal;
 pub mod vector_auth;
@@ -46,7 +47,10 @@ pub use brb::{BrbInstance, BrbMsg};
 pub use codec::{bytes_to_words, Codec, Words, BYTES_PER_WORD};
 pub use dbft::{DbftBinary, DbftMsg};
 pub use dissemination::{vector_hash, Acquired, DissemMsg, VectorDissemination};
-pub use quad::{PreparedCert, QuadConfig, QuadCore, QuadDecision, QuadMachine, QuadMsg};
+pub use quad::{
+    PreparedCert, QuadConfig, QuadCore, QuadDecision, QuadMachine, QuadMsg, QuadVerify,
+};
+pub use registry::{VectorContext, VectorKind, VectorMachine, VectorMsg};
 pub use slow_broadcast::SlowBroadcast;
 pub use universal::Universal;
 pub use vector_auth::{

@@ -119,9 +119,7 @@ pub enum QuadMsg<V, P> {
 impl<V: Words, P: Words> Words for QuadMsg<V, P> {
     fn words(&self) -> usize {
         match self {
-            QuadMsg::ViewChange { prepared, .. } => {
-                1 + prepared.as_ref().map_or(0, Words::words)
-            }
+            QuadMsg::ViewChange { prepared, .. } => 1 + prepared.as_ref().map_or(0, Words::words),
             QuadMsg::Propose {
                 value,
                 proof,
@@ -137,6 +135,10 @@ impl<V: Words, P: Words> Words for QuadMsg<V, P> {
     }
 }
 
+/// The external validity predicate `verify(v, Σ)` shared by a Quad
+/// deployment.
+pub type QuadVerify<V, P> = Arc<dyn Fn(&V, &P) -> bool + Send + Sync>;
+
 /// Shared configuration of a Quad instance.
 #[derive(Clone)]
 pub struct QuadConfig<V, P> {
@@ -145,7 +147,7 @@ pub struct QuadConfig<V, P> {
     /// This process's signer.
     pub signer: Signer,
     /// The external validity predicate `verify(v, Σ)`.
-    pub verify: Arc<dyn Fn(&V, &P) -> bool + Send + Sync>,
+    pub verify: QuadVerify<V, P>,
     /// Domain-separation label (distinct concurrent Quad instances must
     /// differ).
     pub label: &'static str,
@@ -160,6 +162,9 @@ impl<V, P> Debug for QuadConfig<V, P> {
 /// The decision of Quad: a verified value–proof pair.
 pub type QuadDecision<V, P> = (V, P);
 
+/// The VIEW-CHANGE votes a leader collects for one view.
+type ViewChangeVotes<V, P> = Vec<(ProcessId, Option<PreparedCert<V, P>>)>;
+
 /// One instance of Quad (a composable component).
 pub struct QuadCore<V, P> {
     cfg: QuadConfig<V, P>,
@@ -171,8 +176,8 @@ pub struct QuadCore<V, P> {
     // follower vote bookkeeping
     voted_prepare: HashSet<u64>,
     voted_commit: HashSet<u64>,
-    // leader bookkeeping
-    view_changes: HashMap<u64, Vec<(ProcessId, Option<PreparedCert<V, P>>)>>,
+    // leader bookkeeping: per-view VIEW-CHANGE votes with optional locks
+    view_changes: HashMap<u64, ViewChangeVotes<V, P>>,
     leader_ready: HashSet<u64>,
     proposed: HashSet<u64>,
     driving: HashMap<u64, (V, P)>,
@@ -324,7 +329,10 @@ where
                 prepared: self.lock.clone(),
             },
         ));
-        steps.push(Step::Timer(Self::view_timeout(view, env), Self::timeout_tag(view)));
+        steps.push(Step::Timer(
+            Self::view_timeout(view, env),
+            Self::timeout_tag(view),
+        ));
         if Self::leader(view, env) == env.id {
             steps.push(Step::Timer(
                 (self.leader_wait * env.delta).max(1),
@@ -335,7 +343,11 @@ where
     }
 
     /// Leader: propose once the wait elapsed and `n − t` view-changes are in.
-    fn try_propose(&mut self, view: u64, env: &Env) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    fn try_propose(
+        &mut self,
+        view: u64,
+        env: &Env,
+    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
         if self.decided || self.proposed.contains(&view) || Self::leader(view, env) != env.id {
             return Vec::new();
         }
@@ -480,7 +492,7 @@ where
                 let view = cert.view;
                 if view < self.view {
                     // stale certificate: still useful as a lock update
-                    if self.lock.as_ref().map_or(true, |l| l.view < view) {
+                    if self.lock.as_ref().is_none_or(|l| l.view < view) {
                         self.lock = Some(cert);
                     }
                     return Vec::new();
@@ -489,7 +501,7 @@ where
                 if view > self.view {
                     steps.extend(self.enter_view(view, env));
                 }
-                if self.lock.as_ref().map_or(true, |l| l.view < view) {
+                if self.lock.as_ref().is_none_or(|l| l.view < view) {
                     self.lock = Some(cert.clone());
                 }
                 if self.voted_commit.insert(view) {
@@ -549,7 +561,11 @@ where
                 if !(self.cfg.verify)(&value, &proof) {
                     return Vec::new();
                 }
-                if !self.cfg.scheme.verify(&self.commit_digest(view, &value), &tsig) {
+                if !self
+                    .cfg
+                    .scheme
+                    .verify(&self.commit_digest(view, &value), &tsig)
+                {
                     return Vec::new();
                 }
                 self.decided = true;
@@ -568,12 +584,16 @@ where
     }
 
     /// Handles a namespaced timer.
-    pub fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    pub fn on_timer(
+        &mut self,
+        tag: u64,
+        env: &Env,
+    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
         if self.decided {
             return Vec::new();
         }
         let view = tag / 2;
-        if tag % 2 == 0 {
+        if tag.is_multiple_of(2) {
             // view timeout: advance if still stuck in that view
             if view == self.view {
                 return self.enter_view(view + 1, env);
@@ -617,8 +637,8 @@ where
 
 impl<V, P> validity_simnet::Machine for QuadMachine<V, P>
 where
-    V: Clone + Eq + Debug + Codec + Words + 'static,
-    P: Clone + Debug + Words + 'static,
+    V: Clone + Eq + Debug + Codec + Words + Send + 'static,
+    P: Clone + Debug + Words + Send + 'static,
     QuadMsg<V, P>: validity_simnet::Message,
 {
     type Msg = QuadMsg<V, P>;
@@ -657,9 +677,7 @@ mod tests {
     use super::*;
     use validity_core::SystemParams;
     use validity_crypto::KeyStore;
-    use validity_simnet::{
-        agreement_holds, Machine, NodeKind, SimConfig, Silent, Simulation,
-    };
+    use validity_simnet::{agreement_holds, Machine, NodeKind, Silent, SimConfig, Simulation};
 
     type Msg = QuadMsg<u64, u64>;
 
@@ -680,7 +698,12 @@ mod tests {
             steps
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: Msg, env: &Env) -> Vec<Step<Msg, (u64, u64)>> {
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: Msg,
+            env: &Env,
+        ) -> Vec<Step<Msg, (u64, u64)>> {
             self.core.on_message(from, msg, env)
         }
 
@@ -727,7 +750,10 @@ mod tests {
     fn tolerates_silent_byzantine() {
         for seed in 0..3 {
             let mut sim = build(4, 1, 1, seed);
-            assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+            assert_eq!(
+                sim.run_until_decided(),
+                validity_simnet::RunOutcome::AllDecided
+            );
             assert!(agreement_holds(sim.decisions()));
         }
     }
@@ -735,7 +761,10 @@ mod tests {
     #[test]
     fn larger_system() {
         let mut sim = build(7, 2, 2, 42);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         // decided value is one of the correct inputs (verify is trivial but
         // values originate from proposals)
@@ -766,7 +795,10 @@ mod tests {
             NodeKind::Correct(mk(3)),
         ];
         let mut sim = Simulation::new(SimConfig::new(params).seed(9), nodes);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
     }
 

@@ -1,0 +1,305 @@
+//! A constructor registry over the interchangeable vector-consensus
+//! engines (Algorithms 1, 3 and 6).
+//!
+//! The three machines share the shape `inputs → InputConfig<V>` but differ
+//! in constructor signatures and wire types. [`VectorKind`] names them,
+//! [`VectorContext`] carries the shared crypto substrate, and
+//! [`VectorMachine`] / [`VectorMsg`] erase the per-algorithm types behind
+//! one concrete [`Machine`], so sweep harnesses (`validity-lab`) and CLI
+//! tools can pick an algorithm by name at runtime and still run it
+//! statically dispatched inside the simulator.
+//!
+//! ```
+//! use validity_core::SystemParams;
+//! use validity_protocols::registry::{VectorContext, VectorKind};
+//! use validity_simnet::{NodeKind, SimConfig, Simulation};
+//!
+//! let params = SystemParams::new(4, 1)?;
+//! let ctx = VectorContext::new(params, 7);
+//! let nodes = (0..4)
+//!     .map(|i| NodeKind::Correct(VectorKind::Auth.machine(&ctx, i.into(), i as u64)))
+//!     .collect();
+//! let mut sim = Simulation::new(SimConfig::new(params).seed(7), nodes);
+//! sim.run_until_decided();
+//! assert!(sim.all_correct_decided());
+//! # Ok::<(), validity_core::ParamError>(())
+//! ```
+
+use std::fmt;
+
+use validity_core::{InputConfig, ProcessId, SystemParams, Value};
+use validity_crypto::{KeyStore, ThresholdScheme};
+use validity_simnet::{Env, Machine, Message, Step};
+
+use crate::codec::{Codec, Words};
+use crate::vector_auth::{VectorAuth, VectorAuthMsg};
+use crate::vector_fast::{VectorFast, VectorFastMsg};
+use crate::vector_nonauth::{VectorNonAuth, VectorNonAuthMsg};
+
+/// Names one of the three vector-consensus algorithms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum VectorKind {
+    /// **Algorithm 1** — authenticated vector consensus (Quad-based),
+    /// `O(n²)` messages / `O(n³)` words after GST.
+    Auth,
+    /// **Algorithm 3** — non-authenticated vector consensus (BRB + n×DBFT),
+    /// `O(n⁴)` messages.
+    NonAuth,
+    /// **Algorithm 6** — subcubic vector consensus, `O(n² log n)` words.
+    Fast,
+}
+
+impl VectorKind {
+    /// Every registered algorithm, in presentation order.
+    pub const ALL: [VectorKind; 3] = [VectorKind::Auth, VectorKind::NonAuth, VectorKind::Fast];
+
+    /// The stable registry name (used by CLIs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            VectorKind::Auth => "alg1-auth",
+            VectorKind::NonAuth => "alg3-nonauth",
+            VectorKind::Fast => "alg6-fast",
+        }
+    }
+
+    /// Looks an algorithm up by its registry name.
+    pub fn parse(name: &str) -> Option<VectorKind> {
+        VectorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether the algorithm relies on the PKI (signatures / threshold
+    /// signatures).
+    pub fn authenticated(self) -> bool {
+        !matches!(self, VectorKind::NonAuth)
+    }
+
+    /// The paper's asymptotic cost, for report headers.
+    pub fn complexity(self) -> &'static str {
+        match self {
+            VectorKind::Auth => "O(n²) msgs, O(n³) words",
+            VectorKind::NonAuth => "O(n⁴) msgs",
+            VectorKind::Fast => "O(n² log n) words",
+        }
+    }
+
+    /// Builds the machine for process `p` proposing `input`.
+    pub fn machine<V: Value + Codec + Words>(
+        self,
+        ctx: &VectorContext,
+        p: ProcessId,
+        input: V,
+    ) -> VectorMachine<V> {
+        match self {
+            VectorKind::Auth => VectorMachine::Auth(VectorAuth::new(
+                input,
+                ctx.keys.clone(),
+                ctx.keys.signer(p),
+                ctx.scheme.clone(),
+                ctx.params,
+            )),
+            VectorKind::NonAuth => {
+                VectorMachine::NonAuth(VectorNonAuth::new(input, ctx.params.n()))
+            }
+            VectorKind::Fast => VectorMachine::Fast(VectorFast::new(
+                input,
+                ctx.keys.clone(),
+                ctx.keys.signer(p),
+                ctx.scheme.clone(),
+                ctx.params,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for VectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The shared substrate every node of a run needs: system parameters plus
+/// the simulated PKI and threshold scheme (derived deterministically from a
+/// setup seed, so identical contexts are reproducible).
+#[derive(Clone)]
+pub struct VectorContext {
+    /// System parameters `(n, t)`.
+    pub params: SystemParams,
+    /// The simulated PKI shared by all processes.
+    pub keys: KeyStore,
+    /// Threshold scheme with `k = n − t` (what Quad expects).
+    pub scheme: ThresholdScheme,
+}
+
+impl VectorContext {
+    /// Creates the substrate for `params` from a deterministic setup seed.
+    pub fn new(params: SystemParams, setup_seed: u64) -> Self {
+        let keys = KeyStore::new(params.n(), setup_seed);
+        let scheme = ThresholdScheme::new(keys.clone(), params.quorum());
+        VectorContext {
+            params,
+            keys,
+            scheme,
+        }
+    }
+}
+
+/// Union of the three algorithms' wire messages.
+#[derive(Clone, Debug)]
+pub enum VectorMsg<V: Value> {
+    /// Algorithm 1 traffic.
+    Auth(VectorAuthMsg<V>),
+    /// Algorithm 3 traffic.
+    NonAuth(VectorNonAuthMsg<V>),
+    /// Algorithm 6 traffic.
+    Fast(VectorFastMsg<V>),
+}
+
+impl<V: Value + Words> Message for VectorMsg<V> {
+    fn words(&self) -> usize {
+        match self {
+            VectorMsg::Auth(m) => m.words(),
+            VectorMsg::NonAuth(m) => m.words(),
+            VectorMsg::Fast(m) => m.words(),
+        }
+    }
+}
+
+/// One of the three vector-consensus machines, selected at runtime but
+/// statically dispatched per event.
+///
+/// The variants differ in size (Algorithm 1 carries a keystore and Quad
+/// state); one machine exists per simulated process for the lifetime of a
+/// run, so the footprint of the largest variant is the right trade against
+/// boxing every event dispatch.
+#[allow(clippy::large_enum_variant)]
+pub enum VectorMachine<V: Value> {
+    /// Algorithm 1.
+    Auth(VectorAuth<V>),
+    /// Algorithm 3.
+    NonAuth(VectorNonAuth<V>),
+    /// Algorithm 6.
+    Fast(VectorFast<V>),
+}
+
+fn wrap<V, M, O>(
+    steps: Vec<Step<M, O>>,
+    f: impl Fn(M) -> VectorMsg<V>,
+) -> Vec<Step<VectorMsg<V>, O>>
+where
+    V: Value,
+{
+    steps
+        .into_iter()
+        .map(|s| match s {
+            Step::Send(to, m) => Step::Send(to, f(m)),
+            Step::Broadcast(m) => Step::Broadcast(f(m)),
+            Step::Timer(d, tag) => Step::Timer(d, tag),
+            Step::Output(o) => Step::Output(o),
+            Step::Halt => Step::Halt,
+        })
+        .collect()
+}
+
+impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
+    type Msg = VectorMsg<V>;
+    type Output = InputConfig<V>;
+
+    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+        match self {
+            VectorMachine::Auth(m) => wrap(m.init(env), VectorMsg::Auth),
+            VectorMachine::NonAuth(m) => wrap(m.init(env), VectorMsg::NonAuth),
+            VectorMachine::Fast(m) => wrap(m.init(env), VectorMsg::Fast),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        env: &Env,
+    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        // A mismatched variant can only come from a Byzantine sender talking
+        // the wrong protocol; correct machines ignore it.
+        match (self, msg) {
+            (VectorMachine::Auth(m), VectorMsg::Auth(x)) => {
+                wrap(m.on_message(from, x, env), VectorMsg::Auth)
+            }
+            (VectorMachine::NonAuth(m), VectorMsg::NonAuth(x)) => {
+                wrap(m.on_message(from, x, env), VectorMsg::NonAuth)
+            }
+            (VectorMachine::Fast(m), VectorMsg::Fast(x)) => {
+                wrap(m.on_message(from, x, env), VectorMsg::Fast)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+        match self {
+            VectorMachine::Auth(m) => wrap(m.on_timer(tag, env), VectorMsg::Auth),
+            VectorMachine::NonAuth(m) => wrap(m.on_timer(tag, env), VectorMsg::NonAuth),
+            VectorMachine::Fast(m) => wrap(m.on_timer(tag, env), VectorMsg::Fast),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
+
+    #[test]
+    fn registry_names_roundtrip() {
+        for kind in VectorKind::ALL {
+            assert_eq!(VectorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(VectorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_kind_reaches_agreement_with_a_silent_byzantine() {
+        let params = SystemParams::new(4, 1).unwrap();
+        for kind in VectorKind::ALL {
+            let ctx = VectorContext::new(params, 11);
+            let nodes: Vec<NodeKind<VectorMachine<u64>>> = (0..4)
+                .map(|i| {
+                    if i < 3 {
+                        NodeKind::Correct(kind.machine(&ctx, ProcessId::from_index(i), i as u64))
+                    } else {
+                        NodeKind::Byzantine(Box::new(Silent))
+                    }
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::new(params).seed(11), nodes);
+            sim.run_until_decided();
+            assert!(sim.all_correct_decided(), "{kind} did not decide");
+            assert!(agreement_holds(sim.decisions()), "{kind} broke agreement");
+        }
+    }
+
+    #[test]
+    fn erased_machine_matches_direct_construction() {
+        // The registry path must measure identically to hand-built nodes
+        // (modulo the enum wrapper, which adds no words).
+        let params = SystemParams::new(4, 1).unwrap();
+        let ctx = VectorContext::new(params, 3);
+        let nodes: Vec<NodeKind<VectorMachine<u64>>> = (0..4)
+            .map(|i| NodeKind::Correct(VectorKind::NonAuth.machine(&ctx, i.into(), 5u64)))
+            .collect();
+        let mut sim = Simulation::new(SimConfig::new(params).seed(3), nodes);
+        sim.run_until_decided();
+
+        let direct: Vec<NodeKind<VectorNonAuth<u64>>> = (0..4)
+            .map(|_| NodeKind::Correct(VectorNonAuth::new(5u64, 4)))
+            .collect();
+        let mut dsim = Simulation::new(SimConfig::new(params).seed(3), direct);
+        dsim.run_until_decided();
+
+        assert_eq!(
+            sim.stats().messages_total,
+            dsim.stats().messages_total,
+            "enum erasure must not change message accounting"
+        );
+        assert_eq!(sim.stats().words_total, dsim.stats().words_total);
+    }
+}

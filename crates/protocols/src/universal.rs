@@ -76,10 +76,7 @@ where
         &self.vc
     }
 
-    fn map_steps(
-        &mut self,
-        steps: Vec<Step<VC::Msg, InputConfig<V>>>,
-    ) -> Vec<Step<VC::Msg, V>> {
+    fn map_steps(&mut self, steps: Vec<Step<VC::Msg, InputConfig<V>>>) -> Vec<Step<VC::Msg, V>> {
         let mut out = Vec::new();
         for step in steps {
             match step {
@@ -93,16 +90,13 @@ where
                         // (Definition 2); failure here means the property
                         // violates C_S and should have been rejected by
                         // classification beforehand.
-                        let v = self
-                            .lambda
-                            .lambda(&vector)
-                            .unwrap_or_else(|e| {
-                                panic!(
-                                    "Universal mis-configured: {} undefined at decided \
+                        let v = self.lambda.lambda(&vector).unwrap_or_else(|e| {
+                            panic!(
+                                "Universal mis-configured: {} undefined at decided \
                                      vector ({e}); the validity property violates C_S",
-                                    self.lambda.name()
-                                )
-                            });
+                                self.lambda.name()
+                            )
+                        });
                         out.push(Step::Output(v));
                     }
                 }
@@ -127,7 +121,12 @@ where
         self.map_steps(steps)
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        env: &Env,
+    ) -> Vec<Step<Self::Msg, V>> {
         let steps = self.vc.on_message(from, msg, env);
         self.map_steps(steps)
     }
@@ -143,11 +142,11 @@ mod tests {
     use super::*;
     use crate::vector_auth::VectorAuth;
     use validity_core::{
-        check_canonical_decision, check_decision, Domain, MedianValidity, StrongLambda,
-        StrongValidity, SystemParams, RankLambda,
+        check_canonical_decision, check_decision, Domain, MedianValidity, RankLambda, StrongLambda,
+        StrongValidity, SystemParams,
     };
     use validity_crypto::{KeyStore, ThresholdScheme};
-    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
     type Uni<L> = Universal<u64, VectorAuth<u64>, L>;
 
@@ -188,7 +187,10 @@ mod tests {
         let inputs = [9u64, 9, 9, 9];
         for byz in 0..=1 {
             let mut sim = build(4, 1, &inputs, byz, StrongLambda, 3);
-            assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+            assert_eq!(
+                sim.run_until_decided(),
+                validity_simnet::RunOutcome::AllDecided
+            );
             assert!(agreement_holds(sim.decisions()));
             assert_eq!(sim.decisions()[0].as_ref().unwrap().1, 9);
         }
@@ -201,21 +203,14 @@ mod tests {
         let mut sim = build(4, 1, &inputs, 1, StrongLambda, 5);
         sim.run_until_decided();
         let decided = sim.decisions()[0].as_ref().unwrap().1;
-        let actual = validity_core::InputConfig::from_pairs(
-            params,
-            (0..3).map(|i| (i, inputs[i])),
-        )
-        .unwrap();
+        let actual =
+            validity_core::InputConfig::from_pairs(params, (0..3).map(|i| (i, inputs[i]))).unwrap();
         assert!(check_decision(&StrongValidity, &actual, &decided).is_ok());
         // This is also a canonical execution (faulty process silent), so
         // Lemma 1 applies with the stronger intersection bound.
-        assert!(check_canonical_decision(
-            &StrongValidity,
-            &actual,
-            &decided,
-            &Domain::binary()
-        )
-        .is_ok());
+        assert!(
+            check_canonical_decision(&StrongValidity, &actual, &decided, &Domain::binary()).is_ok()
+        );
     }
 
     #[test]
@@ -223,12 +218,14 @@ mod tests {
         let inputs = [10u64, 20, 30, 40, 50, 60, 70];
         let lambda = RankLambda::median(2, 0u64, 100);
         let mut sim = build(7, 2, &inputs, 2, lambda, 8);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         let decided = sim.decisions()[0].as_ref().unwrap().1;
         let params = SystemParams::new(7, 2).unwrap();
         let actual =
-            validity_core::InputConfig::from_pairs(params, (0..5).map(|i| (i, inputs[i])))
-                .unwrap();
+            validity_core::InputConfig::from_pairs(params, (0..5).map(|i| (i, inputs[i]))).unwrap();
         assert!(
             check_decision(&MedianValidity::with_slack(2), &actual, &decided).is_ok(),
             "decided {decided} violates median validity for {actual:?}"

@@ -56,11 +56,15 @@ pub fn proposal_sign_bytes<V: Codec>(v: &V) -> Vec<u8> {
     validity_crypto::sig::message_bytes("validity/alg1/proposal", &[&v.encode()])
 }
 
+/// A step of the embedded Quad instance, before the Algorithm-1 wrapper
+/// maps it onto the outer wire type.
+type QuadStep<V> = Step<QuadMsg<InputConfig<V>, VectorProof<V>>, (InputConfig<V>, VectorProof<V>)>;
+
 /// Builds the Quad `verify` function of Algorithm 1.
 pub fn vector_verify<V>(
     keystore: KeyStore,
     params: SystemParams,
-) -> Arc<dyn Fn(&InputConfig<V>, &VectorProof<V>) -> bool + Send + Sync>
+) -> crate::quad::QuadVerify<InputConfig<V>, VectorProof<V>>
 where
     V: Value + Codec,
 {
@@ -148,7 +152,7 @@ where
 
     fn handle_quad_steps(
         &mut self,
-        steps: Vec<Step<QuadMsg<InputConfig<V>, VectorProof<V>>, (InputConfig<V>, VectorProof<V>)>>,
+        steps: Vec<QuadStep<V>>,
     ) -> Vec<Step<VectorAuthMsg<V>, InputConfig<V>>> {
         let mut out = Vec::new();
         for step in steps {
@@ -212,7 +216,9 @@ where
                 self.proposed_to_quad = true;
                 let vector = InputConfig::from_pairs(
                     env.params,
-                    self.proposals.values().map(|sp| (sp.from, sp.value.clone())),
+                    self.proposals
+                        .values()
+                        .map(|sp| (sp.from, sp.value.clone())),
                 )
                 .expect("n − t distinct proposals form a valid configuration");
                 let proof: VectorProof<V> = self.proposals.values().cloned().collect();
@@ -237,7 +243,7 @@ mod tests {
     use super::*;
     use validity_core::{check_decision, SystemParams, VectorValidity};
     use validity_crypto::ThresholdScheme;
-    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
     fn build(
         n: usize,
@@ -271,7 +277,10 @@ mod tests {
     fn decides_a_valid_vector() {
         let inputs = [10u64, 20, 30, 40];
         let mut sim = build(4, 1, &inputs, 0, 1);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         let vector = &sim.decisions()[0].as_ref().unwrap().1;
         assert_eq!(vector.len(), 3);
@@ -288,7 +297,10 @@ mod tests {
         let inputs = [1u64, 2, 3, 4, 5, 6, 7];
         for seed in 0..3 {
             let mut sim = build(7, 2, &inputs, 2, seed);
-            assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+            assert_eq!(
+                sim.run_until_decided(),
+                validity_simnet::RunOutcome::AllDecided
+            );
             assert!(agreement_holds(sim.decisions()));
             let vector = &sim.decisions()[0].as_ref().unwrap().1;
             // Check against the formalism's Vector Validity property.

@@ -101,8 +101,7 @@ where
             }),
             label: "validity/alg6/quad",
         });
-        let dissem =
-            VectorDissemination::new(scheme, signer.clone(), keystore.clone(), params);
+        let dissem = VectorDissemination::new(scheme, signer.clone(), keystore.clone(), params);
         VectorFast {
             input,
             signer,
@@ -260,7 +259,9 @@ where
                 self.disseminating = true;
                 let vector = InputConfig::from_pairs(
                     env.params,
-                    self.proposals.values().map(|sp| (sp.from, sp.value.clone())),
+                    self.proposals
+                        .values()
+                        .map(|sp| (sp.from, sp.value.clone())),
                 )
                 .expect("n − t distinct proposals form a valid configuration");
                 let proof: VectorProof<V> = self.proposals.values().cloned().collect();
@@ -302,7 +303,7 @@ where
 mod tests {
     use super::*;
     use validity_core::{check_decision, VectorValidity};
-    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
     fn build(
         n: usize,
@@ -336,7 +337,10 @@ mod tests {
     fn failure_free_run_decides_valid_vector() {
         let inputs = [11u64, 22, 33, 44];
         let mut sim = build(4, 1, &inputs, 0, 1);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         let vector = &sim.decisions()[0].as_ref().unwrap().1;
         assert_eq!(vector.len(), 3);
@@ -360,8 +364,7 @@ mod tests {
             assert!(agreement_holds(sim.decisions()));
             let vector = &sim.decisions()[0].as_ref().unwrap().1;
             let params = SystemParams::new(4, 1).unwrap();
-            let actual =
-                InputConfig::from_pairs(params, (0..3).map(|i| (i, inputs[i]))).unwrap();
+            let actual = InputConfig::from_pairs(params, (0..3).map(|i| (i, inputs[i]))).unwrap();
             assert!(check_decision(&VectorValidity, &actual, vector).is_ok());
         }
     }
@@ -370,7 +373,10 @@ mod tests {
     fn larger_system() {
         let inputs: Vec<u64> = (100..107).collect();
         let mut sim = build(7, 2, &inputs, 2, 9);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
     }
 

@@ -69,7 +69,9 @@ impl<V: Value + Words> VectorNonAuth<V> {
     pub fn new(input: V, n: usize) -> Self {
         VectorNonAuth {
             input,
-            brbs: (0..n).map(|j| BrbInstance::new(ProcessId::from_index(j))).collect(),
+            brbs: (0..n)
+                .map(|j| BrbInstance::new(ProcessId::from_index(j)))
+                .collect(),
             dbfts: (0..n).map(|_| DbftBinary::new()).collect(),
             proposals: vec![None; n],
             dbft_proposing: true,
@@ -158,12 +160,13 @@ impl<V: Value + Words> VectorNonAuth<V> {
     }
 
     /// Lines 16–20 and 21–23: react to DBFT progress.
-    fn on_dbft_decision(
-        &mut self,
-        env: &Env,
-    ) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
+    fn on_dbft_decision(&mut self, env: &Env) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
         let mut out = Vec::new();
-        let ones = self.dbfts.iter().filter(|d| d.decided() == Some(true)).count();
+        let ones = self
+            .dbfts
+            .iter()
+            .filter(|d| d.decided() == Some(true))
+            .count();
         if ones >= env.quorum() && self.dbft_proposing {
             self.dbft_proposing = false;
             for j in 0..self.dbfts.len() {
@@ -262,7 +265,7 @@ impl<V: Value + Words> Machine for VectorNonAuth<V> {
 mod tests {
     use super::*;
     use validity_core::{check_decision, SystemParams, VectorValidity};
-    use validity_simnet::{agreement_holds, NodeKind, SimConfig, Silent, Simulation};
+    use validity_simnet::{agreement_holds, NodeKind, Silent, SimConfig, Simulation};
 
     fn build(
         n: usize,
@@ -288,7 +291,10 @@ mod tests {
     fn failure_free_run_decides_valid_vector() {
         let inputs = [5u64, 6, 7, 8];
         let mut sim = build(4, 1, &inputs, 0, 1);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
         let vector = &sim.decisions()[0].as_ref().unwrap().1;
         assert_eq!(vector.len(), 3);
@@ -312,8 +318,7 @@ mod tests {
             assert!(agreement_holds(sim.decisions()));
             let vector = &sim.decisions()[0].as_ref().unwrap().1;
             let params = SystemParams::new(4, 1).unwrap();
-            let actual =
-                InputConfig::from_pairs(params, (0..3).map(|i| (i, inputs[i]))).unwrap();
+            let actual = InputConfig::from_pairs(params, (0..3).map(|i| (i, inputs[i]))).unwrap();
             assert!(check_decision(&VectorValidity, &actual, vector).is_ok());
         }
     }
@@ -322,7 +327,10 @@ mod tests {
     fn larger_system_with_faults() {
         let inputs: Vec<u64> = (0..7).collect();
         let mut sim = build(7, 2, &inputs, 2, 5);
-        assert_eq!(sim.run_until_decided(), validity_simnet::RunOutcome::AllDecided);
+        assert_eq!(
+            sim.run_until_decided(),
+            validity_simnet::RunOutcome::AllDecided
+        );
         assert!(agreement_holds(sim.decisions()));
     }
 

@@ -5,7 +5,7 @@
 use validity_core::{ProcessId, SystemParams};
 use validity_protocols::{DbftBinary, DbftMsg};
 use validity_simnet::{
-    agreement_holds, Byzantine, ByzStep, Env, Machine, NodeKind, SimConfig, Simulation, Step,
+    agreement_holds, ByzStep, Byzantine, Env, Machine, NodeKind, SimConfig, Simulation, Step,
 };
 
 #[derive(Clone, Debug)]
@@ -86,7 +86,10 @@ fn run(n: usize, t: usize, proposals: &[bool], byz: usize, seed: u64) -> Vec<Opt
         "termination lost under equivocation"
     );
     assert!(agreement_holds(sim.decisions()), "agreement lost");
-    sim.decisions().iter().map(|d| d.as_ref().map(|x| x.1)).collect()
+    sim.decisions()
+        .iter()
+        .map(|d| d.as_ref().map(|x| x.1))
+        .collect()
 }
 
 #[test]

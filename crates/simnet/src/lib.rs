@@ -66,8 +66,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use node::{Byzantine, ByzStep, Env, FilteredMachine, Machine, Message, Silent, Step};
+pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
 pub use sim::{agreement_holds, NodeKind, PreGstPolicy, RunOutcome, SimConfig, Simulation};
 pub use stats::NetStats;
-pub use trace::{Trace, TraceEvent};
 pub use time::{Time, DEFAULT_DELTA, DEFAULT_GST};
+pub use trace::{Trace, TraceEvent};

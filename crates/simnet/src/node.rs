@@ -17,7 +17,10 @@ use crate::time::Time;
 /// A protocol message. `words()` implements the paper's communication-
 /// complexity accounting (footnote 4): a *word* holds a constant number of
 /// values, hashes, and signatures.
-pub trait Message: Clone + Debug + 'static {
+///
+/// Messages are `Send` so that whole simulations (queues included) can be
+/// handed to the `validity-lab` worker pool.
+pub trait Message: Clone + Debug + Send + 'static {
     /// Size of the message in words. Defaults to 1.
     fn words(&self) -> usize {
         1
@@ -73,11 +76,14 @@ pub enum Step<M, O> {
 }
 
 /// A deterministic correct-process state machine.
-pub trait Machine {
+///
+/// Machines are `Send`: simulations are deterministic and independent, so a
+/// scenario sweep can move them freely across worker threads.
+pub trait Machine: Send {
     /// Wire message type.
     type Msg: Message;
     /// Output (decision) type.
-    type Output: Clone + Debug + 'static;
+    type Output: Clone + Debug + Send + 'static;
 
     /// Called once when the process starts (before any delivery).
     fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>>;
@@ -112,8 +118,9 @@ pub enum ByzStep<M> {
 /// An arbitrary (Byzantine) behaviour over the protocol's message type.
 ///
 /// The only power the model denies Byzantine processes is signature forgery,
-/// which the crypto substrate enforces structurally.
-pub trait Byzantine<Msg: Message> {
+/// which the crypto substrate enforces structurally. Like [`Machine`],
+/// behaviours are `Send` so node vectors can cross threads.
+pub trait Byzantine<Msg: Message>: Send {
     /// Called once at start.
     fn init(&mut self, _env: &Env) -> Vec<ByzStep<Msg>> {
         Vec::new()

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 
-use crate::node::{Byzantine, ByzStep, Env, Machine, Step};
+use crate::node::{ByzStep, Byzantine, Env, Machine, Step};
 use crate::stats::NetStats;
 use crate::time::{Time, DEFAULT_DELTA, DEFAULT_GST};
 use crate::trace::{Trace, TraceEvent};
@@ -82,7 +82,9 @@ impl SimConfig {
             params,
             gst: DEFAULT_GST,
             delta: DEFAULT_DELTA,
-            pre_gst: PreGstPolicy::Uniform { max: 4 * DEFAULT_DELTA },
+            pre_gst: PreGstPolicy::Uniform {
+                max: 4 * DEFAULT_DELTA,
+            },
             seed: 0,
             max_time: Time::MAX / 4,
             max_events: 50_000_000,
@@ -413,9 +415,13 @@ impl<M: Machine> Simulation<M> {
                         message: format!("{msg:?}"),
                     },
                 ),
-                EventKind::Timer { tag } => {
-                    trace.record(p, TraceEvent::TimerFired { at: self.time, tag: *tag })
-                }
+                EventKind::Timer { tag } => trace.record(
+                    p,
+                    TraceEvent::TimerFired {
+                        at: self.time,
+                        tag: *tag,
+                    },
+                ),
             }
         }
         // Split borrow: temporarily take the node out to allow &mut self use.
@@ -594,10 +600,7 @@ mod tests {
 
     #[test]
     fn word_accounting_uses_message_words() {
-        let mut sim = Simulation::new(
-            SimConfig::new(params()).seed(3).gst(0),
-            quorum_nodes(0),
-        );
+        let mut sim = Simulation::new(SimConfig::new(params()).seed(3).gst(0), quorum_nodes(0));
         sim.run_to_quiescence();
         // 4 broadcasts × 4 recipients = 16 messages of 2 words each
         assert_eq!(sim.stats().messages_total, 16);

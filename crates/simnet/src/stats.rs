@@ -11,7 +11,7 @@ use validity_core::ProcessId;
 use crate::time::Time;
 
 /// Counters collected by a simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages sent by correct processes at or after GST — the paper's
     /// message complexity measure.
@@ -83,9 +83,47 @@ impl NetStats {
         self.last_decision_at = Some(at);
     }
 
+    /// Folds another run's counters into this one — the aggregation step of
+    /// the `validity-lab` sweep engine. Counter fields add; decision times
+    /// combine as min-of-firsts / max-of-lasts; per-process vectors add
+    /// index-wise, with the shorter vector zero-extended so stats from
+    /// different system sizes can still be pooled.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages_after_gst += other.messages_after_gst;
+        self.words_after_gst += other.words_after_gst;
+        self.messages_total += other.messages_total;
+        self.words_total += other.words_total;
+        self.byzantine_messages += other.byzantine_messages;
+        self.deliveries += other.deliveries;
+        self.timer_fires += other.timer_fires;
+        if self.sent_by.len() < other.sent_by.len() {
+            self.sent_by.resize(other.sent_by.len(), 0);
+        }
+        for (i, &c) in other.sent_by.iter().enumerate() {
+            self.sent_by[i] += c;
+        }
+        if self.received_by.len() < other.received_by.len() {
+            self.received_by.resize(other.received_by.len(), 0);
+        }
+        for (i, &c) in other.received_by.iter().enumerate() {
+            self.received_by[i] += c;
+        }
+        self.first_decision_at = match (self.first_decision_at, other.first_decision_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_decision_at = match (self.last_decision_at, other.last_decision_at) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// The process (among `candidates`) that received the fewest messages —
     /// the pigeonhole step of Lemma 5.
-    pub fn min_receiver(&self, candidates: impl IntoIterator<Item = ProcessId>) -> Option<(ProcessId, u64)> {
+    pub fn min_receiver(
+        &self,
+        candidates: impl IntoIterator<Item = ProcessId>,
+    ) -> Option<(ProcessId, u64)> {
         candidates
             .into_iter()
             .map(|p| (p, self.received_by[p.index()]))
@@ -125,6 +163,31 @@ mod tests {
         assert_eq!(c, 0);
         let (p, c) = s.min_receiver([ProcessId(0), ProcessId(2)]).unwrap();
         assert_eq!((p, c), (ProcessId(2), 1));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_times() {
+        let mut a = NetStats::new(2);
+        a.record_send(ProcessId(0), 2, 50, 0, true);
+        a.record_decision(40);
+        let mut b = NetStats::new(2);
+        b.record_send(ProcessId(1), 3, 10, 0, true);
+        b.record_delivery(ProcessId(0));
+        b.record_decision(10);
+        b.record_decision(90);
+        a.merge(&b);
+        assert_eq!(a.messages_total, 2);
+        assert_eq!(a.words_total, 5);
+        assert_eq!(a.sent_by, vec![1, 1]);
+        assert_eq!(a.received_by, vec![1, 0]);
+        assert_eq!(a.first_decision_at, Some(10));
+        assert_eq!(a.last_decision_at, Some(90));
+        // Merging into fresh (empty) stats is the fold's identity.
+        let mut zero = NetStats::new(0);
+        zero.merge(&a);
+        assert_eq!(zero.messages_total, a.messages_total);
+        assert_eq!(zero.sent_by, a.sent_by);
+        assert_eq!(zero.first_decision_at, a.first_decision_at);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use validity_core::{ProcessId, SystemParams};
 use validity_simnet::{
-    Env, Machine, Message, NodeKind, PreGstPolicy, SimConfig, Silent, Simulation, Step,
+    Env, Machine, Message, NodeKind, PreGstPolicy, Silent, SimConfig, Simulation, Step,
 };
 
 #[derive(Clone, Debug)]

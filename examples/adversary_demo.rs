@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("victim: LeaderEcho, an O(n) 'consensus' (leader broadcasts, others echo)");
     let params = SystemParams::new(10, 3)?;
     let exhibit = break_leader_echo(params, 100, 2023);
-    println!("  step 1: E_base starves {} of messages (pigeonhole over ≤ (⌈t/2⌉)² sends)", exhibit.q);
+    println!(
+        "  step 1: E_base starves {} of messages (pigeonhole over ≤ (⌈t/2⌉)² sends)",
+        exhibit.q
+    );
     println!(
         "  step 2: β_Q — in isolation {} still decides {} at time {} (Termination!)",
         exhibit.q, exhibit.v_q, exhibit.t_q
@@ -39,9 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  groups: A = {} | two-faced B = {} | C = {}",
         split.layout.group_a, split.layout.group_b, split.layout.group_c
     );
-    println!(
-        "  B votes 0 towards A and 1 towards C; the A↔C links stall until both decide"
-    );
+    println!("  B votes 0 towards A and 1 towards C; the A↔C links stall until both decide");
     println!(
         "  result: A decides {}, C decides {} — split with only {} ≤ t faulty",
         split.decision_a, split.decision_c, split.faulty

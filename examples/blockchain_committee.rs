@@ -32,7 +32,7 @@ fn sign_tx(wallet: &str, payload: &str) -> String {
 
 /// The External-Validity predicate: the transaction's tag verifies against
 /// the claimed wallet.
-fn tx_is_valid(tx: &String) -> bool {
+fn tx_is_valid(tx: &str) -> bool {
     let Some((payload, tag)) = tx.rsplit_once('#') else {
         return false;
     };
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("client tx: {tx}");
     }
     // A forged transaction does not verify:
-    assert!(!tx_is_valid(&"mallory->mallory:999#deadbeefdead".to_string()));
+    assert!(!tx_is_valid("mallory->mallory:999#deadbeefdead"));
 
     // --- Servers run vector consensus on their picked-up transactions;
     // the decided vector is the block.
@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- External Validity over the block content (Appendix C property).
-    let external = ExternalValidity::new("client-signed", tx_is_valid);
+    let external = ExternalValidity::new("client-signed", |tx: &String| tx_is_valid(tx));
     let actual = InputConfig::from_pairs(params, (0..3).map(|i| (i, mempool[i].clone())))?;
     let ext_config = ExtInputConfig::new(actual.clone(), [mempool[3].clone()])?;
     for (_, tx) in block.pairs() {

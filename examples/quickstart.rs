@@ -67,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = sim.stats();
     println!(
         "message complexity (after GST): {} messages, {} words; latency: {} ticks",
-        stats.messages_after_gst, stats.words_after_gst,
+        stats.messages_after_gst,
+        stats.words_after_gst,
         stats.last_decision_at.unwrap_or(0),
     );
     println!("quickstart OK");

@@ -69,7 +69,7 @@ fn run(
         "{label}: honest readings {sorted:?} → agreed {:.1} °C (admissible window around \
          median {:.1} °C)",
         decided as f64 / 10.0,
-        sorted[(sorted.len() + 1) / 2 - 1] as f64 / 10.0,
+        sorted[sorted.len().div_ceil(2) - 1] as f64 / 10.0,
     );
     Ok(())
 }
@@ -92,8 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = classify(&ExactMedianValidity, params, &Domain::range(3));
     println!("\nexact-median (no slack) at {params}: {verdict}");
     assert!(!verdict.is_solvable());
-    if let Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config }) = verdict
-    {
+    if let Classification::Unsolvable(UnsolvableReason::SimilarityViolation { config }) = verdict {
         println!("  C_S violation witness: sim({config:?}) has no common admissible value");
     }
     println!("\nsensor_median OK");

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let domain = Domain::range(d);
     println!(
         "classifying at {params} ({}), domain {{0..{}}}\n",
-        if params.supports_non_trivial() { "n > 3t" } else { "n ≤ 3t — Theorem 1 territory" },
+        if params.supports_non_trivial() {
+            "n > 3t"
+        } else {
+            "n ≤ 3t — Theorem 1 territory"
+        },
         d - 1
     );
 
@@ -51,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:<50} {}", prop.name(), verdict);
         match &verdict {
             Classification::Trivial { witness } => {
-                println!("    → decide {witness:?} unconditionally (Theorem 2's always_admissible)");
+                println!(
+                    "    → decide {witness:?} unconditionally (Theorem 2's always_admissible)"
+                );
             }
             Classification::SolvableNonTrivial { lambda_table } => {
                 println!(

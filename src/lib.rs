@@ -18,7 +18,9 @@
 //! * [`protocols`] — Algorithms 1–6, Quad, DBFT, BRB, ADD
 //!   ([`validity_protocols`]);
 //! * [`adversary`] — executable impossibility arguments
-//!   ([`validity_adversary`]).
+//!   ([`validity_adversary`]);
+//! * [`lab`] — the parallel scenario-sweep engine over all of the above
+//!   ([`validity_lab`]).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 pub use validity_adversary as adversary;
 pub use validity_core as core;
 pub use validity_crypto as crypto;
+pub use validity_lab as lab;
 pub use validity_protocols as protocols;
 pub use validity_simnet as simnet;
 
@@ -57,8 +60,11 @@ pub mod prelude {
         WeakLambda, WeakValidity,
     };
     pub use validity_crypto::{KeyStore, ThresholdScheme};
-    pub use validity_protocols::{Universal, VectorAuth, VectorFast, VectorNonAuth};
+    pub use validity_lab::{ScenarioMatrix, SweepEngine, SweepReport};
+    pub use validity_protocols::{
+        Universal, VectorAuth, VectorContext, VectorFast, VectorKind, VectorNonAuth,
+    };
     pub use validity_simnet::{
-        agreement_holds, Machine, NodeKind, PreGstPolicy, SimConfig, Silent, Simulation,
+        agreement_holds, Machine, NodeKind, PreGstPolicy, Silent, SimConfig, Simulation,
     };
 }

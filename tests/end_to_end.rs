@@ -75,7 +75,10 @@ fn universal_strong_validity_over_all_three_algorithms() {
             );
             assert!(stats.decided, "{name} (byz={byz}): no termination");
             assert!(stats.agreement, "{name} (byz={byz}): agreement violated");
-            assert_eq!(stats.decision, "9", "{name} (byz={byz}): strong validity violated");
+            assert_eq!(
+                stats.decision, "9",
+                "{name} (byz={byz}): strong validity violated"
+            );
         }
     }
 }
@@ -141,8 +144,14 @@ fn complexity_ordering_between_algorithms() {
     let s1 = runs::run_vector_auth(params, 0, &inputs, 81, true);
     let s3 = runs::run_vector_nonauth(params, 0, &inputs, 81, true);
     let s6 = runs::run_vector_fast(params, 0, &inputs, 81, true);
-    assert!(s1.messages_after_gst < s3.messages_after_gst, "alg1 beats alg3 on messages");
-    assert!(s6.words_after_gst < s1.words_after_gst, "alg6 beats alg1 on words");
+    assert!(
+        s1.messages_after_gst < s3.messages_after_gst,
+        "alg1 beats alg3 on messages"
+    );
+    assert!(
+        s6.words_after_gst < s1.words_after_gst,
+        "alg6 beats alg1 on words"
+    );
     assert!(s6.latency > s1.latency, "alg6 pays in latency");
 }
 

@@ -11,12 +11,10 @@ use validity_core::{
     check_decision, InputConfig, ProcessId, StrongLambda, StrongValidity, SystemParams,
 };
 use validity_crypto::{KeyStore, Signer, ThresholdScheme};
-use validity_protocols::{
-    proposal_sign_bytes, Universal, VectorAuth, VectorAuthMsg,
-};
+use validity_protocols::{proposal_sign_bytes, Universal, VectorAuth, VectorAuthMsg};
 use validity_simnet::{
-    agreement_holds, Byzantine, ByzStep, Env, FilteredMachine, NodeKind, PreGstPolicy, SimConfig,
-    Silent, Simulation, Time,
+    agreement_holds, ByzStep, Byzantine, Env, FilteredMachine, NodeKind, PreGstPolicy, Silent,
+    SimConfig, Simulation, Time,
 };
 
 type Uni = Universal<u64, VectorAuth<u64>, StrongLambda>;
@@ -62,7 +60,13 @@ impl Byzantine<Msg> for NoiseReflector {
     }
 }
 
-fn correct(i: usize, inputs: &[u64], ks: &KeyStore, scheme: &ThresholdScheme, params: SystemParams) -> Uni {
+fn correct(
+    i: usize,
+    inputs: &[u64],
+    ks: &KeyStore,
+    scheme: &ThresholdScheme,
+    params: SystemParams,
+) -> Uni {
     Universal::new(
         VectorAuth::new(
             inputs[i],
@@ -93,12 +97,19 @@ fn policies(delta: Time) -> Vec<(&'static str, PreGstPolicy)> {
     ]
 }
 
-fn byzantine_for(kind: &str, i: usize, inputs: &[u64], ks: &KeyStore, scheme: &ThresholdScheme, params: SystemParams) -> Box<dyn Byzantine<Msg>> {
+fn byzantine_for(
+    kind: &str,
+    i: usize,
+    inputs: &[u64],
+    ks: &KeyStore,
+    scheme: &ThresholdScheme,
+    params: SystemParams,
+) -> Box<dyn Byzantine<Msg>> {
     match kind {
         "silent" => Box::new(Silent),
-        "crash-late" => Box::new(
-            FilteredMachine::new(correct(i, inputs, ks, scheme, params)).crash_after(500),
-        ),
+        "crash-late" => {
+            Box::new(FilteredMachine::new(correct(i, inputs, ks, scheme, params)).crash_after(500))
+        }
         "deaf" => Box::new(
             FilteredMachine::new(correct(i, inputs, ks, scheme, params)).ignore_first(usize::MAX),
         ),
@@ -136,7 +147,10 @@ fn byzantine_times_delay_matrix() {
                 sim.run_until_decided();
                 let label = format!("behaviour={behaviour}, policy={policy_name}, seed={seed}");
                 assert!(sim.all_correct_decided(), "liveness failed: {label}");
-                assert!(agreement_holds(sim.decisions()), "agreement failed: {label}");
+                assert!(
+                    agreement_holds(sim.decisions()),
+                    "agreement failed: {label}"
+                );
                 // validity: the 5 correct processes propose 5 unanimously
                 let actual =
                     InputConfig::from_pairs(params, (0..5).map(|i| (i, inputs[i]))).unwrap();
@@ -160,8 +174,22 @@ fn mixed_byzantine_behaviours() {
     let scheme = ThresholdScheme::new(ks.clone(), params.quorum());
     let nodes: Vec<NodeKind<Uni>> = (0..7)
         .map(|i| match i {
-            5 => NodeKind::Byzantine(byzantine_for("equivocator", i, &inputs, &ks, &scheme, params)),
-            6 => NodeKind::Byzantine(byzantine_for("crash-late", i, &inputs, &ks, &scheme, params)),
+            5 => NodeKind::Byzantine(byzantine_for(
+                "equivocator",
+                i,
+                &inputs,
+                &ks,
+                &scheme,
+                params,
+            )),
+            6 => NodeKind::Byzantine(byzantine_for(
+                "crash-late",
+                i,
+                &inputs,
+                &ks,
+                &scheme,
+                params,
+            )),
             _ => NodeKind::Correct(correct(i, &inputs, &ks, &scheme, params)),
         })
         .collect();
@@ -185,7 +213,14 @@ fn determinism_under_failures() {
                 if i < 3 {
                     NodeKind::Correct(correct(i, &inputs, &ks, &scheme, params))
                 } else {
-                    NodeKind::Byzantine(byzantine_for("equivocator", i, &inputs, &ks, &scheme, params))
+                    NodeKind::Byzantine(byzantine_for(
+                        "equivocator",
+                        i,
+                        &inputs,
+                        &ks,
+                        &scheme,
+                        params,
+                    ))
                 }
             })
             .collect();
@@ -194,7 +229,7 @@ fn determinism_under_failures() {
         (
             sim.stats().messages_total,
             sim.stats().first_decision_at,
-            sim.decisions()[0].clone(),
+            sim.decisions()[0],
         )
     };
     assert_eq!(run(3), run(3), "same seed must replay identically");

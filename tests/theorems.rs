@@ -5,6 +5,9 @@ use consensus_validity::prelude::*;
 use validity_bench::runs;
 use validity_core::{DynValidity, StrongLambda};
 
+/// A constructor for the `Λ` plugged into `Universal`.
+type LambdaFactory = fn() -> Box<dyn LambdaFn<u64, u64>>;
+
 /// **Theorem 1**: with n ≤ 3t, solvable ⇒ trivial — checked for the whole
 /// catalog by the classifier, and demonstrated operationally by the
 /// partition attack.
@@ -103,7 +106,7 @@ fn theorem_5_universal_solves_classified_properties() {
     let inputs = [0u64, 1, 0, 1];
 
     // Binary-domain catalog at (4,1): all of these satisfy C_S.
-    let cases: Vec<(DynValidity<u64>, fn() -> Box<dyn LambdaFn<u64, u64>>)> = vec![
+    let cases: Vec<(DynValidity<u64>, LambdaFactory)> = vec![
         (Box::new(StrongValidity), || Box::new(StrongLambda)),
         (Box::new(WeakValidity), || Box::new(WeakLambda)),
         (Box::new(CorrectProposalValidity), || {
@@ -164,15 +167,17 @@ fn vector_validity_is_a_strongest_property() {
     let params = SystemParams::new(7, 2).unwrap();
     let inputs: Vec<u64> = (0..7).collect();
     let mut costs = Vec::new();
-    let lambdas: Vec<fn() -> Box<dyn LambdaFn<u64, u64>>> = vec![
-        || Box::new(StrongLambda),
-        || Box::new(WeakLambda),
-        || Box::new(ConvexHullLambda),
-    ];
+    let lambdas: Vec<LambdaFactory> =
+        vec![|| Box::new(StrongLambda), || Box::new(WeakLambda), || {
+            Box::new(ConvexHullLambda)
+        }];
     for lambda in lambdas {
         let stats = runs::run_universal_auth(params, 2, &inputs, lambda, 16, true);
         assert!(stats.decided && stats.agreement);
         costs.push(stats.messages_after_gst);
     }
-    assert!(costs.windows(2).all(|w| w[0] == w[1]), "identical cost expected: {costs:?}");
+    assert!(
+        costs.windows(2).all(|w| w[0] == w[1]),
+        "identical cost expected: {costs:?}"
+    );
 }

@@ -22,7 +22,10 @@ fn merged_execution_is_indistinguishable_for_q() {
     let nodes: Vec<NodeKind<LeaderEcho<u64>>> = (0..4)
         .map(|i| NodeKind::Correct(LeaderEcho::new(if i == q.index() { 1u64 } else { 0 })))
         .collect();
-    let cfg = SimConfig::new(params).gst(100_000).pre_gst(all_stalled).seed(5);
+    let cfg = SimConfig::new(params)
+        .gst(100_000)
+        .pre_gst(all_stalled)
+        .seed(5);
     let mut isolated = Simulation::new(cfg, nodes);
     isolated.enable_tracing();
     isolated.run_until_decided();
@@ -36,9 +39,7 @@ fn merged_execution_is_indistinguishable_for_q() {
         }
     }));
     let nodes: Vec<NodeKind<LeaderEcho<u64>>> = (0..4)
-        .map(|i| {
-            NodeKind::Correct(LeaderEcho::new(if i == q.index() { 1u64 } else { 0 }))
-        })
+        .map(|i| NodeKind::Correct(LeaderEcho::new(if i == q.index() { 1u64 } else { 0 })))
         .collect();
     let cfg = SimConfig::new(params).gst(100_000).pre_gst(policy).seed(5);
     let mut merged = Simulation::new(cfg, nodes);

@@ -1,0 +1,607 @@
+//! Offline stand-in for `proptest` (1.x API subset).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! re-implements the slice of proptest the workspace tests rely on:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter`;
+//! * integer-range, [`Just`], tuple, [`collection::vec`] and
+//!   [`collection::btree_set`] strategies, plus [`any`] for primitives;
+//! * the [`proptest!`] macro with optional `#![proptest_config(..)]`, and
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from upstream: sampling is **deterministic** (seeded from
+//! the test name, so failures reproduce exactly), there is **no
+//! shrinking**, and failed `prop_assume!` skips the case rather than
+//! re-drawing. Swap in the real crate by deleting `vendor/proptest` and
+//! pointing the workspace dependency at the registry.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+pub mod test_runner {
+    //! The deterministic RNG driving all sampling.
+
+    /// xoshiro256++ seeded via splitmix64 from a test-name hash.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from an arbitrary string (FNV-1a).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Creates a generator from a numeric seed.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Returns the next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform sample from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Debiased rejection sampling.
+            let zone = u64::MAX - u64::MAX % bound;
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return x % bound;
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produces a dependent strategy from each value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, re-drawing up to an internal limit.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Strategy producing a single fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer types samplable from ranges and via [`any`].
+pub trait SampleInt: Copy + PartialOrd {
+    /// Converts to the u64 sampling domain (order-preserving).
+    fn to_u64(self) -> u64;
+    /// Converts back from the u64 sampling domain.
+    fn from_u64(v: u64) -> Self;
+    /// The inclusive maximum of the type.
+    fn max_value() -> Self;
+    /// The inclusive minimum of the type.
+    fn min_value() -> Self;
+}
+
+macro_rules! impl_sample_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+            fn max_value() -> Self { <$t>::MAX }
+            fn min_value() -> Self { <$t>::MIN }
+        }
+    )*};
+}
+impl_sample_int_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int_signed {
+    ($($t:ty),*) => {$(
+        impl SampleInt for $t {
+            // Order-preserving bias to unsigned.
+            fn to_u64(self) -> u64 { (self as i64 as u64) ^ (1 << 63) }
+            fn from_u64(v: u64) -> Self { (v ^ (1 << 63)) as i64 as $t }
+            fn max_value() -> Self { <$t>::MAX }
+            fn min_value() -> Self { <$t>::MIN }
+        }
+    )*};
+}
+impl_sample_int_signed!(i32, i64);
+
+fn sample_int_inclusive<T: SampleInt>(rng: &mut TestRng, low: T, high: T) -> T {
+    let (lo, hi) = (low.to_u64(), high.to_u64());
+    debug_assert!(lo <= hi);
+    let span = hi.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        return T::from_u64(rng.next_u64());
+    }
+    T::from_u64(lo + rng.below(span))
+}
+
+impl<T: SampleInt> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        let hi = T::from_u64(self.end.to_u64() - 1);
+        sample_int_inclusive(rng, self.start, hi)
+    }
+}
+
+impl<T: SampleInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        sample_int_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleInt> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        sample_int_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String-pattern strategy: upstream proptest interprets a `&str` as a
+/// regex. This stand-in honors only the `{lo,hi}` repetition suffix (for
+/// length bounds, defaulting to `0..=8`) and draws printable characters —
+/// ASCII plus a few multi-byte code points so UTF-8 boundary handling is
+/// exercised.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '!', '~', '_', '-', '"', '\\', 'é', 'π', '⟨',
+            '⟩', '中', '🦀',
+        ];
+        let (lo, hi) = parse_repeat_suffix(self).unwrap_or((0, 8));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_repeat_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for an integer type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullInt<T>(PhantomData<T>);
+
+impl<T: SampleInt> Strategy for FullInt<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        sample_int_inclusive(rng, T::min_value(), T::max_value())
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FullInt<$t>;
+            fn arbitrary() -> FullInt<$t> { FullInt(PhantomData) }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Full-domain strategy for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Size arguments accepted by the collection strategies.
+pub trait SizeRange: Clone {
+    /// Inclusive (min, max) lengths.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` strategy: `vec(element, len)` or `vec(element, lo..hi)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let (lo, hi) = self.size.bounds();
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `BTreeSet` strategy: distinct elements, size drawn from `size`.
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let (lo, hi) = self.size.bounds();
+            let target = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than `target`; bound the
+            // attempts so sampling always terminates.
+            for _ in 0..target.saturating_mul(20).max(20) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// `prop::collection`, `prop::bool`, ... — the upstream module facade.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strats = ($($s,)+);
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    let ($($p,)+) = $crate::Strategy::sample(&__strats, &mut __rng);
+                    let __run = move || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let a = crate::Strategy::sample(&(0u64..5), &mut rng);
+            assert!(a < 5);
+            let b = crate::Strategy::sample(&(3usize..=7), &mut rng);
+            assert!((3..=7).contains(&b));
+            let c = crate::Strategy::sample(&(1u8..), &mut rng);
+            assert!(c >= 1);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::test_runner::TestRng::for_test("combinators");
+        let s = (1usize..5)
+            .prop_flat_map(|n| (Just(n), 0u64..10))
+            .prop_filter("nonzero", |(_, v)| *v != 3)
+            .prop_map(|(n, v)| n as u64 + v);
+        for _ in 0..200 {
+            let x = crate::Strategy::sample(&s, &mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_test("collections");
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&prop::collection::vec(any::<u8>(), 3..6), &mut rng);
+            assert!((3..6).contains(&v.len()));
+            let s =
+                crate::Strategy::sample(&prop::collection::btree_set(0usize..64, 0..20), &mut rng);
+            assert!(s.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, assume, and assertions.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..100, 0u64..100), c in any::<bool>()) {
+            prop_assume!(a != b || c);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}

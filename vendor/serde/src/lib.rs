@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes through serde — the derives on
+//! `validity_core::process` types exist so downstream users *could* plug in
+//! the real crate. This stub keeps those derives compiling without network
+//! access: [`Serialize`] and [`Deserialize`] are marker traits and the
+//! re-exported derive macros emit empty impls. Swap in the real `serde` by
+//! deleting `vendor/serde*` and pointing the workspace dependency at the
+//! registry.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

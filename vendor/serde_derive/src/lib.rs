@@ -1,0 +1,40 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` backing the
+//! vendored serde stub. Supports plain (non-generic) structs and enums,
+//! which is all the workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name: the identifier following `struct` or `enum`.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found");
+}
+
+/// Emits an empty `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Emits an empty `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
