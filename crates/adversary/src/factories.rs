@@ -10,7 +10,7 @@
 //! Every behaviour here is deterministic, so sweeps stay replayable.
 
 use validity_core::{ProcessId, ProcessSet, SystemParams};
-use validity_simnet::{Byzantine, FilteredMachine, Machine, Silent, Time};
+use validity_simnet::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Time};
 
 use crate::behaviors::TwoFaced;
 
@@ -30,16 +30,24 @@ pub enum BehaviorId {
     /// Runs two correct copies with different proposals, one facing the
     /// lower half, one the upper half — the Lemma-2 partitioner.
     TwoFaced,
+    /// Never participates in the protocol, but keeps the event queue alive
+    /// forever: a timer re-arms every tick, and every received message is
+    /// replayed back at the whole system. An intentionally non-terminating
+    /// adversary — the execution it inhabits never quiesces, so a run that
+    /// cannot decide runs until a step budget aborts it. Exercises the
+    /// `validity-lab` per-cell quarantine machinery.
+    Flood,
 }
 
 impl BehaviorId {
     /// Every registered behaviour, in presentation order.
-    pub const ALL: [BehaviorId; 5] = [
+    pub const ALL: [BehaviorId; 6] = [
         BehaviorId::Silent,
         BehaviorId::Crash,
         BehaviorId::Stale,
         BehaviorId::OmitHalf,
         BehaviorId::TwoFaced,
+        BehaviorId::Flood,
     ];
 
     /// The stable registry name (used by CLIs and reports).
@@ -50,6 +58,7 @@ impl BehaviorId {
             BehaviorId::Stale => "stale",
             BehaviorId::OmitHalf => "omit-half",
             BehaviorId::TwoFaced => "two-faced",
+            BehaviorId::Flood => "flood",
         }
     }
 
@@ -66,6 +75,7 @@ impl BehaviorId {
             BehaviorId::Stale => "correct but ignores its first t deliveries",
             BehaviorId::OmitHalf => "correct but omits sends to the upper half",
             BehaviorId::TwoFaced => "two correct faces with different proposals",
+            BehaviorId::Flood => "replays traffic and re-arms timers forever (never quiesces)",
         }
     }
 
@@ -97,7 +107,56 @@ impl BehaviorId {
                 Box::new(FilteredMachine::new(mk(slot, 0)).omit_to(upper.iter()))
             }
             BehaviorId::TwoFaced => Box::new(TwoFaced::new(mk(slot, 0), lower, mk(slot, 1), upper)),
+            BehaviorId::Flood => Box::new(Flood::<M::Msg>::new(slot)),
         }
+    }
+}
+
+/// The non-terminating behaviour behind [`BehaviorId::Flood`].
+///
+/// It sends no protocol state of its own (it never runs the correct
+/// machine), but it re-arms a tick timer forever and replays every message
+/// other processes send it back at the whole system — so the simulation's
+/// event queue never drains. Correct protocols still decide under it (it is
+/// just noise), but a cell that *cannot* decide — e.g. a quorum-starved
+/// configuration — would run forever; only a step budget stops it. Replay
+/// is limited to messages from *other* processes, so the echo traffic stays
+/// linear in what the rest of the system sends: the unbounded part is the
+/// timer stream, which costs one event per tick.
+#[derive(Clone, Debug)]
+pub struct Flood<Msg> {
+    slot: ProcessId,
+    last: Option<Msg>,
+}
+
+impl<Msg> Flood<Msg> {
+    /// Creates the behaviour for the node in `slot`.
+    pub fn new(slot: ProcessId) -> Self {
+        Flood { slot, last: None }
+    }
+}
+
+impl<Msg: Message> Byzantine<Msg> for Flood<Msg> {
+    fn init(&mut self, _env: &Env) -> Vec<ByzStep<Msg>> {
+        vec![ByzStep::Timer(1, 0)]
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, _env: &Env) -> Vec<ByzStep<Msg>> {
+        if from == self.slot {
+            // Own replays come back as self-deliveries; echoing those would
+            // compound the storm exponentially. Drop them.
+            return Vec::new();
+        }
+        self.last = Some(msg.clone());
+        vec![ByzStep::Broadcast(msg)]
+    }
+
+    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<ByzStep<Msg>> {
+        let mut steps = vec![ByzStep::Timer(1, 0)];
+        if let Some(m) = &self.last {
+            steps.push(ByzStep::Broadcast(m.clone()));
+        }
+        steps
     }
 }
 
@@ -143,6 +202,52 @@ mod tests {
             assert_eq!(BehaviorId::parse(b.name()), Some(b));
         }
         assert_eq!(BehaviorId::parse("?"), None);
+    }
+
+    #[test]
+    fn flood_keeps_the_queue_alive_forever() {
+        use validity_simnet::RunOutcome;
+
+        /// Broadcasts once and never decides: the run's only exits are
+        /// quiescence or a limit.
+        #[derive(Clone, Debug)]
+        struct Mute;
+        impl Machine for Mute {
+            type Msg = Val;
+            type Output = u64;
+            fn init(&mut self, _env: &Env) -> Vec<Step<Val, u64>> {
+                vec![Step::Broadcast(Val(0))]
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: Val, _env: &Env) -> Vec<Step<Val, u64>> {
+                Vec::new()
+            }
+        }
+
+        let params = SystemParams::new(4, 1).unwrap();
+        let run = |behavior: BehaviorId| {
+            let mk = |_p: ProcessId, _face: u64| Mute;
+            let nodes: Vec<NodeKind<Mute>> = (0..4)
+                .map(|i| {
+                    if i < 3 {
+                        NodeKind::Correct(Mute)
+                    } else {
+                        NodeKind::Byzantine(behavior.instantiate(
+                            params,
+                            validity_simnet::DEFAULT_GST,
+                            ProcessId::from_index(i),
+                            &mk,
+                        ))
+                    }
+                })
+                .collect();
+            let mut cfg = SimConfig::new(params).seed(9);
+            cfg.max_events = 5_000;
+            Simulation::new(cfg, nodes).run_until_decided()
+        };
+        // A silent adversary lets the undecidable run drain its queue...
+        assert_eq!(run(BehaviorId::Silent), RunOutcome::Quiescent);
+        // ...the flood adversary keeps it alive until the event limit.
+        assert_eq!(run(BehaviorId::Flood), RunOutcome::EventLimit);
     }
 
     #[test]

@@ -1,20 +1,55 @@
 //! **Appendix B.2** — Algorithm 3, the non-authenticated vector consensus,
 //! costs `O(n⁴)` messages versus Algorithm 1's `O(n²)`.
 //!
-//! Sweeps `n` at optimal resilience for both algorithms (identical inputs
-//! and seeds), prints the paper's comparison, and fits the growth
-//! exponents: Algorithm 3's should land well above Algorithm 1's ≈ 2.
-//! Also demonstrates the corollary noted in B.2: since Algorithm 3 builds
-//! vector consensus from Strong-Validity consensus, *Strong Validity is
-//! another "strongest" property* — but at a real price.
+//! The sweep now lives in `validity-lab` (`suites::nonauth`): both
+//! algorithms across `(n, t)` at optimal resilience with identical inputs
+//! and seeds, growth exponents fitted per algorithm by the report layer.
+//! This binary renders the paper's side-by-side comparison from the
+//! engine's records and re-asserts the gap: Algorithm 3's exponent must
+//! land well above Algorithm 1's ≈ 2. It also demonstrates the corollary
+//! noted in B.2: since Algorithm 3 builds vector consensus from
+//! Strong-Validity consensus, *Strong Validity is another "strongest"
+//! property* — but at a real price.
 
-use validity_bench::{fit_exponent, runs, Table};
-use validity_core::SystemParams;
+use std::collections::BTreeMap;
+
+use validity_bench::Table;
+use validity_lab::{suites, CellSpec, FitMeasure, Outcome, SweepEngine};
+use validity_protocols::VectorKind;
 
 fn main() {
     println!("=== Appendix B.2: Algorithm 3 (no signatures) vs Algorithm 1 ===\n");
 
-    let ns = [4usize, 7, 10, 13];
+    let matrix = suites::build("nonauth").expect("built-in suite");
+    let cells = matrix.cells();
+    let engine = SweepEngine::new(0);
+    let (report, run) = engine.run(&matrix);
+    eprintln!(
+        "({} cells on {} worker threads in {:.3}s)\n",
+        report.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64()
+    );
+    assert_eq!(report.violations(), 0, "nonauth sweep must be clean");
+
+    // Per (n, algorithm) measurements at seed 0 (synchronous fault-free
+    // counts are seed-invariant).
+    let mut by_n: BTreeMap<usize, BTreeMap<VectorKind, (u64, u64, usize)>> = BTreeMap::new();
+    let mut fit_keys: BTreeMap<VectorKind, String> = BTreeMap::new();
+    for (spec, rec) in cells.iter().zip(&report.cells) {
+        let (CellSpec::Run(c), Outcome::Run(r)) = (spec, &rec.outcome) else {
+            continue;
+        };
+        assert!(r.decided && r.agreement, "run failed: {}", rec.key);
+        fit_keys.insert(c.protocol.kind, c.fit_key());
+        if c.seed == 0 {
+            by_n.entry(c.n).or_default().insert(
+                c.protocol.kind,
+                (r.messages_after_gst, r.words_after_gst, c.t),
+            );
+        }
+    }
+
     let mut table = Table::new(vec![
         "n",
         "t",
@@ -24,38 +59,37 @@ fn main() {
         "Alg 1 words",
         "Alg 3 words",
     ]);
-    let mut pts1 = Vec::new();
-    let mut pts3 = Vec::new();
-    for &n in &ns {
-        let params = SystemParams::optimal_resilience(n).unwrap();
-        let inputs: Vec<u64> = (0..n as u64).collect();
-        let s1 = runs::run_vector_auth(params, 0, &inputs, 21, true);
-        let s3 = runs::run_vector_nonauth(params, 0, &inputs, 21, true);
-        for s in [&s1, &s3] {
-            assert!(s.decided && s.agreement, "run failed at n = {n}");
-        }
-        pts1.push((n as f64, s1.messages_after_gst as f64));
-        pts3.push((n as f64, s3.messages_after_gst as f64));
+    for (n, row) in &by_n {
+        let (m1, w1, t) = row[&VectorKind::Auth];
+        let (m3, w3, _) = row[&VectorKind::NonAuth];
         table.row(vec![
             n.to_string(),
-            params.t().to_string(),
-            s1.messages_after_gst.to_string(),
-            s3.messages_after_gst.to_string(),
-            format!(
-                "{:.1}×",
-                s3.messages_after_gst as f64 / s1.messages_after_gst as f64
-            ),
-            s1.words_after_gst.to_string(),
-            s3.words_after_gst.to_string(),
+            t.to_string(),
+            m1.to_string(),
+            m3.to_string(),
+            format!("{:.1}×", m3 as f64 / m1 as f64),
+            w1.to_string(),
+            w3.to_string(),
         ]);
     }
     table.print();
 
-    let f1 = fit_exponent(&pts1);
-    let f3 = fit_exponent(&pts3);
+    let fit_of = |kind: VectorKind| {
+        report
+            .fit(&fit_keys[&kind], FitMeasure::Messages)
+            .and_then(|row| row.fit)
+            .expect("suite declares message fits")
+    };
+    let f1 = fit_of(VectorKind::Auth);
+    let f3 = fit_of(VectorKind::NonAuth);
     println!(
         "\nfitted: Alg 1 ≈ {:.2} · n^{:.2} (R² {:.3});  Alg 3 ≈ {:.2} · n^{:.2} (R² {:.3})",
         f1.constant, f1.exponent, f1.r_squared, f3.constant, f3.exponent, f3.r_squared
+    );
+    assert_eq!(
+        report.fits_out_of_band(),
+        0,
+        "an exponent left its expected band"
     );
     assert!(
         f3.exponent > f1.exponent + 0.8,

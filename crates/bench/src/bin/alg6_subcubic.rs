@@ -2,19 +2,64 @@
 //! `O(n² log n)` words (vs Algorithm 1's `O(n³)`) at the price of
 //! exponential worst-case latency.
 //!
-//! Sweeps `n` for both algorithms and reports words + latency: Algorithm 6
-//! must win on words (increasingly with `n`) and lose on latency — the
-//! exact trade-off the paper states ("highly impractical due to its
-//! exponential latency", yet within a log factor of the Ω(n²) lower
-//! bound).
+//! The sweep now lives in `validity-lab` (`suites::subcubic`): both
+//! algorithms across `(n, t)`, fault-free and under maximum silent load,
+//! with word- and latency-growth fitted by the report layer. This binary
+//! renders the trade-off from the engine's records and re-asserts it:
+//! Algorithm 6 must win on words (increasingly with `n`) and lose on
+//! latency under load — exactly what the paper states ("highly impractical
+//! due to its exponential latency", yet within a log factor of the Ω(n²)
+//! lower bound).
 
-use validity_bench::{fit_exponent, runs, Table};
-use validity_core::SystemParams;
+use std::collections::BTreeMap;
+
+use validity_bench::Table;
+use validity_lab::{suites, CellSpec, FitMeasure, Outcome, SweepEngine};
+use validity_protocols::VectorKind;
 
 fn main() {
     println!("=== Appendix B.3: Algorithm 6 (subcubic words) vs Algorithm 1 ===\n");
 
-    let ns = [4usize, 7, 10, 13];
+    let matrix = suites::build("subcubic").expect("built-in suite");
+    let cells = matrix.cells();
+    let engine = SweepEngine::new(0);
+    let (report, run) = engine.run(&matrix);
+    eprintln!(
+        "({} cells on {} worker threads in {:.3}s)\n",
+        report.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64()
+    );
+    assert_eq!(report.violations(), 0, "subcubic sweep must be clean");
+
+    // Per (n, algorithm): fault-free words for the communication claim,
+    // full-load latency for the latency claim (seed 0; synchronous counts
+    // are seed-invariant).
+    let mut words_by_n: BTreeMap<usize, BTreeMap<VectorKind, (u64, u64, usize)>> = BTreeMap::new();
+    let mut loaded_latency: BTreeMap<usize, BTreeMap<VectorKind, u64>> = BTreeMap::new();
+    let mut fit_keys: BTreeMap<VectorKind, String> = BTreeMap::new();
+    for (spec, rec) in cells.iter().zip(&report.cells) {
+        let (CellSpec::Run(c), Outcome::Run(r)) = (spec, &rec.outcome) else {
+            continue;
+        };
+        assert!(r.decided && r.agreement, "run failed: {}", rec.key);
+        if c.seed != 0 {
+            continue;
+        }
+        if c.byz == 0 {
+            fit_keys.insert(c.protocol.kind, c.fit_key());
+            words_by_n
+                .entry(c.n)
+                .or_default()
+                .insert(c.protocol.kind, (r.words_after_gst, r.latency, c.t));
+        } else {
+            loaded_latency
+                .entry(c.n)
+                .or_default()
+                .insert(c.protocol.kind, r.latency);
+        }
+    }
+
     let mut table = Table::new(vec![
         "n",
         "t",
@@ -25,62 +70,51 @@ fn main() {
         "Alg 6 latency",
         "latency ratio",
     ]);
-    let mut w1 = Vec::new();
-    let mut w6 = Vec::new();
-    for &n in &ns {
-        let params = SystemParams::optimal_resilience(n).unwrap();
-        let inputs: Vec<u64> = (0..n as u64).collect();
-        // Byzantine-free for the cleanest word counts; the trade-off holds
-        // with faults too (see tests/robustness.rs).
-        let s1 = runs::run_vector_auth(params, 0, &inputs, 33, true);
-        let s6 = runs::run_vector_fast(params, 0, &inputs, 33, true);
-        for s in [&s1, &s6] {
-            assert!(s.decided && s.agreement, "run failed at n = {n}");
-        }
-        w1.push((n as f64, s1.words_after_gst as f64));
-        w6.push((n as f64, s6.words_after_gst as f64));
+    for (n, row) in &words_by_n {
+        let (w1, l1, t) = row[&VectorKind::Auth];
+        let (w6, l6, _) = row[&VectorKind::Fast];
         table.row(vec![
             n.to_string(),
-            params.t().to_string(),
-            s1.words_after_gst.to_string(),
-            s6.words_after_gst.to_string(),
-            format!(
-                "{:.2}×",
-                s1.words_after_gst as f64 / s6.words_after_gst as f64
-            ),
-            s1.latency.to_string(),
-            s6.latency.to_string(),
-            format!("{:.1}×", s6.latency as f64 / s1.latency as f64),
+            t.to_string(),
+            w1.to_string(),
+            w6.to_string(),
+            format!("{:.2}×", w1 as f64 / w6 as f64),
+            l1.to_string(),
+            l6.to_string(),
+            format!("{:.1}×", l6 as f64 / l1 as f64),
         ]);
     }
     table.print();
 
-    let f1 = fit_exponent(&w1);
-    let f6 = fit_exponent(&w6);
+    let fit_of = |kind: VectorKind| {
+        report
+            .fit(&fit_keys[&kind], FitMeasure::Words)
+            .and_then(|row| row.fit)
+            .expect("suite declares word fits")
+    };
+    let f1 = fit_of(VectorKind::Auth);
+    let f6 = fit_of(VectorKind::Fast);
     println!(
         "\nfitted words: Alg 1 ≈ n^{:.2} (R² {:.3});  Alg 6 ≈ n^{:.2} (R² {:.3})",
         f1.exponent, f1.r_squared, f6.exponent, f6.r_squared
+    );
+    assert_eq!(
+        report.fits_out_of_band(),
+        0,
+        "an exponent left its expected band"
     );
     assert!(
         f6.exponent < f1.exponent,
         "Algorithm 6 must grow strictly slower in words"
     );
-    // The latency price must be visible at the largest n.
-    let params = SystemParams::optimal_resilience(13).unwrap();
-    let inputs: Vec<u64> = (0..13).collect();
-    let s1 = runs::run_vector_auth(params, params.t(), &inputs, 34, true);
-    let s6 = runs::run_vector_fast(params, params.t(), &inputs, 34, true);
-    assert!(
-        s6.latency > s1.latency,
-        "the slow-broadcast latency price must show"
-    );
+    // The latency price must be visible at the largest n under full load.
+    let (&n_max, loaded) = loaded_latency.iter().next_back().expect("loaded cells");
+    let (l1, l6) = (loaded[&VectorKind::Auth], loaded[&VectorKind::Fast]);
+    assert!(l6 > l1, "the slow-broadcast latency price must show");
     println!(
         "\n✔ Trade-off reproduced: Algorithm 6 wins on communication (n^{:.1} vs n^{:.1})",
         f6.exponent, f1.exponent
     );
-    println!(
-        "  and loses on latency ({} vs {} ticks at n = 13 with t faults) — exactly",
-        s6.latency, s1.latency
-    );
+    println!("  and loses on latency ({l6} vs {l1} ticks at n = {n_max} with t faults) — exactly",);
     println!("  the open-question trade-off of §6 (subcubic words *and* polynomial latency?).");
 }

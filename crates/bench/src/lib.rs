@@ -18,18 +18,20 @@
 //! | `ablation_schedules` | schedule-insensitivity of the measurements |
 //!
 //! The library half provides the shared machinery: protocol runners
-//! ([`runs`]), ASCII tables ([`table`]), and power-law fitting ([`fit`]).
+//! ([`runs`]) and ASCII tables ([`table`]). Power-law fitting moved to
+//! `validity_lab::fit` — sweep reports carry fit sections now — and is
+//! re-exported here under its historical paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod fit;
 pub mod runs;
 pub mod table;
 
-pub use fit::{fit_exponent, PowerFit};
 pub use runs::{
     run_universal_auth, run_universal_fast, run_universal_nonauth, run_vector_auth,
     run_vector_fast, run_vector_nonauth, RunStats,
 };
 pub use table::Table;
+pub use validity_lab::fit;
+pub use validity_lab::fit::{fit_exponent, try_fit_exponent, PowerFit};

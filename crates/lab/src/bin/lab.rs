@@ -1,46 +1,64 @@
-//! The `lab` CLI: run scenario sweeps, list the registries, diff reports.
+//! The `lab` CLI: run scenario sweeps, list the registries, diff reports,
+//! and emit the CI bench-trend artifact.
 //!
 //! ```text
-//! lab list
+//! lab list [--names]
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
+//! lab run --suite universal --dry-run
 //! lab run --protocols universal/alg1-auth --validities strong,median \
 //!         --behaviors silent,crash --schedules sync,partial-sync \
-//!         --systems 4,1;7,2 --faults 0,max --seeds 0..8
+//!         --systems 4,1;7,2 --faults 0,max --seeds 0..8 \
+//!         --fits messages,words --max-steps 5000000
 //! lab diff fig1.json other.json
+//! lab trend --suites complexity,universal --out BENCH_lab.json
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use validity_adversary::BehaviorId;
 use validity_lab::json::Json;
-use validity_lab::{suites, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec};
+use validity_lab::report::{fit_core_json, json_str};
+use validity_lab::{
+    suites, FitMeasure, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
+};
 use validity_protocols::VectorKind;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
     match strs.split_first() {
-        Some((&"list", _)) => {
-            list();
+        Some((&"list", rest)) => {
+            list(rest.contains(&"--names"));
             ExitCode::SUCCESS
         }
         Some((&"run", rest)) => run(rest),
         Some((&"diff", rest)) => diff(rest),
+        Some((&"trend", rest)) => trend(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | diff> ...\n\n\
-                 lab list\n\
+                "usage: lab <list | run | diff | trend> ...\n\n\
+                 lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
+                 \x20        [--max-steps N] [--dry-run]\n\
                  lab run --protocols P,.. --validities V,.. --behaviors B,..\n\
                  \x20        --schedules S,.. --systems n,t;n,t --faults 0,max --seeds a..b\n\
-                 lab diff <a.json> <b.json>"
+                 \x20        [--fits messages,words,latency] [--max-steps N] [--dry-run]\n\
+                 lab diff <a.json> <b.json>\n\
+                 lab trend [--suites a,b,..] [--threads N] [--out FILE]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn list() {
+fn list(names_only: bool) {
+    if names_only {
+        for name in suites::ALL {
+            println!("{name}");
+        }
+        return;
+    }
     println!("suites:");
     for name in suites::ALL {
         println!("  {name:12} {}", suites::describe(name).unwrap_or(""));
@@ -66,10 +84,14 @@ fn list() {
     for s in ScheduleSpec::ALL {
         println!("  {}", s.name());
     }
+    println!("\nfit measures (for --fits):");
+    for m in FitMeasure::ALL {
+        println!("  {}", m.name());
+    }
 }
 
-/// Every flag `lab run` understands; each takes exactly one value.
-const RUN_FLAGS: [&str; 11] = [
+/// Every value-taking flag `lab run` understands.
+const RUN_FLAGS: [&str; 13] = [
     "--suite",
     "--threads",
     "--json",
@@ -81,7 +103,12 @@ const RUN_FLAGS: [&str; 11] = [
     "--systems",
     "--faults",
     "--seeds",
+    "--fits",
+    "--max-steps",
 ];
+
+/// Flags that take no value.
+const RUN_SWITCHES: [&str; 1] = ["--dry-run"];
 
 /// Rejects misspelled or unknown options instead of silently falling back
 /// to defaults (a sweep that quietly measures the wrong scenario is worse
@@ -91,10 +118,15 @@ fn check_flags(rest: &[&str]) -> Result<(), String> {
     while i < rest.len() {
         let arg = rest[i];
         if arg.starts_with("--") {
+            if RUN_SWITCHES.contains(&arg) {
+                i += 1;
+                continue;
+            }
             if !RUN_FLAGS.contains(&arg) {
                 return Err(format!(
-                    "unknown option '{arg}'; known: {}",
-                    RUN_FLAGS.join(" ")
+                    "unknown option '{arg}'; known: {} {}",
+                    RUN_FLAGS.join(" "),
+                    RUN_SWITCHES.join(" ")
                 ));
             }
             if i + 1 >= rest.len() {
@@ -175,6 +207,11 @@ fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
         .ok_or_else(|| format!("bad seed range: '{seeds}' (want a..b)"))?;
     m.seeds = lo.parse().map_err(|_| format!("bad seed: '{lo}'"))?
         ..hi.parse().map_err(|_| format!("bad seed: '{hi}'"))?;
+    m.fit_measures = parse_list(
+        opt_value(rest, "--fits").unwrap_or(""),
+        "fit measure",
+        FitMeasure::parse,
+    )?;
     Ok(m)
 }
 
@@ -191,7 +228,7 @@ fn run(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let matrix = match opt_value(rest, "--suite") {
+    let mut matrix = match opt_value(rest, "--suite") {
         Some(name) => match suites::build(name) {
             Some(m) => m,
             None => {
@@ -207,6 +244,26 @@ fn run(rest: &[&str]) -> ExitCode {
             }
         },
     };
+    match opt_value(rest, "--max-steps").map(str::parse) {
+        None => {}
+        Some(Ok(n)) => matrix.max_steps = Some(n),
+        Some(Err(_)) => {
+            eprintln!("--max-steps wants a number");
+            return ExitCode::FAILURE;
+        }
+    }
+    if rest.contains(&"--dry-run") {
+        println!(
+            "{}: {} cells ({} fit measure(s), max_steps {})",
+            matrix.name,
+            matrix.len(),
+            matrix.fit_measures.len(),
+            matrix
+                .max_steps
+                .map_or("none".to_string(), |n| n.to_string()),
+        );
+        return ExitCode::SUCCESS;
+    }
     let engine = SweepEngine::new(threads);
     eprintln!(
         "sweep '{}': {} cells on {} worker thread(s)...",
@@ -216,10 +273,12 @@ fn run(rest: &[&str]) -> ExitCode {
     );
     let (report, sweep) = engine.run(&matrix);
     eprintln!(
-        "done in {:.3}s wall ({} cells, {} violations)",
+        "done in {:.3}s wall ({} cells, {} violations, {} quarantined, {} fit(s) out of band)",
         sweep.wall.as_secs_f64(),
         report.cells.len(),
-        report.violations()
+        report.violations(),
+        report.quarantined.len(),
+        report.fits_out_of_band(),
     );
 
     let json_path = opt_value(rest, "--json")
@@ -302,4 +361,102 @@ fn diff(rest: &[&str]) -> ExitCode {
         println!("{differences} difference(s)");
         ExitCode::from(1)
     }
+}
+
+/// `lab trend`: run a list of fit-bearing suites, emit one JSON artifact
+/// with every fitted exponent plus wall time (the repo's perf trajectory,
+/// uploaded by the `bench-trend` CI job), and fail if any exponent left its
+/// declared band or any cell misbehaved.
+///
+/// Wall time is deliberately kept *out* of `lab run` reports (they are
+/// byte-deterministic); the trend artifact is the one place it belongs.
+fn trend(rest: &[&str]) -> ExitCode {
+    const TREND_FLAGS: [&str; 3] = ["--suites", "--threads", "--out"];
+    let mut i = 0;
+    while i < rest.len() {
+        if !TREND_FLAGS.contains(&rest[i]) || i + 1 >= rest.len() {
+            eprintln!("usage: lab trend [--suites a,b,..] [--threads N] [--out FILE]");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<&str> = opt_value(rest, "--suites")
+        .unwrap_or("complexity,universal")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .collect();
+    let out_path = opt_value(rest, "--out").unwrap_or("BENCH_lab.json");
+    let engine = SweepEngine::new(threads);
+
+    let mut out = String::from("{\n  \"suites\": [\n");
+    let mut out_of_band = 0u64;
+    let mut violations = 0u64;
+    for (si, name) in names.iter().enumerate() {
+        let Some(matrix) = suites::build(name) else {
+            eprintln!("unknown suite '{name}'; see `lab list`");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("trend: sweeping '{name}' ({} cells)...", matrix.len());
+        let (report, sweep) = engine.run(&matrix);
+        out_of_band += report.fits_out_of_band();
+        violations += report.violations();
+        let _ = write!(
+            out,
+            "    {{\"suite\": {}, \"wall_seconds\": {:.3}, \"cells\": {}, \
+             \"violations\": {}, \"quarantined\": {}, \"fits\": [",
+            json_str(name),
+            sweep.wall.as_secs_f64(),
+            report.cells.len(),
+            report.violations(),
+            report.quarantined.len(),
+        );
+        for (fi, f) in report.fits.iter().enumerate() {
+            if fi > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"key\": {}, \"measure\": {}, ",
+                json_str(&f.key),
+                json_str(f.measure.name()),
+            );
+            fit_core_json(&mut out, f);
+            out.push('}');
+            eprintln!(
+                "  {} {}: exponent {} (band {})",
+                f.key,
+                f.measure,
+                f.fit
+                    .map_or("unfittable".to_string(), |p| format!("{:.3}", p.exponent)),
+                match f.band {
+                    Some((lo, hi)) => format!("[{lo}, {hi}]"),
+                    None => "-".to_string(),
+                },
+            );
+        }
+        out.push_str("]}");
+        out.push_str(if si + 1 == names.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(out_path, &out) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("trend artifact: {out_path}");
+    if out_of_band > 0 || violations > 0 {
+        eprintln!(
+            "TREND FAILURE: {out_of_band} fitted exponent(s) out of band, \
+             {violations} violation(s)"
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use crate::matrix::{CellSpec, ScenarioMatrix};
 use crate::report::SweepReport;
-use crate::runner::{execute, CellRecord};
+use crate::runner::{execute_with_budget, CellRecord};
 
 /// The sweep engine: a worker-pool width and nothing else.
 #[derive(Clone, Copy, Debug)]
@@ -51,10 +51,11 @@ impl SweepEngine {
         self.threads
     }
 
-    /// Executes every cell of `matrix` and returns the ordered records.
+    /// Executes every cell of `matrix` (under its step budget, if any) and
+    /// returns the ordered records.
     pub fn execute(&self, matrix: &ScenarioMatrix) -> SweepRun {
         let cells = matrix.cells();
-        let records = self.execute_cells(&cells);
+        let records = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
             records: records.0,
             threads: self.threads,
@@ -63,8 +64,13 @@ impl SweepEngine {
     }
 
     /// Executes a pre-enumerated cell list (used by `execute` and by the
-    /// regression tests that compare worker counts).
-    pub fn execute_cells(&self, cells: &[CellSpec]) -> (Vec<CellRecord>, Duration) {
+    /// regression tests that compare worker counts). `max_steps` is the
+    /// per-cell step budget; over-budget cells come back quarantined.
+    pub fn execute_cells(
+        &self,
+        cells: &[CellSpec],
+        max_steps: Option<u64>,
+    ) -> (Vec<CellRecord>, Duration) {
         let started = Instant::now();
         let n = cells.len();
         let next = AtomicUsize::new(0);
@@ -77,7 +83,7 @@ impl SweepEngine {
                     if i >= n {
                         break;
                     }
-                    let record = execute(&cells[i]);
+                    let record = execute_with_budget(&cells[i], max_steps);
                     *slots[i].lock().expect("result slot poisoned") = Some(record);
                 });
             }
@@ -93,10 +99,11 @@ impl SweepEngine {
         (records, started.elapsed())
     }
 
-    /// Executes `matrix` and aggregates into a [`SweepReport`].
+    /// Executes `matrix` and aggregates into a [`SweepReport`] (fit groups
+    /// included, when the matrix declares measures to fit).
     pub fn run(&self, matrix: &ScenarioMatrix) -> (SweepReport, SweepRun) {
         let run = self.execute(matrix);
-        let report = SweepReport::aggregate(&matrix.name, &run.records);
+        let report = SweepReport::aggregate_matrix(matrix, &run.records);
         (report, run)
     }
 }

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod fit;
 pub mod json;
 pub mod matrix;
 pub mod report;
@@ -52,8 +53,10 @@ pub mod runner;
 pub mod suites;
 
 pub use executor::{SweepEngine, SweepRun};
+pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
-    CellSpec, ClassifyCell, ProtocolSpec, RunCell, ScenarioMatrix, ScheduleSpec, ValiditySpec,
+    CellSpec, ClassifyCell, FitBand, FitMeasure, ProtocolSpec, RunCell, ScenarioMatrix,
+    ScheduleSpec, ValiditySpec,
 };
-pub use report::{GroupSummary, SweepReport};
-pub use runner::{execute, CellRecord, ClassifyRecord, Outcome, RunRecord};
+pub use report::{FitRow, GroupSummary, SweepReport};
+pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};

@@ -255,6 +255,66 @@ impl fmt::Display for ProtocolSpec {
     }
 }
 
+/// A per-run measure a matrix can ask the report to power-law-fit against
+/// the system size `n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FitMeasure {
+    /// Messages sent by correct processes in `[GST, ∞)`.
+    Messages,
+    /// Words sent by correct processes in `[GST, ∞)`.
+    Words,
+    /// Decision latency (time of the last correct decision).
+    Latency,
+}
+
+impl FitMeasure {
+    /// Every fittable measure, in presentation order.
+    pub const ALL: [FitMeasure; 3] = [FitMeasure::Messages, FitMeasure::Words, FitMeasure::Latency];
+
+    /// The stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitMeasure::Messages => "messages",
+            FitMeasure::Words => "words",
+            FitMeasure::Latency => "latency",
+        }
+    }
+
+    /// Looks a measure up by its registry name.
+    pub fn parse(name: &str) -> Option<FitMeasure> {
+        FitMeasure::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for FitMeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An expected band for a fitted exponent — the regression check a suite
+/// ships with its measurements (e.g. "universal messages must grow ≈ n²:
+/// exponent in [1.7, 2.3]").
+#[derive(Clone, Debug, PartialEq)]
+pub struct FitBand {
+    /// Which measure's fit the band constrains.
+    pub measure: FitMeasure,
+    /// Inclusive lower bound on the fitted exponent.
+    pub lo: f64,
+    /// Inclusive upper bound on the fitted exponent.
+    pub hi: f64,
+    /// Substring filter on the fit-group key; the band applies to every
+    /// fit group whose key contains it (empty = all groups).
+    pub filter: String,
+}
+
+impl FitBand {
+    /// Whether this band constrains the given fit group.
+    pub fn applies_to(&self, measure: FitMeasure, fit_key: &str) -> bool {
+        self.measure == measure && fit_key.contains(self.filter.as_str())
+    }
+}
+
 /// One classification cell: classify `validity` at `(n, t)` over the
 /// domain `{0, .., domain - 1}`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -292,6 +352,11 @@ pub struct RunCell {
     pub behavior: BehaviorId,
     /// Number of faulty slots (`≤ t`).
     pub byz: usize,
+    /// The declared fault-axis load `byz` was clamped from (`usize::MAX`
+    /// = "maximum load"). Size-invariant where `byz` scales with `t`, so
+    /// fit grouping uses it: a literal load that happens to equal `t` at
+    /// one size must not migrate to a different fit group there.
+    pub fault: usize,
     /// Network schedule.
     pub schedule: ScheduleSpec,
     /// System size.
@@ -321,6 +386,33 @@ impl RunCell {
     /// The full per-cell key (group key + seed).
     pub fn key(&self) -> String {
         format!("{}/s{}", self.group_key(), self.seed)
+    }
+
+    /// The fault-load tag used by fit grouping: `(n, t)` varies along the
+    /// fit's x-axis, so the clamped Byzantine count cannot name the group —
+    /// the *declared* load (zero / literal / "maximum") is what means the
+    /// same thing at every size.
+    pub fn fault_tag(&self) -> String {
+        if self.fault == usize::MAX {
+            "max".into()
+        } else {
+            self.fault.to_string()
+        }
+    }
+
+    /// The key all sizes and seeds of this configuration share — the
+    /// fit-group bucket. Everything from [`RunCell::group_key`] except
+    /// `(n, t)` (which becomes the fit's x-axis) and the raw Byzantine
+    /// count (which scales with `t`; the [`RunCell::fault_tag`] stands in).
+    pub fn fit_key(&self) -> String {
+        format!(
+            "fit/{}/{}/{}x{}/{}",
+            self.protocol.name(),
+            self.validity.map_or("vector", |v| v.name()),
+            self.behavior,
+            self.fault_tag(),
+            self.schedule,
+        )
     }
 }
 
@@ -366,6 +458,15 @@ pub struct ScenarioMatrix {
     pub seeds: Range<u64>,
     /// Additional classification cells (not a product axis).
     pub classifications: Vec<ClassifyCell>,
+    /// Measures to power-law-fit against `n` in the report, grouped by
+    /// [`RunCell::fit_key`]. Empty = no fit section.
+    pub fit_measures: Vec<FitMeasure>,
+    /// Expected exponent bands checked against the fitted measures.
+    pub fit_bands: Vec<FitBand>,
+    /// Per-cell step budget: a run cell processing more than this many
+    /// simulator events is aborted and reported as *quarantined* instead of
+    /// hanging the sweep. `None` = the simulator's own (very large) limit.
+    pub max_steps: Option<u64>,
 }
 
 impl ScenarioMatrix {
@@ -381,6 +482,9 @@ impl ScenarioMatrix {
             systems: Vec::new(),
             seeds: 0..1,
             classifications: Vec::new(),
+            fit_measures: Vec::new(),
+            fit_bands: Vec::new(),
+            max_steps: None,
         }
     }
 
@@ -431,6 +535,7 @@ impl ScenarioMatrix {
                                         validity,
                                         behavior,
                                         byz: fault.min(t),
+                                        fault,
                                         schedule,
                                         n,
                                         t,
@@ -550,10 +655,75 @@ mod tests {
         for s in ScheduleSpec::ALL {
             assert_eq!(ScheduleSpec::parse(s.name()), Some(s));
         }
+        for m in FitMeasure::ALL {
+            assert_eq!(FitMeasure::parse(m.name()), Some(m));
+        }
         let p = ProtocolSpec {
             kind: VectorKind::Fast,
             universal: true,
         };
         assert_eq!(ProtocolSpec::parse(&p.name()), Some(p));
+    }
+
+    #[test]
+    fn fit_key_collapses_size_and_scales_fault_load() {
+        let mut cell = RunCell {
+            protocol: ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: true,
+            },
+            validity: Some(ValiditySpec::Strong),
+            behavior: BehaviorId::Silent,
+            byz: 1,
+            fault: usize::MAX,
+            schedule: ScheduleSpec::Synchronous,
+            n: 4,
+            t: 1,
+            seed: 0,
+        };
+        let small = cell.fit_key();
+        // Same configuration at a larger size with byz = t: same fit group.
+        cell.n = 13;
+        cell.t = 4;
+        cell.byz = 4;
+        cell.seed = 2;
+        assert_eq!(small, cell.fit_key());
+        assert_eq!(small, "fit/universal/alg1-auth/strong/silentxmax/sync");
+        // Fault-free is a different group.
+        cell.byz = 0;
+        cell.fault = 0;
+        assert_eq!(cell.fault_tag(), "0");
+        assert_ne!(small, cell.fit_key());
+        // A literal load keeps its declared count — even where the clamp
+        // happens to coincide with t at one size, the group must not split.
+        cell.fault = 2;
+        cell.byz = 2;
+        assert_eq!(cell.fault_tag(), "2");
+        let two_faults = cell.fit_key();
+        cell.n = 7;
+        cell.t = 2; // byz == t here, but the declared load is still 2
+        assert_eq!(cell.fit_key(), two_faults);
+    }
+
+    #[test]
+    fn fit_bands_filter_by_substring() {
+        let band = FitBand {
+            measure: FitMeasure::Messages,
+            lo: 1.7,
+            hi: 2.3,
+            filter: "silentx0".into(),
+        };
+        assert!(band.applies_to(
+            FitMeasure::Messages,
+            "fit/universal/alg1-auth/strong/silentx0/sync"
+        ));
+        assert!(!band.applies_to(
+            FitMeasure::Messages,
+            "fit/universal/alg1-auth/strong/silentxmax/sync"
+        ));
+        assert!(!band.applies_to(
+            FitMeasure::Words,
+            "fit/universal/alg1-auth/strong/silentx0/sync"
+        ));
     }
 }

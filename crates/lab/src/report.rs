@@ -5,11 +5,20 @@
 //! used by `lab diff`) and Markdown (human-readable). Both emitters walk
 //! records in matrix order and use only deterministic arithmetic, so report
 //! bytes are a pure function of the matrix — independent of thread count.
+//! When the matrix declares [`FitMeasure`]s, configurations that differ only
+//! in `(n, t)` additionally fold into *fit groups*: per-size means become
+//! `(n, y)` points, a power law `y ≈ c·nᵏ` is fitted to each group, and the
+//! report gains a `fits` section with exponent, constant, `r²`, and any
+//! declared expected band — the paper's asymptotic shapes as first-class,
+//! regression-checked outputs.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use validity_simnet::{NetStats, Time};
 
+use crate::fit::{try_fit_exponent, PowerFit};
+use crate::matrix::{CellSpec, FitMeasure, RunCell, ScenarioMatrix};
 use crate::runner::{CellRecord, ClassifyRecord, Outcome, RunRecord};
 
 /// Statistics of one u64-valued measure across a group's runs.
@@ -55,7 +64,7 @@ impl MeasureStats {
 }
 
 /// Aggregated view of all seeds of one run configuration.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GroupSummary {
     /// The configuration key (a [`crate::matrix::RunCell::group_key`]).
     pub key: String,
@@ -63,13 +72,16 @@ pub struct GroupSummary {
     pub runs: u64,
     /// Runs in which every correct process decided.
     pub decided: u64,
+    /// Runs aborted on their step budget (excluded from every measure:
+    /// a truncated run's counters describe the abort, not the protocol).
+    pub quarantined: u64,
     /// Runs violating Agreement.
     pub agreement_failures: u64,
     /// Runs deciding an inadmissible value.
     pub validity_failures: u64,
-    /// Message complexity (`[GST, ∞)`) across runs.
+    /// Message complexity (`[GST, ∞)`) across non-quarantined runs.
     pub messages_after_gst: MeasureStats,
-    /// Word complexity (`[GST, ∞)`) across runs.
+    /// Word complexity (`[GST, ∞)`) across non-quarantined runs.
     pub words_after_gst: MeasureStats,
     /// Decision latency across the runs in which every correct process
     /// decided (undecided runs have no latency to observe).
@@ -78,6 +90,32 @@ pub struct GroupSummary {
     /// the source of delivery/Byzantine-traffic totals, which the scalar
     /// measures above do not track.
     pub pooled: NetStats,
+    /// System size, for fit grouping (0 when aggregated without a matrix).
+    pub n: usize,
+    /// The [`RunCell::fit_key`] bucket (empty when aggregated without a
+    /// matrix).
+    pub fit_key: String,
+}
+
+/// One fitted measure of one fit group: the power law behind a family of
+/// configurations that differ only in `(n, t)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FitRow {
+    /// The fit-group key (a [`RunCell::fit_key`]).
+    pub key: String,
+    /// Which measure was fitted.
+    pub measure: FitMeasure,
+    /// The fitted points: `(n, per-size mean of the measure)`, in matrix
+    /// order.
+    pub points: Vec<(f64, f64)>,
+    /// The fit, when the points support one (`None` for degenerate data:
+    /// one size, zero measurements, ...).
+    pub fit: Option<PowerFit>,
+    /// The expected exponent band declared by the matrix, if any.
+    pub band: Option<(f64, f64)>,
+    /// Whether the fitted exponent lies inside the band (`None` without a
+    /// band or without a fit).
+    pub within_band: Option<bool>,
 }
 
 /// A classification cell in the report.
@@ -90,7 +128,7 @@ pub struct ClassifyRow {
 }
 
 /// The full, deterministic sweep report.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepReport {
     /// Matrix/suite name.
     pub matrix: String,
@@ -100,13 +138,46 @@ pub struct SweepReport {
     pub groups: Vec<GroupSummary>,
     /// Classification results, in matrix order.
     pub classifications: Vec<ClassifyRow>,
+    /// Power-law fits, in (measure, fit-group first-appearance) order.
+    /// Empty unless aggregated via [`SweepReport::aggregate_matrix`] on a
+    /// matrix declaring fit measures.
+    pub fits: Vec<FitRow>,
+    /// Keys of quarantined cells (step budget exceeded), in matrix order.
+    pub quarantined: Vec<String>,
 }
 
 impl SweepReport {
-    /// Folds ordered cell records into a report.
+    /// Folds ordered cell records into a report, with no fit section (the
+    /// records alone do not carry the `(n, t)` metadata fits group by; use
+    /// [`SweepReport::aggregate_matrix`] for that).
     pub fn aggregate(matrix: &str, records: &[CellRecord]) -> SweepReport {
+        Self::fold(matrix, records, None)
+    }
+
+    /// Folds ordered cell records into a report for `matrix`, computing the
+    /// fit groups its [`FitMeasure`]s declare and checking its expected
+    /// exponent bands.
+    pub fn aggregate_matrix(matrix: &ScenarioMatrix, records: &[CellRecord]) -> SweepReport {
+        Self::fold(&matrix.name, records, Some(matrix))
+    }
+
+    fn fold(name: &str, records: &[CellRecord], matrix: Option<&ScenarioMatrix>) -> SweepReport {
+        // Per-cell metadata (n, fit key) comes from re-enumerating the
+        // matrix: records are keyed, so the lookup is order-insensitive.
+        let cell_meta: BTreeMap<String, RunCell> = matrix
+            .map(|m| {
+                m.cells()
+                    .into_iter()
+                    .filter_map(|c| match c {
+                        CellSpec::Run(r) => Some((r.key(), r)),
+                        CellSpec::Classify(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let mut groups: Vec<GroupSummary> = Vec::new();
         let mut classifications = Vec::new();
+        let mut quarantined = Vec::new();
         for rec in records {
             match &rec.outcome {
                 Outcome::Classify(c) => classifications.push(ClassifyRow {
@@ -117,21 +188,30 @@ impl SweepReport {
                     let group = match groups.iter_mut().find(|g| g.key == rec.group) {
                         Some(g) => g,
                         None => {
+                            let meta = cell_meta.get(&rec.key);
                             groups.push(GroupSummary {
                                 key: rec.group.clone(),
                                 runs: 0,
                                 decided: 0,
+                                quarantined: 0,
                                 agreement_failures: 0,
                                 validity_failures: 0,
                                 messages_after_gst: MeasureStats::default(),
                                 words_after_gst: MeasureStats::default(),
                                 latency: MeasureStats::default(),
                                 pooled: NetStats::default(),
+                                n: meta.map_or(0, |c| c.n),
+                                fit_key: meta.map_or_else(String::new, |c| c.fit_key()),
                             });
                             groups.last_mut().expect("just pushed")
                         }
                     };
                     group.runs += 1;
+                    if r.quarantined {
+                        group.quarantined += 1;
+                        quarantined.push(rec.key.clone());
+                        continue; // truncated counters measure the abort
+                    }
                     group.decided += u64::from(r.decided);
                     group.agreement_failures += u64::from(!r.agreement);
                     group.validity_failures += u64::from(r.validity_ok == Some(false));
@@ -144,21 +224,41 @@ impl SweepReport {
                 }
             }
         }
+        let fits = matrix.map_or_else(Vec::new, |m| compute_fits(m, &groups));
         SweepReport {
-            matrix: matrix.to_string(),
+            matrix: name.to_string(),
             cells: records.to_vec(),
             groups,
             classifications,
+            fits,
+            quarantined,
         }
     }
 
     /// Total violations (a healthy sweep reports 0 unless it *exists* to
-    /// exhibit violations, like the partition suites).
+    /// exhibit violations, like the partition suites). Quarantined runs
+    /// count: they did not decide.
     pub fn violations(&self) -> u64 {
         self.groups
             .iter()
             .map(|g| g.agreement_failures + g.validity_failures + (g.runs - g.decided))
             .sum()
+    }
+
+    /// Number of fit rows whose exponent left its declared band — the
+    /// regression signal the `bench-trend` CI job gates on.
+    pub fn fits_out_of_band(&self) -> u64 {
+        self.fits
+            .iter()
+            .filter(|f| f.within_band == Some(false))
+            .count() as u64
+    }
+
+    /// Looks a fit row up by group key and measure.
+    pub fn fit(&self, key: &str, measure: FitMeasure) -> Option<&FitRow> {
+        self.fits
+            .iter()
+            .find(|f| f.key == key && f.measure == measure)
     }
 
     /// Renders the machine-readable JSON report.
@@ -187,7 +287,24 @@ impl SweepReport {
                 ",\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n  \"fits\": [\n");
+        for (i, f) in self.fits.iter().enumerate() {
+            out.push_str("    ");
+            fit_json(&mut out, f);
+            out.push_str(if i + 1 == self.fits.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n  \"quarantined\": [");
+        for (i, key) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(key));
+        }
+        out.push_str("]\n}\n");
         out
     }
 
@@ -223,6 +340,17 @@ impl SweepReport {
             }
             out.push('\n');
         }
+        if !self.quarantined.is_empty() {
+            out.push_str("## Quarantined cells\n\n");
+            out.push_str(
+                "These cells exceeded the matrix's per-cell step budget and were \
+                 aborted; their counters are excluded from every aggregate below.\n\n",
+            );
+            for key in &self.quarantined {
+                let _ = writeln!(out, "- `{key}`");
+            }
+            out.push('\n');
+        }
         if !self.groups.is_empty() {
             out.push_str("## Run groups (aggregated over seeds)\n\n");
             out.push_str(
@@ -250,8 +378,98 @@ impl SweepReport {
             }
             out.push('\n');
         }
+        if !self.fits.is_empty() {
+            out.push_str("## Power-law fits (y ≈ c·nᵏ, grouped across sizes)\n\n");
+            out.push_str("| group | measure | points | exponent k | constant c | R² | expected band | ok |\n");
+            out.push_str("|---|---|---|---|---|---|---|---|\n");
+            for f in &self.fits {
+                let (exponent, constant, r2) = match &f.fit {
+                    Some(p) => (
+                        format!("{:.3}", p.exponent),
+                        format!("{:.2}", p.constant),
+                        format!("{:.4}", p.r_squared),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
+                let band = match f.band {
+                    Some((lo, hi)) => format!("[{lo:.2}, {hi:.2}]"),
+                    None => "-".into(),
+                };
+                let ok = match f.within_band {
+                    Some(true) => "✔",
+                    Some(false) => "✘ OUT OF BAND",
+                    None => "-",
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                    f.key,
+                    f.measure,
+                    f.points.len(),
+                    exponent,
+                    constant,
+                    r2,
+                    band,
+                    ok,
+                );
+            }
+            out.push('\n');
+        }
         out
     }
+}
+
+/// Folds per-size group means into fit rows, one per (declared measure,
+/// fit-group) pair, in deterministic order.
+fn compute_fits(matrix: &ScenarioMatrix, groups: &[GroupSummary]) -> Vec<FitRow> {
+    let mut rows = Vec::new();
+    let mut seen_measures: Vec<FitMeasure> = Vec::new();
+    for &measure in &matrix.fit_measures {
+        if seen_measures.contains(&measure) {
+            continue;
+        }
+        seen_measures.push(measure);
+        // Fit-group keys in group (= matrix) first-appearance order.
+        let mut keys: Vec<&str> = Vec::new();
+        for g in groups {
+            if !g.fit_key.is_empty() && !keys.contains(&g.fit_key.as_str()) {
+                keys.push(&g.fit_key);
+            }
+        }
+        for key in keys {
+            let points: Vec<(f64, f64)> = groups
+                .iter()
+                .filter(|g| g.fit_key == key)
+                .filter_map(|g| {
+                    let stats = match measure {
+                        FitMeasure::Messages => &g.messages_after_gst,
+                        FitMeasure::Words => &g.words_after_gst,
+                        FitMeasure::Latency => &g.latency,
+                    };
+                    (stats.count > 0).then(|| (g.n as f64, stats.sum as f64 / stats.count as f64))
+                })
+                .collect();
+            let fit = try_fit_exponent(&points);
+            let band = matrix
+                .fit_bands
+                .iter()
+                .find(|b| b.applies_to(measure, key))
+                .map(|b| (b.lo, b.hi));
+            let within_band = match (&fit, band) {
+                (Some(f), Some((lo, hi))) => Some(f.exponent >= lo && f.exponent <= hi),
+                _ => None,
+            };
+            rows.push(FitRow {
+                key: key.to_string(),
+                measure,
+                points,
+                fit,
+                band,
+                within_band,
+            });
+        }
+    }
+    rows
 }
 
 /// Escapes a string into a JSON literal.
@@ -285,7 +503,7 @@ fn run_json(out: &mut String, r: &RunRecord) {
         "\"decided\": {}, \"agreement\": {}, \"validity_ok\": {}, \
          \"messages_after_gst\": {}, \"words_after_gst\": {}, \
          \"messages_total\": {}, \"words_total\": {}, \"latency\": {}, \
-         \"decision\": {}",
+         \"quarantined\": {}, \"decision\": {}",
         r.decided,
         r.agreement,
         match r.validity_ok {
@@ -297,6 +515,7 @@ fn run_json(out: &mut String, r: &RunRecord) {
         r.messages_total,
         r.words_total,
         r.latency as Time,
+        r.quarantined,
         json_str(&r.decision),
     );
 }
@@ -325,7 +544,8 @@ fn cell_json(out: &mut String, rec: &CellRecord) {
 fn group_json(out: &mut String, g: &GroupSummary) {
     let _ = write!(
         out,
-        "{{\"key\": {}, \"runs\": {}, \"decided\": {}, \"agreement_failures\": {}, \
+        "{{\"key\": {}, \"runs\": {}, \"decided\": {}, \"quarantined\": {}, \
+         \"agreement_failures\": {}, \
          \"validity_failures\": {}, \"messages_after_gst_mean\": {}, \
          \"messages_after_gst_max\": {}, \"words_after_gst_mean\": {}, \
          \"latency_mean\": {}, \"deliveries_total\": {}, \
@@ -333,6 +553,7 @@ fn group_json(out: &mut String, g: &GroupSummary) {
         json_str(&g.key),
         g.runs,
         g.decided,
+        g.quarantined,
         g.agreement_failures,
         g.validity_failures,
         json_str(&g.messages_after_gst.mean()),
@@ -342,6 +563,52 @@ fn group_json(out: &mut String, g: &GroupSummary) {
         g.pooled.deliveries,
         g.pooled.byzantine_messages,
     );
+}
+
+/// Emits the fit-result core of a [`FitRow`] — exponent, constant, `r²`,
+/// band, band verdict — shared by the report emitter and `lab trend`'s
+/// artifact writer, so the two cannot drift apart.
+pub fn fit_core_json(out: &mut String, f: &FitRow) {
+    match &f.fit {
+        Some(p) => {
+            let _ = write!(
+                out,
+                "\"exponent\": {:.4}, \"constant\": {:.4}, \"r_squared\": {:.4}",
+                p.exponent, p.constant, p.r_squared
+            );
+        }
+        None => out.push_str("\"exponent\": null, \"constant\": null, \"r_squared\": null"),
+    }
+    match f.band {
+        Some((lo, hi)) => {
+            let _ = write!(out, ", \"band\": [{lo:.4}, {hi:.4}]");
+        }
+        None => out.push_str(", \"band\": null"),
+    }
+    match f.within_band {
+        Some(b) => {
+            let _ = write!(out, ", \"within_band\": {b}");
+        }
+        None => out.push_str(", \"within_band\": null"),
+    }
+}
+
+fn fit_json(out: &mut String, f: &FitRow) {
+    let _ = write!(
+        out,
+        "{{\"key\": {}, \"measure\": {}, \"points\": [",
+        json_str(&f.key),
+        json_str(f.measure.name()),
+    );
+    for (i, (x, y)) in f.points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{x:.0}, {y:.4}]");
+    }
+    out.push_str("], ");
+    fit_core_json(out, f);
+    out.push('}');
 }
 
 #[cfg(test)]
@@ -362,6 +629,7 @@ mod tests {
             words_total: msgs * 3,
             latency,
             decision: "7".into(),
+            quarantined: false,
             stats,
         }
     }
@@ -455,5 +723,140 @@ mod tests {
         m.observe(2);
         assert_eq!(m.mean(), "1.5");
         assert_eq!(MeasureStats::default().mean(), "-");
+    }
+
+    #[test]
+    fn quarantined_runs_are_listed_and_excluded_from_measures() {
+        let mut bad = run_record(999_999, 0);
+        bad.quarantined = true;
+        bad.decided = false;
+        let records = vec![
+            record("g/s0", "g", 10, 100),
+            CellRecord {
+                key: "g/s1".into(),
+                group: "g".into(),
+                outcome: Outcome::Run(bad),
+            },
+        ];
+        let report = SweepReport::aggregate("t", &records);
+        assert_eq!(report.quarantined, vec!["g/s1".to_string()]);
+        let g = &report.groups[0];
+        assert_eq!(g.runs, 2);
+        assert_eq!(g.quarantined, 1);
+        // The truncated run's absurd counters must not leak into measures.
+        assert_eq!(g.messages_after_gst.count, 1);
+        assert_eq!(g.messages_after_gst.max, 10);
+        // A quarantined run did not decide: it is a violation.
+        assert_eq!(report.violations(), 1);
+        // Both emitters surface the quarantine.
+        assert!(report.to_json().contains("\"quarantined\": [\"g/s1\"]"));
+        assert!(report.to_markdown().contains("## Quarantined cells"));
+        assert!(report.to_markdown().contains("- `g/s1`"));
+    }
+
+    mod fits {
+        use super::*;
+        use crate::matrix::{FitBand, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ValiditySpec};
+        use validity_adversary::BehaviorId;
+        use validity_protocols::VectorKind;
+
+        /// A matrix over three sizes, with synthetic records following an
+        /// exact power law `messages = 3·n²`, `words = 2·n³`.
+        fn matrix_and_records() -> (ScenarioMatrix, Vec<CellRecord>) {
+            let mut m = ScenarioMatrix::new("fit-test");
+            m.protocols = vec![ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: true,
+            }];
+            m.validities = vec![ValiditySpec::Strong];
+            m.behaviors = vec![BehaviorId::Silent];
+            m.faults = vec![0];
+            m.schedules = vec![ScheduleSpec::Synchronous];
+            m.systems = vec![(4, 1), (7, 2), (10, 3)];
+            m.seeds = 0..2;
+            m.fit_measures = vec![FitMeasure::Messages, FitMeasure::Words];
+            m.fit_bands = vec![
+                FitBand {
+                    measure: FitMeasure::Messages,
+                    lo: 1.9,
+                    hi: 2.1,
+                    filter: String::new(),
+                },
+                FitBand {
+                    measure: FitMeasure::Words,
+                    lo: 5.0,
+                    hi: 6.0,
+                    filter: String::new(),
+                },
+            ];
+            let records: Vec<CellRecord> = m
+                .cells()
+                .iter()
+                .filter_map(|c| match c {
+                    CellSpec::Run(r) => Some(r),
+                    CellSpec::Classify(_) => None,
+                })
+                .map(|c| {
+                    let n = c.n as u64;
+                    let mut rec = run_record(3 * n * n, 100);
+                    rec.words_after_gst = 2 * n * n * n;
+                    CellRecord {
+                        key: c.key(),
+                        group: c.group_key(),
+                        outcome: Outcome::Run(rec),
+                    }
+                })
+                .collect();
+            (m, records)
+        }
+
+        #[test]
+        fn fit_groups_recover_the_power_law_across_sizes() {
+            let (m, records) = matrix_and_records();
+            let report = SweepReport::aggregate_matrix(&m, &records);
+            assert_eq!(report.fits.len(), 2, "{:?}", report.fits);
+            let msgs = &report.fits[0];
+            assert_eq!(msgs.measure, FitMeasure::Messages);
+            assert_eq!(msgs.key, "fit/universal/alg1-auth/strong/silentx0/sync");
+            assert_eq!(msgs.points.len(), 3);
+            let fit = msgs.fit.expect("three sizes fit");
+            assert!((fit.exponent - 2.0).abs() < 1e-9, "{fit:?}");
+            assert!((fit.constant - 3.0).abs() < 1e-6, "{fit:?}");
+            assert_eq!(msgs.band, Some((1.9, 2.1)));
+            assert_eq!(msgs.within_band, Some(true));
+            // The words band [5, 6] does not contain the cubic exponent.
+            let words = &report.fits[1];
+            assert_eq!(words.within_band, Some(false));
+            assert_eq!(report.fits_out_of_band(), 1);
+            // Emitters carry the section.
+            assert!(report.to_json().contains("\"fits\": [\n"));
+            assert!(report.to_json().contains("\"within_band\": false"));
+            assert!(report.to_markdown().contains("## Power-law fits"));
+            assert!(report.to_markdown().contains("✘ OUT OF BAND"));
+        }
+
+        #[test]
+        fn aggregate_without_matrix_has_no_fit_section() {
+            let (_, records) = matrix_and_records();
+            let report = SweepReport::aggregate("fit-test", &records);
+            assert!(report.fits.is_empty());
+            assert!(report.to_json().contains("\"fits\": [\n  ]"));
+        }
+
+        #[test]
+        fn single_size_matrix_yields_an_unfittable_row() {
+            let (mut m, records) = matrix_and_records();
+            m.systems = vec![(4, 1)];
+            let records: Vec<CellRecord> = records
+                .into_iter()
+                .filter(|r| r.key.contains("n4t1"))
+                .collect();
+            let report = SweepReport::aggregate_matrix(&m, &records);
+            assert_eq!(report.fits.len(), 2);
+            assert_eq!(report.fits[0].points.len(), 1);
+            assert!(report.fits[0].fit.is_none());
+            assert_eq!(report.fits[0].within_band, None);
+            assert!(report.to_json().contains("\"exponent\": null"));
+        }
     }
 }

@@ -10,7 +10,7 @@ use validity_core::{
     classify, Classification, Domain, InputConfig, ProcessId, SystemParams, UnsolvableReason,
 };
 use validity_protocols::{Universal, VectorContext};
-use validity_simnet::{agreement_holds, Machine, NetStats, NodeKind, Simulation, Time};
+use validity_simnet::{agreement_holds, Machine, NetStats, NodeKind, RunOutcome, Simulation, Time};
 
 use crate::matrix::{CellSpec, ClassifyCell, RunCell, ValiditySpec};
 
@@ -36,6 +36,11 @@ pub struct RunRecord {
     pub latency: Time,
     /// Debug rendering of the first correct decision.
     pub decision: String,
+    /// Whether the run blew its step budget (`ScenarioMatrix::max_steps`)
+    /// or the simulator's hard time/event limits and was aborted before
+    /// every correct process decided. Quarantined runs are reported
+    /// separately and excluded from fit observations.
+    pub quarantined: bool,
     /// The run's full simulator counters, for [`NetStats::merge`]-based
     /// pooling in the aggregation layer.
     pub stats: NetStats,
@@ -74,13 +79,19 @@ pub enum Outcome {
     Classify(ClassifyRecord),
 }
 
-/// Executes one cell to completion.
+/// Executes one cell to completion with no extra step budget.
 pub fn execute(cell: &CellSpec) -> CellRecord {
+    execute_with_budget(cell, None)
+}
+
+/// Executes one cell to completion, aborting (and quarantining) a run cell
+/// that processes more than `max_steps` simulator events.
+pub fn execute_with_budget(cell: &CellSpec, max_steps: Option<u64>) -> CellRecord {
     match cell {
         CellSpec::Run(c) => CellRecord {
             key: c.key(),
             group: c.group_key(),
-            outcome: Outcome::Run(execute_run(c)),
+            outcome: Outcome::Run(execute_run(c, max_steps)),
         },
         CellSpec::Classify(c) => CellRecord {
             key: c.key(),
@@ -94,15 +105,15 @@ fn params_of(n: usize, t: usize) -> SystemParams {
     SystemParams::new(n, t).expect("matrix enumerated an invalid (n, t)")
 }
 
-fn execute_run(cell: &RunCell) -> RunRecord {
+fn execute_run(cell: &RunCell, max_steps: Option<u64>) -> RunRecord {
     let params = params_of(cell.n, cell.t);
     if cell.protocol.universal {
         let validity = cell
             .validity
             .expect("universal cells always carry a validity");
-        run_universal(cell, params, validity)
+        run_universal(cell, params, validity, max_steps)
     } else {
-        run_raw(cell, params)
+        run_raw(cell, params, max_steps)
     }
 }
 
@@ -141,7 +152,8 @@ fn collect<M: Machine>(sim: &mut Simulation<M>, check: impl Fn(&M::Output) -> bo
 where
     M::Output: std::fmt::Debug + PartialEq,
 {
-    sim.run_until_decided();
+    let outcome = sim.run_until_decided();
+    let quarantined = matches!(outcome, RunOutcome::EventLimit | RunOutcome::TimeLimit);
     let stats = sim.stats();
     let decided = sim.all_correct_decided();
     let decisions = sim.decisions();
@@ -163,13 +175,30 @@ where
             .first()
             .map(|o| format!("{o:?}"))
             .unwrap_or_else(|| "⊥".to_string()),
+        quarantined,
         stats: stats.clone(),
     }
 }
 
-fn run_universal(cell: &RunCell, params: SystemParams, validity: ValiditySpec) -> RunRecord {
+/// Applies the matrix's per-cell step budget to a simulator configuration.
+fn budgeted(
+    mut cfg: validity_simnet::SimConfig,
+    max_steps: Option<u64>,
+) -> validity_simnet::SimConfig {
+    if let Some(budget) = max_steps {
+        cfg.max_events = budget;
+    }
+    cfg
+}
+
+fn run_universal(
+    cell: &RunCell,
+    params: SystemParams,
+    validity: ValiditySpec,
+    max_steps: Option<u64>,
+) -> RunRecord {
     let ctx = VectorContext::new(params, cell.seed);
-    let cfg = cell.schedule.build(params, cell.seed);
+    let cfg = budgeted(cell.schedule.build(params, cell.seed), max_steps);
     let gst = cfg.gst;
     let kind = cell.protocol.kind;
     let mk = |p: ProcessId, face: u64| {
@@ -192,9 +221,9 @@ fn run_universal(cell: &RunCell, params: SystemParams, validity: ValiditySpec) -
     collect(&mut sim, |v: &u64| property.is_admissible(&actual, v))
 }
 
-fn run_raw(cell: &RunCell, params: SystemParams) -> RunRecord {
+fn run_raw(cell: &RunCell, params: SystemParams, max_steps: Option<u64>) -> RunRecord {
     let ctx = VectorContext::new(params, cell.seed);
-    let cfg = cell.schedule.build(params, cell.seed);
+    let cfg = budgeted(cell.schedule.build(params, cell.seed), max_steps);
     let gst = cfg.gst;
     let kind = cell.protocol.kind;
     let input_of = |i: usize| (i as u64) * 10;
@@ -253,6 +282,7 @@ mod tests {
             validity: Some(ValiditySpec::Strong),
             behavior: BehaviorId::Silent,
             byz: 1,
+            fault: 1,
             schedule: ScheduleSpec::Synchronous,
             n: 4,
             t: 1,
@@ -268,7 +298,27 @@ mod tests {
         };
         assert!(r.decided && r.agreement);
         assert_eq!(r.validity_ok, Some(true));
+        assert!(!r.quarantined);
         assert!(r.messages_total > 0);
+    }
+
+    #[test]
+    fn tiny_step_budget_quarantines_instead_of_running() {
+        // A healthy cell needs far more than 3 events to decide: with a
+        // 3-event budget the runner must abort it cleanly and mark it.
+        let rec = execute_with_budget(&strong_cell(1), Some(3));
+        let Outcome::Run(r) = rec.outcome else {
+            panic!("expected run outcome")
+        };
+        assert!(r.quarantined);
+        assert!(!r.decided);
+        // An ample budget leaves the run untouched.
+        let rec = execute_with_budget(&strong_cell(1), Some(10_000_000));
+        let Outcome::Run(r) = rec.outcome else {
+            panic!("expected run outcome")
+        };
+        assert!(!r.quarantined);
+        assert!(r.decided);
     }
 
     #[test]
@@ -286,6 +336,7 @@ mod tests {
             validity: None,
             behavior: BehaviorId::Crash,
             byz: 1,
+            fault: 1,
             schedule: ScheduleSpec::PartialSync,
             n: 4,
             t: 1,

@@ -36,6 +36,7 @@ fn same_cell_twice_is_byte_identical() {
         validity: Some(ValiditySpec::Median),
         behavior: BehaviorId::Stale,
         byz: 2,
+        fault: 2,
         schedule: ScheduleSpec::PartialSync,
         n: 7,
         t: 2,
@@ -74,6 +75,26 @@ fn sweep_rerun_is_byte_identical() {
     let a = SweepEngine::new(4).run(&m).0;
     let b = SweepEngine::new(4).run(&m).0;
     assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn fit_sections_are_byte_identical_across_thread_counts() {
+    // The fit pipeline (per-size means → log–log regression → float
+    // rendering) must be as replay-stable as the rest of the report: the
+    // JSON emitted at 1 worker and at 8 workers must match byte-for-byte,
+    // fits included. The nonauth suite carries two measures and two bands.
+    let m = suites::build("nonauth").expect("built-in suite");
+    let one = SweepEngine::new(1).run(&m).0;
+    let eight = SweepEngine::new(8).run(&m).0;
+    assert!(!one.fits.is_empty(), "nonauth must produce fit rows");
+    assert_eq!(one.fits, eight.fits);
+    assert_eq!(one.to_json(), eight.to_json());
+    // And the fits actually landed: every banded row is in band.
+    assert_eq!(one.fits_out_of_band(), 0);
+    assert!(one
+        .fits
+        .iter()
+        .any(|f| f.band.is_some() && f.within_band == Some(true)));
 }
 
 #[test]

@@ -1,0 +1,92 @@
+//! Per-cell step budgets: a diverging cell must abort cleanly and land in
+//! the report's `quarantined` section instead of hanging the whole sweep.
+//!
+//! The diverging scenario is real, not synthetic: Algorithm 6 at `(3, 1)`
+//! (a quorum-starved `n ≤ 3t` regime) never decides, and the `flood`
+//! adversary — an intentionally non-terminating behaviour that re-arms a
+//! timer every tick and replays traffic forever — keeps the event queue
+//! alive, so without a budget the cell would run until the simulator's
+//! 50-million-event backstop. (That the flood behaviour truly never
+//! quiesces is proven in `validity-adversary`'s `factories` tests.)
+
+use validity_adversary::BehaviorId;
+use validity_lab::{
+    Outcome, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
+};
+use validity_protocols::VectorKind;
+
+/// One diverging cell (alg6 at `(3, 1)` under `flood`) alongside healthy
+/// cells (`(4, 1)`, where every engine decides even under the flood).
+fn mixed_matrix(max_steps: Option<u64>) -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("quarantine-test");
+    m.protocols = vec![ProtocolSpec {
+        kind: VectorKind::Fast,
+        universal: false,
+    }];
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = vec![BehaviorId::Flood];
+    m.faults = vec![1];
+    m.schedules = vec![ScheduleSpec::Synchronous];
+    m.systems = vec![(3, 1), (4, 1)];
+    m.seeds = 0..2;
+    m.max_steps = max_steps;
+    m
+}
+
+#[test]
+fn diverging_cell_quarantines_instead_of_hanging_the_sweep() {
+    let m = mixed_matrix(Some(20_000));
+    let (report, _) = SweepEngine::new(2).run(&m);
+    // The sweep finished (we are here) and every cell has a record.
+    assert_eq!(report.cells.len(), 4);
+    // Exactly the two (3, 1) seeds diverged.
+    assert_eq!(report.quarantined.len(), 2, "{:?}", report.quarantined);
+    assert!(
+        report.quarantined.iter().all(|k| k.contains("/n3t1/")),
+        "{:?}",
+        report.quarantined
+    );
+    for rec in &report.cells {
+        let Outcome::Run(r) = &rec.outcome else {
+            panic!("run-only matrix")
+        };
+        if rec.key.contains("/n3t1/") {
+            assert!(r.quarantined, "{} should have blown its budget", rec.key);
+            assert!(!r.decided);
+        } else {
+            assert!(!r.quarantined, "{} should be healthy", rec.key);
+            assert!(r.decided, "{} should decide despite the flood", rec.key);
+        }
+    }
+    // Quarantined runs count as violations (they did not decide) and are
+    // excluded from the group measures.
+    assert_eq!(report.violations(), 2);
+    let starved = report
+        .groups
+        .iter()
+        .find(|g| g.key.contains("/n3t1"))
+        .expect("group exists");
+    assert_eq!(starved.quarantined, 2);
+    assert_eq!(starved.messages_after_gst.count, 0);
+    // Both emitters surface the section.
+    assert!(report.to_markdown().contains("## Quarantined cells"));
+    assert!(report.to_json().contains("\"quarantined\": [\"run/"));
+}
+
+#[test]
+fn quarantine_is_deterministic_across_worker_counts() {
+    let m = mixed_matrix(Some(20_000));
+    let one = SweepEngine::new(1).run(&m).0;
+    let eight = SweepEngine::new(8).run(&m).0;
+    assert_eq!(one.to_json(), eight.to_json());
+    assert_eq!(one.quarantined, eight.quarantined);
+}
+
+#[test]
+fn budget_size_separates_healthy_from_diverging() {
+    // A budget below what the healthy (4, 1) cells need quarantines them
+    // too: the mechanism is a pure event-count gate, not a heuristic.
+    let m = mixed_matrix(Some(10));
+    let (report, _) = SweepEngine::new(1).run(&m);
+    assert_eq!(report.quarantined.len(), 4);
+}
