@@ -1,26 +1,31 @@
-//! The `lab` CLI: run scenario sweeps, list the registries, diff reports,
-//! and emit the CI bench-trend artifact.
+//! The `lab` CLI: run scenario sweeps (whole or sharded), list the
+//! registries, merge shard partials, diff reports, and emit / gate on the
+//! CI bench-trend artifact.
 //!
 //! ```text
 //! lab list [--names]
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
 //! lab run --suite universal --dry-run
+//! lab run --suite complexity --shard 2/4 --json part2.json
 //! lab run --protocols universal/alg1-auth --validities strong,median \
 //!         --behaviors silent,crash --schedules sync,partial-sync \
 //!         --systems 4,1;7,2 --faults 0,max --seeds 0..8 \
 //!         --fits messages,words --max-steps 5000000
+//! lab merge part1.json part2.json part3.json part4.json --json full.json
 //! lab diff fig1.json other.json
 //! lab trend --suites complexity,universal --out BENCH_lab.json
+//! lab trend --from-reports complexity.json,universal.json \
+//!           --baseline BENCH_lab_baseline.json --out BENCH_lab.json
 //! ```
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use validity_adversary::BehaviorId;
 use validity_lab::json::Json;
-use validity_lab::report::{fit_core_json, json_str};
+use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
-    suites, FitMeasure, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
+    merge, suites, FitMeasure, PartialReport, ProtocolSpec, ScenarioMatrix, ScheduleSpec,
+    ShardSpec, SweepEngine, SweepReport, ValiditySpec, PARTIAL_SCHEMA, REPORT_SCHEMA,
 };
 use validity_protocols::VectorKind;
 
@@ -33,19 +38,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some((&"run", rest)) => run(rest),
+        Some((&"merge", rest)) => merge_cmd(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"trend", rest)) => trend(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | diff | trend> ...\n\n\
+                "usage: lab <list | run | merge | diff | trend> ...\n\n\
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
-                 \x20        [--max-steps N] [--dry-run]\n\
+                 \x20        [--max-steps N] [--shard i/m] [--dry-run]\n\
                  lab run --protocols P,.. --validities V,.. --behaviors B,..\n\
                  \x20        --schedules S,.. --systems n,t;n,t --faults 0,max --seeds a..b\n\
-                 \x20        [--fits messages,words,latency] [--max-steps N] [--dry-run]\n\
+                 \x20        [--fits messages,words,latency] [--max-steps N]\n\
+                 \x20        [--shard i/m] [--dry-run]\n\
+                 lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
-                 lab trend [--suites a,b,..] [--threads N] [--out FILE]"
+                 lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
+                 \x20        [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]"
             );
             ExitCode::FAILURE
         }
@@ -91,7 +100,7 @@ fn list(names_only: bool) {
 }
 
 /// Every value-taking flag `lab run` understands.
-const RUN_FLAGS: [&str; 13] = [
+const RUN_FLAGS: [&str; 14] = [
     "--suite",
     "--threads",
     "--json",
@@ -105,6 +114,7 @@ const RUN_FLAGS: [&str; 13] = [
     "--seeds",
     "--fits",
     "--max-steps",
+    "--shard",
 ];
 
 /// Flags that take no value.
@@ -252,17 +262,42 @@ fn run(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // An explicit `--shard` always takes the partial-report path, even
+    // for the degenerate 1/1 partition: a pipeline parameterized over the
+    // shard count must get a mergeable partial at m = 1 too, not a full
+    // report that `lab merge` then refuses.
+    let shard = match opt_value(rest, "--shard").map(ShardSpec::parse) {
+        None => None,
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if rest.contains(&"--dry-run") {
-        println!(
-            "{}: {} cells ({} fit measure(s), max_steps {})",
-            matrix.name,
-            matrix.len(),
-            matrix.fit_measures.len(),
-            matrix
-                .max_steps
-                .map_or("none".to_string(), |n| n.to_string()),
-        );
+        if let Some(shard) = shard {
+            println!(
+                "{}: shard {} owns {} of {} cells",
+                matrix.name,
+                shard,
+                matrix.shard_cells(shard).len(),
+                matrix.len(),
+            );
+        } else {
+            println!(
+                "{}: {} cells ({} fit measure(s), max_steps {})",
+                matrix.name,
+                matrix.len(),
+                matrix.fit_measures.len(),
+                matrix
+                    .max_steps
+                    .map_or("none".to_string(), |n| n.to_string()),
+            );
+        }
         return ExitCode::SUCCESS;
+    }
+    if let Some(shard) = shard {
+        return run_shard(rest, &matrix, shard, threads);
     }
     let engine = SweepEngine::new(threads);
     eprintln!(
@@ -287,22 +322,182 @@ fn run(rest: &[&str]) -> ExitCode {
     let md_path = opt_value(rest, "--md")
         .map(String::from)
         .unwrap_or_else(|| format!("lab-{}.md", matrix.name));
-    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+    emit_reports(&report, &json_path, &md_path)
+}
+
+/// Writes a full report's JSON and Markdown files and echoes the Markdown
+/// (rendered once) to stdout — the shared tail of `lab run` and
+/// `lab merge`.
+fn emit_reports(report: &SweepReport, json_path: &str, md_path: &str) -> ExitCode {
+    let markdown = report.to_markdown();
+    if let Err(e) = std::fs::write(json_path, report.to_json()) {
         eprintln!("cannot write {json_path}: {e}");
         return ExitCode::FAILURE;
     }
-    if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+    if let Err(e) = std::fs::write(md_path, &markdown) {
         eprintln!("cannot write {md_path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("reports: {json_path}, {md_path}");
-    print!("{}", report.to_markdown());
+    print!("{markdown}");
     ExitCode::SUCCESS
+}
+
+/// `lab run --shard i/m`: execute one deterministic slice of the matrix
+/// and write a partial report for `lab merge` to recombine. Partials are
+/// machine-facing merge inputs, so only JSON is emitted (`--md` is
+/// rejected rather than silently ignored).
+fn run_shard(rest: &[&str], matrix: &ScenarioMatrix, shard: ShardSpec, threads: usize) -> ExitCode {
+    if opt_value(rest, "--md").is_some() {
+        eprintln!("--md is not available with --shard: merge the partials first");
+        return ExitCode::FAILURE;
+    }
+    let engine = SweepEngine::new(threads);
+    let cells = matrix.shard_cells(shard);
+    eprintln!(
+        "sweep '{}' shard {}: {} of {} cells on {} worker thread(s)...",
+        matrix.name,
+        shard,
+        cells.len(),
+        matrix.len(),
+        engine.threads()
+    );
+    let sweep = engine.execute_shard(matrix, shard);
+    let partial = PartialReport {
+        matrix: matrix.clone(),
+        shard,
+        wall_seconds: sweep.wall.as_secs_f64(),
+        records: sweep.records,
+    };
+    eprintln!(
+        "done in {:.3}s wall ({} cells)",
+        partial.wall_seconds,
+        partial.records.len(),
+    );
+    let json_path = opt_value(rest, "--json")
+        .map(String::from)
+        .unwrap_or_else(|| {
+            format!(
+                "lab-{}-shard{}of{}.json",
+                matrix.name, shard.index, shard.count
+            )
+        });
+    if let Err(e) = std::fs::write(&json_path, partial.to_json()) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("partial report: {json_path}");
+    ExitCode::SUCCESS
+}
+
+/// `lab merge`: recombine all `m` partials of a sharded sweep into the
+/// full report — byte-identical to what a single unsharded process would
+/// have written.
+fn merge_cmd(rest: &[&str]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--json" | "--md" if i + 1 < rest.len() => i += 2,
+            arg if arg.starts_with("--") => {
+                eprintln!("usage: lab merge <partial.json>... [--json FILE] [--md FILE]");
+                return ExitCode::FAILURE;
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: lab merge <partial.json>... [--json FILE] [--md FILE]");
+        return ExitCode::FAILURE;
+    }
+    let partials: Result<Vec<PartialReport>, String> = paths
+        .iter()
+        .map(|path| {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            PartialReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+        })
+        .collect();
+    let partials = match partials {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (report, matrix) = match merge(&partials) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "merged {} partial(s): {} cells, {} violations, {} quarantined, {} fit(s) out of band",
+        partials.len(),
+        report.cells.len(),
+        report.violations(),
+        report.quarantined.len(),
+        report.fits_out_of_band(),
+    );
+    let json_path = opt_value(rest, "--json")
+        .map(String::from)
+        .unwrap_or_else(|| format!("lab-{}.json", matrix.name));
+    let md_path = opt_value(rest, "--md")
+        .map(String::from)
+        .unwrap_or_else(|| format!("lab-{}.md", matrix.name));
+    emit_reports(&report, &json_path, &md_path)
 }
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Refuses to diff anything that is not a same-generation full report: a
+/// partial (sharded) report would diff as a wall of spurious only-in-one
+/// cells, and a future schema generation could differ in ways the cell
+/// comparison does not see. Both get a clear error instead.
+///
+/// A schema-less document is accepted only when it at least carries a
+/// `cells` array — i.e. looks like a full report from before the schema
+/// field existed. Without that check, two arbitrary JSON files would
+/// "diff" as a spurious zero-cell match.
+fn check_diffable(path: &str, v: &Json) -> Result<(), String> {
+    let declared = v.get("schema").and_then(Json::as_str);
+    if declared.is_none() && v.get("cells").and_then(Json::as_arr).is_none() {
+        return Err(format!(
+            "{path} does not look like a lab report (no 'schema' tag and no \
+             'cells' section)"
+        ));
+    }
+    let schema = declared.unwrap_or(REPORT_SCHEMA);
+    if schema == PARTIAL_SCHEMA {
+        let part = v
+            .get("shard")
+            .map(|s| {
+                format!(
+                    " (shard {}/{})",
+                    s.get("index").and_then(Json::as_u64).unwrap_or(0),
+                    s.get("count").and_then(Json::as_u64).unwrap_or(0),
+                )
+            })
+            .unwrap_or_default();
+        return Err(format!(
+            "{path} is a partial (sharded) report{part}: run `lab merge` on all \
+             shards first, then diff the merged report"
+        ));
+    }
+    if schema != REPORT_SCHEMA {
+        return Err(format!(
+            "{path} declares schema '{schema}', which this lab does not read \
+             (expected '{REPORT_SCHEMA}'): schema-version mismatch"
+        ));
+    }
+    Ok(())
 }
 
 fn diff(rest: &[&str]) -> ExitCode {
@@ -317,6 +512,12 @@ fn diff(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for (path, v) in [(a_path, &a), (b_path, &b)] {
+        if let Err(e) = check_diffable(path, v) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Index both reports by cell key once; the comparison is then linear.
     fn cells_of(v: &Json) -> &[Json] {
         v.get("cells").and_then(Json::as_arr).unwrap_or(&[])
@@ -363,19 +564,36 @@ fn diff(rest: &[&str]) -> ExitCode {
     }
 }
 
-/// `lab trend`: run a list of fit-bearing suites, emit one JSON artifact
-/// with every fitted exponent plus wall time (the repo's perf trajectory,
-/// uploaded by the `bench-trend` CI job), and fail if any exponent left its
-/// declared band or any cell misbehaved.
+/// `lab trend`: assemble the bench-trend artifact — by sweeping fit-bearing
+/// suites (default) or from already-merged full reports (`--from-reports`,
+/// the sharded CI path) — write it to `--out`, and gate:
+///
+/// * always: fail if any fitted exponent left its declared band or any
+///   cell misbehaved (violations / quarantine);
+/// * with `--baseline FILE`: additionally diff the fresh artifact against
+///   the historical one and fail on regressions (exponent drift beyond
+///   `--tolerance`, band escapes, vanished fit groups) — CI gates on
+///   history, not just static bands.
 ///
 /// Wall time is deliberately kept *out* of `lab run` reports (they are
 /// byte-deterministic); the trend artifact is the one place it belongs.
+/// Artifacts assembled with `--from-reports` carry `wall_seconds: null`.
 fn trend(rest: &[&str]) -> ExitCode {
-    const TREND_FLAGS: [&str; 3] = ["--suites", "--threads", "--out"];
+    const TREND_FLAGS: [&str; 6] = [
+        "--suites",
+        "--threads",
+        "--out",
+        "--baseline",
+        "--tolerance",
+        "--from-reports",
+    ];
     let mut i = 0;
     while i < rest.len() {
         if !TREND_FLAGS.contains(&rest[i]) || i + 1 >= rest.len() {
-            eprintln!("usage: lab trend [--suites a,b,..] [--threads N] [--out FILE]");
+            eprintln!(
+                "usage: lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
+                 \x20               [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]"
+            );
             return ExitCode::FAILURE;
         }
         i += 2;
@@ -388,74 +606,145 @@ fn trend(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let names: Vec<&str> = opt_value(rest, "--suites")
-        .unwrap_or("complexity,universal")
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .collect();
-    let out_path = opt_value(rest, "--out").unwrap_or("BENCH_lab.json");
-    let engine = SweepEngine::new(threads);
-
-    let mut out = String::from("{\n  \"suites\": [\n");
-    let mut out_of_band = 0u64;
-    let mut violations = 0u64;
-    for (si, name) in names.iter().enumerate() {
-        let Some(matrix) = suites::build(name) else {
-            eprintln!("unknown suite '{name}'; see `lab list`");
+    // `f64::from_str` happily parses "nan"/"inf"; a NaN tolerance would
+    // silently disable the drift gate (NaN comparisons are all false), so
+    // anything non-finite or negative is rejected up front.
+    let tolerance: f64 = match opt_value(rest, "--tolerance").map(str::parse) {
+        None => 0.25,
+        Some(Ok(x)) if x >= 0.0 && f64::is_finite(x) => x,
+        Some(_) => {
+            eprintln!("--tolerance wants a finite non-negative number");
             return ExitCode::FAILURE;
-        };
-        eprintln!("trend: sweeping '{name}' ({} cells)...", matrix.len());
-        let (report, sweep) = engine.run(&matrix);
-        out_of_band += report.fits_out_of_band();
-        violations += report.violations();
-        let _ = write!(
-            out,
-            "    {{\"suite\": {}, \"wall_seconds\": {:.3}, \"cells\": {}, \
-             \"violations\": {}, \"quarantined\": {}, \"fits\": [",
-            json_str(name),
-            sweep.wall.as_secs_f64(),
-            report.cells.len(),
-            report.violations(),
-            report.quarantined.len(),
-        );
-        for (fi, f) in report.fits.iter().enumerate() {
-            if fi > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(
-                out,
-                "{{\"key\": {}, \"measure\": {}, ",
-                json_str(&f.key),
-                json_str(f.measure.name()),
-            );
-            fit_core_json(&mut out, f);
-            out.push('}');
-            eprintln!(
-                "  {} {}: exponent {} (band {})",
-                f.key,
-                f.measure,
-                f.fit
-                    .map_or("unfittable".to_string(), |p| format!("{:.3}", p.exponent)),
-                match f.band {
-                    Some((lo, hi)) => format!("[{lo}, {hi}]"),
-                    None => "-".to_string(),
-                },
-            );
         }
-        out.push_str("]}");
-        out.push_str(if si + 1 == names.len() { "\n" } else { ",\n" });
-    }
-    out.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(out_path, &out) {
+    };
+    let out_path = opt_value(rest, "--out").unwrap_or("BENCH_lab.json");
+
+    let artifact = match opt_value(rest, "--from-reports") {
+        Some(_) if opt_value(rest, "--suites").is_some() => {
+            eprintln!("--from-reports and --suites are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        Some(paths) => {
+            let mut suites_out = Vec::new();
+            for path in paths.split(',').filter(|s| !s.is_empty()) {
+                let v = match load(path) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = check_diffable(path, &v) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                match BenchSuite::from_report_json(&v) {
+                    Ok(s) => {
+                        eprintln!(
+                            "trend: report '{path}' ({} = {} cells, {} fit rows)",
+                            s.suite,
+                            s.cells,
+                            s.fits.len()
+                        );
+                        suites_out.push(s);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if suites_out.is_empty() {
+                eprintln!("--from-reports wants at least one report file");
+                return ExitCode::FAILURE;
+            }
+            BenchArtifact { suites: suites_out }
+        }
+        None => {
+            let names: Vec<&str> = opt_value(rest, "--suites")
+                .unwrap_or("complexity,universal")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .collect();
+            let engine = SweepEngine::new(threads);
+            let mut suites_out = Vec::new();
+            for name in names {
+                let Some(matrix) = suites::build(name) else {
+                    eprintln!("unknown suite '{name}'; see `lab list`");
+                    return ExitCode::FAILURE;
+                };
+                eprintln!("trend: sweeping '{name}' ({} cells)...", matrix.len());
+                let (report, sweep) = engine.run(&matrix);
+                for f in &report.fits {
+                    eprintln!(
+                        "  {} {}: exponent {} (band {})",
+                        f.key,
+                        f.measure,
+                        f.fit
+                            .map_or("unfittable".to_string(), |p| format!("{:.3}", p.exponent)),
+                        match f.band {
+                            Some((lo, hi)) => format!("[{lo}, {hi}]"),
+                            None => "-".to_string(),
+                        },
+                    );
+                }
+                suites_out.push(BenchSuite::from_sweep(
+                    name,
+                    &report,
+                    Some(sweep.wall.as_secs_f64()),
+                ));
+            }
+            BenchArtifact { suites: suites_out }
+        }
+    };
+
+    if let Err(e) = std::fs::write(out_path, artifact.to_json()) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("trend artifact: {out_path}");
+
+    let mut failed = false;
+    let out_of_band: u64 = artifact
+        .suites
+        .iter()
+        .flat_map(|s| &s.fits)
+        .filter(|f| f.within_band == Some(false))
+        .count() as u64;
+    let violations: u64 = artifact.suites.iter().map(|s| s.violations).sum();
     if out_of_band > 0 || violations > 0 {
         eprintln!(
             "TREND FAILURE: {out_of_band} fitted exponent(s) out of band, \
              {violations} violation(s)"
         );
+        failed = true;
+    }
+    if let Some(baseline_path) = opt_value(rest, "--baseline") {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchArtifact::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = compare(&artifact, &baseline, tolerance);
+        print!("{}", diff.render_markdown());
+        if diff.regressions() > 0 {
+            eprintln!(
+                "TREND FAILURE: {} regression(s) vs baseline {baseline_path}",
+                diff.regressions()
+            );
+            failed = true;
+        }
+    }
+    if failed {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::matrix::{CellSpec, ScenarioMatrix};
+use crate::matrix::{CellSpec, ScenarioMatrix, ShardSpec};
 use crate::report::SweepReport;
 use crate::runner::{execute_with_budget, CellRecord};
 
@@ -60,6 +60,23 @@ impl SweepEngine {
             records: records.0,
             threads: self.threads,
             wall: records.1,
+        }
+    }
+
+    /// Executes one shard of `matrix` (see [`crate::matrix::ShardSpec`]):
+    /// only the cells the shard owns run, in matrix order, under the
+    /// matrix's step budget. The records are exactly the sub-list an
+    /// unsharded [`SweepEngine::execute`] would produce for those cells —
+    /// cell execution is a pure function of the cell — which is what lets
+    /// [`crate::partial::merge`] reassemble byte-identical reports from
+    /// partial runs on different processes or machines.
+    pub fn execute_shard(&self, matrix: &ScenarioMatrix, shard: ShardSpec) -> SweepRun {
+        let cells = matrix.shard_cells(shard);
+        let (records, wall) = self.execute_cells(&cells, matrix.max_steps);
+        SweepRun {
+            records,
+            threads: self.threads,
+            wall,
         }
     }
 

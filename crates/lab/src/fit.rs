@@ -27,6 +27,17 @@ pub struct PowerFit {
 /// variance (every point shares one x — the slope is unconstrained). Report
 /// emitters use this form: a sweep whose cells cannot support a fit still
 /// renders, with the fit row marked unfittable.
+///
+/// ```
+/// use validity_lab::try_fit_exponent;
+///
+/// // y = 3·x² measured at three sizes: the fit recovers the shape.
+/// let fit = try_fit_exponent(&[(4.0, 48.0), (7.0, 147.0), (10.0, 300.0)]).unwrap();
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.constant - 3.0).abs() < 1e-6);
+/// // One size cannot constrain an exponent.
+/// assert!(try_fit_exponent(&[(4.0, 48.0)]).is_none());
+/// ```
 pub fn try_fit_exponent(points: &[(f64, f64)]) -> Option<PowerFit> {
     if points.len() < 2 {
         return None;
@@ -76,6 +87,13 @@ pub fn try_fit_exponent(points: &[(f64, f64)]) -> Option<PowerFit> {
 /// non-positive, or the x-axis has no variance. Experiment binaries use
 /// this form — their sweeps are constructed so a fit always exists, and a
 /// failure to fit is a harness bug worth crashing on.
+///
+/// ```
+/// use validity_lab::fit_exponent;
+///
+/// let fit = fit_exponent(&[(2.0, 12.0), (8.0, 192.0)]);
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// ```
 pub fn fit_exponent(points: &[(f64, f64)]) -> PowerFit {
     assert!(points.len() >= 2, "need at least two points to fit");
     assert!(

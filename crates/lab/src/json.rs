@@ -1,6 +1,8 @@
-//! A minimal JSON reader — just enough for `lab diff` to load two reports
-//! emitted by [`crate::report::SweepReport::to_json`]. Supports objects,
-//! arrays, strings (with the escapes the emitter produces), numbers, bools
+//! A minimal JSON reader — just enough for the `lab` CLI to load the
+//! artifacts the lab itself emits ([`crate::report::SweepReport::to_json`]
+//! full reports, [`crate::partial::PartialReport`] shard partials, and
+//! [`crate::trend::BenchArtifact`] bench-trend files). Supports objects,
+//! arrays, strings (with the escapes the emitters produce), numbers, bools
 //! and null.
 
 use std::collections::BTreeMap;
@@ -60,6 +62,43 @@ impl Json {
             Json::Arr(v) => Some(v),
             _ => None,
         }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer.
+    ///
+    /// Numbers are stored as `f64`, which represents integers exactly up
+    /// to 2⁵³ — far above any counter the lab emits; anything negative,
+    /// fractional, or beyond that range is rejected rather than rounded.
+    ///
+    /// ```
+    /// use validity_lab::json::Json;
+    ///
+    /// assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
+    /// assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+    /// assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+    /// ```
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_num()?;
+        if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+            return None;
+        }
+        Some(n as u64)
     }
 }
 

@@ -25,7 +25,15 @@
 //!   validity violations) with JSON and Markdown emitters.
 //! * **[`suites`]** — curated matrices reproducing the paper's experiment
 //!   families, including the Figure-1 classification grid as one sweep.
-//! * the **`lab`** binary — `run` / `list` / `diff` over all of the above.
+//! * **[`partial`]** (with [`ShardSpec`] in [`matrix`]) — horizontal
+//!   scale-out: `lab run --shard i/m` executes one deterministic slice of
+//!   a matrix and emits a partial report; `lab merge` recombines all `m`
+//!   partials into a report **byte-identical** to an unsharded run.
+//! * **[`trend`]** — the versioned `BENCH_lab.json` artifact plus
+//!   historical comparison: `lab trend --baseline` diffs today's fitted
+//!   exponents against a previous artifact and fails on regressions.
+//! * the **`lab`** binary — `run` / `list` / `diff` / `merge` / `trend`
+//!   over all of the above.
 //!
 //! ## Example
 //!
@@ -48,15 +56,19 @@ pub mod executor;
 pub mod fit;
 pub mod json;
 pub mod matrix;
+pub mod partial;
 pub mod report;
 pub mod runner;
 pub mod suites;
+pub mod trend;
 
 pub use executor::{SweepEngine, SweepRun};
 pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
     CellSpec, ClassifyCell, FitBand, FitMeasure, ProtocolSpec, RunCell, ScenarioMatrix,
-    ScheduleSpec, ValiditySpec,
+    ScheduleSpec, ShardSpec, ValiditySpec,
 };
-pub use report::{FitRow, GroupSummary, SweepReport};
+pub use partial::{merge, PartialReport, PARTIAL_SCHEMA};
+pub use report::{FitRow, GroupSummary, SweepReport, REPORT_SCHEMA};
 pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};
+pub use trend::{compare, BenchArtifact, BenchFit, BenchSuite, TrendDiff, BENCH_SCHEMA};

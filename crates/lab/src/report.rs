@@ -54,6 +54,17 @@ impl MeasureStats {
 
     /// Mean with one decimal, as a string (deterministic rendering);
     /// `"-"` when nothing was observed.
+    ///
+    /// Integer arithmetic with half-up rounding — floats never touch the
+    /// report path, so the bytes cannot depend on the platform.
+    ///
+    /// ```
+    /// use validity_lab::report::MeasureStats;
+    ///
+    /// let stats = MeasureStats { min: 10, max: 20, sum: 45, count: 3 };
+    /// assert_eq!(stats.mean(), "15.0");
+    /// assert_eq!(MeasureStats::default().mean(), "-");
+    /// ```
     pub fn mean(&self) -> String {
         if self.count == 0 {
             return "-".into();
@@ -118,6 +129,11 @@ pub struct FitRow {
     pub within_band: Option<bool>,
 }
 
+/// Schema tag written into full-report JSON files. `lab diff` uses it to
+/// refuse partial (sharded) reports and artifacts from other schema
+/// generations instead of producing a silently meaningless diff.
+pub const REPORT_SCHEMA: &str = "validity-lab/report@1";
+
 /// A classification cell in the report.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClassifyRow {
@@ -128,6 +144,16 @@ pub struct ClassifyRow {
 }
 
 /// The full, deterministic sweep report.
+///
+/// ```
+/// use validity_lab::{suites, SweepEngine};
+///
+/// let matrix = suites::build("quick").expect("built-in suite");
+/// let (report, _) = SweepEngine::new(2).run(&matrix);
+/// assert_eq!(report.violations(), 0);
+/// assert!(report.to_json().contains("\"schema\": \"validity-lab/report@1\""));
+/// assert!(report.to_markdown().starts_with("# Sweep report: quick"));
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepReport {
     /// Matrix/suite name.
@@ -265,6 +291,7 @@ impl SweepReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(REPORT_SCHEMA));
         let _ = writeln!(out, "  \"matrix\": {},", json_str(&self.matrix));
         let _ = writeln!(out, "  \"cell_count\": {},", self.cells.len());
         out.push_str("  \"cells\": [\n");
@@ -473,6 +500,13 @@ fn compute_fits(matrix: &ScenarioMatrix, groups: &[GroupSummary]) -> Vec<FitRow>
 }
 
 /// Escapes a string into a JSON literal.
+///
+/// ```
+/// use validity_lab::report::json_str;
+///
+/// assert_eq!(json_str("a\"b"), r#""a\"b""#);
+/// assert_eq!(json_str("⟨P1⟩"), "\"⟨P1⟩\"");
+/// ```
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');

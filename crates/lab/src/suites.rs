@@ -24,6 +24,13 @@ pub const ALL: [&str; 7] = [
 ];
 
 /// One-line description of a suite.
+///
+/// ```
+/// use validity_lab::suites;
+///
+/// assert!(suites::describe("universal").unwrap().contains("Theorem 5"));
+/// assert_eq!(suites::describe("nope"), None);
+/// ```
 pub fn describe(name: &str) -> Option<&'static str> {
     match name {
         "fig1" => Some(
@@ -56,6 +63,16 @@ pub fn describe(name: &str) -> Option<&'static str> {
 }
 
 /// Builds a suite by name.
+///
+/// ```
+/// use validity_lab::suites;
+///
+/// for name in suites::ALL {
+///     let matrix = suites::build(name).expect(name);
+///     assert!(!matrix.is_empty());
+/// }
+/// assert!(suites::build("nope").is_none());
+/// ```
 pub fn build(name: &str) -> Option<ScenarioMatrix> {
     match name {
         "fig1" => Some(fig1()),

@@ -1,0 +1,168 @@
+//! The historical trend gate, end-to-end through the `lab` binary: a
+//! synthetically regressed baseline must flip the exit code, because that
+//! exit code is exactly what CI gates on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use validity_lab::{suites, BenchArtifact, SweepEngine};
+
+const LAB: &str = env!("CARGO_BIN_EXE_lab");
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lab-trend-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+/// A merged-report file for a small fit-bearing sweep (the `nonauth`
+/// suite trimmed to its three smallest sizes), produced through the
+/// library so the test spends its budget on the CLI paths under test.
+fn write_report(dir: &Path) -> String {
+    let mut m = suites::build("nonauth").expect("built-in suite");
+    m.systems.truncate(3);
+    let (report, _) = SweepEngine::new(2).run(&m);
+    assert!(!report.fits.is_empty());
+    let path = dir.join("nonauth.json").display().to_string();
+    std::fs::write(&path, report.to_json()).expect("write report");
+    path
+}
+
+#[test]
+fn trend_gate_passes_on_itself_and_fails_on_a_regressed_baseline() {
+    let dir = workdir("gate");
+    let report = write_report(&dir);
+    let bench = dir.join("bench.json").display().to_string();
+
+    // Assemble the artifact from the report file; nothing is out of band,
+    // so with no baseline the gate passes.
+    let out = Command::new(LAB)
+        .args(["trend", "--from-reports", &report, "--out", &bench])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        out.status.success(),
+        "trend failed on a healthy sweep: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Against itself as baseline: zero drift, still passing.
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--baseline",
+            &bench,
+            "--out",
+            &dir.join("bench2.json").display().to_string(),
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        out.status.success(),
+        "self-baseline regressed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Synthetically regress the baseline: shift the first recorded
+    // exponent far outside any tolerance, as if history said the sweep
+    // used to be much cheaper.
+    let text = std::fs::read_to_string(&bench).expect("read artifact");
+    let mut baseline = BenchArtifact::parse(&text).expect("parse artifact");
+    let fit = baseline
+        .suites
+        .iter_mut()
+        .flat_map(|s| s.fits.iter_mut())
+        .find(|f| f.exponent.is_some())
+        .expect("artifact carries a fitted exponent");
+    *fit.exponent.as_mut().unwrap() -= 1.0;
+    let regressed = dir.join("regressed.json").display().to_string();
+    std::fs::write(&regressed, baseline.to_json()).expect("write baseline");
+
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--baseline",
+            &regressed,
+            "--out",
+            &dir.join("bench3.json").display().to_string(),
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        !out.status.success(),
+        "trend passed against a regressed baseline"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DRIFT"), "no drift row rendered:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("regression"),
+        "no regression summary:\n{stderr}"
+    );
+
+    // A generous tolerance waives the same drift.
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--baseline",
+            &regressed,
+            "--tolerance",
+            "5.0",
+            "--out",
+            &dir.join("bench4.json").display().to_string(),
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        out.status.success(),
+        "tolerance not honored: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn trend_rejects_degenerate_tolerances() {
+    // A NaN tolerance would make every drift comparison false and so
+    // silently disable the gate; negative would flag everything.
+    for bad in ["nan", "inf", "-0.5", "abc"] {
+        let out = Command::new(LAB)
+            .args(["trend", "--from-reports", "x.json", "--tolerance", bad])
+            .output()
+            .expect("spawn lab");
+        assert!(!out.status.success(), "accepted --tolerance {bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("tolerance"), "unhelpful error: {err}");
+    }
+}
+
+#[test]
+fn trend_from_reports_rejects_partial_artifacts() {
+    let dir = workdir("reject");
+    let partial = dir.join("part.json").display().to_string();
+    let out = Command::new(LAB)
+        .args([
+            "run", "--suite", "quick", "--shard", "1/2", "--json", &partial,
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(out.status.success(), "{out:?}");
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &partial,
+            "--out",
+            &dir.join("bench.json").display().to_string(),
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(!out.status.success(), "trend accepted a partial report");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lab merge"), "unhelpful error: {err}");
+}
