@@ -16,6 +16,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::config::{enumerate_all_configs, enumerate_configs_of_size, InputConfig};
 use crate::lambda::admissible_intersection;
@@ -154,6 +155,71 @@ pub fn check_similarity_condition<V: Value>(
         }
     }
     Ok(table)
+}
+
+/// A [`ValidityProperty`] adapter that counts admissibility evaluations —
+/// the classifier's elementary operation, and therefore the natural cost
+/// measure for how the decision procedure scales with the domain.
+///
+/// The count is deterministic: the classifier enumerates configurations in
+/// a fixed order, so the same `(property, params, domain)` always performs
+/// the same evaluations.
+pub struct CountingValidity<'a, VI: Value, VO: Value> {
+    inner: &'a dyn ValidityProperty<VI, VO>,
+    evals: AtomicU64,
+}
+
+impl<'a, VI: Value, VO: Value> CountingValidity<'a, VI, VO> {
+    /// Wraps a property; evaluations through the wrapper are counted.
+    pub fn new(inner: &'a dyn ValidityProperty<VI, VO>) -> Self {
+        CountingValidity {
+            inner,
+            evals: AtomicU64::new(0),
+        }
+    }
+
+    /// Admissibility evaluations performed through this wrapper so far.
+    pub fn evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+}
+
+impl<VI: Value, VO: Value> ValidityProperty<VI, VO> for CountingValidity<'_, VI, VO> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn is_admissible(&self, c: &InputConfig<VI>, v: &VO) -> bool {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.is_admissible(c, v)
+    }
+}
+
+/// [`classify`], additionally reporting the classification's cost as the
+/// number of admissibility evaluations the decision procedure performed.
+///
+/// The count is a deterministic function of the inputs, which lets the lab
+/// fit classification cost against the domain size `|V|` the same way it
+/// fits message complexity against `n`.
+///
+/// ```
+/// use validity_core::{classify_with_cost, Domain, StrongValidity, SystemParams};
+///
+/// let params = SystemParams::new(4, 1).unwrap();
+/// let (c, cost) = classify_with_cost(&StrongValidity, params, &Domain::binary());
+/// assert!(c.is_solvable());
+/// assert!(cost > 0);
+/// let (_, again) = classify_with_cost(&StrongValidity, params, &Domain::binary());
+/// assert_eq!(cost, again);
+/// ```
+pub fn classify_with_cost<V: Value>(
+    prop: &impl ValidityProperty<V>,
+    params: SystemParams,
+    domain: &Domain<V>,
+) -> (Classification<V>, u64) {
+    let counting = CountingValidity::new(prop);
+    let classification = classify(&counting, params, domain);
+    (classification, counting.evals())
 }
 
 /// Full classification per the paper's decision procedure (Theorems 1, 3, 5).

@@ -7,15 +7,17 @@
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
 //! lab run --suite universal --dry-run
 //! lab run --suite complexity --shard 2/4 --json part2.json
+//! lab run --suite complexity --adaptive --precision 0.05 --batch 2 --max-seeds 16
 //! lab run --protocols universal/alg1-auth --validities strong,median \
 //!         --behaviors silent,crash --schedules sync,partial-sync \
 //!         --systems 4,1;7,2 --faults 0,max --seeds 0..8 \
-//!         --fits messages,words --max-steps 5000000
+//!         --fits messages,words --fit-axis n --max-steps 5000000
 //! lab merge part1.json part2.json part3.json part4.json --json full.json
 //! lab diff fig1.json other.json
 //! lab trend --suites complexity,universal --out BENCH_lab.json
 //! lab trend --from-reports complexity.json,universal.json \
 //!           --baseline BENCH_lab_baseline.json --out BENCH_lab.json
+//! lab trend --suites complexity,universal --update-baseline
 //! ```
 
 use std::process::ExitCode;
@@ -24,8 +26,9 @@ use validity_adversary::BehaviorId;
 use validity_lab::json::Json;
 use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
-    merge, suites, FitMeasure, PartialReport, ProtocolSpec, ScenarioMatrix, ScheduleSpec,
-    ShardSpec, SweepEngine, SweepReport, ValiditySpec, PARTIAL_SCHEMA, REPORT_SCHEMA,
+    merge, suites, FitAxis, FitMeasure, PartialReport, ProtocolSpec, SamplingSpec, ScenarioMatrix,
+    ScheduleSpec, ShardSpec, SweepEngine, SweepReport, ValiditySpec, PARTIAL_SCHEMA,
+    PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
 };
 use validity_protocols::VectorKind;
 
@@ -47,14 +50,17 @@ fn main() -> ExitCode {
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
                  \x20        [--max-steps N] [--shard i/m] [--dry-run]\n\
+                 \x20        [--adaptive] [--precision X] [--batch N] [--max-seeds N]\n\
                  lab run --protocols P,.. --validities V,.. --behaviors B,..\n\
                  \x20        --schedules S,.. --systems n,t;n,t --faults 0,max --seeds a..b\n\
-                 \x20        [--fits messages,words,latency] [--max-steps N]\n\
-                 \x20        [--shard i/m] [--dry-run]\n\
+                 \x20        [--fits messages,words,latency] [--fit-axis n|t|domain]\n\
+                 \x20        [--max-steps N] [--shard i/m] [--dry-run]\n\
+                 \x20        [--adaptive] [--precision X] [--batch N] [--max-seeds N]\n\
                  lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
                  lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
-                 \x20        [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]"
+                 \x20        [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]\n\
+                 \x20        [--update-baseline]"
             );
             ExitCode::FAILURE
         }
@@ -97,10 +103,14 @@ fn list(names_only: bool) {
     for m in FitMeasure::ALL {
         println!("  {}", m.name());
     }
+    println!("\nfit axes (for --fit-axis):");
+    for a in FitAxis::ALL {
+        println!("  {}", a.name());
+    }
 }
 
 /// Every value-taking flag `lab run` understands.
-const RUN_FLAGS: [&str; 14] = [
+const RUN_FLAGS: [&str; 18] = [
     "--suite",
     "--threads",
     "--json",
@@ -113,12 +123,16 @@ const RUN_FLAGS: [&str; 14] = [
     "--faults",
     "--seeds",
     "--fits",
+    "--fit-axis",
     "--max-steps",
     "--shard",
+    "--precision",
+    "--batch",
+    "--max-seeds",
 ];
 
 /// Flags that take no value.
-const RUN_SWITCHES: [&str; 1] = ["--dry-run"];
+const RUN_SWITCHES: [&str; 2] = ["--dry-run", "--adaptive"];
 
 /// Rejects misspelled or unknown options instead of silently falling back
 /// to defaults (a sweep that quietly measures the wrong scenario is worse
@@ -225,6 +239,58 @@ fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
     Ok(m)
 }
 
+/// Parses the adaptive-sampling flags: `--adaptive` enables the defaults,
+/// and any of `--precision` / `--batch` / `--max-seeds` both enables and
+/// overrides. `Ok(None)` = fixed-seed sweep.
+fn parse_sampling(rest: &[&str]) -> Result<Option<SamplingSpec>, String> {
+    let precision = opt_value(rest, "--precision");
+    let batch = opt_value(rest, "--batch");
+    let max_seeds = opt_value(rest, "--max-seeds");
+    if !rest.contains(&"--adaptive")
+        && precision.is_none()
+        && batch.is_none()
+        && max_seeds.is_none()
+    {
+        return Ok(None);
+    }
+    let mut spec = SamplingSpec::default();
+    if let Some(p) = precision {
+        spec.precision = p
+            .parse()
+            .ok()
+            .filter(|x: &f64| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| format!("--precision wants a finite non-negative number, got '{p}'"))?;
+    }
+    if let Some(b) = batch {
+        spec.batch = b
+            .parse()
+            .ok()
+            .filter(|n: &u64| *n >= 1)
+            .ok_or_else(|| format!("--batch wants a positive seed count, got '{b}'"))?;
+    }
+    if let Some(s) = max_seeds {
+        spec.max_seeds = s
+            .parse()
+            .ok()
+            .filter(|n: &u64| *n >= 1)
+            .ok_or_else(|| format!("--max-seeds wants a positive seed count, got '{s}'"))?;
+    }
+    if spec.batch > spec.max_seeds {
+        if batch.is_none() {
+            // Only the cap was given: shrink the *default* batch to fit it
+            // rather than erroring about a flag the user never passed.
+            spec.batch = spec.max_seeds;
+        } else {
+            return Err(format!(
+                "--batch {} exceeds --max-seeds {}: the pilot batch alone \
+                 would blow the per-group seed cap",
+                spec.batch, spec.max_seeds
+            ));
+        }
+    }
+    Ok(Some(spec))
+}
+
 fn run(rest: &[&str]) -> ExitCode {
     if let Err(e) = check_flags(rest) {
         eprintln!("{e}");
@@ -262,6 +328,60 @@ fn run(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match opt_value(rest, "--fit-axis") {
+        None => {}
+        Some(name) => match FitAxis::parse(name) {
+            Some(axis) => matrix.fit_axis = axis,
+            None => {
+                eprintln!("unknown fit axis '{name}'; see `lab list`");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    // A measure that cannot fit along the declared axis would silently
+    // produce an empty fits section — a sweep that quietly measures
+    // nothing is worse than an error.
+    let incompatible: Vec<&str> = matrix
+        .fit_measures
+        .iter()
+        .filter(|m| {
+            if matrix.fit_axis == FitAxis::Domain {
+                m.is_run_measure()
+            } else {
+                !m.is_run_measure()
+            }
+        })
+        .map(|m| m.name())
+        .collect();
+    if !incompatible.is_empty() {
+        eprintln!(
+            "fit measure(s) {} cannot fit along axis '{}': run measures \
+             (messages/words/latency) pair with axes n and t, classify-cost \
+             with axis domain",
+            incompatible.join(", "),
+            matrix.fit_axis,
+        );
+        return ExitCode::FAILURE;
+    }
+    match parse_sampling(rest) {
+        Ok(sampling) => {
+            if sampling.is_some() {
+                if !matrix.fit_measures.iter().any(|m| m.is_run_measure()) {
+                    eprintln!(
+                        "warning: adaptive sampling with no run fit measure declared — \
+                         there is nothing to estimate, so every group stops \
+                         (vacuously stable) after its pilot batch; add --fits or \
+                         pick a fit-bearing suite for precision-targeted sampling"
+                    );
+                }
+                matrix.sampling = sampling;
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // An explicit `--shard` always takes the partial-report path, even
     // for the degenerate 1/1 partition: a pipeline parameterized over the
     // shard count must get a mergeable partial at m = 1 too, not a full
@@ -275,7 +395,21 @@ fn run(rest: &[&str]) -> ExitCode {
         }
     };
     if rest.contains(&"--dry-run") {
-        if let Some(shard) = shard {
+        if let Some(spec) = matrix.sampling {
+            let units = matrix.work_units();
+            let owned = shard.map_or(units.len(), |s| matrix.shard_units(s).len());
+            println!(
+                "{}: adaptive over {} of {} work unit(s); batches of {} up to {} \
+                 seed(s)/group at precision {} (axis {})",
+                matrix.name,
+                owned,
+                units.len(),
+                spec.batch,
+                spec.max_seeds,
+                spec.precision,
+                matrix.fit_axis,
+            );
+        } else if let Some(shard) = shard {
             println!(
                 "{}: shard {} owns {} of {} cells",
                 matrix.name,
@@ -300,12 +434,21 @@ fn run(rest: &[&str]) -> ExitCode {
         return run_shard(rest, &matrix, shard, threads);
     }
     let engine = SweepEngine::new(threads);
-    eprintln!(
-        "sweep '{}': {} cells on {} worker thread(s)...",
-        matrix.name,
-        matrix.len(),
-        engine.threads()
-    );
+    match matrix.sampling {
+        Some(spec) => eprintln!(
+            "sweep '{}': adaptive over {} work unit(s) (precision {}) on {} worker thread(s)...",
+            matrix.name,
+            matrix.work_units().len(),
+            spec.precision,
+            engine.threads()
+        ),
+        None => eprintln!(
+            "sweep '{}': {} cells on {} worker thread(s)...",
+            matrix.name,
+            matrix.len(),
+            engine.threads()
+        ),
+    }
     let (report, sweep) = engine.run(&matrix);
     eprintln!(
         "done in {:.3}s wall ({} cells, {} violations, {} quarantined, {} fit(s) out of band)",
@@ -315,6 +458,14 @@ fn run(rest: &[&str]) -> ExitCode {
         report.quarantined.len(),
         report.fits_out_of_band(),
     );
+    if let Some(s) = &report.sampling {
+        eprintln!(
+            "adaptive sampling: {} seed(s) consumed over {} group(s), {} capped",
+            s.seeds_consumed(),
+            s.groups.len(),
+            s.capped(),
+        );
+    }
 
     let json_path = opt_value(rest, "--json")
         .map(String::from)
@@ -353,22 +504,31 @@ fn run_shard(rest: &[&str], matrix: &ScenarioMatrix, shard: ShardSpec, threads: 
         return ExitCode::FAILURE;
     }
     let engine = SweepEngine::new(threads);
-    let cells = matrix.shard_cells(shard);
-    eprintln!(
-        "sweep '{}' shard {}: {} of {} cells on {} worker thread(s)...",
-        matrix.name,
-        shard,
-        cells.len(),
-        matrix.len(),
-        engine.threads()
-    );
+    match matrix.sampling {
+        Some(_) => eprintln!(
+            "sweep '{}' shard {}: adaptive over {} of {} work unit(s) on {} worker thread(s)...",
+            matrix.name,
+            shard,
+            matrix.shard_units(shard).len(),
+            matrix.work_units().len(),
+            engine.threads()
+        ),
+        None => eprintln!(
+            "sweep '{}' shard {}: {} of {} cells on {} worker thread(s)...",
+            matrix.name,
+            shard,
+            matrix.shard_cells(shard).len(),
+            matrix.len(),
+            engine.threads()
+        ),
+    }
     let sweep = engine.execute_shard(matrix, shard);
-    let partial = PartialReport {
-        matrix: matrix.clone(),
+    let partial = PartialReport::new(
+        matrix.clone(),
         shard,
-        wall_seconds: sweep.wall.as_secs_f64(),
-        records: sweep.records,
-    };
+        sweep.wall.as_secs_f64(),
+        sweep.records,
+    );
     eprintln!(
         "done in {:.3}s wall ({} cells)",
         partial.wall_seconds,
@@ -475,7 +635,7 @@ fn check_diffable(path: &str, v: &Json) -> Result<(), String> {
         ));
     }
     let schema = declared.unwrap_or(REPORT_SCHEMA);
-    if schema == PARTIAL_SCHEMA {
+    if schema == PARTIAL_SCHEMA || schema == PARTIAL_SCHEMA_V1 {
         let part = v
             .get("shard")
             .map(|s| {
@@ -512,6 +672,23 @@ fn diff(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Two *full* reports from different schema generations mismatch each
+    // other — say so directly (naming both tags) before the per-file check
+    // reduces it to "unknown schema" on whichever side is foreign.
+    fn tag_of(v: &Json) -> Option<&str> {
+        v.get("schema").and_then(Json::as_str)
+    }
+    if let (Some(ta), Some(tb)) = (tag_of(&a), tag_of(&b)) {
+        let full = |t: &str| t.starts_with("validity-lab/report@");
+        if ta != tb && full(ta) && full(tb) {
+            eprintln!(
+                "schema-version mismatch: {a_path} is '{ta}' but {b_path} is '{tb}': \
+                 reports from different schema generations cannot be diffed — \
+                 regenerate both with one lab version"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     for (path, v) in [(a_path, &a), (b_path, &b)] {
         if let Err(e) = check_diffable(path, v) {
             eprintln!("{e}");
@@ -587,12 +764,18 @@ fn trend(rest: &[&str]) -> ExitCode {
         "--tolerance",
         "--from-reports",
     ];
+    const TREND_SWITCHES: [&str; 1] = ["--update-baseline"];
     let mut i = 0;
     while i < rest.len() {
+        if TREND_SWITCHES.contains(&rest[i]) {
+            i += 1;
+            continue;
+        }
         if !TREND_FLAGS.contains(&rest[i]) || i + 1 >= rest.len() {
             eprintln!(
                 "usage: lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
-                 \x20               [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]"
+                 \x20               [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]\n\
+                 \x20               [--update-baseline]"
             );
             return ExitCode::FAILURE;
         }
@@ -718,6 +901,24 @@ fn trend(rest: &[&str]) -> ExitCode {
              {violations} violation(s)"
         );
         failed = true;
+    }
+    if rest.contains(&"--update-baseline") {
+        // Regenerate the committed baseline in place (same deterministic
+        // schema tag and key order, so the diff is reviewable) instead of
+        // comparing against it — the workflow after an *intentional* perf
+        // change. A sweep that fails its own bands must not become
+        // history.
+        let baseline_path = opt_value(rest, "--baseline").unwrap_or("ci/BENCH_lab_baseline.json");
+        if failed {
+            eprintln!("baseline NOT updated: the sweep fails its own gates");
+            return ExitCode::from(1);
+        }
+        if let Err(e) = std::fs::write(baseline_path, artifact.to_json()) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline updated: {baseline_path}");
+        return ExitCode::SUCCESS;
     }
     if let Some(baseline_path) = opt_value(rest, "--baseline") {
         let text = match std::fs::read_to_string(baseline_path) {

@@ -13,9 +13,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::matrix::{CellSpec, ScenarioMatrix, ShardSpec};
+use crate::matrix::{CellSpec, RunCell, SamplingSpec, ScenarioMatrix, ShardSpec, WorkUnit};
 use crate::report::SweepReport;
 use crate::runner::{execute_with_budget, CellRecord};
+use crate::sampling;
 
 /// The sweep engine: a worker-pool width and nothing else.
 #[derive(Clone, Copy, Debug)]
@@ -52,8 +53,19 @@ impl SweepEngine {
     }
 
     /// Executes every cell of `matrix` (under its step budget, if any) and
-    /// returns the ordered records.
+    /// returns the ordered records. Adaptive matrices
+    /// ([`ScenarioMatrix::sampling`]) run the per-group seed ladder
+    /// instead of the fixed seed range.
     pub fn execute(&self, matrix: &ScenarioMatrix) -> SweepRun {
+        if matrix.sampling.is_some() {
+            let units = matrix.work_units();
+            let (records, wall) = self.execute_units(matrix, &units);
+            return SweepRun {
+                records,
+                threads: self.threads,
+                wall,
+            };
+        }
         let cells = matrix.cells();
         let records = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
@@ -70,7 +82,23 @@ impl SweepEngine {
     /// cell execution is a pure function of the cell — which is what lets
     /// [`crate::partial::merge`] reassemble byte-identical reports from
     /// partial runs on different processes or machines.
+    ///
+    /// Adaptive matrices shard at the *work-unit* granularity instead
+    /// (round-robin over classification cells and whole run groups): a
+    /// group's stopping decision depends on its own records, so the shard
+    /// that owns a group runs its entire seed ladder and arrives at
+    /// exactly the stopping point the unsharded run would — no
+    /// coordination, same bytes.
     pub fn execute_shard(&self, matrix: &ScenarioMatrix, shard: ShardSpec) -> SweepRun {
+        if matrix.sampling.is_some() {
+            let units = matrix.shard_units(shard);
+            let (records, wall) = self.execute_units(matrix, &units);
+            return SweepRun {
+                records,
+                threads: self.threads,
+                wall,
+            };
+        }
         let cells = matrix.shard_cells(shard);
         let (records, wall) = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
@@ -116,12 +144,106 @@ impl SweepEngine {
         (records, started.elapsed())
     }
 
+    /// Executes a pre-enumerated work-unit list under the matrix's
+    /// sampling spec — the adaptive counterpart of
+    /// [`SweepEngine::execute_cells`]. Units fan out across the worker
+    /// pool; results are read back in unit order (then seed order within
+    /// a group), so the flattened record list is independent of the
+    /// worker count.
+    pub fn execute_units(
+        &self,
+        matrix: &ScenarioMatrix,
+        units: &[WorkUnit],
+    ) -> (Vec<CellRecord>, Duration) {
+        let spec = matrix
+            .sampling
+            .expect("execute_units requires an adaptive matrix");
+        let started = Instant::now();
+        let n = units.len();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<CellRecord>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let records = match &units[i] {
+                        WorkUnit::Classify(c) => {
+                            vec![execute_with_budget(
+                                &CellSpec::Classify(*c),
+                                matrix.max_steps,
+                            )]
+                        }
+                        WorkUnit::Group(template) => run_adaptive_group(
+                            template,
+                            &spec,
+                            &matrix.fit_measures,
+                            matrix.seeds.start,
+                            matrix.max_steps,
+                        ),
+                    };
+                    *slots[i].lock().expect("result slot poisoned") = Some(records);
+                });
+            }
+        });
+        let records = slots
+            .into_iter()
+            .flat_map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker pool exited with an unfilled slot")
+            })
+            .collect();
+        (records, started.elapsed())
+    }
+
     /// Executes `matrix` and aggregates into a [`SweepReport`] (fit groups
     /// included, when the matrix declares measures to fit).
     pub fn run(&self, matrix: &ScenarioMatrix) -> (SweepReport, SweepRun) {
         let run = self.execute(matrix);
         let report = SweepReport::aggregate_matrix(matrix, &run.records);
         (report, run)
+    }
+}
+
+/// Runs one group's adaptive seed ladder: batches of `spec.batch` seeds
+/// from `first_seed`, stopping at the first stable prefix or when the next
+/// batch would exceed the seed cap. The result is a pure function of the
+/// group template and the spec — the invariant the whole adaptive
+/// determinism story (worker counts, shard layouts, merge verification)
+/// rests on.
+pub fn run_adaptive_group(
+    template: &RunCell,
+    spec: &SamplingSpec,
+    measures: &[crate::matrix::FitMeasure],
+    first_seed: u64,
+    max_steps: Option<u64>,
+) -> Vec<CellRecord> {
+    let batch = spec.batch_size();
+    let mut records: Vec<CellRecord> = Vec::new();
+    loop {
+        let from = records.len() as u64;
+        for s in from..from + batch {
+            records.push(execute_with_budget(
+                &CellSpec::Run(template.with_seed(first_seed + s)),
+                max_steps,
+            ));
+        }
+        let consumed = records.len() as u64;
+        if sampling::is_stable(&records, measures, spec.precision)
+            || consumed + batch > spec.max_seeds
+        {
+            debug_assert_eq!(
+                sampling::expected_consumed(&records, spec, measures),
+                consumed,
+                "adaptive loop and replay disagree for {}",
+                template.group_key()
+            );
+            return records;
+        }
     }
 }
 

@@ -25,10 +25,18 @@
 //!   validity violations) with JSON and Markdown emitters.
 //! * **[`suites`]** — curated matrices reproducing the paper's experiment
 //!   families, including the Figure-1 classification grid as one sweep.
+//! * **[`sampling`]** (with [`SamplingSpec`] in [`matrix`]) — adaptive,
+//!   precision-targeted seed budgets: each run group consumes seeds in
+//!   deterministic batches until every fitted measure's 95% CI is tight
+//!   enough or a cap is hit, so stable groups stop early and noisy groups
+//!   get the budget — at bytes identical across worker counts and shard
+//!   layouts.
 //! * **[`partial`]** (with [`ShardSpec`] in [`matrix`]) — horizontal
 //!   scale-out: `lab run --shard i/m` executes one deterministic slice of
 //!   a matrix and emits a partial report; `lab merge` recombines all `m`
-//!   partials into a report **byte-identical** to an unsharded run.
+//!   partials into a report **byte-identical** to an unsharded run. For
+//!   adaptive sweeps the merge runs a two-phase measure/commit protocol,
+//!   replaying every shard's stopping decision before accepting it.
 //! * **[`trend`]** — the versioned `BENCH_lab.json` artifact plus
 //!   historical comparison: `lab trend --baseline` diffs today's fitted
 //!   exponents against a previous artifact and fails on regressions.
@@ -59,16 +67,18 @@ pub mod matrix;
 pub mod partial;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod suites;
 pub mod trend;
 
-pub use executor::{SweepEngine, SweepRun};
+pub use executor::{run_adaptive_group, SweepEngine, SweepRun};
 pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
-    CellSpec, ClassifyCell, FitBand, FitMeasure, ProtocolSpec, RunCell, ScenarioMatrix,
-    ScheduleSpec, ShardSpec, ValiditySpec,
+    CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, RunCell, SamplingSpec,
+    ScenarioMatrix, ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
 };
-pub use partial::{merge, PartialReport, PARTIAL_SCHEMA};
-pub use report::{FitRow, GroupSummary, SweepReport, REPORT_SCHEMA};
+pub use partial::{merge, PartialReport, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1};
+pub use report::{FitRow, GroupSummary, SamplingSection, SweepReport, REPORT_SCHEMA};
 pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};
+pub use sampling::GroupSampling;
 pub use trend::{compare, BenchArtifact, BenchFit, BenchSuite, TrendDiff, BENCH_SCHEMA};

@@ -342,8 +342,104 @@ impl fmt::Display for ProtocolSpec {
     }
 }
 
+/// The x-axis a matrix's power-law fits run along.
+///
+/// The paper's complexity claims are parameterized three ways: by the
+/// system size `n` (Theorem 5, Appendix B), by the fault count `t`
+/// (resilience trade-offs), and — for the classifier — by the domain size
+/// `|V|` (the proposition space). A matrix declares which axis its fit
+/// groups vary over; everything held fixed lands in the fit key, and the
+/// declared axis supplies each group's x-coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum FitAxis {
+    /// System size `n` (the default, and the paper's usual axis).
+    #[default]
+    N,
+    /// Fault count: the number of Byzantine slots actually filled.
+    /// Fault-free cells (x = 0) cannot sit on a log–log line and are
+    /// excluded from the fit's points.
+    T,
+    /// Domain size `|V|` — classification cells only (run cells have no
+    /// domain axis and produce no fit rows under it).
+    Domain,
+}
+
+impl FitAxis {
+    /// Every fit axis, in presentation order.
+    pub const ALL: [FitAxis; 3] = [FitAxis::N, FitAxis::T, FitAxis::Domain];
+
+    /// The stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitAxis::N => "n",
+            FitAxis::T => "t",
+            FitAxis::Domain => "domain",
+        }
+    }
+
+    /// Looks an axis up by its registry name.
+    ///
+    /// ```
+    /// use validity_lab::FitAxis;
+    ///
+    /// assert_eq!(FitAxis::parse("domain"), Some(FitAxis::Domain));
+    /// assert_eq!(FitAxis::parse("nope"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<FitAxis> {
+        FitAxis::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for FitAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Adaptive-sampling parameters: how precisely each run group's fitted
+/// measures must be estimated, and what budget the estimation may spend.
+///
+/// With a `SamplingSpec`, the engine runs each group's seeds in
+/// deterministic batches and stops as soon as every fitted measure's 95%
+/// confidence interval is tight enough — *relative half-width*
+/// `1.96·s/(√k·mean) ≤ precision` — or the seed cap is reached. Stable
+/// groups stop early; noisy groups get more budget; and because the
+/// decision is a pure function of the group's own records, adaptive
+/// sweeps stay byte-identical across worker counts and shard layouts.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SamplingSpec {
+    /// Target relative half-width of the 95% CI on each fitted measure's
+    /// mean.
+    pub precision: f64,
+    /// Seeds per batch (the pilot batch and every extension).
+    pub batch: u64,
+    /// Hard cap on seeds per group; a group still unstable here is
+    /// reported as *capped* in the `sampling` section.
+    pub max_seeds: u64,
+}
+
+impl Default for SamplingSpec {
+    /// The CLI's `--adaptive` defaults: 5% relative half-width, batches of
+    /// 2 seeds, at most 16 seeds per group.
+    fn default() -> Self {
+        SamplingSpec {
+            precision: 0.05,
+            batch: 2,
+            max_seeds: 16,
+        }
+    }
+}
+
+impl SamplingSpec {
+    /// Seeds per batch, defended against a zero batch (the adaptive loop
+    /// always runs whole batches, so a batch must make progress).
+    pub fn batch_size(&self) -> u64 {
+        self.batch.max(1)
+    }
+}
+
 /// A per-run measure a matrix can ask the report to power-law-fit against
-/// the system size `n`.
+/// its declared [`FitAxis`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FitMeasure {
     /// Messages sent by correct processes in `[GST, ∞)`.
@@ -352,11 +448,19 @@ pub enum FitMeasure {
     Words,
     /// Decision latency (time of the last correct decision).
     Latency,
+    /// Admissibility evaluations performed by the solvability classifier —
+    /// the cost of a classification cell. Pairs with [`FitAxis::Domain`].
+    ClassifyCost,
 }
 
 impl FitMeasure {
     /// Every fittable measure, in presentation order.
-    pub const ALL: [FitMeasure; 3] = [FitMeasure::Messages, FitMeasure::Words, FitMeasure::Latency];
+    pub const ALL: [FitMeasure; 4] = [
+        FitMeasure::Messages,
+        FitMeasure::Words,
+        FitMeasure::Latency,
+        FitMeasure::ClassifyCost,
+    ];
 
     /// The stable registry name.
     pub fn name(self) -> &'static str {
@@ -364,7 +468,14 @@ impl FitMeasure {
             FitMeasure::Messages => "messages",
             FitMeasure::Words => "words",
             FitMeasure::Latency => "latency",
+            FitMeasure::ClassifyCost => "classify-cost",
         }
+    }
+
+    /// Whether this measure is observed on run cells (vs classification
+    /// cells).
+    pub fn is_run_measure(self) -> bool {
+        self != FitMeasure::ClassifyCost
     }
 
     /// Looks a measure up by its registry name.
@@ -438,6 +549,13 @@ impl ClassifyCell {
             self.validity, self.n, self.t, self.domain
         )
     }
+
+    /// The key all domain sizes of this configuration share — the
+    /// fit-group bucket under [`FitAxis::Domain`] (the domain becomes the
+    /// fit's x-axis).
+    pub fn fit_key(&self) -> String {
+        format!("fit/classify/{}/n{}t{}", self.validity, self.n, self.t)
+    }
 }
 
 /// One simulation cell, fully determined by its fields (plus the engine's
@@ -502,18 +620,58 @@ impl RunCell {
     }
 
     /// The key all sizes and seeds of this configuration share — the
-    /// fit-group bucket. Everything from [`RunCell::group_key`] except
-    /// `(n, t)` (which becomes the fit's x-axis) and the raw Byzantine
-    /// count (which scales with `t`; the [`RunCell::fault_tag`] stands in).
+    /// fit-group bucket under the default [`FitAxis::N`]. Everything from
+    /// [`RunCell::group_key`] except `(n, t)` (which becomes the fit's
+    /// x-axis) and the raw Byzantine count (which scales with `t`; the
+    /// [`RunCell::fault_tag`] stands in).
     pub fn fit_key(&self) -> String {
-        format!(
-            "fit/{}/{}/{}x{}/{}",
-            self.protocol.name(),
-            self.validity.map_or("vector", |v| v.name()),
-            self.behavior,
-            self.fault_tag(),
-            self.schedule,
-        )
+        self.fit_key_on(FitAxis::N)
+    }
+
+    /// The fit-group bucket for an arbitrary axis: the axis coordinate is
+    /// dropped from the key (it becomes the x-axis), everything else
+    /// stays.
+    ///
+    /// * [`FitAxis::N`] — drops `(n, t)`, keeps the declared fault tag.
+    /// * [`FitAxis::T`] — drops the fault load (x = the Byzantine count
+    ///   actually filled), keeps `(n, t)`.
+    /// * [`FitAxis::Domain`] — run cells have no domain; they form no fit
+    ///   group (the key is empty).
+    pub fn fit_key_on(&self, axis: FitAxis) -> String {
+        match axis {
+            FitAxis::N => format!(
+                "fit/{}/{}/{}x{}/{}",
+                self.protocol.name(),
+                self.validity.map_or("vector", |v| v.name()),
+                self.behavior,
+                self.fault_tag(),
+                self.schedule,
+            ),
+            FitAxis::T => format!(
+                "fit/{}/{}/{}/{}/n{}t{}",
+                self.protocol.name(),
+                self.validity.map_or("vector", |v| v.name()),
+                self.behavior,
+                self.schedule,
+                self.n,
+                self.t,
+            ),
+            FitAxis::Domain => String::new(),
+        }
+    }
+
+    /// The group's x-coordinate on the given fit axis.
+    pub fn fit_x(&self, axis: FitAxis) -> u64 {
+        match axis {
+            FitAxis::N => self.n as u64,
+            FitAxis::T => self.byz as u64,
+            FitAxis::Domain => 0,
+        }
+    }
+
+    /// The same cell at a different seed.
+    pub fn with_seed(&self, seed: u64) -> RunCell {
+        RunCell { seed, ..*self }
     }
 }
 
@@ -532,6 +690,28 @@ impl CellSpec {
         match self {
             CellSpec::Run(c) => c.key(),
             CellSpec::Classify(c) => c.key(),
+        }
+    }
+}
+
+/// A unit of adaptive work: one classification cell, or one run group
+/// whose seed count the engine decides as it goes.
+#[derive(Clone, Debug)]
+pub enum WorkUnit {
+    /// Run the solvability classifier once.
+    Classify(ClassifyCell),
+    /// Run the group's adaptive seed ladder (the [`RunCell`] is the
+    /// group's template, carrying the first seed).
+    Group(RunCell),
+}
+
+impl WorkUnit {
+    /// The unit's stable key: the cell key for a classification, the
+    /// group key for a run group.
+    pub fn key(&self) -> String {
+        match self {
+            WorkUnit::Classify(c) => c.key(),
+            WorkUnit::Group(g) => g.group_key(),
         }
     }
 }
@@ -559,15 +739,25 @@ pub struct ScenarioMatrix {
     pub seeds: Range<u64>,
     /// Additional classification cells (not a product axis).
     pub classifications: Vec<ClassifyCell>,
-    /// Measures to power-law-fit against `n` in the report, grouped by
-    /// [`RunCell::fit_key`]. Empty = no fit section.
+    /// Measures to power-law-fit against the declared [`FitAxis`] in the
+    /// report, grouped by [`RunCell::fit_key_on`] (or
+    /// [`ClassifyCell::fit_key`] for the domain axis). Empty = no fit
+    /// section.
     pub fit_measures: Vec<FitMeasure>,
+    /// The x-axis the fit groups vary over (default: system size `n`).
+    pub fit_axis: FitAxis,
     /// Expected exponent bands checked against the fitted measures.
     pub fit_bands: Vec<FitBand>,
     /// Per-cell step budget: a run cell processing more than this many
     /// simulator events is aborted and reported as *quarantined* instead of
     /// hanging the sweep. `None` = the simulator's own (very large) limit.
     pub max_steps: Option<u64>,
+    /// Adaptive sampling: when set, the seed axis is no longer a fixed
+    /// range — each run group starts at `seeds.start` and consumes
+    /// deterministic batches until its fitted measures stabilize at the
+    /// target precision or the per-group cap is hit (`seeds.end` is
+    /// ignored). `None` = the classic fixed-seed sweep.
+    pub sampling: Option<SamplingSpec>,
 }
 
 impl ScenarioMatrix {
@@ -584,29 +774,30 @@ impl ScenarioMatrix {
             seeds: 0..1,
             classifications: Vec::new(),
             fit_measures: Vec::new(),
+            fit_axis: FitAxis::N,
             fit_bands: Vec::new(),
             max_steps: None,
+            sampling: None,
         }
     }
 
-    /// Enumerates the matrix into a deterministically ordered cell list:
-    /// classification cells first, then the run product in axis order
-    /// (protocol, validity, behavior, fault load, schedule, system, seed).
+    /// Enumerates the run-group templates in deterministic axis order
+    /// (protocol, validity, behavior, fault load, schedule, system), one
+    /// [`RunCell`] per group with `seed = seeds.start`. This is the seed-
+    /// free skeleton both enumerations build on: [`ScenarioMatrix::cells`]
+    /// crosses it with the seed range, the adaptive engine crosses it with
+    /// as many seeds as each group turns out to need.
     ///
     /// Incompatible combinations are skipped rather than failed:
     /// `universal` requires a property with a closed-form `Λ`; raw vector
     /// cells collapse the validity axis; a zero fault load collapses the
-    /// behaviour axis (no faulty slot to fill).
-    pub fn cells(&self) -> Vec<CellSpec> {
-        let mut out: Vec<CellSpec> = self
-            .classifications
-            .iter()
-            .map(|c| CellSpec::Classify(*c))
-            .collect();
-        // Several axis combinations can collapse onto the same cell — raw
-        // protocols ignore the validity axis, and distinct fault loads can
-        // clamp to the same byz count (e.g. `1` and `max` at t = 1) — so
-        // every run cell is deduplicated by its full key.
+    /// behaviour axis (no faulty slot to fill). Several axis combinations
+    /// can collapse onto the same group — raw protocols ignore the
+    /// validity axis, and distinct fault loads can clamp to the same byz
+    /// count (e.g. `1` and `max` at t = 1) — so templates are
+    /// deduplicated by group key.
+    pub fn run_templates(&self) -> Vec<RunCell> {
+        let mut out: Vec<RunCell> = Vec::new();
         let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for &protocol in &self.protocols {
             let validity_axis: Vec<Option<ValiditySpec>> = if protocol.universal {
@@ -630,22 +821,19 @@ impl ScenarioMatrix {
                                         continue; // no Λ — Universal cannot run it
                                     }
                                 }
-                                for seed in self.seeds.clone() {
-                                    let cell = RunCell {
-                                        protocol,
-                                        validity,
-                                        behavior,
-                                        byz: fault.min(t),
-                                        fault,
-                                        schedule,
-                                        n,
-                                        t,
-                                        seed,
-                                    };
-                                    if !seen.insert(cell.key()) {
-                                        continue;
-                                    }
-                                    out.push(CellSpec::Run(cell));
+                                let cell = RunCell {
+                                    protocol,
+                                    validity,
+                                    behavior,
+                                    byz: fault.min(t),
+                                    fault,
+                                    schedule,
+                                    n,
+                                    t,
+                                    seed: self.seeds.start,
+                                };
+                                if seen.insert(cell.group_key()) {
+                                    out.push(cell);
                                 }
                             }
                         }
@@ -654,6 +842,55 @@ impl ScenarioMatrix {
             }
         }
         out
+    }
+
+    /// Enumerates the matrix into a deterministically ordered cell list:
+    /// classification cells first, then the run product in axis order
+    /// (protocol, validity, behavior, fault load, schedule, system, seed).
+    ///
+    /// For an adaptive matrix this is the *static* enumeration over the
+    /// declared seed range; the engine's realized cell list depends on
+    /// each group's stopping decision (see [`ScenarioMatrix::work_units`]).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out: Vec<CellSpec> = self
+            .classifications
+            .iter()
+            .map(|c| CellSpec::Classify(*c))
+            .collect();
+        for template in self.run_templates() {
+            for seed in self.seeds.clone() {
+                out.push(CellSpec::Run(template.with_seed(seed)));
+            }
+        }
+        out
+    }
+
+    /// Enumerates the matrix's *work units* — the granularity adaptive
+    /// execution and adaptive sharding operate on: each classification
+    /// cell is one unit, and each run group is one unit (the unit owns the
+    /// group's entire adaptive seed ladder, so the stopping decision is a
+    /// pure function of the unit's own records and shards never have to
+    /// coordinate mid-sweep).
+    pub fn work_units(&self) -> Vec<WorkUnit> {
+        let mut out: Vec<WorkUnit> = self
+            .classifications
+            .iter()
+            .map(|c| WorkUnit::Classify(*c))
+            .collect();
+        out.extend(self.run_templates().into_iter().map(WorkUnit::Group));
+        out
+    }
+
+    /// The sub-list of [`ScenarioMatrix::work_units`] owned by one shard
+    /// of an `m`-way partition (round-robin over the unit index, exactly
+    /// like [`ScenarioMatrix::shard_cells`] over cells).
+    pub fn shard_units(&self, shard: ShardSpec) -> Vec<WorkUnit> {
+        self.work_units()
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| shard.owns(i))
+            .map(|(_, u)| u)
+            .collect()
     }
 
     /// The sub-list of [`ScenarioMatrix::cells`] owned by one shard of an
@@ -791,11 +1028,99 @@ mod tests {
         for m in FitMeasure::ALL {
             assert_eq!(FitMeasure::parse(m.name()), Some(m));
         }
+        for a in FitAxis::ALL {
+            assert_eq!(FitAxis::parse(a.name()), Some(a));
+        }
         let p = ProtocolSpec {
             kind: VectorKind::Fast,
             universal: true,
         };
         assert_eq!(ProtocolSpec::parse(&p.name()), Some(p));
+    }
+
+    #[test]
+    fn cells_are_templates_crossed_with_seeds() {
+        // The template refactor must not change the enumeration: cells =
+        // classifications, then template-major × seed-minor.
+        let m = small_matrix();
+        let templates = m.run_templates();
+        assert!(!templates.is_empty());
+        let mut expected: Vec<String> = Vec::new();
+        for t in &templates {
+            for seed in m.seeds.clone() {
+                expected.push(t.with_seed(seed).key());
+            }
+        }
+        let got: Vec<String> = m
+            .cells()
+            .iter()
+            .filter(|c| matches!(c, CellSpec::Run(_)))
+            .map(|c| c.key())
+            .collect();
+        assert_eq!(got, expected);
+        // Templates are deduplicated by group key.
+        let mut keys: Vec<String> = templates.iter().map(|t| t.group_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), templates.len());
+    }
+
+    #[test]
+    fn work_units_partition_like_cells() {
+        let mut m = small_matrix();
+        m.classifications = vec![ClassifyCell {
+            validity: ValiditySpec::Parity,
+            n: 4,
+            t: 1,
+            domain: 2,
+        }];
+        let units = m.work_units();
+        // Classifications first, then one unit per run group.
+        assert_eq!(units.len(), 1 + m.run_templates().len());
+        assert!(matches!(units[0], WorkUnit::Classify(_)));
+        // Shard units are disjoint and covering, like shard_cells.
+        for count in 1..=4usize {
+            let mut covered: Vec<String> = (1..=count)
+                .flat_map(|index| m.shard_units(ShardSpec { index, count }))
+                .map(|u| u.key())
+                .collect();
+            covered.sort();
+            let mut all: Vec<String> = units.iter().map(|u| u.key()).collect();
+            all.sort();
+            assert_eq!(covered, all, "unit partition broken at m={count}");
+        }
+    }
+
+    #[test]
+    fn fit_key_on_t_axis_keeps_size_and_drops_the_fault_load() {
+        let mut cell = RunCell {
+            protocol: ProtocolSpec {
+                kind: VectorKind::Auth,
+                universal: false,
+            },
+            validity: None,
+            behavior: BehaviorId::Silent,
+            byz: 1,
+            fault: 1,
+            schedule: ScheduleSpec::Synchronous,
+            n: 7,
+            t: 2,
+            seed: 0,
+        };
+        let one = cell.fit_key_on(FitAxis::T);
+        assert_eq!(one, "fit/alg1-auth/vector/silent/sync/n7t2");
+        assert_eq!(cell.fit_x(FitAxis::T), 1);
+        // A different fault count lands in the same group (it is the
+        // x-axis), a different size does not.
+        cell.byz = 2;
+        cell.fault = 2;
+        assert_eq!(cell.fit_key_on(FitAxis::T), one);
+        assert_eq!(cell.fit_x(FitAxis::T), 2);
+        cell.n = 10;
+        cell.t = 3;
+        assert_ne!(cell.fit_key_on(FitAxis::T), one);
+        // Run cells form no group on the domain axis.
+        assert!(cell.fit_key_on(FitAxis::Domain).is_empty());
     }
 
     #[test]

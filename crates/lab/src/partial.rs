@@ -24,7 +24,24 @@
 //!
 //! The partial format is versioned ([`PARTIAL_SCHEMA`]); `lab merge` and
 //! `lab diff` refuse artifacts from a different schema generation instead
-//! of producing silently wrong output.
+//! of producing silently wrong output. The previous generation
+//! ([`PARTIAL_SCHEMA_V1`], which predates adaptive sampling and the
+//! classifier-cost counter) is still read.
+//!
+//! ## Adaptive sweeps: the two-phase "measure then commit" protocol
+//!
+//! For an adaptive matrix the realized seed count of a group is decided by
+//! the data, so shards partition the matrix at the *work-unit* level
+//! (classification cells and whole run groups) and the merge must prove
+//! that every shard stopped each of its groups exactly where the rule
+//! says. The partial is the **measure** phase: it carries the shard's
+//! records plus its claimed per-group stopping decisions (`sampling`).
+//! [`merge`] is the **commit** phase: it replays the stopping rule over
+//! each group's records ([`crate::sampling::expected_consumed`]) and
+//! refuses the merge when any shard's claim — or record count — disagrees
+//! with the rule. Only decisions every participant re-derives identically
+//! enter the merged report, which is what keeps sharded adaptive runs
+//! byte-identical to unsharded ones.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,14 +50,20 @@ use validity_simnet::NetStats;
 
 use crate::json::Json;
 use crate::matrix::{
-    ClassifyCell, FitBand, FitMeasure, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ShardSpec,
-    ValiditySpec,
+    ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, SamplingSpec, ScenarioMatrix,
+    ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
 };
 use crate::report::{json_str, SweepReport};
 use crate::runner::{CellRecord, ClassifyRecord, Outcome, RunRecord};
+use crate::sampling::{evaluate, expected_consumed, GroupSampling};
 
 /// Schema tag of partial (sharded) report files.
-pub const PARTIAL_SCHEMA: &str = "validity-lab/partial@1";
+pub const PARTIAL_SCHEMA: &str = "validity-lab/partial@2";
+
+/// The previous partial generation: same shape minus the fit axis, the
+/// sampling spec/claims, and the classification cost. Still accepted by
+/// [`PartialReport::parse`] (such partials are never adaptive).
+pub const PARTIAL_SCHEMA_V1: &str = "validity-lab/partial@1";
 
 /// One shard's worth of a sweep: records plus merge provenance.
 #[derive(Clone, Debug)]
@@ -55,9 +78,47 @@ pub struct PartialReport {
     pub wall_seconds: f64,
     /// The shard's cell records, in matrix order.
     pub records: Vec<CellRecord>,
+    /// Measure-phase claims of an adaptive shard: the stopping decision
+    /// for every run group this shard owns, in unit order. Empty for
+    /// fixed-seed sweeps.
+    pub sampling: Vec<GroupSampling>,
+    /// The schema generation this partial was produced under
+    /// ([`PARTIAL_SCHEMA`] for fresh shards, [`PARTIAL_SCHEMA_V1`] when
+    /// parsed from an old file). [`merge`] refuses mixed-generation sets:
+    /// v1 records lack the classification cost, so mixing them with v2
+    /// shards would silently break the merged report's byte-identity with
+    /// an unsharded run.
+    pub schema: String,
 }
 
 impl PartialReport {
+    /// Builds a partial from a shard's executed records, deriving the
+    /// measure-phase sampling claims from the records themselves (for an
+    /// adaptive matrix) so the artifact and the stopping rule cannot
+    /// disagree at the source.
+    pub fn new(
+        matrix: ScenarioMatrix,
+        shard: ShardSpec,
+        wall_seconds: f64,
+        records: Vec<CellRecord>,
+    ) -> PartialReport {
+        let sampling = match matrix.sampling {
+            None => Vec::new(),
+            Some(spec) => crate::sampling::group_slices(&records)
+                .into_iter()
+                .map(|(key, slice)| evaluate(key, slice, &spec, &matrix.fit_measures))
+                .collect(),
+        };
+        PartialReport {
+            matrix,
+            shard,
+            wall_seconds,
+            records,
+            sampling,
+            schema: PARTIAL_SCHEMA.to_string(),
+        }
+    }
+
     /// Renders the partial to its versioned JSON form.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -71,7 +132,14 @@ impl PartialReport {
         let _ = writeln!(out, "  \"wall_seconds\": {:.3},", self.wall_seconds);
         out.push_str("  \"matrix\": ");
         matrix_json(&mut out, &self.matrix);
-        out.push_str(",\n  \"records\": [\n");
+        out.push_str(",\n  \"sampling\": [");
+        for (i, claim) in self.sampling.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&claim.to_json());
+        }
+        out.push_str("],\n  \"records\": [\n");
         for (i, rec) in self.records.iter().enumerate() {
             out.push_str("    ");
             record_json(&mut out, rec);
@@ -86,18 +154,21 @@ impl PartialReport {
     }
 
     /// Parses a partial-report file, rejecting other schema generations
-    /// (including full reports) with a descriptive error.
+    /// (including full reports) with a descriptive error. The previous
+    /// generation ([`PARTIAL_SCHEMA_V1`]) is accepted: its matrices carry
+    /// no sampling spec, so the missing fields default to the fixed-seed
+    /// semantics.
     pub fn parse(text: &str) -> Result<PartialReport, String> {
         let v = Json::parse(text)?;
-        match v.get("schema").and_then(Json::as_str) {
-            Some(PARTIAL_SCHEMA) => {}
+        let schema = match v.get("schema").and_then(Json::as_str) {
+            Some(s @ (PARTIAL_SCHEMA | PARTIAL_SCHEMA_V1)) => s.to_string(),
             Some(other) => {
                 return Err(format!(
                     "not a partial report: schema '{other}' (expected '{PARTIAL_SCHEMA}')"
                 ))
             }
             None => return Err("not a partial report: no schema field".into()),
-        }
+        };
         let shard = v.get("shard").ok_or("partial missing 'shard'")?;
         let shard = ShardSpec {
             index: field_usize(shard, "index")?,
@@ -111,6 +182,15 @@ impl PartialReport {
             .and_then(Json::as_num)
             .ok_or("partial missing 'wall_seconds'")?;
         let matrix = matrix_from_json(v.get("matrix").ok_or("partial missing 'matrix'")?)?;
+        let sampling = match v.get("sampling") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(claims) => claims
+                .as_arr()
+                .ok_or("bad 'sampling' claims")?
+                .iter()
+                .map(claim_from_json)
+                .collect::<Result<Vec<GroupSampling>, String>>()?,
+        };
         let records = v
             .get("records")
             .and_then(Json::as_arr)
@@ -123,6 +203,8 @@ impl PartialReport {
             shard,
             wall_seconds,
             records,
+            sampling,
+            schema,
         })
     }
 }
@@ -139,12 +221,6 @@ impl PartialReport {
 pub fn merge(partials: &[PartialReport]) -> Result<(SweepReport, ScenarioMatrix), String> {
     let first = partials.first().ok_or("nothing to merge")?;
     let count = first.shard.count;
-    if partials.len() != count {
-        return Err(format!(
-            "incomplete merge: got {} partial(s) of a {count}-way shard",
-            partials.len()
-        ));
-    }
     let spec = {
         let mut s = String::new();
         matrix_json(&mut s, &first.matrix);
@@ -164,6 +240,15 @@ pub fn merge(partials: &[PartialReport]) -> Result<(SweepReport, ScenarioMatrix)
         if std::mem::replace(&mut seen[p.shard.index - 1], true) {
             return Err(format!("duplicate shard {}", p.shard));
         }
+        if p.schema != first.schema {
+            // v1 records default the classification cost to 0; a mixed set
+            // would merge cleanly but not match any single-generation run.
+            return Err(format!(
+                "mixed partial generations: shard {} is '{}' but shard {} is \
+                 '{}' — regenerate the older shards with this lab version",
+                first.shard, first.schema, p.shard, p.schema
+            ));
+        }
         let mut other = String::new();
         matrix_json(&mut other, &p.matrix);
         if other != spec {
@@ -172,6 +257,26 @@ pub fn merge(partials: &[PartialReport]) -> Result<(SweepReport, ScenarioMatrix)
                 p.shard, p.matrix.name, first.matrix.name
             ));
         }
+    }
+    let missing: Vec<String> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, present)| !**present)
+        .map(|(i, _)| (i + 1).to_string())
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "incomplete merge: got {} partial(s) of a {count}-way shard — \
+             missing shard index(es) {} (re-run `lab run --shard {}/{count}` \
+             for each and merge again)",
+            partials.len(),
+            missing.join(", "),
+            missing[0],
+        ));
+    }
+    if first.matrix.sampling.is_some() {
+        let report = merge_adaptive(partials, &first.matrix)?;
+        return Ok((report, first.matrix.clone()));
     }
     // Indices are 1..=count, distinct, and there are exactly `count` of
     // them: all shards are present. One enumeration of the matrix now
@@ -211,6 +316,132 @@ pub fn merge(partials: &[PartialReport]) -> Result<(SweepReport, ScenarioMatrix)
         .collect::<Result<_, String>>()?;
     let report = SweepReport::aggregate_matrix(&first.matrix, &ordered);
     Ok((report, first.matrix.clone()))
+}
+
+/// The commit phase of an adaptive merge: validates every shard's records
+/// against its work-unit assignment, replays each group's stopping rule
+/// over the shard's own records, cross-checks the shard's measure-phase
+/// claims, and reassembles the records in unit order — exactly the list
+/// the unsharded adaptive run produces.
+fn merge_adaptive(
+    partials: &[PartialReport],
+    matrix: &ScenarioMatrix,
+) -> Result<SweepReport, String> {
+    let spec = matrix.sampling.expect("adaptive merge without a spec");
+    let units = matrix.work_units();
+    let count = partials.first().expect("validated non-empty").shard.count;
+    // Per-unit record slots, filled by whichever shard owns the unit.
+    let mut unit_records: Vec<Option<Vec<CellRecord>>> = vec![None; units.len()];
+    for p in partials {
+        let mut cursor = 0usize;
+        for (unit_index, unit) in units.iter().enumerate() {
+            if !p.shard.owns(unit_index) {
+                continue;
+            }
+            match unit {
+                WorkUnit::Classify(c) => {
+                    let rec = p.records.get(cursor).ok_or_else(|| {
+                        format!(
+                            "shard {}: missing record for classification '{}'",
+                            p.shard,
+                            c.key()
+                        )
+                    })?;
+                    if rec.key != c.key() {
+                        return Err(format!(
+                            "shard {}: expected classification '{}', found '{}'",
+                            p.shard,
+                            c.key(),
+                            rec.key
+                        ));
+                    }
+                    unit_records[unit_index] = Some(vec![rec.clone()]);
+                    cursor += 1;
+                }
+                WorkUnit::Group(template) => {
+                    let group_key = template.group_key();
+                    let start = cursor;
+                    while cursor < p.records.len() && p.records[cursor].group == group_key {
+                        cursor += 1;
+                    }
+                    let slice = &p.records[start..cursor];
+                    if slice.is_empty() {
+                        return Err(format!(
+                            "shard {}: no records for group '{group_key}'",
+                            p.shard
+                        ));
+                    }
+                    // Seed ladder integrity: consecutive seeds from the
+                    // matrix's first seed.
+                    for (i, rec) in slice.iter().enumerate() {
+                        let expected_key = template.with_seed(matrix.seeds.start + i as u64).key();
+                        if rec.key != expected_key {
+                            return Err(format!(
+                                "shard {}: group '{group_key}' record {i} is '{}', \
+                                 expected '{expected_key}'",
+                                p.shard, rec.key
+                            ));
+                        }
+                    }
+                    // Commit: replay the stopping rule; the shard must
+                    // have stopped exactly where the rule does.
+                    let committed = expected_consumed(slice, &spec, &matrix.fit_measures);
+                    if committed != slice.len() as u64 {
+                        return Err(format!(
+                            "shard {}: adaptive stopping for group '{group_key}' \
+                             disagrees with the committed rule (shard ran {} \
+                             seed(s), rule commits {committed})",
+                            p.shard,
+                            slice.len(),
+                        ));
+                    }
+                    // And the shard's measure-phase claim must match the
+                    // re-derived decision (compared through the canonical
+                    // rendering, so float formatting cannot drift).
+                    let derived = evaluate(&group_key, slice, &spec, &matrix.fit_measures);
+                    let claim =
+                        p.sampling
+                            .iter()
+                            .find(|s| s.key == group_key)
+                            .ok_or_else(|| {
+                                format!(
+                                    "shard {}: no sampling claim for group '{group_key}'",
+                                    p.shard
+                                )
+                            })?;
+                    if claim.to_json() != derived.to_json() {
+                        return Err(format!(
+                            "shard {}: sampling claim for group '{group_key}' does \
+                             not match the records ({} vs {})",
+                            p.shard,
+                            claim.to_json(),
+                            derived.to_json()
+                        ));
+                    }
+                    unit_records[unit_index] = Some(slice.to_vec());
+                }
+            }
+        }
+        if cursor != p.records.len() {
+            return Err(format!(
+                "shard {}: {} record(s) beyond its work-unit assignment",
+                p.shard,
+                p.records.len() - cursor
+            ));
+        }
+    }
+    let mut ordered: Vec<CellRecord> = Vec::new();
+    for (unit_index, slot) in unit_records.into_iter().enumerate() {
+        let records = slot.ok_or_else(|| {
+            format!(
+                "work unit '{}' covered by no shard (a {count}-way partition \
+                 must cover every unit)",
+                units[unit_index].key()
+            )
+        })?;
+        ordered.extend(records);
+    }
+    Ok(SweepReport::aggregate_matrix(matrix, &ordered))
 }
 
 // ---------------------------------------------------------------------------
@@ -281,11 +512,22 @@ fn matrix_json(out: &mut String, m: &ScenarioMatrix) {
             json_str(&b.filter)
         );
     }
+    let _ = write!(out, "], \"fit_axis\": {}", json_str(m.fit_axis.name()));
+    match m.sampling {
+        Some(s) => {
+            let _ = write!(
+                out,
+                ", \"sampling\": {{\"precision\": {}, \"batch\": {}, \"max_seeds\": {}}}",
+                s.precision, s.batch, s.max_seeds
+            );
+        }
+        None => out.push_str(", \"sampling\": null"),
+    }
     match m.max_steps {
         Some(n) => {
-            let _ = write!(out, "], \"max_steps\": {n}}}");
+            let _ = write!(out, ", \"max_steps\": {n}}}");
         }
-        None => out.push_str("], \"max_steps\": null}"),
+        None => out.push_str(", \"max_steps\": null}"),
     }
 }
 
@@ -365,11 +607,44 @@ fn matrix_from_json(v: &Json) -> Result<ScenarioMatrix, String> {
             })
         })
         .collect::<Result<_, String>>()?;
+    // Fields introduced with partial@2: absent in a v1 spec, where the
+    // defaults (n axis, fixed seeds) are exactly the old semantics.
+    m.fit_axis = match v.get("fit_axis") {
+        None => FitAxis::N,
+        Some(a) => a
+            .as_str()
+            .and_then(FitAxis::parse)
+            .ok_or("bad 'fit_axis'")?,
+    };
+    m.sampling = match v.get("sampling") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(SamplingSpec {
+            precision: s
+                .get("precision")
+                .and_then(Json::as_num)
+                .ok_or("bad sampling precision")?,
+            batch: field_u64(s, "batch")?,
+            max_seeds: field_u64(s, "max_seeds")?,
+        }),
+    };
     m.max_steps = match v.get("max_steps") {
         None | Some(Json::Null) => None,
         Some(n) => Some(n.as_u64().ok_or("bad max_steps")?),
     };
     Ok(m)
+}
+
+fn claim_from_json(v: &Json) -> Result<GroupSampling, String> {
+    Ok(GroupSampling {
+        key: field_str(v, "key")?.to_string(),
+        consumed: field_u64(v, "consumed")?,
+        batches: field_u64(v, "batches")?,
+        stable: field_bool(v, "stable")?,
+        achieved: match v.get("achieved") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(a.as_num().ok_or("bad 'achieved'")?),
+        },
+    })
 }
 
 fn sep(i: usize) -> &'static str {
@@ -468,11 +743,12 @@ fn record_json(out: &mut String, rec: &CellRecord) {
             let _ = write!(
                 out,
                 "\"type\": \"classify\", \"verdict\": {}, \"certificate\": {}, \
-                 \"high_resilience\": {}, \"theorem1_consistent\": {}}}",
+                 \"high_resilience\": {}, \"theorem1_consistent\": {}, \"cost\": {}}}",
                 json_str(&c.verdict),
                 json_str(&c.certificate),
                 c.high_resilience,
                 c.theorem1_consistent,
+                c.cost,
             );
         }
     }
@@ -539,6 +815,8 @@ fn record_from_json(v: &Json) -> Result<CellRecord, String> {
             certificate: field_str(v, "certificate")?.to_string(),
             high_resilience: field_bool(v, "high_resilience")?,
             theorem1_consistent: field_bool(v, "theorem1_consistent")?,
+            // Absent in partial@1 records (which predate the counter).
+            cost: v.get("cost").and_then(Json::as_u64).unwrap_or(0),
         }),
         other => return Err(format!("unknown record type '{other}'")),
     };
@@ -590,12 +868,7 @@ mod tests {
             .map(|index| {
                 let shard = ShardSpec { index, count };
                 let run = engine.execute_shard(&m, shard);
-                PartialReport {
-                    matrix: m.clone(),
-                    shard,
-                    wall_seconds: run.wall.as_secs_f64(),
-                    records: run.records,
-                }
+                PartialReport::new(m.clone(), shard, run.wall.as_secs_f64(), run.records)
             })
             .collect();
         (m, partials)

@@ -5,12 +5,14 @@
 //! used by `lab diff`) and Markdown (human-readable). Both emitters walk
 //! records in matrix order and use only deterministic arithmetic, so report
 //! bytes are a pure function of the matrix — independent of thread count.
-//! When the matrix declares [`FitMeasure`]s, configurations that differ only
-//! in `(n, t)` additionally fold into *fit groups*: per-size means become
-//! `(n, y)` points, a power law `y ≈ c·nᵏ` is fitted to each group, and the
-//! report gains a `fits` section with exponent, constant, `r²`, and any
-//! declared expected band — the paper's asymptotic shapes as first-class,
-//! regression-checked outputs.
+//! When the matrix declares [`FitMeasure`]s, configurations that differ
+//! only along its [`FitAxis`] (system size by default) additionally fold
+//! into *fit groups*: per-coordinate means become `(x, y)` points, a power
+//! law `y ≈ c·xᵏ` is fitted to each group, and the report gains a `fits`
+//! section with exponent, constant, `r²`, and any declared expected band —
+//! the paper's asymptotic shapes as first-class, regression-checked
+//! outputs. Adaptive sweeps additionally gain a `sampling` section
+//! recording each group's stopping decision.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -18,8 +20,9 @@ use std::fmt::Write as _;
 use validity_simnet::{NetStats, Time};
 
 use crate::fit::{try_fit_exponent, PowerFit};
-use crate::matrix::{CellSpec, FitMeasure, RunCell, ScenarioMatrix};
+use crate::matrix::{FitAxis, FitMeasure, RunCell, SamplingSpec, ScenarioMatrix};
 use crate::runner::{CellRecord, ClassifyRecord, Outcome, RunRecord};
+use crate::sampling::GroupSampling;
 
 /// Statistics of one u64-valued measure across a group's runs.
 ///
@@ -101,10 +104,12 @@ pub struct GroupSummary {
     /// the source of delivery/Byzantine-traffic totals, which the scalar
     /// measures above do not track.
     pub pooled: NetStats,
-    /// System size, for fit grouping (0 when aggregated without a matrix).
-    pub n: usize,
-    /// The [`RunCell::fit_key`] bucket (empty when aggregated without a
+    /// The group's coordinate on the matrix's [`FitAxis`] (`n`, or the
+    /// Byzantine count for the fault axis; 0 when aggregated without a
     /// matrix).
+    pub fit_x: u64,
+    /// The [`RunCell::fit_key_on`] bucket for the matrix's axis (empty
+    /// when aggregated without a matrix, or under the domain axis).
     pub fit_key: String,
 }
 
@@ -132,7 +137,13 @@ pub struct FitRow {
 /// Schema tag written into full-report JSON files. `lab diff` uses it to
 /// refuse partial (sharded) reports and artifacts from other schema
 /// generations instead of producing a silently meaningless diff.
-pub const REPORT_SCHEMA: &str = "validity-lab/report@1";
+///
+/// `report@2` added the top-level `fit_axis` and `sampling` fields and the
+/// per-classification `cost` counter. A `report@1` file would diff against
+/// a `report@2` one as a wall of spurious cell differences, so full-report
+/// readers accept only their own generation and `lab diff` names both tags
+/// on a mismatch.
+pub const REPORT_SCHEMA: &str = "validity-lab/report@2";
 
 /// A classification cell in the report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -143,6 +154,28 @@ pub struct ClassifyRow {
     pub record: ClassifyRecord,
 }
 
+/// The report's adaptive-sampling section: the spec the sweep ran under
+/// and, per run group, what the stopping rule decided.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplingSection {
+    /// The sampling parameters the matrix declared.
+    pub spec: SamplingSpec,
+    /// Per-group outcomes, in group (first-appearance) order.
+    pub groups: Vec<GroupSampling>,
+}
+
+impl SamplingSection {
+    /// Total seeds consumed across all groups.
+    pub fn seeds_consumed(&self) -> u64 {
+        self.groups.iter().map(|g| g.consumed).sum()
+    }
+
+    /// Number of groups that stopped at the seed cap without stabilizing.
+    pub fn capped(&self) -> u64 {
+        self.groups.iter().filter(|g| !g.stable).count() as u64
+    }
+}
+
 /// The full, deterministic sweep report.
 ///
 /// ```
@@ -151,7 +184,7 @@ pub struct ClassifyRow {
 /// let matrix = suites::build("quick").expect("built-in suite");
 /// let (report, _) = SweepEngine::new(2).run(&matrix);
 /// assert_eq!(report.violations(), 0);
-/// assert!(report.to_json().contains("\"schema\": \"validity-lab/report@1\""));
+/// assert!(report.to_json().contains("\"schema\": \"validity-lab/report@2\""));
 /// assert!(report.to_markdown().starts_with("# Sweep report: quick"));
 /// ```
 #[derive(Clone, Debug, PartialEq)]
@@ -168,8 +201,13 @@ pub struct SweepReport {
     /// Empty unless aggregated via [`SweepReport::aggregate_matrix`] on a
     /// matrix declaring fit measures.
     pub fits: Vec<FitRow>,
+    /// The x-axis the fits ran along (the matrix's declared
+    /// [`FitAxis`]; `n` when aggregated without a matrix).
+    pub fit_axis: FitAxis,
     /// Keys of quarantined cells (step budget exceeded), in matrix order.
     pub quarantined: Vec<String>,
+    /// The adaptive-sampling section (`None` for fixed-seed sweeps).
+    pub sampling: Option<SamplingSection>,
 }
 
 impl SweepReport {
@@ -188,16 +226,17 @@ impl SweepReport {
     }
 
     fn fold(name: &str, records: &[CellRecord], matrix: Option<&ScenarioMatrix>) -> SweepReport {
-        // Per-cell metadata (n, fit key) comes from re-enumerating the
-        // matrix: records are keyed, so the lookup is order-insensitive.
-        let cell_meta: BTreeMap<String, RunCell> = matrix
+        // Per-group metadata (fit x-coordinate, fit key) comes from
+        // re-enumerating the matrix's run-group templates: records carry
+        // their group key, so the lookup is order-insensitive — and, for
+        // adaptive sweeps, seed-count-insensitive (every seed of a group
+        // shares the template).
+        let axis = matrix.map_or(FitAxis::N, |m| m.fit_axis);
+        let group_meta: BTreeMap<String, RunCell> = matrix
             .map(|m| {
-                m.cells()
+                m.run_templates()
                     .into_iter()
-                    .filter_map(|c| match c {
-                        CellSpec::Run(r) => Some((r.key(), r)),
-                        CellSpec::Classify(_) => None,
-                    })
+                    .map(|c| (c.group_key(), c))
                     .collect()
             })
             .unwrap_or_default();
@@ -214,7 +253,7 @@ impl SweepReport {
                     let group = match groups.iter_mut().find(|g| g.key == rec.group) {
                         Some(g) => g,
                         None => {
-                            let meta = cell_meta.get(&rec.key);
+                            let meta = group_meta.get(&rec.group);
                             groups.push(GroupSummary {
                                 key: rec.group.clone(),
                                 runs: 0,
@@ -226,8 +265,8 @@ impl SweepReport {
                                 words_after_gst: MeasureStats::default(),
                                 latency: MeasureStats::default(),
                                 pooled: NetStats::default(),
-                                n: meta.map_or(0, |c| c.n),
-                                fit_key: meta.map_or_else(String::new, |c| c.fit_key()),
+                                fit_x: meta.map_or(0, |c| c.fit_x(axis)),
+                                fit_key: meta.map_or_else(String::new, |c| c.fit_key_on(axis)),
                             });
                             groups.last_mut().expect("just pushed")
                         }
@@ -250,14 +289,27 @@ impl SweepReport {
                 }
             }
         }
-        let fits = matrix.map_or_else(Vec::new, |m| compute_fits(m, &groups));
+        let fits = matrix.map_or_else(Vec::new, |m| compute_fits(m, &groups, &classifications));
+        let sampling = matrix.and_then(|m| {
+            let spec = m.sampling?;
+            let outcomes = crate::sampling::group_slices(records)
+                .into_iter()
+                .map(|(key, slice)| crate::sampling::evaluate(key, slice, &spec, &m.fit_measures))
+                .collect();
+            Some(SamplingSection {
+                spec,
+                groups: outcomes,
+            })
+        });
         SweepReport {
             matrix: name.to_string(),
             cells: records.to_vec(),
             groups,
             classifications,
             fits,
+            fit_axis: axis,
             quarantined,
+            sampling,
         }
     }
 
@@ -293,6 +345,7 @@ impl SweepReport {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {},", json_str(REPORT_SCHEMA));
         let _ = writeln!(out, "  \"matrix\": {},", json_str(&self.matrix));
+        let _ = writeln!(out, "  \"fit_axis\": {},", json_str(self.fit_axis.name()));
         let _ = writeln!(out, "  \"cell_count\": {},", self.cells.len());
         out.push_str("  \"cells\": [\n");
         for (i, rec) in self.cells.iter().enumerate() {
@@ -331,7 +384,29 @@ impl SweepReport {
             }
             out.push_str(&json_str(key));
         }
-        out.push_str("]\n}\n");
+        out.push_str("],\n  \"sampling\": ");
+        match &self.sampling {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\n    \"precision\": {:.4}, \"batch\": {}, \"max_seeds\": {},\n    \
+                     \"seeds_consumed\": {}, \"capped\": {},\n    \"groups\": [\n",
+                    s.spec.precision,
+                    s.spec.batch,
+                    s.spec.max_seeds,
+                    s.seeds_consumed(),
+                    s.capped(),
+                );
+                for (i, g) in s.groups.iter().enumerate() {
+                    out.push_str("      ");
+                    out.push_str(&g.to_json());
+                    out.push_str(if i + 1 == s.groups.len() { "\n" } else { ",\n" });
+                }
+                out.push_str("    ]\n  }");
+            }
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -349,12 +424,12 @@ impl SweepReport {
         );
         if !self.classifications.is_empty() {
             out.push_str("## Classification grid\n\n");
-            out.push_str("| cell | verdict | Thm 1 | certificate |\n");
-            out.push_str("|---|---|---|---|\n");
+            out.push_str("| cell | verdict | Thm 1 | cost | certificate |\n");
+            out.push_str("|---|---|---|---|---|\n");
             for row in &self.classifications {
                 let _ = writeln!(
                     out,
-                    "| {} | {} | {} | {} |",
+                    "| {} | {} | {} | {} | {} |",
                     row.key,
                     row.record.verdict,
                     if row.record.theorem1_consistent {
@@ -362,6 +437,7 @@ impl SweepReport {
                     } else {
                         "✘ VIOLATED"
                     },
+                    row.record.cost,
                     md_cell(&row.record.certificate),
                 );
             }
@@ -375,6 +451,33 @@ impl SweepReport {
             );
             for key in &self.quarantined {
                 let _ = writeln!(out, "- `{key}`");
+            }
+            out.push('\n');
+        }
+        if let Some(s) = &self.sampling {
+            out.push_str("## Adaptive sampling\n\n");
+            let _ = writeln!(
+                out,
+                "Target precision {:.4} (relative 95% CI half-width), batches of {}, \
+                 cap {} seeds/group; {} seed(s) consumed, {} group(s) capped.\n",
+                s.spec.precision,
+                s.spec.batch,
+                s.spec.max_seeds,
+                s.seeds_consumed(),
+                s.capped(),
+            );
+            out.push_str("| group | seeds | batches | achieved ρ | status |\n");
+            out.push_str("|---|---|---|---|---|\n");
+            for g in &s.groups {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} |",
+                    g.key,
+                    g.consumed,
+                    g.batches,
+                    g.achieved.map_or("-".to_string(), |a| format!("{a:.4}")),
+                    if g.stable { "stable" } else { "✘ CAPPED" },
+                );
             }
             out.push('\n');
         }
@@ -406,7 +509,11 @@ impl SweepReport {
             out.push('\n');
         }
         if !self.fits.is_empty() {
-            out.push_str("## Power-law fits (y ≈ c·nᵏ, grouped across sizes)\n\n");
+            let _ = writeln!(
+                out,
+                "## Power-law fits (y ≈ c·xᵏ, x = {}, grouped across the axis)\n",
+                self.fit_axis,
+            );
             out.push_str("| group | measure | points | exponent k | constant c | R² | expected band | ok |\n");
             out.push_str("|---|---|---|---|---|---|---|---|\n");
             for f in &self.fits {
@@ -446,9 +553,16 @@ impl SweepReport {
     }
 }
 
-/// Folds per-size group means into fit rows, one per (declared measure,
-/// fit-group) pair, in deterministic order.
-fn compute_fits(matrix: &ScenarioMatrix, groups: &[GroupSummary]) -> Vec<FitRow> {
+/// Folds per-coordinate means into fit rows, one per (declared measure,
+/// fit-group) pair, in deterministic order. Run measures fit group means
+/// against the matrix's run axis (`n` or the fault count); the
+/// classifier-cost measure fits classification cells against the domain
+/// size.
+fn compute_fits(
+    matrix: &ScenarioMatrix,
+    groups: &[GroupSummary],
+    classifications: &[ClassifyRow],
+) -> Vec<FitRow> {
     let mut rows = Vec::new();
     let mut seen_measures: Vec<FitMeasure> = Vec::new();
     for &measure in &matrix.fit_measures {
@@ -456,14 +570,62 @@ fn compute_fits(matrix: &ScenarioMatrix, groups: &[GroupSummary]) -> Vec<FitRow>
             continue;
         }
         seen_measures.push(measure);
-        // Fit-group keys in group (= matrix) first-appearance order.
-        let mut keys: Vec<&str> = Vec::new();
-        for g in groups {
-            if !g.fit_key.is_empty() && !keys.contains(&g.fit_key.as_str()) {
-                keys.push(&g.fit_key);
+        if measure.is_run_measure() {
+            // Run measures have no x-coordinate under the domain axis.
+            if matrix.fit_axis == FitAxis::Domain {
+                continue;
             }
+            rows.extend(run_measure_fits(matrix, groups, measure));
+        } else if matrix.fit_axis == FitAxis::Domain {
+            // Classifier cost pairs with the domain axis only.
+            rows.extend(classify_cost_fits(matrix, classifications));
         }
-        for key in keys {
+    }
+    rows
+}
+
+/// Builds a fit row from points and the matrix's declared bands.
+fn fit_row(
+    matrix: &ScenarioMatrix,
+    key: &str,
+    measure: FitMeasure,
+    points: Vec<(f64, f64)>,
+) -> FitRow {
+    let fit = try_fit_exponent(&points);
+    let band = matrix
+        .fit_bands
+        .iter()
+        .find(|b| b.applies_to(measure, key))
+        .map(|b| (b.lo, b.hi));
+    let within_band = match (&fit, band) {
+        (Some(f), Some((lo, hi))) => Some(f.exponent >= lo && f.exponent <= hi),
+        _ => None,
+    };
+    FitRow {
+        key: key.to_string(),
+        measure,
+        points,
+        fit,
+        band,
+        within_band,
+    }
+}
+
+/// Fit rows of one run measure: per-coordinate group means along the run
+/// axis, fit-group keys in group (= matrix) first-appearance order.
+fn run_measure_fits(
+    matrix: &ScenarioMatrix,
+    groups: &[GroupSummary],
+    measure: FitMeasure,
+) -> Vec<FitRow> {
+    let mut keys: Vec<&str> = Vec::new();
+    for g in groups {
+        if !g.fit_key.is_empty() && !keys.contains(&g.fit_key.as_str()) {
+            keys.push(&g.fit_key);
+        }
+    }
+    keys.into_iter()
+        .map(|key| {
             let points: Vec<(f64, f64)> = groups
                 .iter()
                 .filter(|g| g.fit_key == key)
@@ -472,31 +634,52 @@ fn compute_fits(matrix: &ScenarioMatrix, groups: &[GroupSummary]) -> Vec<FitRow>
                         FitMeasure::Messages => &g.messages_after_gst,
                         FitMeasure::Words => &g.words_after_gst,
                         FitMeasure::Latency => &g.latency,
+                        FitMeasure::ClassifyCost => return None,
                     };
-                    (stats.count > 0).then(|| (g.n as f64, stats.sum as f64 / stats.count as f64))
+                    // A zero coordinate (a fault-free group on the t axis)
+                    // cannot sit on a log–log line; keeping it would make
+                    // the whole group unfittable instead of just skipping
+                    // the one point.
+                    (stats.count > 0 && g.fit_x > 0)
+                        .then(|| (g.fit_x as f64, stats.sum as f64 / stats.count as f64))
                 })
                 .collect();
-            let fit = try_fit_exponent(&points);
-            let band = matrix
-                .fit_bands
-                .iter()
-                .find(|b| b.applies_to(measure, key))
-                .map(|b| (b.lo, b.hi));
-            let within_band = match (&fit, band) {
-                (Some(f), Some((lo, hi))) => Some(f.exponent >= lo && f.exponent <= hi),
-                _ => None,
-            };
-            rows.push(FitRow {
-                key: key.to_string(),
-                measure,
-                points,
-                fit,
-                band,
-                within_band,
-            });
+            fit_row(matrix, key, measure, points)
+        })
+        .collect()
+}
+
+/// Fit rows of the classifier-cost measure: each classification cell is
+/// one `(domain, cost)` point, grouped by [`crate::matrix::ClassifyCell::fit_key`].
+fn classify_cost_fits(matrix: &ScenarioMatrix, classifications: &[ClassifyRow]) -> Vec<FitRow> {
+    // The domain size behind each classification row, from the matrix's
+    // own cells (rows are keyed, so the lookup is order-insensitive).
+    let meta: BTreeMap<String, &crate::matrix::ClassifyCell> = matrix
+        .classifications
+        .iter()
+        .map(|c| (c.key(), c))
+        .collect();
+    let mut keys: Vec<String> = Vec::new();
+    for row in classifications {
+        if let Some(cell) = meta.get(&row.key) {
+            let key = cell.fit_key();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
         }
     }
-    rows
+    keys.into_iter()
+        .map(|key| {
+            let points: Vec<(f64, f64)> = classifications
+                .iter()
+                .filter_map(|row| {
+                    let cell = meta.get(&row.key)?;
+                    (cell.fit_key() == key).then_some((cell.domain as f64, row.record.cost as f64))
+                })
+                .collect();
+            fit_row(matrix, &key, FitMeasure::ClassifyCost, points)
+        })
+        .collect()
 }
 
 /// Escapes a string into a JSON literal.
@@ -565,9 +748,10 @@ fn cell_json(out: &mut String, rec: &CellRecord) {
             let _ = write!(
                 out,
                 "\"type\": \"classify\", \"verdict\": {}, \"theorem1_consistent\": {}, \
-                 \"certificate\": {}",
+                 \"cost\": {}, \"certificate\": {}",
                 json_str(&c.verdict),
                 c.theorem1_consistent,
+                c.cost,
                 json_str(&c.certificate),
             );
         }
@@ -790,7 +974,9 @@ mod tests {
 
     mod fits {
         use super::*;
-        use crate::matrix::{FitBand, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ValiditySpec};
+        use crate::matrix::{
+            CellSpec, FitBand, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ValiditySpec,
+        };
         use validity_adversary::BehaviorId;
         use validity_protocols::VectorKind;
 

@@ -12,7 +12,8 @@
 
 use validity_adversary::BehaviorId;
 use validity_core::{
-    classify, Classification, Domain, InputConfig, ProcessId, SystemParams, UnsolvableReason,
+    classify_with_cost, Classification, Domain, InputConfig, ProcessId, SystemParams,
+    UnsolvableReason,
 };
 use validity_protocols::{Universal, VectorContext};
 use validity_simnet::{agreement_holds, Machine, NetStats, NodeKind, RunOutcome, Simulation, Time};
@@ -62,6 +63,11 @@ pub struct ClassifyRecord {
     pub high_resilience: bool,
     /// Theorem-1 consistency: at `n ≤ 3t`, solvable ⇒ trivial.
     pub theorem1_consistent: bool,
+    /// Classification cost: admissibility evaluations performed by the
+    /// decision procedure (deterministic; the measure
+    /// [`crate::matrix::FitMeasure::ClassifyCost`] fits against the
+    /// domain size).
+    pub cost: u64,
 }
 
 /// The result of one cell, tagged with its stable keys.
@@ -251,7 +257,7 @@ fn execute_classify(cell: &ClassifyCell) -> ClassifyRecord {
     let params = params_of(cell.n, cell.t);
     let domain = Domain::range(cell.domain);
     let property = cell.validity.property(cell.t);
-    let c = classify(&property, params, &domain);
+    let (c, cost) = classify_with_cost(&property, params, &domain);
     let certificate = match &c {
         Classification::Trivial { witness } => format!("always-admissible {witness:?}"),
         Classification::SolvableNonTrivial { lambda_table } => {
@@ -269,6 +275,7 @@ fn execute_classify(cell: &ClassifyCell) -> ClassifyRecord {
         certificate,
         high_resilience: params.supports_non_trivial(),
         theorem1_consistent: params.supports_non_trivial() || !c.is_solvable() || c.is_trivial(),
+        cost,
     }
 }
 

@@ -25,7 +25,41 @@ use crate::json::Json;
 use crate::report::{json_str, SweepReport};
 
 /// Schema tag written into new bench-trend artifacts.
-pub const BENCH_SCHEMA: &str = "validity-lab/bench@2";
+pub const BENCH_SCHEMA: &str = "validity-lab/bench@3";
+
+/// The previous artifact generation: identical shape minus the per-suite
+/// fit axis and adaptive-sampling metadata. Still accepted by
+/// [`BenchArtifact::parse`].
+pub const BENCH_SCHEMA_V2: &str = "validity-lab/bench@2";
+
+/// Adaptive-sampling metadata of one suite entry, as recorded in the
+/// artifact (bench@3): enough to see at a glance how much seed budget a
+/// suite spent and whether any group failed to stabilize.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchSampling {
+    /// The sweep's target precision (relative 95% CI half-width).
+    pub precision: f64,
+    /// Total seeds consumed across the suite's run groups.
+    pub seeds_consumed: u64,
+    /// Groups that hit the seed cap without stabilizing.
+    pub capped: u64,
+}
+
+impl BenchSampling {
+    /// Parses a suite entry's `sampling` field (shared by the artifact
+    /// parser and the from-reports path, so the two cannot drift apart).
+    /// `None` for an absent or `null` field — a fixed-seed sweep.
+    fn from_json(v: Option<&Json>) -> Option<BenchSampling> {
+        match v {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(BenchSampling {
+                precision: s.get("precision").and_then(Json::as_num).unwrap_or(0.0),
+                seeds_consumed: s.get("seeds_consumed").and_then(Json::as_u64).unwrap_or(0),
+                capped: s.get("capped").and_then(Json::as_u64).unwrap_or(0),
+            }),
+        }
+    }
+}
 
 /// One fitted measure of one fit group, as recorded in the artifact.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +95,12 @@ pub struct BenchSuite {
     pub violations: u64,
     /// Quarantined cell count.
     pub quarantined: u64,
+    /// The x-axis the suite's fits ran along (`"n"`, `"t"`, `"domain"`;
+    /// bench@3 — older artifacts default to `"n"`).
+    pub axis: String,
+    /// Adaptive-sampling metadata (bench@3; `None` for fixed-seed sweeps
+    /// and older artifacts).
+    pub sampling: Option<BenchSampling>,
     /// Every fit row of the suite's report.
     pub fits: Vec<BenchFit>,
 }
@@ -74,6 +114,12 @@ impl BenchSuite {
             cells: report.cells.len() as u64,
             violations: report.violations(),
             quarantined: report.quarantined.len() as u64,
+            axis: report.fit_axis.name().to_string(),
+            sampling: report.sampling.as_ref().map(|s| BenchSampling {
+                precision: s.spec.precision,
+                seeds_consumed: s.seeds_consumed(),
+                capped: s.capped(),
+            }),
             fits: report
                 .fits
                 .iter()
@@ -116,6 +162,12 @@ impl BenchSuite {
             .get("quarantined")
             .and_then(Json::as_arr)
             .map_or(0, |a| a.len() as u64);
+        let axis = v
+            .get("fit_axis")
+            .and_then(Json::as_str)
+            .unwrap_or("n")
+            .to_string();
+        let sampling = BenchSampling::from_json(v.get("sampling"));
         let fits = v
             .get("fits")
             .and_then(Json::as_arr)
@@ -129,6 +181,8 @@ impl BenchSuite {
             cells,
             violations,
             quarantined,
+            axis,
+            sampling,
             fits,
         })
     }
@@ -152,13 +206,22 @@ impl BenchArtifact {
             let _ = write!(
                 out,
                 "    {{\"suite\": {}, \"wall_seconds\": {}, \"cells\": {}, \
-                 \"violations\": {}, \"quarantined\": {}, \"fits\": [",
+                 \"violations\": {}, \"quarantined\": {}, \"axis\": {}, \
+                 \"sampling\": {}, \"fits\": [",
                 json_str(&s.suite),
                 s.wall_seconds
                     .map_or("null".to_string(), |w| format!("{w:.3}")),
                 s.cells,
                 s.violations,
                 s.quarantined,
+                json_str(&s.axis),
+                match s.sampling {
+                    Some(sa) => format!(
+                        "{{\"precision\": {:.4}, \"seeds_consumed\": {}, \"capped\": {}}}",
+                        sa.precision, sa.seeds_consumed, sa.capped
+                    ),
+                    None => "null".to_string(),
+                },
             );
             for (fi, f) in s.fits.iter().enumerate() {
                 if fi > 0 {
@@ -192,17 +255,19 @@ impl BenchArtifact {
         out
     }
 
-    /// Parses an artifact, accepting the current schema and the original
-    /// untagged generation (identical shape, no `schema` field). A file
-    /// tagged with any *other* schema is refused.
+    /// Parses an artifact, accepting the current schema, the previous
+    /// tagged generation ([`BENCH_SCHEMA_V2`]), and the original untagged
+    /// generation (identical shape, no `schema` field). A file tagged
+    /// with any *other* schema is refused.
     pub fn parse(text: &str) -> Result<BenchArtifact, String> {
         let v = Json::parse(text)?;
         match v.get("schema").and_then(Json::as_str) {
-            None | Some(BENCH_SCHEMA) => {}
+            None | Some(BENCH_SCHEMA) | Some(BENCH_SCHEMA_V2) => {}
             Some(other) => {
                 return Err(format!(
                     "unsupported bench artifact schema '{other}' (this lab reads \
-                     '{BENCH_SCHEMA}' and the original untagged format)"
+                     '{BENCH_SCHEMA}', '{BENCH_SCHEMA_V2}', and the original \
+                     untagged format)"
                 ))
             }
         }
@@ -222,6 +287,12 @@ impl BenchArtifact {
                     cells: s.get("cells").and_then(Json::as_u64).unwrap_or(0),
                     violations: s.get("violations").and_then(Json::as_u64).unwrap_or(0),
                     quarantined: s.get("quarantined").and_then(Json::as_u64).unwrap_or(0),
+                    axis: s
+                        .get("axis")
+                        .and_then(Json::as_str)
+                        .unwrap_or("n")
+                        .to_string(),
+                    sampling: BenchSampling::from_json(s.get("sampling")),
                     fits: s
                         .get("fits")
                         .and_then(Json::as_arr)
@@ -550,6 +621,8 @@ mod tests {
                 cells: 10,
                 violations: 0,
                 quarantined: 0,
+                axis: "n".into(),
+                sampling: None,
                 fits,
             }],
         }
@@ -584,13 +657,41 @@ mod tests {
               "within_band": true}]}]}"#;
         let a = BenchArtifact::parse(v1).expect("v1 artifact");
         assert_eq!(a.suites[0].fits[0].exponent, Some(1.86));
-        // Unknown extra fields are ignored (forward compatibility).
-        let v_future = r#"{"schema": "validity-lab/bench@2", "suites": [],
+        // v1 entries predate the axis/sampling fields: defaults apply.
+        assert_eq!(a.suites[0].axis, "n");
+        assert_eq!(a.suites[0].sampling, None);
+        // The previous tagged generation is read too, and unknown extra
+        // fields are ignored (forward compatibility).
+        let v2 = r#"{"schema": "validity-lab/bench@2", "suites": [],
             "something_new": {"nested": true}}"#;
-        assert!(BenchArtifact::parse(v_future).is_ok());
+        assert!(BenchArtifact::parse(v2).is_ok());
         let foreign = r#"{"schema": "validity-lab/bench@99", "suites": []}"#;
         assert!(BenchArtifact::parse(foreign).is_err());
         assert!(BenchArtifact::parse("[]").is_err());
+    }
+
+    #[test]
+    fn axis_and_sampling_metadata_round_trip() {
+        let mut a = artifact(vec![fit("g", Some(2.0), Some(true))]);
+        a.suites[0].axis = "domain".into();
+        a.suites[0].sampling = Some(BenchSampling {
+            precision: 0.05,
+            seeds_consumed: 50,
+            capped: 1,
+        });
+        let text = a.to_json();
+        assert!(text.contains("\"axis\": \"domain\""));
+        assert!(text.contains("\"seeds_consumed\": 50"));
+        let back = BenchArtifact::parse(&text).expect("round-trip");
+        assert_eq!(back.suites[0].axis, "domain");
+        assert_eq!(
+            back.suites[0].sampling,
+            Some(BenchSampling {
+                precision: 0.05,
+                seeds_consumed: 50,
+                capped: 1,
+            })
+        );
     }
 
     #[test]

@@ -140,12 +140,8 @@ proptest! {
             .map(|index| {
                 let shard = ShardSpec { index, count };
                 let run = SweepEngine::new(1).execute_shard(&m, shard);
-                let partial = PartialReport {
-                    matrix: m.clone(),
-                    shard,
-                    wall_seconds: run.wall.as_secs_f64(),
-                    records: run.records,
-                };
+                let partial =
+                    PartialReport::new(m.clone(), shard, run.wall.as_secs_f64(), run.records);
                 PartialReport::parse(&partial.to_json()).expect("partial round-trip")
             })
             .collect();
@@ -169,12 +165,8 @@ fn merged_complexity_sweep_matches_single_process_bytes() {
             .map(|index| {
                 let shard = ShardSpec { index, count };
                 let run = SweepEngine::new(2).execute_shard(&m, shard);
-                let partial = PartialReport {
-                    matrix: m.clone(),
-                    shard,
-                    wall_seconds: run.wall.as_secs_f64(),
-                    records: run.records,
-                };
+                let partial =
+                    PartialReport::new(m.clone(), shard, run.wall.as_secs_f64(), run.records);
                 PartialReport::parse(&partial.to_json()).expect("partial round-trip")
             })
             .collect();
@@ -275,7 +267,7 @@ mod cli {
         assert!(
             std::fs::read_to_string(&part)
                 .unwrap()
-                .contains("validity-lab/partial@1"),
+                .contains(validity_lab::PARTIAL_SCHEMA),
             "--shard 1/1 wrote a full report, not a partial"
         );
         let merged_json = dir.join("merged.json").display().to_string();

@@ -127,6 +127,83 @@ fn trend_gate_passes_on_itself_and_fails_on_a_regressed_baseline() {
 }
 
 #[test]
+fn update_baseline_regenerates_the_file_in_place_with_stable_shape() {
+    let dir = workdir("update");
+    let report = write_report(&dir);
+    let baseline = dir.join("baseline.json").display().to_string();
+    let bench = dir.join("bench.json").display().to_string();
+
+    // Seed a stale baseline whose exponent has drifted far from today's
+    // measurement: gating against it must fail...
+    let out = Command::new(LAB)
+        .args(["trend", "--from-reports", &report, "--out", &bench])
+        .output()
+        .expect("spawn lab");
+    assert!(out.status.success(), "{out:?}");
+    let mut stale = BenchArtifact::parse(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+    *stale.suites[0].fits[0].exponent.as_mut().unwrap() += 2.0;
+    std::fs::write(&baseline, stale.to_json()).unwrap();
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--baseline",
+            &baseline,
+            "--out",
+            &bench,
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(!out.status.success(), "stale baseline must gate");
+
+    // ...until --update-baseline regenerates it in place.
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--update-baseline",
+            "--baseline",
+            &baseline,
+            "--out",
+            &bench,
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        out.status.success(),
+        "update failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("baseline updated"));
+    // The regenerated file has the canonical schema tag and key order —
+    // byte-identical to the emitted artifact, so its git diff is minimal.
+    let updated = std::fs::read_to_string(&baseline).unwrap();
+    assert_eq!(updated, std::fs::read_to_string(&bench).unwrap());
+    assert!(updated.starts_with("{\n  \"schema\": \"validity-lab/bench@3\","));
+
+    // And the fresh baseline now gates clean.
+    let out = Command::new(LAB)
+        .args([
+            "trend",
+            "--from-reports",
+            &report,
+            "--baseline",
+            &baseline,
+            "--out",
+            &bench,
+        ])
+        .output()
+        .expect("spawn lab");
+    assert!(
+        out.status.success(),
+        "updated baseline still regresses: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
 fn trend_rejects_degenerate_tolerances() {
     // A NaN tolerance would make every drift comparison false and so
     // silently disable the gate; negative would flag everything.
