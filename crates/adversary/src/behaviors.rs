@@ -2,7 +2,7 @@
 //! (partitioning) adversary of Lemma 2 and helpers.
 
 use validity_core::{ProcessId, ProcessSet};
-use validity_simnet::{ByzStep, Byzantine, Env, Machine, Step};
+use validity_simnet::{ByzSink, Byzantine, Env, Machine, Step, StepSink};
 
 /// The partitioning adversary of Theorem 1 (Lemma 2): runs *two* copies of a
 /// correct machine, one facing group `A`, one facing group `C`. Messages
@@ -18,6 +18,8 @@ pub struct TwoFaced<M: Machine> {
     face_b: M,
     group_a: ProcessSet,
     group_b: ProcessSet,
+    /// Scratch buffer the faces write into; reused across events.
+    scratch: StepSink<M::Msg, M::Output>,
 }
 
 impl<M: Machine> TwoFaced<M> {
@@ -30,61 +32,63 @@ impl<M: Machine> TwoFaced<M> {
             face_b,
             group_a,
             group_b,
+            scratch: StepSink::new(),
         }
     }
 
+    /// Drains the scratch sink through the face's group filter into `out`.
     fn filter(
-        steps: Vec<Step<M::Msg, M::Output>>,
+        scratch: &mut StepSink<M::Msg, M::Output>,
         group: ProcessSet,
         face: u64,
-        env: &Env,
-    ) -> Vec<ByzStep<M::Msg>> {
-        let mut out = Vec::new();
-        for step in steps {
+        out: &mut ByzSink<M::Msg>,
+    ) {
+        for step in scratch.drain() {
             match step {
                 Step::Send(to, m) => {
                     if group.contains(to) {
-                        out.push(ByzStep::Send(to, m));
+                        out.send(to, m);
                     }
                 }
                 Step::Broadcast(m) => {
                     for p in group.iter() {
-                        out.push(ByzStep::Send(p, m.clone()));
+                        out.send(p, m.clone());
                     }
                 }
                 // Namespace the two faces' timers (odd/even).
-                Step::Timer(d, tag) => out.push(ByzStep::Timer(d, tag * 2 + face)),
+                Step::Timer(d, tag) => out.timer(d, tag * 2 + face),
                 Step::Output(_) | Step::Halt => {}
             }
         }
-        let _ = env;
-        out
     }
 }
 
 impl<M: Machine> Byzantine<M::Msg> for TwoFaced<M> {
-    fn init(&mut self, env: &Env) -> Vec<ByzStep<M::Msg>> {
-        let mut out = Self::filter(self.face_a.init(env), self.group_a, 0, env);
-        out.extend(Self::filter(self.face_b.init(env), self.group_b, 1, env));
-        out
+    fn init(&mut self, env: &Env, sink: &mut ByzSink<M::Msg>) {
+        self.face_a.init(env, &mut self.scratch);
+        Self::filter(&mut self.scratch, self.group_a, 0, sink);
+        self.face_b.init(env, &mut self.scratch);
+        Self::filter(&mut self.scratch, self.group_b, 1, sink);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: M::Msg, env: &Env) -> Vec<ByzStep<M::Msg>> {
+    fn on_message(&mut self, from: ProcessId, msg: &M::Msg, env: &Env, sink: &mut ByzSink<M::Msg>) {
         if self.group_a.contains(from) {
-            Self::filter(self.face_a.on_message(from, msg, env), self.group_a, 0, env)
+            self.face_a.on_message(from, msg, env, &mut self.scratch);
+            Self::filter(&mut self.scratch, self.group_a, 0, sink);
         } else if self.group_b.contains(from) {
-            Self::filter(self.face_b.on_message(from, msg, env), self.group_b, 1, env)
-        } else {
-            Vec::new()
+            self.face_b.on_message(from, msg, env, &mut self.scratch);
+            Self::filter(&mut self.scratch, self.group_b, 1, sink);
         }
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<ByzStep<M::Msg>> {
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut ByzSink<M::Msg>) {
         let (face, inner) = (tag % 2, tag / 2);
         if face == 0 {
-            Self::filter(self.face_a.on_timer(inner, env), self.group_a, 0, env)
+            self.face_a.on_timer(inner, env, &mut self.scratch);
+            Self::filter(&mut self.scratch, self.group_a, 0, sink);
         } else {
-            Self::filter(self.face_b.on_timer(inner, env), self.group_b, 1, env)
+            self.face_b.on_timer(inner, env, &mut self.scratch);
+            Self::filter(&mut self.scratch, self.group_b, 1, sink);
         }
     }
 }
@@ -93,7 +97,7 @@ impl<M: Machine> Byzantine<M::Msg> for TwoFaced<M> {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::Message;
+    use validity_simnet::{ByzStep, Message};
 
     #[derive(Clone, Debug)]
     struct Echo(u64);
@@ -106,12 +110,18 @@ mod tests {
         type Msg = Echo;
         type Output = u64;
 
-        fn init(&mut self, _env: &Env) -> Vec<Step<Echo, u64>> {
-            vec![Step::Broadcast(Echo(self.0))]
+        fn init(&mut self, _env: &Env, sink: &mut StepSink<Echo, u64>) {
+            sink.broadcast(Echo(self.0));
         }
 
-        fn on_message(&mut self, from: ProcessId, _m: Echo, _env: &Env) -> Vec<Step<Echo, u64>> {
-            vec![Step::Send(from, Echo(self.0))]
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            _m: &Echo,
+            _env: &Env,
+            sink: &mut StepSink<Echo, u64>,
+        ) {
+            sink.send(from, Echo(self.0));
         }
     }
 
@@ -126,7 +136,9 @@ mod tests {
             now: 0,
             delta: 10,
         };
-        let steps = tf.init(&env);
+        let mut sink = ByzSink::new();
+        tf.init(&env, &mut sink);
+        let steps: Vec<_> = sink.drain().collect();
         assert_eq!(steps.len(), 4);
         for s in &steps {
             match s {
@@ -150,17 +162,22 @@ mod tests {
             now: 0,
             delta: 10,
         };
-        let steps = tf.on_message(ProcessId(0), Echo(99), &env);
+        let deliver = |tf: &mut TwoFaced<Announcer>, from: u32| {
+            let mut sink = ByzSink::new();
+            tf.on_message(ProcessId(from), &Echo(99), &env, &mut sink);
+            sink.drain().collect::<Vec<_>>()
+        };
+        let steps = deliver(&mut tf, 0);
         assert!(matches!(
             steps.as_slice(),
             [ByzStep::Send(ProcessId(0), Echo(10))]
         ));
-        let steps = tf.on_message(ProcessId(1), Echo(99), &env);
+        let steps = deliver(&mut tf, 1);
         assert!(matches!(
             steps.as_slice(),
             [ByzStep::Send(ProcessId(1), Echo(20))]
         ));
         // outsiders are ignored
-        assert!(tf.on_message(ProcessId(2), Echo(99), &env).is_empty());
+        assert!(deliver(&mut tf, 2).is_empty());
     }
 }

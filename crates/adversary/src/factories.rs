@@ -10,7 +10,7 @@
 //! Every behaviour here is deterministic, so sweeps stay replayable.
 
 use validity_core::{ProcessId, ProcessSet, SystemParams};
-use validity_simnet::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Time};
+use validity_simnet::{ByzSink, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Time};
 
 use crate::behaviors::TwoFaced;
 
@@ -137,26 +137,25 @@ impl<Msg> Flood<Msg> {
 }
 
 impl<Msg: Message> Byzantine<Msg> for Flood<Msg> {
-    fn init(&mut self, _env: &Env) -> Vec<ByzStep<Msg>> {
-        vec![ByzStep::Timer(1, 0)]
+    fn init(&mut self, _env: &Env, sink: &mut ByzSink<Msg>) {
+        sink.timer(1, 0);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Msg, _env: &Env) -> Vec<ByzStep<Msg>> {
+    fn on_message(&mut self, from: ProcessId, msg: &Msg, _env: &Env, sink: &mut ByzSink<Msg>) {
         if from == self.slot {
             // Own replays come back as self-deliveries; echoing those would
             // compound the storm exponentially. Drop them.
-            return Vec::new();
+            return;
         }
         self.last = Some(msg.clone());
-        vec![ByzStep::Broadcast(msg)]
+        sink.broadcast(msg.clone());
     }
 
-    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<ByzStep<Msg>> {
-        let mut steps = vec![ByzStep::Timer(1, 0)];
+    fn on_timer(&mut self, _tag: u64, _env: &Env, sink: &mut ByzSink<Msg>) {
+        sink.timer(1, 0);
         if let Some(m) = &self.last {
-            steps.push(ByzStep::Broadcast(m.clone()));
+            sink.broadcast(m.clone());
         }
-        steps
     }
 }
 
@@ -170,7 +169,9 @@ impl std::fmt::Display for BehaviorId {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::{agreement_holds, Env, Message, NodeKind, SimConfig, Simulation, Step};
+    use validity_simnet::{
+        agreement_holds, Env, Message, NodeKind, SimConfig, Simulation, StepSink,
+    };
 
     #[derive(Clone, Debug)]
     struct Val(#[allow(dead_code)] u64); // payload carried for Debug-trace realism
@@ -183,15 +184,19 @@ mod tests {
     impl Machine for Bcast {
         type Msg = Val;
         type Output = u64;
-        fn init(&mut self, _env: &Env) -> Vec<Step<Val, u64>> {
-            vec![Step::Broadcast(Val(self.0))]
+        fn init(&mut self, _env: &Env, sink: &mut StepSink<Val, u64>) {
+            sink.broadcast(Val(self.0));
         }
-        fn on_message(&mut self, _f: ProcessId, _m: Val, env: &Env) -> Vec<Step<Val, u64>> {
+        fn on_message(
+            &mut self,
+            _f: ProcessId,
+            _m: &Val,
+            env: &Env,
+            sink: &mut StepSink<Val, u64>,
+        ) {
             self.1 += 1;
             if self.1 == env.quorum() {
-                vec![Step::Output(self.1 as u64)]
-            } else {
-                vec![]
+                sink.output(self.1 as u64);
             }
         }
     }
@@ -215,11 +220,16 @@ mod tests {
         impl Machine for Mute {
             type Msg = Val;
             type Output = u64;
-            fn init(&mut self, _env: &Env) -> Vec<Step<Val, u64>> {
-                vec![Step::Broadcast(Val(0))]
+            fn init(&mut self, _env: &Env, sink: &mut StepSink<Val, u64>) {
+                sink.broadcast(Val(0));
             }
-            fn on_message(&mut self, _f: ProcessId, _m: Val, _env: &Env) -> Vec<Step<Val, u64>> {
-                Vec::new()
+            fn on_message(
+                &mut self,
+                _f: ProcessId,
+                _m: &Val,
+                _env: &Env,
+                _sink: &mut StepSink<Val, u64>,
+            ) {
             }
         }
 

@@ -9,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use validity_core::{ProcessId, SystemParams};
-use validity_simnet::{Env, Machine, Step, Time};
+use validity_simnet::{Env, Machine, Step, StepSink, Time};
 
 /// Outcome of an isolated run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,14 +38,16 @@ pub fn run_isolated<M: Machine>(
     let mut sends_attempted = 0u64;
     let mut halted = false;
 
-    let apply = |steps: Vec<Step<M::Msg, M::Output>>,
+    let mut sink: StepSink<M::Msg, M::Output> = StepSink::new();
+
+    let apply = |sink: &mut StepSink<M::Msg, M::Output>,
                  now: Time,
                  timers: &mut BinaryHeap<Reverse<(Time, u64, u64)>>,
                  output: &mut Option<(Time, M::Output)>,
                  sends: &mut u64,
                  halted: &mut bool,
                  seq: &mut u64| {
-        for step in steps {
+        for step in sink.drain() {
             match step {
                 Step::Send(..) | Step::Broadcast(..) => *sends += 1,
                 Step::Timer(d, tag) => {
@@ -68,9 +70,9 @@ pub fn run_isolated<M: Machine>(
         now,
         delta,
     };
-    let steps = machine.init(&env);
+    machine.init(&env, &mut sink);
     apply(
-        steps,
+        &mut sink,
         now,
         &mut timers,
         &mut output,
@@ -93,9 +95,9 @@ pub fn run_isolated<M: Machine>(
             now,
             delta,
         };
-        let steps = machine.on_timer(tag, &env);
+        machine.on_timer(tag, &env, &mut sink);
         apply(
-            steps,
+            &mut sink,
             now,
             &mut timers,
             &mut output,

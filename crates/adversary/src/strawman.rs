@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use validity_core::{ProcessId, Value};
-use validity_simnet::{Env, Machine, Message, Step, Time};
+use validity_simnet::{Env, Machine, Message, StepSink, Time};
 
 use validity_protocols::codec::Words;
 
@@ -52,41 +52,42 @@ impl<V: Value + Words> Machine for LeaderEcho<V> {
     type Msg = LeaderValue<V>;
     type Output = V;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, V>) {
         if env.id == ProcessId(0) {
             self.decided = true;
-            vec![
-                Step::Broadcast(LeaderValue(self.input.clone())),
-                Step::Output(self.input.clone()),
-                Step::Halt,
-            ]
+            sink.broadcast(LeaderValue(self.input.clone()));
+            sink.output(self.input.clone());
+            sink.halt();
         } else {
-            vec![Step::Timer(Self::timeout(env), 0)]
+            sink.timer(Self::timeout(env), 0);
         }
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         _env: &Env,
-    ) -> Vec<Step<Self::Msg, V>> {
+        sink: &mut StepSink<Self::Msg, V>,
+    ) {
         if self.decided || from != ProcessId(0) {
-            return Vec::new();
+            return;
         }
         self.decided = true;
-        vec![Step::Output(msg.0), Step::Halt]
+        sink.output(msg.0.clone());
+        sink.halt();
     }
 
-    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn on_timer(&mut self, _tag: u64, _env: &Env, sink: &mut StepSink<Self::Msg, V>) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         self.decided = true;
         // Termination fallback: decide own proposal. This is the "correct
         // local behaviour deciding without receiving any message" that
         // Lemma 5 extracts.
-        vec![Step::Output(self.input.clone()), Step::Halt]
+        sink.output(self.input.clone());
+        sink.halt();
     }
 }
 
@@ -134,34 +135,33 @@ impl<V: Value + Words> Machine for QuorumVote<V> {
     type Msg = Vote<V>;
     type Output = V;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, V>> {
-        vec![
-            Step::Broadcast(Vote(self.input.clone())),
-            Step::Timer(Self::timeout(env), 0),
-        ]
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, V>) {
+        sink.broadcast(Vote(self.input.clone()));
+        sink.timer(Self::timeout(env), 0);
     }
 
     fn on_message(
         &mut self,
         _from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, V>> {
+        sink: &mut StepSink<Self::Msg, V>,
+    ) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         let count = self.votes.entry(msg.0.clone()).or_insert(0);
         *count += 1;
         if *count >= env.quorum() {
             self.decided = true;
-            return vec![Step::Output(msg.0), Step::Halt];
+            sink.output(msg.0.clone());
+            sink.halt();
         }
-        Vec::new()
     }
 
-    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<Step<Self::Msg, V>> {
+    fn on_timer(&mut self, _tag: u64, _env: &Env, sink: &mut StepSink<Self::Msg, V>) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         self.decided = true;
         let best = self
@@ -170,7 +170,8 @@ impl<V: Value + Words> Machine for QuorumVote<V> {
             .max_by_key(|(v, c)| (**c, std::cmp::Reverse((*v).clone())))
             .map(|(v, _)| v.clone())
             .unwrap_or_else(|| self.input.clone());
-        vec![Step::Output(best), Step::Halt]
+        sink.output(best);
+        sink.halt();
     }
 }
 

@@ -11,7 +11,9 @@ use validity_crypto::{sha256, KeyStore, ThresholdScheme};
 use validity_protocols::{
     proposal_sign_bytes, QuadConfig, QuadMachine, QuadMsg, Universal, VectorAuth, VectorAuthMsg,
 };
-use validity_simnet::{agreement_holds, ByzStep, Byzantine, Env, NodeKind, SimConfig, Simulation};
+use validity_simnet::{
+    agreement_holds, ByzSink, ByzStep, Byzantine, Env, NodeKind, SimConfig, Simulation,
+};
 
 type QMsg = QuadMsg<u64, u64>;
 
@@ -20,25 +22,22 @@ type QMsg = QuadMsg<u64, u64>;
 struct EquivocatingLeader;
 
 impl Byzantine<QMsg> for EquivocatingLeader {
-    fn on_message(&mut self, _from: ProcessId, msg: QMsg, env: &Env) -> Vec<ByzStep<QMsg>> {
+    fn on_message(&mut self, _from: ProcessId, msg: &QMsg, env: &Env, sink: &mut ByzSink<QMsg>) {
         // React to view changes of view 1 by sending split proposals.
         if let QuadMsg::ViewChange { view: 1, .. } = msg {
-            return (0..env.n())
-                .map(|i| {
-                    let value = if i < env.n() / 2 { 111 } else { 222 };
-                    ByzStep::Send(
-                        ProcessId::from_index(i),
-                        QuadMsg::Propose {
-                            view: 1,
-                            value,
-                            proof: 0,
-                            justification: None,
-                        },
-                    )
-                })
-                .collect();
+            for i in 0..env.n() {
+                let value = if i < env.n() / 2 { 111 } else { 222 };
+                sink.push(ByzStep::Send(
+                    ProcessId::from_index(i),
+                    QuadMsg::Propose {
+                        view: 1,
+                        value,
+                        proof: 0,
+                        justification: None,
+                    },
+                ));
+            }
         }
-        Vec::new()
     }
 }
 
@@ -51,7 +50,7 @@ struct ForgedCertInjector {
 }
 
 impl Byzantine<QMsg> for ForgedCertInjector {
-    fn init(&mut self, _env: &Env) -> Vec<ByzStep<QMsg>> {
+    fn init(&mut self, _env: &Env, sink: &mut ByzSink<QMsg>) {
         // The only threshold signature a single Byzantine process can make
         // progress towards is over its own chosen digest — but it cannot
         // reach the n − t threshold alone. Simulate the best it can do:
@@ -71,12 +70,12 @@ impl Byzantine<QMsg> for ForgedCertInjector {
         let tsig = weak_scheme
             .combine(&bogus_digest, [partial])
             .expect("k = 1 combines");
-        vec![ByzStep::Broadcast(QuadMsg::Committed {
+        sink.broadcast(QuadMsg::Committed {
             view: 1,
             value: 999,
             proof: 0,
             tsig,
-        })]
+        });
     }
 }
 
@@ -162,7 +161,7 @@ struct SignatureThief {
 }
 
 impl Byzantine<VectorAuthMsg<u64>> for SignatureThief {
-    fn init(&mut self, _env: &Env) -> Vec<ByzStep<VectorAuthMsg<u64>>> {
+    fn init(&mut self, _env: &Env, sink: &mut ByzSink<VectorAuthMsg<u64>>) {
         // Sign value 500 with our own key but claim it in a message sent
         // as-if it were from P1 — the transport is authenticated, so the
         // mismatch (sig.signer ≠ channel sender) must be caught.
@@ -170,10 +169,7 @@ impl Byzantine<VectorAuthMsg<u64>> for SignatureThief {
             .keystore
             .signer(self.me)
             .sign(proposal_sign_bytes(&500u64));
-        vec![ByzStep::Broadcast(VectorAuthMsg::Proposal {
-            value: 500,
-            sig,
-        })]
+        sink.broadcast(VectorAuthMsg::Proposal { value: 500, sig });
     }
 }
 

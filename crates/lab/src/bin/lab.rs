@@ -132,7 +132,7 @@ const RUN_FLAGS: [&str; 18] = [
 ];
 
 /// Flags that take no value.
-const RUN_SWITCHES: [&str; 2] = ["--dry-run", "--adaptive"];
+const RUN_SWITCHES: [&str; 3] = ["--dry-run", "--adaptive", "--timing"];
 
 /// Rejects misspelled or unknown options instead of silently falling back
 /// to defaults (a sweep that quietly measures the wrong scenario is worse
@@ -473,14 +473,36 @@ fn run(rest: &[&str]) -> ExitCode {
     let md_path = opt_value(rest, "--md")
         .map(String::from)
         .unwrap_or_else(|| format!("lab-{}.md", matrix.name));
-    emit_reports(&report, &json_path, &md_path)
+    // `--timing` appends a wall-clock section (per-cell events/sec) to the
+    // Markdown output only. The JSON report and the default Markdown stay
+    // byte-identical to timing-free runs — timing is nondeterministic and
+    // must never leak into canonical artifacts.
+    let extra_md = rest
+        .contains(&"--timing")
+        .then(|| validity_lab::timing_markdown(&sweep.timings));
+    emit_reports_with(&report, &json_path, &md_path, extra_md.as_deref())
 }
 
 /// Writes a full report's JSON and Markdown files and echoes the Markdown
 /// (rendered once) to stdout — the shared tail of `lab run` and
 /// `lab merge`.
 fn emit_reports(report: &SweepReport, json_path: &str, md_path: &str) -> ExitCode {
-    let markdown = report.to_markdown();
+    emit_reports_with(report, json_path, md_path, None)
+}
+
+/// [`emit_reports`], optionally appending an extra Markdown section (the
+/// `--timing` table) to the Markdown file and stdout.
+fn emit_reports_with(
+    report: &SweepReport,
+    json_path: &str,
+    md_path: &str,
+    extra_md: Option<&str>,
+) -> ExitCode {
+    let mut markdown = report.to_markdown();
+    if let Some(extra) = extra_md {
+        markdown.push('\n');
+        markdown.push_str(extra);
+    }
     if let Err(e) = std::fs::write(json_path, report.to_json()) {
         eprintln!("cannot write {json_path}: {e}");
         return ExitCode::FAILURE;

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 
 use crate::matrix::{CellSpec, RunCell, SamplingSpec, ScenarioMatrix, ShardSpec, WorkUnit};
 use crate::report::SweepReport;
-use crate::runner::{execute_with_budget, CellRecord};
+use crate::runner::{
+    execute_run_with_context, execute_with_budget, CellRecord, GroupContext, Outcome,
+};
 use crate::sampling;
 
 /// The sweep engine: a worker-pool width and nothing else.
@@ -33,6 +35,72 @@ pub struct SweepRun {
     pub threads: usize,
     /// Wall-clock duration of the sweep (excluded from reports).
     pub wall: Duration,
+    /// Per-cell wall clock (fixed sweeps) or per-work-unit wall clock
+    /// (adaptive sweeps), in record/unit order. Like `wall`, this is a
+    /// nondeterministic observable: it feeds the `--timing` harness and
+    /// never enters canonical reports.
+    pub timings: Vec<CellTiming>,
+}
+
+/// Wall-clock cost of one executed cell (or adaptive work unit).
+#[derive(Clone, Debug)]
+pub struct CellTiming {
+    /// The cell's key (fixed sweeps) or the group key (adaptive units).
+    pub label: String,
+    /// Simulator events processed (classification cells report their
+    /// admissibility-evaluation cost instead).
+    pub events: u64,
+    /// Wall-clock duration of the cell/unit.
+    pub wall: Duration,
+}
+
+/// Renders the timing table appended to Markdown output under `--timing`.
+pub fn timing_markdown(timings: &[CellTiming]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("## Timing (wall clock; never part of canonical reports)\n\n");
+    out.push_str("| cell | events | wall ms | events/sec |\n|---|---|---|---|\n");
+    let mut events_total = 0u64;
+    let mut wall_total = Duration::ZERO;
+    for t in timings {
+        let secs = t.wall.as_secs_f64();
+        let rate = if secs > 0.0 {
+            t.events as f64 / secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.0} |",
+            t.label,
+            t.events,
+            secs * 1e3,
+            rate
+        );
+        events_total += t.events;
+        wall_total += t.wall;
+    }
+    let secs = wall_total.as_secs_f64();
+    let rate = if secs > 0.0 {
+        events_total as f64 / secs
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "| **total** | {events_total} | {:.3} | {:.0} |",
+        secs * 1e3,
+        rate
+    );
+    out
+}
+
+/// Events (or classifier cost) attributed to a record for timing purposes.
+fn record_events(record: &CellRecord) -> u64 {
+    match &record.outcome {
+        Outcome::Run(r) => r.events,
+        Outcome::Classify(c) => c.cost,
+    }
 }
 
 impl SweepEngine {
@@ -59,19 +127,21 @@ impl SweepEngine {
     pub fn execute(&self, matrix: &ScenarioMatrix) -> SweepRun {
         if matrix.sampling.is_some() {
             let units = matrix.work_units();
-            let (records, wall) = self.execute_units(matrix, &units);
+            let (records, wall, timings) = self.execute_units(matrix, &units);
             return SweepRun {
                 records,
                 threads: self.threads,
                 wall,
+                timings,
             };
         }
         let cells = matrix.cells();
-        let records = self.execute_cells(&cells, matrix.max_steps);
+        let (records, wall, timings) = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
-            records: records.0,
+            records,
             threads: self.threads,
-            wall: records.1,
+            wall,
+            timings,
         }
     }
 
@@ -92,19 +162,21 @@ impl SweepEngine {
     pub fn execute_shard(&self, matrix: &ScenarioMatrix, shard: ShardSpec) -> SweepRun {
         if matrix.sampling.is_some() {
             let units = matrix.shard_units(shard);
-            let (records, wall) = self.execute_units(matrix, &units);
+            let (records, wall, timings) = self.execute_units(matrix, &units);
             return SweepRun {
                 records,
                 threads: self.threads,
                 wall,
+                timings,
             };
         }
         let cells = matrix.shard_cells(shard);
-        let (records, wall) = self.execute_cells(&cells, matrix.max_steps);
+        let (records, wall, timings) = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
             records,
             threads: self.threads,
             wall,
+            timings,
         }
     }
 
@@ -115,11 +187,12 @@ impl SweepEngine {
         &self,
         cells: &[CellSpec],
         max_steps: Option<u64>,
-    ) -> (Vec<CellRecord>, Duration) {
+    ) -> (Vec<CellRecord>, Duration, Vec<CellTiming>) {
         let started = Instant::now();
         let n = cells.len();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<CellRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(CellRecord, Duration)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n.max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -128,20 +201,28 @@ impl SweepEngine {
                     if i >= n {
                         break;
                     }
+                    let cell_started = Instant::now();
                     let record = execute_with_budget(&cells[i], max_steps);
-                    *slots[i].lock().expect("result slot poisoned") = Some(record);
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some((record, cell_started.elapsed()));
                 });
             }
         });
-        let records = slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker pool exited with an unfilled slot")
-            })
-            .collect();
-        (records, started.elapsed())
+        let mut records = Vec::with_capacity(n);
+        let mut timings = Vec::with_capacity(n);
+        for s in slots {
+            let (record, wall) = s
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool exited with an unfilled slot");
+            timings.push(CellTiming {
+                label: record.key.clone(),
+                events: record_events(&record),
+                wall,
+            });
+            records.push(record);
+        }
+        (records, started.elapsed(), timings)
     }
 
     /// Executes a pre-enumerated work-unit list under the matrix's
@@ -154,14 +235,15 @@ impl SweepEngine {
         &self,
         matrix: &ScenarioMatrix,
         units: &[WorkUnit],
-    ) -> (Vec<CellRecord>, Duration) {
+    ) -> (Vec<CellRecord>, Duration, Vec<CellTiming>) {
         let spec = matrix
             .sampling
             .expect("execute_units requires an adaptive matrix");
         let started = Instant::now();
         let n = units.len();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Vec<CellRecord>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        type UnitSlot = Mutex<Option<(Vec<CellRecord>, Duration)>>;
+        let slots: Vec<UnitSlot> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n.max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -170,6 +252,7 @@ impl SweepEngine {
                     if i >= n {
                         break;
                     }
+                    let unit_started = Instant::now();
                     let records = match &units[i] {
                         WorkUnit::Classify(c) => {
                             vec![execute_with_budget(
@@ -185,19 +268,30 @@ impl SweepEngine {
                             matrix.max_steps,
                         ),
                     };
-                    *slots[i].lock().expect("result slot poisoned") = Some(records);
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some((records, unit_started.elapsed()));
                 });
             }
         });
-        let records = slots
-            .into_iter()
-            .flat_map(|s| {
-                s.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker pool exited with an unfilled slot")
-            })
-            .collect();
-        (records, started.elapsed())
+        let mut records = Vec::new();
+        let mut timings = Vec::with_capacity(n);
+        for (slot, unit) in slots.into_iter().zip(units) {
+            let (unit_records, wall) = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool exited with an unfilled slot");
+            let label = match unit {
+                WorkUnit::Classify(c) => c.key(),
+                WorkUnit::Group(template) => template.group_key(),
+            };
+            timings.push(CellTiming {
+                label,
+                events: unit_records.iter().map(record_events).sum(),
+                wall,
+            });
+            records.extend(unit_records);
+        }
+        (records, started.elapsed(), timings)
     }
 
     /// Executes `matrix` and aggregates into a [`SweepReport`] (fit groups
@@ -223,14 +317,16 @@ pub fn run_adaptive_group(
     max_steps: Option<u64>,
 ) -> Vec<CellRecord> {
     let batch = spec.batch_size();
+    // Everything seed-invariant (the SimConfig with its start_times vector
+    // and schedule closures, the validity property, the actual-input
+    // configuration) is built once for the whole ladder instead of once
+    // per seed.
+    let context = GroupContext::new(template, max_steps);
     let mut records: Vec<CellRecord> = Vec::new();
     loop {
         let from = records.len() as u64;
         for s in from..from + batch {
-            records.push(execute_with_budget(
-                &CellSpec::Run(template.with_seed(first_seed + s)),
-                max_steps,
-            ));
+            records.push(execute_run_with_context(&context, first_seed + s));
         }
         let consumed = records.len() as u64;
         if sampling::is_stable(&records, measures, spec.precision)

@@ -71,7 +71,7 @@ pub mod sampling;
 pub mod suites;
 pub mod trend;
 
-pub use executor::{run_adaptive_group, SweepEngine, SweepRun};
+pub use executor::{run_adaptive_group, timing_markdown, CellTiming, SweepEngine, SweepRun};
 pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
     CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, RunCell, SamplingSpec,

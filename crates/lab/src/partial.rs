@@ -795,6 +795,8 @@ fn record_from_json(v: &Json) -> Result<CellRecord, String> {
     let group = field_str(v, "group")?.to_string();
     let outcome = match field_str(v, "type")? {
         "run" => Outcome::Run(RunRecord {
+            // Not serialized: timing-only, irrelevant to merged artifacts.
+            events: 0,
             decided: field_bool(v, "decided")?,
             agreement: field_bool(v, "agreement")?,
             validity_ok: match v.get("validity_ok") {

@@ -838,6 +838,7 @@ mod tests {
         stats.messages_total = msgs;
         stats.deliveries = msgs;
         RunRecord {
+            events: 0,
             decided: true,
             agreement: true,
             validity_ok: Some(true),

@@ -47,6 +47,10 @@ pub struct RunRecord {
     /// every correct process decided. Quarantined runs are reported
     /// separately and excluded from fit observations.
     pub quarantined: bool,
+    /// Simulator events processed (starts + deliveries + timer fires).
+    /// Deterministic, but **not** part of any report or partial artifact —
+    /// it exists for the `--timing` harness (events/sec per cell).
+    pub events: u64,
     /// The run's full simulator counters, for [`NetStats::merge`]-based
     /// pooling in the aggregation layer.
     pub stats: NetStats,
@@ -99,11 +103,7 @@ pub fn execute(cell: &CellSpec) -> CellRecord {
 /// that processes more than `max_steps` simulator events.
 pub fn execute_with_budget(cell: &CellSpec, max_steps: Option<u64>) -> CellRecord {
     match cell {
-        CellSpec::Run(c) => CellRecord {
-            key: c.key(),
-            group: c.group_key(),
-            outcome: Outcome::Run(execute_run(c, max_steps)),
-        },
+        CellSpec::Run(c) => execute_run_with_context(&GroupContext::new(c, max_steps), c.seed),
         CellSpec::Classify(c) => CellRecord {
             key: c.key(),
             group: c.key(),
@@ -116,15 +116,69 @@ fn params_of(n: usize, t: usize) -> SystemParams {
     SystemParams::new(n, t).expect("matrix enumerated an invalid (n, t)")
 }
 
-fn execute_run(cell: &RunCell, max_steps: Option<u64>) -> RunRecord {
-    let params = params_of(cell.n, cell.t);
-    if cell.protocol.universal {
-        let validity = cell
-            .validity
-            .expect("universal cells always carry a validity");
-        run_universal(cell, params, validity, max_steps)
+/// The seed-invariant part of executing one run cell.
+///
+/// The adaptive seed ladder ([`crate::executor::run_adaptive_group`])
+/// executes the *same* cell template at many seeds; everything here — the
+/// simulator configuration (including its `start_times` vector and any
+/// per-link schedule closure), the validity property, the actual input
+/// configuration the admissibility check compares against, and the step
+/// budget — is a pure function of the template, so it is built once per
+/// group instead of once per seed.
+pub(crate) struct GroupContext {
+    cell: RunCell,
+    params: SystemParams,
+    /// Budgeted config template; per-seed execution only swaps the seed.
+    cfg: validity_simnet::SimConfig,
+    /// Universal path: the property and actual inputs for the
+    /// admissibility check (`None` for raw vector cells).
+    universal: Option<UniversalContext>,
+}
+
+struct UniversalContext {
+    validity: ValiditySpec,
+    property: validity_core::DynValidity<u64>,
+    actual: InputConfig<u64>,
+}
+
+impl GroupContext {
+    /// Builds the context for `template` (the template's own seed is
+    /// irrelevant; callers pass the per-cell seed at execution time).
+    pub(crate) fn new(template: &RunCell, max_steps: Option<u64>) -> GroupContext {
+        let params = params_of(template.n, template.t);
+        let cfg = budgeted(template.schedule.build(params, 0), max_steps);
+        let universal = template.protocol.universal.then(|| {
+            let validity = template
+                .validity
+                .expect("universal cells always carry a validity");
+            UniversalContext {
+                validity,
+                property: validity.property(params.t()),
+                actual: actual_config(params, template.byz, |i| validity.input_for(i)),
+            }
+        });
+        GroupContext {
+            cell: *template,
+            params,
+            cfg,
+            universal,
+        }
+    }
+}
+
+/// Executes the context's cell template at `seed` (see [`GroupContext`]).
+pub(crate) fn execute_run_with_context(ctx: &GroupContext, seed: u64) -> CellRecord {
+    let mut cell = ctx.cell;
+    cell.seed = seed;
+    let record = if ctx.universal.is_some() {
+        run_universal(&cell, ctx, seed)
     } else {
-        run_raw(cell, params, max_steps)
+        run_raw(&cell, ctx, seed)
+    };
+    CellRecord {
+        key: cell.key(),
+        group: cell.group_key(),
+        outcome: Outcome::Run(record),
     }
 }
 
@@ -187,6 +241,7 @@ where
             .map(|o| format!("{o:?}"))
             .unwrap_or_else(|| "⊥".to_string()),
         quarantined,
+        events: sim.events_processed(),
         stats: stats.clone(),
     }
 }
@@ -202,14 +257,15 @@ fn budgeted(
     cfg
 }
 
-fn run_universal(
-    cell: &RunCell,
-    params: SystemParams,
-    validity: ValiditySpec,
-    max_steps: Option<u64>,
-) -> RunRecord {
-    let ctx = VectorContext::new(params, cell.seed);
-    let cfg = budgeted(cell.schedule.build(params, cell.seed), max_steps);
+fn run_universal(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
+    let params = gctx.params;
+    let uni = gctx
+        .universal
+        .as_ref()
+        .expect("run_universal requires a universal context");
+    let validity = uni.validity;
+    let ctx = VectorContext::new(params, seed);
+    let cfg = gctx.cfg.clone().seed(seed);
     let gst = cfg.gst;
     let kind = cell.protocol.kind;
     let mk = |p: ProcessId, face: u64| {
@@ -227,14 +283,15 @@ fn run_universal(
     };
     let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
     let mut sim = Simulation::new(cfg, nodes);
-    let actual = actual_config(params, cell.byz, |i| validity.input_for(i));
-    let property = validity.property(params.t());
-    collect(&mut sim, |v: &u64| property.is_admissible(&actual, v))
+    collect(&mut sim, |v: &u64| {
+        uni.property.is_admissible(&uni.actual, v)
+    })
 }
 
-fn run_raw(cell: &RunCell, params: SystemParams, max_steps: Option<u64>) -> RunRecord {
-    let ctx = VectorContext::new(params, cell.seed);
-    let cfg = budgeted(cell.schedule.build(params, cell.seed), max_steps);
+fn run_raw(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
+    let params = gctx.params;
+    let ctx = VectorContext::new(params, seed);
+    let cfg = gctx.cfg.clone().seed(seed);
     let gst = cfg.gst;
     let kind = cell.protocol.kind;
     let input_of = |i: usize| (i as u64) * 10;

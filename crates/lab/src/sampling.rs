@@ -232,6 +232,7 @@ mod tests {
             key: format!("g/s{key}"),
             group: "g".into(),
             outcome: Outcome::Run(RunRecord {
+                events: 0,
                 decided,
                 agreement: true,
                 validity_ok: Some(true),

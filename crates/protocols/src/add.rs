@@ -25,7 +25,7 @@ use std::collections::HashMap;
 
 use validity_core::{ProcessId, ProcessSet};
 use validity_crypto::{ReedSolomon, Share};
-use validity_simnet::{Env, Step};
+use validity_simnet::{Env, StepSink};
 
 use crate::codec::{bytes_to_words, Words};
 
@@ -84,80 +84,85 @@ impl Add {
     }
 
     /// Supplies this process's input: `Some(M)` or `None` (= `⊥`).
-    pub fn input(&mut self, blob: Option<Vec<u8>>, env: &Env) -> Vec<Step<AddMsg, Vec<u8>>> {
+    pub fn input(
+        &mut self,
+        blob: Option<Vec<u8>>,
+        env: &Env,
+        sink: &mut StepSink<AddMsg, Vec<u8>>,
+    ) {
         assert!(!self.started, "input exactly once");
         self.started = true;
-        let mut steps = Vec::new();
         if let Some(blob) = blob {
             let shares = self.rs.encode_blob(&blob);
             for share in &shares {
                 if share.index != env.id.index() {
-                    steps.push(Step::Send(
+                    sink.send(
                         ProcessId::from_index(share.index),
                         AddMsg::Fragment(share.clone()),
-                    ));
+                    );
                 }
             }
             // A holder of M knows its own fragment authentically.
             self.my_fragment = Some(shares[env.id.index()].data.clone());
-            steps.extend(self.maybe_echo(env));
+            self.maybe_echo(env, sink);
         }
-        steps.extend(self.try_reconstruct(env));
-        steps
+        self.try_reconstruct(env, sink);
     }
 
     /// Handles an ADD message.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: AddMsg,
+        msg: &AddMsg,
         env: &Env,
-    ) -> Vec<Step<AddMsg, Vec<u8>>> {
+        sink: &mut StepSink<AddMsg, Vec<u8>>,
+    ) {
         match msg {
             AddMsg::Fragment(share) => {
                 // Only fragments addressed to me count, one vote per sender.
                 if share.index != env.id.index() || self.my_fragment.is_some() {
-                    return Vec::new();
+                    return;
                 }
                 let votes = self.fragment_votes.entry(share.data.clone()).or_default();
                 if !votes.insert(from) {
-                    return Vec::new();
+                    return;
                 }
                 if votes.len() > env.t() {
-                    self.my_fragment = Some(share.data);
-                    return self.maybe_echo(env);
+                    self.my_fragment = Some(share.data.clone());
+                    self.maybe_echo(env, sink);
                 }
-                Vec::new()
             }
             AddMsg::Echo(share) => {
                 // Each process may echo exactly one fragment: its own index.
                 if share.index != from.index() {
-                    return Vec::new();
+                    return;
                 }
-                self.echoes.entry(share.index).or_insert(share);
-                self.try_reconstruct(env)
+                self.echoes
+                    .entry(share.index)
+                    .or_insert_with(|| share.clone());
+                self.try_reconstruct(env, sink);
             }
         }
     }
 
-    fn maybe_echo(&mut self, _env: &Env) -> Vec<Step<AddMsg, Vec<u8>>> {
+    fn maybe_echo(&mut self, _env: &Env, sink: &mut StepSink<AddMsg, Vec<u8>>) {
         if self.echoed {
-            return Vec::new();
+            return;
         }
         let Some(frag) = &self.my_fragment else {
-            return Vec::new();
+            return;
         };
         self.echoed = true;
-        vec![Step::Broadcast(AddMsg::Echo(Share {
+        sink.broadcast(AddMsg::Echo(Share {
             index: usize::MAX, // patched below: index must be the sender's
             data: frag.clone(),
-        }))]
+        }));
     }
 
     /// Online error correction over the received echoes.
-    fn try_reconstruct(&mut self, env: &Env) -> Vec<Step<AddMsg, Vec<u8>>> {
+    fn try_reconstruct(&mut self, env: &Env, sink: &mut StepSink<AddMsg, Vec<u8>>) {
         if self.delivered || !self.started {
-            return Vec::new();
+            return;
         }
         let k = env.t() + 1;
         // Fragments of the true blob all share one row count; wrong-length
@@ -168,7 +173,7 @@ impl Add {
             by_len.entry(s.data.len()).or_default().push(s.clone());
         }
         let Some(shares) = by_len.into_values().max_by_key(|v| v.len()) else {
-            return Vec::new();
+            return;
         };
         let m = shares.len();
         for e in 0..=env.t() {
@@ -177,19 +182,17 @@ impl Add {
             }
             if let Ok(blob) = self.rs.decode_blob(&shares, e) {
                 self.delivered = true;
-                let mut steps = Vec::new();
                 // Ensure our echo still goes out (derive the fragment from
                 // the reconstructed blob if we never fixed one).
                 if !self.echoed {
                     let all = self.rs.encode_blob(&blob);
                     self.my_fragment = Some(all[env.id.index()].data.clone());
-                    steps.extend(self.maybe_echo(env));
+                    self.maybe_echo(env, sink);
                 }
-                steps.push(Step::Output(blob));
-                return steps;
+                sink.output(blob);
+                return;
             }
         }
-        Vec::new()
     }
 }
 
@@ -208,7 +211,7 @@ pub fn stamp_echo_index(msg: &mut AddMsg, sender: ProcessId) {
 mod tests {
     use super::*;
     use validity_core::SystemParams;
-    use validity_simnet::{Machine, Message, NodeKind, Silent, SimConfig, Simulation};
+    use validity_simnet::{Machine, Message, NodeKind, Silent, SimConfig, Simulation, Step};
 
     impl Message for AddMsg {
         fn words(&self) -> usize {
@@ -225,30 +228,34 @@ mod tests {
         type Msg = AddMsg;
         type Output = Vec<u8>;
 
-        fn init(&mut self, env: &Env) -> Vec<Step<AddMsg, Vec<u8>>> {
-            let mut steps = self.add.input(self.input.clone(), env);
-            for s in &mut steps {
-                if let Step::Broadcast(m) | Step::Send(_, m) = s {
-                    stamp_echo_index(m, env.id);
-                }
+        fn init(&mut self, env: &Env, sink: &mut StepSink<AddMsg, Vec<u8>>) {
+            let mut scratch = StepSink::new();
+            self.add.input(self.input.clone(), env, &mut scratch);
+            for s in scratch.drain() {
+                sink.push(stamped(s, env.id));
             }
-            steps
         }
 
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: AddMsg,
+            msg: &AddMsg,
             env: &Env,
-        ) -> Vec<Step<AddMsg, Vec<u8>>> {
-            let mut steps = self.add.on_message(from, msg, env);
-            for s in &mut steps {
-                if let Step::Broadcast(m) | Step::Send(_, m) = s {
-                    stamp_echo_index(m, env.id);
-                }
+            sink: &mut StepSink<AddMsg, Vec<u8>>,
+        ) {
+            let mut scratch = StepSink::new();
+            self.add.on_message(from, msg, env, &mut scratch);
+            for s in scratch.drain() {
+                sink.push(stamped(s, env.id));
             }
-            steps
         }
+    }
+
+    fn stamped(mut s: Step<AddMsg, Vec<u8>>, id: ProcessId) -> Step<AddMsg, Vec<u8>> {
+        if let Step::Broadcast(m) | Step::Send(_, m) = &mut s {
+            stamp_echo_index(m, id);
+        }
+        s
     }
 
     fn run(n: usize, t: usize, holders: usize, byz: usize, blob: &[u8], seed: u64) {
@@ -305,11 +312,11 @@ mod tests {
     struct LyingEchoer;
 
     impl validity_simnet::Byzantine<AddMsg> for LyingEchoer {
-        fn init(&mut self, env: &Env) -> Vec<validity_simnet::ByzStep<AddMsg>> {
-            vec![validity_simnet::ByzStep::Broadcast(AddMsg::Echo(Share {
+        fn init(&mut self, env: &Env, sink: &mut validity_simnet::ByzSink<AddMsg>) {
+            sink.broadcast(AddMsg::Echo(Share {
                 index: env.id.index(),
                 data: vec![0xde, 0xad],
-            }))]
+            }));
         }
     }
 

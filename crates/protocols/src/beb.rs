@@ -4,7 +4,7 @@
 //! Guarantees *validity* (a correct sender's message reaches every correct
 //! process) and *no duplication / no creation* per instance, but nothing if
 //! the sender is faulty. In the effect-machine model a best-effort
-//! broadcast is simply [`Step::Broadcast`]; this module provides the
+//! broadcast is simply [`validity_simnet::Step::Broadcast`]; this module provides the
 //! explicit instance wrapper for protocols that want per-instance
 //! bookkeeping (sequence numbers, duplicate suppression) and for tests that
 //! exercise the primitive in isolation.
@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 
 use validity_core::ProcessId;
-use validity_simnet::{Env, Step};
+use validity_simnet::{Env, StepSink};
 
 use crate::codec::Words;
 
@@ -51,10 +51,10 @@ impl<P: Clone + std::fmt::Debug + 'static> Beb<P> {
     }
 
     /// Broadcasts `payload` to every process (including self).
-    pub fn broadcast(&mut self, payload: P) -> Vec<Step<BebMsg<P>, (ProcessId, P)>> {
+    pub fn broadcast(&mut self, payload: P, sink: &mut StepSink<BebMsg<P>, (ProcessId, P)>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        vec![Step::Broadcast(BebMsg { seq, payload })]
+        sink.broadcast(BebMsg { seq, payload });
     }
 
     /// Handles an incoming message; outputs `(sender, payload)` on first
@@ -62,13 +62,12 @@ impl<P: Clone + std::fmt::Debug + 'static> Beb<P> {
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: BebMsg<P>,
+        msg: &BebMsg<P>,
         _env: &Env,
-    ) -> Vec<Step<BebMsg<P>, (ProcessId, P)>> {
+        sink: &mut StepSink<BebMsg<P>, (ProcessId, P)>,
+    ) {
         if self.delivered.insert((from, msg.seq)) {
-            vec![Step::Output((from, msg.payload))]
-        } else {
-            Vec::new()
+            sink.output((from, msg.payload.clone()));
         }
     }
 }
@@ -87,12 +86,15 @@ mod tests {
         }
     }
 
+    use validity_simnet::Step;
+
     #[test]
     fn broadcast_assigns_increasing_seq() {
         let mut beb = Beb::<u64>::new();
-        let s1 = beb.broadcast(7);
-        let s2 = beb.broadcast(8);
-        match (&s1[0], &s2[0]) {
+        let mut sink = StepSink::new();
+        beb.broadcast(7, &mut sink);
+        beb.broadcast(8, &mut sink);
+        match (&sink.steps()[0], &sink.steps()[1]) {
             (Step::Broadcast(a), Step::Broadcast(b)) => {
                 assert_eq!(a.seq, 0);
                 assert_eq!(b.seq, 1);
@@ -105,20 +107,24 @@ mod tests {
     fn duplicate_delivery_suppressed() {
         let mut beb = Beb::<u64>::new();
         let msg = BebMsg { seq: 3, payload: 9 };
-        let first = beb.on_message(ProcessId(2), msg.clone(), &env());
-        assert!(matches!(
-            first.as_slice(),
-            [Step::Output((ProcessId(2), 9))]
-        ));
-        assert!(beb.on_message(ProcessId(2), msg, &env()).is_empty());
+        let mut sink = StepSink::new();
+        beb.on_message(ProcessId(2), &msg, &env(), &mut sink);
+        assert!(matches!(sink.steps(), [Step::Output((ProcessId(2), 9))]));
+        sink.clear();
+        beb.on_message(ProcessId(2), &msg, &env(), &mut sink);
+        assert!(sink.is_empty());
     }
 
     #[test]
     fn same_seq_different_senders_both_deliver() {
         let mut beb = Beb::<u64>::new();
         let msg = BebMsg { seq: 0, payload: 1 };
-        assert_eq!(beb.on_message(ProcessId(1), msg.clone(), &env()).len(), 1);
-        assert_eq!(beb.on_message(ProcessId(2), msg, &env()).len(), 1);
+        let mut sink = StepSink::new();
+        beb.on_message(ProcessId(1), &msg, &env(), &mut sink);
+        assert_eq!(sink.len(), 1);
+        sink.clear();
+        beb.on_message(ProcessId(2), &msg, &env(), &mut sink);
+        assert_eq!(sink.len(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 use validity_core::{ProcessId, ProcessSet};
-use validity_simnet::{Env, Step};
+use validity_simnet::{Env, StepSink};
 
 use crate::codec::Words;
 
@@ -81,9 +81,9 @@ impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
     /// # Panics
     ///
     /// Panics if called by a process other than the designated sender.
-    pub fn broadcast(&mut self, payload: P, env: &Env) -> Vec<Step<BrbMsg<P>, P>> {
+    pub fn broadcast(&mut self, payload: P, env: &Env, sink: &mut StepSink<BrbMsg<P>, P>) {
         assert_eq!(env.id, self.sender, "only the designated sender broadcasts");
-        vec![Step::Broadcast(BrbMsg::Init(payload))]
+        sink.broadcast(BrbMsg::Init(payload));
     }
 
     /// Echo quorum: `⌈(n + t + 1) / 2⌉`.
@@ -95,23 +95,23 @@ impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: BrbMsg<P>,
+        msg: &BrbMsg<P>,
         env: &Env,
-    ) -> Vec<Step<BrbMsg<P>, P>> {
-        let mut steps = Vec::new();
+        sink: &mut StepSink<BrbMsg<P>, P>,
+    ) {
         match msg {
             BrbMsg::Init(p) => {
                 // Only the designated sender's INIT is honoured.
                 if from == self.sender && !self.echoed {
                     self.echoed = true;
-                    steps.push(Step::Broadcast(BrbMsg::Echo(p)));
+                    sink.broadcast(BrbMsg::Echo(p.clone()));
                 }
             }
             BrbMsg::Echo(p) => {
                 let set = self.echoes.entry(p.clone()).or_default();
                 if set.insert(from) && set.len() >= Self::echo_threshold(env) && !self.sent_ready {
                     self.sent_ready = true;
-                    steps.push(Step::Broadcast(BrbMsg::Ready(p)));
+                    sink.broadcast(BrbMsg::Ready(p.clone()));
                 }
             }
             BrbMsg::Ready(p) => {
@@ -120,16 +120,15 @@ impl<P: Clone + Eq + Hash + Debug> BrbInstance<P> {
                     let count = set.len();
                     if count > env.t() && !self.sent_ready {
                         self.sent_ready = true;
-                        steps.push(Step::Broadcast(BrbMsg::Ready(p.clone())));
+                        sink.broadcast(BrbMsg::Ready(p.clone()));
                     }
                     if count > 2 * env.t() && !self.delivered {
                         self.delivered = true;
-                        steps.push(Step::Output(p));
+                        sink.output(p.clone());
                     }
                 }
             }
         }
-        steps
     }
 }
 
@@ -138,7 +137,8 @@ mod tests {
     use super::*;
     use validity_core::SystemParams;
     use validity_simnet::{
-        agreement_holds, ByzStep, Byzantine, Machine, NodeKind, Silent, SimConfig, Simulation,
+        agreement_holds, ByzSink, ByzStep, Byzantine, Machine, NodeKind, Silent, SimConfig,
+        Simulation, Step,
     };
 
     /// Standalone machine wrapping one BRB instance with P1 as sender.
@@ -152,22 +152,33 @@ mod tests {
         type Msg = BrbMsg<u64>;
         type Output = u64;
 
-        fn init(&mut self, env: &Env) -> Vec<Step<BrbMsg<u64>, u64>> {
+        fn init(&mut self, env: &Env, sink: &mut StepSink<BrbMsg<u64>, u64>) {
             if env.id == self.instance.sender() {
-                self.instance.broadcast(self.payload, env)
-            } else {
-                Vec::new()
+                self.instance.broadcast(self.payload, env, sink);
             }
         }
 
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: BrbMsg<u64>,
+            msg: &BrbMsg<u64>,
             env: &Env,
-        ) -> Vec<Step<BrbMsg<u64>, u64>> {
-            self.instance.on_message(from, msg, env)
+            sink: &mut StepSink<BrbMsg<u64>, u64>,
+        ) {
+            self.instance.on_message(from, msg, env, sink);
         }
+    }
+
+    /// Drives one instance directly and returns the emitted steps.
+    fn deliver(
+        inst: &mut BrbInstance<u64>,
+        from: ProcessId,
+        msg: BrbMsg<u64>,
+        env: &Env,
+    ) -> Vec<Step<BrbMsg<u64>, u64>> {
+        let mut sink = StepSink::new();
+        inst.on_message(from, &msg, env, &mut sink);
+        sink.drain().collect()
     }
 
     fn node(payload: u64) -> BrbNode {
@@ -198,13 +209,11 @@ mod tests {
     struct EquivocatingSender;
 
     impl Byzantine<BrbMsg<u64>> for EquivocatingSender {
-        fn init(&mut self, env: &Env) -> Vec<ByzStep<BrbMsg<u64>>> {
-            (0..env.n())
-                .map(|i| {
-                    let v = if i < env.n() / 2 { 1 } else { 2 };
-                    ByzStep::Send(ProcessId::from_index(i), BrbMsg::Init(v))
-                })
-                .collect()
+        fn init(&mut self, env: &Env, sink: &mut ByzSink<BrbMsg<u64>>) {
+            for i in 0..env.n() {
+                let v = if i < env.n() / 2 { 1 } else { 2 };
+                sink.push(ByzStep::Send(ProcessId::from_index(i), BrbMsg::Init(v)));
+            }
         }
     }
 
@@ -234,7 +243,7 @@ mod tests {
         };
         let mut inst = BrbInstance::<u64>::new(ProcessId(0));
         // INIT claimed from a process that is not the designated sender:
-        let steps = inst.on_message(ProcessId(2), BrbMsg::Init(9), &env);
+        let steps = deliver(&mut inst, ProcessId(2), BrbMsg::Init(9), &env);
         assert!(steps.is_empty());
     }
 
@@ -249,16 +258,10 @@ mod tests {
         };
         let mut inst = BrbInstance::<u64>::new(ProcessId(0));
         // echo threshold for (4,1) is ⌈6/2⌉ = 3; the same echo twice must not count as two
-        assert!(inst
-            .on_message(ProcessId(0), BrbMsg::Echo(9), &env)
-            .is_empty());
-        assert!(inst
-            .on_message(ProcessId(0), BrbMsg::Echo(9), &env)
-            .is_empty());
-        assert!(inst
-            .on_message(ProcessId(2), BrbMsg::Echo(9), &env)
-            .is_empty());
-        let steps = inst.on_message(ProcessId(3), BrbMsg::Echo(9), &env);
+        assert!(deliver(&mut inst, ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
+        assert!(deliver(&mut inst, ProcessId(0), BrbMsg::Echo(9), &env).is_empty());
+        assert!(deliver(&mut inst, ProcessId(2), BrbMsg::Echo(9), &env).is_empty());
+        let steps = deliver(&mut inst, ProcessId(3), BrbMsg::Echo(9), &env);
         assert!(matches!(
             steps.as_slice(),
             [Step::Broadcast(BrbMsg::Ready(9))]
@@ -275,17 +278,15 @@ mod tests {
             delta: 10,
         };
         let mut inst = BrbInstance::<u64>::new(ProcessId(0));
-        assert!(inst
-            .on_message(ProcessId(2), BrbMsg::Ready(9), &env)
-            .is_empty());
-        let steps = inst.on_message(ProcessId(3), BrbMsg::Ready(9), &env);
+        assert!(deliver(&mut inst, ProcessId(2), BrbMsg::Ready(9), &env).is_empty());
+        let steps = deliver(&mut inst, ProcessId(3), BrbMsg::Ready(9), &env);
         // t + 1 = 2 readies → amplify
         assert!(matches!(
             steps.as_slice(),
             [Step::Broadcast(BrbMsg::Ready(9))]
         ));
         // 2t + 1 = 3 readies → deliver
-        let steps = inst.on_message(ProcessId(0), BrbMsg::Ready(9), &env);
+        let steps = deliver(&mut inst, ProcessId(0), BrbMsg::Ready(9), &env);
         assert!(matches!(steps.as_slice(), [Step::Output(9)]));
         assert!(inst.has_delivered());
     }

@@ -2,11 +2,14 @@
 //! machines.
 //!
 //! Protocols in this crate are written as *components*: plain structs whose
-//! hooks return `Vec<Step<Msg, Out>>`. An outer machine embeds a component,
-//! wraps its messages into the outer message enum, namespaces its timer
-//! tags, and intercepts its outputs. [`lift`] performs the mechanical part.
+//! hooks write `Step<Msg, Out>`s into a [`StepSink`]. An outer machine
+//! embeds a component, lends it a machine-owned scratch sink (so the
+//! buffer's capacity is reused across events), wraps its messages into the
+//! outer message enum, namespaces its timer tags, and intercepts its
+//! outputs. [`lift`] performs the mechanical part: it drains the scratch
+//! sink into the outer sink and hands back the intercepted outputs.
 
-use validity_simnet::Step;
+use validity_simnet::{Step, StepSink};
 
 /// Number of distinct children an outer machine can host: timer tags are
 /// namespaced as `inner_tag * CHILD_STRIDE + child_index`.
@@ -23,49 +26,56 @@ pub fn tag_unwrap(tag: u64) -> (u64, u64) {
     (tag % CHILD_STRIDE, tag / CHILD_STRIDE)
 }
 
-/// Result of lifting a batch of inner steps into an outer message space:
-/// the mapped steps, the inner outputs (for the outer machine to act on),
-/// and whether the inner machine halted.
-pub struct Lifted<MO, OO, OI> {
-    /// Outer-space steps (sends, broadcasts, namespaced timers).
-    pub steps: Vec<Step<MO, OO>>,
-    /// Outputs produced by the inner component.
+/// What lifting a batch of inner steps hands back to the outer machine:
+/// the inner outputs (for the outer machine to act on) and whether the
+/// inner component halted. The sends/broadcasts/timers themselves have
+/// already been written, wrapped and namespaced, into the outer sink.
+///
+/// `outputs` is an ordinary `Vec`, but it only allocates on the rare
+/// events where the inner component actually produced an output (a
+/// decision), so the per-event hot path stays allocation-free.
+pub struct Lifted<OI> {
+    /// Outputs produced by the inner component, in emission order.
     pub outputs: Vec<OI>,
     /// Whether the inner component requested `Halt` (the outer machine
     /// should stop routing events to it — but usually keeps running).
     pub halted: bool,
 }
 
-impl<MO, OO, OI> Default for Lifted<MO, OO, OI> {
+impl<OI> Default for Lifted<OI> {
     fn default() -> Self {
         Lifted {
-            steps: Vec::new(),
             outputs: Vec::new(),
             halted: false,
         }
     }
 }
 
-/// Lifts inner steps into the outer message space.
+/// Drains `inner` into `out`, wrapping messages and namespacing timers.
 ///
 /// * `wrap` embeds an inner message into the outer enum;
 /// * `child` namespaces the inner component's timer tags.
+///
+/// Steps are forwarded in order; `Output`s are collected into the returned
+/// [`Lifted`] and `Halt` sets its flag (the outer machine decides whether
+/// halting propagates).
 pub fn lift<MI, OI, MO, OO>(
-    steps: Vec<Step<MI, OI>>,
+    inner: &mut StepSink<MI, OI>,
     child: u64,
     wrap: impl Fn(MI) -> MO,
-) -> Lifted<MO, OO, OI> {
-    let mut out = Lifted::default();
-    for step in steps {
+    out: &mut StepSink<MO, OO>,
+) -> Lifted<OI> {
+    let mut lifted = Lifted::default();
+    for step in inner.drain() {
         match step {
-            Step::Send(to, m) => out.steps.push(Step::Send(to, wrap(m))),
-            Step::Broadcast(m) => out.steps.push(Step::Broadcast(wrap(m))),
-            Step::Timer(d, tag) => out.steps.push(Step::Timer(d, tag_wrap(child, tag))),
-            Step::Output(o) => out.outputs.push(o),
-            Step::Halt => out.halted = true,
+            Step::Send(to, m) => out.send(to, wrap(m)),
+            Step::Broadcast(m) => out.broadcast(wrap(m)),
+            Step::Timer(d, tag) => out.timer(d, tag_wrap(child, tag)),
+            Step::Output(o) => lifted.outputs.push(o),
+            Step::Halt => lifted.halted = true,
         }
     }
-    out
+    lifted
 }
 
 #[cfg(test)]
@@ -84,20 +94,21 @@ mod tests {
 
     #[test]
     fn lift_maps_and_collects() {
-        let steps: Vec<Step<u8, &str>> = vec![
-            Step::Send(ProcessId(1), 5),
-            Step::Broadcast(6),
-            Step::Timer(10, 3),
-            Step::Output("inner done"),
-            Step::Halt,
-        ];
-        let lifted: Lifted<String, (), &str> = lift(steps, 2, |m| format!("wrapped:{m}"));
-        assert_eq!(lifted.steps.len(), 3);
+        let mut inner: StepSink<u8, &str> = StepSink::new();
+        inner.send(ProcessId(1), 5);
+        inner.broadcast(6);
+        inner.timer(10, 3);
+        inner.output("inner done");
+        inner.halt();
+        let mut out: StepSink<String, ()> = StepSink::new();
+        let lifted = lift(&mut inner, 2, |m| format!("wrapped:{m}"), &mut out);
+        assert!(inner.is_empty(), "lift drains the scratch sink");
+        assert_eq!(out.len(), 3);
         assert!(matches!(
-            &lifted.steps[0],
+            &out.steps()[0],
             Step::Send(ProcessId(1), s) if s == "wrapped:5"
         ));
-        assert!(matches!(&lifted.steps[2], Step::Timer(10, tag) if *tag == tag_wrap(2, 3)));
+        assert!(matches!(&out.steps()[2], Step::Timer(10, tag) if *tag == tag_wrap(2, 3)));
         assert_eq!(lifted.outputs, vec!["inner done"]);
         assert!(lifted.halted);
     }

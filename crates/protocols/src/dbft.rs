@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use validity_core::{ProcessId, ProcessSet};
-use validity_simnet::{Env, Step, Time};
+use validity_simnet::{Env, StepSink, Time};
 
 use crate::codec::Words;
 
@@ -153,25 +153,26 @@ impl DbftBinary {
     }
 
     /// Proposes a value, starting round 1.
-    pub fn propose(&mut self, value: bool, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+    pub fn propose(&mut self, value: bool, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
         assert!(!self.started, "propose exactly once");
         self.started = true;
         self.est = value;
         self.round = 1;
-        self.poll(env)
+        self.poll(env, sink);
     }
 
     /// Handles an incoming message of this instance.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: DbftMsg,
+        msg: &DbftMsg,
         env: &Env,
-    ) -> Vec<Step<DbftMsg, bool>> {
+        sink: &mut StepSink<DbftMsg, bool>,
+    ) {
         if self.halted {
-            return Vec::new();
+            return;
         }
-        match msg {
+        match *msg {
             DbftMsg::Est { round, value } => {
                 self.round_state(round).est_seen[value as usize].insert(from);
             }
@@ -190,33 +191,32 @@ impl DbftBinary {
                 self.done_votes[value as usize].insert(from);
             }
         }
-        self.poll(env)
+        self.poll(env, sink);
     }
 
     /// Handles a namespaced round timer (tag = round number).
-    pub fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DbftMsg, bool>> {
+    pub fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
         if self.halted {
-            return Vec::new();
+            return;
         }
         self.round_state(tag as u32).timer_fired = true;
-        self.poll(env)
+        self.poll(env, sink);
     }
 
     /// Evaluates every enabled transition; idempotent.
-    fn poll(&mut self, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-        let mut steps = Vec::new();
+    fn poll(&mut self, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
         if self.halted {
-            return steps;
+            return;
         }
 
         // Decision via DONE certificates (t + 1 distinct deciders).
         for v in [false, true] {
             if self.done_votes[v as usize].len() > env.t() {
-                return self.decide(v, &mut steps);
+                return self.decide(v, sink);
             }
         }
         if !self.started {
-            return steps;
+            return;
         }
 
         loop {
@@ -226,10 +226,10 @@ impl DbftBinary {
             let est = self.est;
             if !self.round_state(r).est_echoed[est as usize] {
                 self.round_state(r).est_echoed[est as usize] = true;
-                steps.push(Step::Broadcast(DbftMsg::Est {
+                sink.broadcast(DbftMsg::Est {
                     round: r,
                     value: est,
-                }));
+                });
             }
 
             // BV echo rule, any round with data.
@@ -240,10 +240,10 @@ impl DbftBinary {
                         && !self.round_state(r2).est_echoed[v as usize]
                     {
                         self.round_state(r2).est_echoed[v as usize] = true;
-                        steps.push(Step::Broadcast(DbftMsg::Est {
+                        sink.broadcast(DbftMsg::Est {
                             round: r2,
                             value: v,
-                        }));
+                        });
                     }
                 }
             }
@@ -258,13 +258,13 @@ impl DbftBinary {
             if Self::coordinator(r, env) == env.id && !self.round_state(r).coord_sent {
                 self.round_state(r).coord_sent = true;
                 let v = bin1;
-                steps.push(Step::Broadcast(DbftMsg::Coord { round: r, value: v }));
+                sink.broadcast(DbftMsg::Coord { round: r, value: v });
             }
 
             // Arm the round timer once bin_values is non-empty.
             if !self.round_state(r).timer_set {
                 self.round_state(r).timer_set = true;
-                steps.push(Step::Timer(Self::timeout(r, env), r as u64));
+                sink.timer(Self::timeout(r, env), r as u64);
             }
 
             // Commit an AUX value after the timer.
@@ -275,7 +275,7 @@ impl DbftBinary {
                     _ => bin1, // any member of bin_values: prefer `true` iff present
                 };
                 self.round_state(r).aux_sent = true;
-                steps.push(Step::Broadcast(DbftMsg::Aux { round: r, value }));
+                sink.broadcast(DbftMsg::Aux { round: r, value });
             }
             if !self.round_state(r).aux_sent {
                 break;
@@ -301,7 +301,7 @@ impl DbftBinary {
                     let v = values[1];
                     self.est = v;
                     if v == Self::favored(r) {
-                        return self.decide(v, &mut steps);
+                        return self.decide(v, sink);
                     }
                 }
                 _ => {
@@ -310,21 +310,15 @@ impl DbftBinary {
             }
             self.round = r + 1;
         }
-        steps
     }
 
-    fn decide(
-        &mut self,
-        v: bool,
-        steps: &mut Vec<Step<DbftMsg, bool>>,
-    ) -> Vec<Step<DbftMsg, bool>> {
+    fn decide(&mut self, v: bool, sink: &mut StepSink<DbftMsg, bool>) {
         if self.decided.is_none() {
             self.decided = Some(v);
-            steps.push(Step::Broadcast(DbftMsg::Done { value: v }));
-            steps.push(Step::Output(v));
+            sink.broadcast(DbftMsg::Done { value: v });
+            sink.output(v);
         }
         self.halted = true;
-        std::mem::take(steps)
     }
 }
 
@@ -344,21 +338,22 @@ mod tests {
         type Msg = DbftMsg;
         type Output = bool;
 
-        fn init(&mut self, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-            self.inner.propose(self.proposal, env)
+        fn init(&mut self, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
+            self.inner.propose(self.proposal, env, sink);
         }
 
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: DbftMsg,
+            msg: &DbftMsg,
             env: &Env,
-        ) -> Vec<Step<DbftMsg, bool>> {
-            self.inner.on_message(from, msg, env)
+            sink: &mut StepSink<DbftMsg, bool>,
+        ) {
+            self.inner.on_message(from, msg, env, sink);
         }
 
-        fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-            self.inner.on_timer(tag, env)
+        fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
+            self.inner.on_timer(tag, env, sink);
         }
     }
 
@@ -453,11 +448,24 @@ mod tests {
             delta: 10,
         };
         let mut dbft = DbftBinary::new();
-        assert!(dbft
-            .on_message(ProcessId(0), DbftMsg::Done { value: true }, &env)
-            .is_empty());
-        let steps = dbft.on_message(ProcessId(1), DbftMsg::Done { value: true }, &env);
-        assert!(steps.iter().any(|s| matches!(s, Step::Output(true))));
+        let mut sink = StepSink::new();
+        dbft.on_message(
+            ProcessId(0),
+            &DbftMsg::Done { value: true },
+            &env,
+            &mut sink,
+        );
+        assert!(sink.is_empty());
+        dbft.on_message(
+            ProcessId(1),
+            &DbftMsg::Done { value: true },
+            &env,
+            &mut sink,
+        );
+        assert!(sink
+            .steps()
+            .iter()
+            .any(|s| matches!(s, validity_simnet::Step::Output(true))));
         assert_eq!(dbft.decided(), Some(true));
     }
 

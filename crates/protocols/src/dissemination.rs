@@ -18,7 +18,7 @@ use validity_core::{InputConfig, ProcessId, ProcessSet, SystemParams, Value};
 use validity_crypto::{
     sha256, Digest, KeyStore, PartialSignature, Signer, ThresholdScheme, ThresholdSignature,
 };
-use validity_simnet::{Env, Step};
+use validity_simnet::{Env, StepSink};
 
 use crate::codec::{Codec, Words};
 use crate::slow_broadcast::SlowBroadcast;
@@ -126,10 +126,11 @@ where
         proof: VectorProof<V>,
         tag: u64,
         env: &Env,
-    ) -> Vec<Step<DissemMsg<V>, Acquired>> {
+        sink: &mut StepSink<DissemMsg<V>, Acquired>,
+    ) {
         let h = vector_hash(&vector);
         self.own_hash = Some(h);
-        let steps = self.slow.broadcast(
+        self.slow.broadcast(
             (vector, proof),
             |(v, p)| DissemMsg::Slow {
                 vector: v,
@@ -137,53 +138,36 @@ where
             },
             tag,
             env,
+            sink,
         );
-        steps
-            .into_iter()
-            .map(|s| match s {
-                Step::Send(to, m) => Step::Send(to, m),
-                Step::Broadcast(m) => Step::Broadcast(m),
-                Step::Timer(d, t) => Step::Timer(d, t),
-                Step::Output(never) => match never {},
-                Step::Halt => Step::Halt,
-            })
-            .collect()
     }
 
     /// Slow-broadcast pacing timer.
-    pub fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DissemMsg<V>, Acquired>> {
+    pub fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<DissemMsg<V>, Acquired>) {
         if self.halted {
-            return Vec::new();
+            return;
         }
-        self.slow
-            .on_timer(
-                |(v, p)| DissemMsg::Slow {
-                    vector: v,
-                    proof: p,
-                },
-                tag,
-                env,
-            )
-            .into_iter()
-            .map(|s| match s {
-                Step::Send(to, m) => Step::Send(to, m),
-                Step::Broadcast(m) => Step::Broadcast(m),
-                Step::Timer(d, t) => Step::Timer(d, t),
-                Step::Output(never) => match never {},
-                Step::Halt => Step::Halt,
-            })
-            .collect()
+        self.slow.on_timer(
+            |(v, p)| DissemMsg::Slow {
+                vector: v,
+                proof: p,
+            },
+            tag,
+            env,
+            sink,
+        );
     }
 
     /// Handles a dissemination message.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: DissemMsg<V>,
+        msg: &DissemMsg<V>,
         env: &Env,
-    ) -> Vec<Step<DissemMsg<V>, Acquired>> {
+        sink: &mut StepSink<DissemMsg<V>, Acquired>,
+    ) {
         if self.halted {
-            return Vec::new();
+            return;
         }
         match msg {
             DissemMsg::Slow { vector, proof } => {
@@ -191,49 +175,49 @@ where
                 // justification (the check Theorem 11 mentions), ack with a
                 // partial signature.
                 if self.acked.contains(from) {
-                    return Vec::new();
+                    return;
                 }
                 let verify = vector_verify::<V>(self.keystore.clone(), self.params);
-                if !verify(&vector, &proof) {
-                    return Vec::new();
+                if !verify(vector, proof) {
+                    return;
                 }
                 self.acked.insert(from);
-                let h = vector_hash(&vector);
-                self.vectors.insert(h, vector);
+                let h = vector_hash(vector);
+                self.vectors.insert(h, vector.clone());
                 let partial = self.scheme.partially_sign(&self.signer, &h);
-                vec![Step::Send(from, DissemMsg::Stored { hash: h, partial })]
+                sink.send(from, DissemMsg::Stored { hash: h, partial });
             }
             DissemMsg::Stored { hash, partial } => {
+                let (hash, partial) = (*hash, *partial);
                 // lines 17–19: collect n − t acks for own hash, combine.
                 if self.confirmed
                     || Some(hash) != self.own_hash
                     || !self.scheme.verify_partial(&hash, &partial)
                     || self.partials.iter().any(|p| p.signer() == partial.signer())
                 {
-                    return Vec::new();
+                    return;
                 }
                 self.partials.push(partial);
                 if self.partials.len() < env.quorum() {
-                    return Vec::new();
+                    return;
                 }
                 self.confirmed = true;
                 let tsig = self
                     .scheme
                     .combine(&hash, self.partials.iter().copied())
                     .expect("verified distinct partials combine");
-                vec![Step::Broadcast(DissemMsg::Confirm { hash, tsig })]
+                sink.broadcast(DissemMsg::Confirm { hash, tsig });
             }
             DissemMsg::Confirm { hash, tsig } => {
+                let (hash, tsig) = (*hash, *tsig);
                 // lines 21–25: verify, rebroadcast, acquire, stop.
                 if !self.scheme.verify(&hash, &tsig) {
-                    return Vec::new();
+                    return;
                 }
                 self.halted = true;
                 self.slow.halt();
-                vec![
-                    Step::Broadcast(DissemMsg::Confirm { hash, tsig }),
-                    Step::Output((hash, tsig)),
-                ]
+                sink.broadcast(DissemMsg::Confirm { hash, tsig });
+                sink.output((hash, tsig));
             }
         }
     }
@@ -262,22 +246,23 @@ mod tests {
         type Msg = DissemMsg<u64>;
         type Output = Acquired;
 
-        fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Acquired>> {
+        fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Acquired>) {
             self.dissem
-                .disseminate(self.vector.clone(), self.proof.clone(), 0, env)
+                .disseminate(self.vector.clone(), self.proof.clone(), 0, env, sink);
         }
 
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: Self::Msg,
+            msg: &Self::Msg,
             env: &Env,
-        ) -> Vec<Step<Self::Msg, Acquired>> {
-            self.dissem.on_message(from, msg, env)
+            sink: &mut StepSink<Self::Msg, Acquired>,
+        ) {
+            self.dissem.on_message(from, msg, env, sink);
         }
 
-        fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Acquired>> {
-            self.dissem.on_timer(tag, env)
+        fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Acquired>) {
+            self.dissem.on_timer(tag, env, sink);
         }
     }
 
@@ -364,15 +349,17 @@ mod tests {
                 sig: ks.signer(ProcessId(3)).sign(proposal_sign_bytes(v)),
             })
             .collect();
-        let steps = d.on_message(
+        let mut sink = StepSink::new();
+        d.on_message(
             ProcessId(0),
-            DissemMsg::Slow {
+            &DissemMsg::Slow {
                 vector: vector.clone(),
                 proof: bad_proof,
             },
             &env,
+            &mut sink,
         );
-        assert!(steps.is_empty());
+        assert!(sink.is_empty());
         assert!(d.cached(&vector_hash(&vector)).is_none());
     }
 

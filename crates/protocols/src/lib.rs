@@ -48,7 +48,7 @@ pub use codec::{bytes_to_words, Codec, Words, BYTES_PER_WORD};
 pub use dbft::{DbftBinary, DbftMsg};
 pub use dissemination::{vector_hash, Acquired, DissemMsg, VectorDissemination};
 pub use quad::{
-    PreparedCert, QuadConfig, QuadCore, QuadDecision, QuadMachine, QuadMsg, QuadVerify,
+    PreparedCert, QuadConfig, QuadCore, QuadDecision, QuadMachine, QuadMsg, QuadSink, QuadVerify,
 };
 pub use registry::{VectorContext, VectorKind, VectorMachine, VectorMsg};
 pub use slow_broadcast::SlowBroadcast;

@@ -31,7 +31,7 @@ use validity_core::ProcessId;
 use validity_crypto::{
     sha256, Digest, PartialSignature, Sha256, Signer, ThresholdScheme, ThresholdSignature,
 };
-use validity_simnet::{Env, Step, Time};
+use validity_simnet::{Env, StepSink, Time};
 
 use crate::codec::{Codec, Words};
 
@@ -162,6 +162,11 @@ impl<V, P> Debug for QuadConfig<V, P> {
 /// The decision of Quad: a verified value–proof pair.
 pub type QuadDecision<V, P> = (V, P);
 
+/// The effect sink a Quad component writes into — the parent machine lends
+/// it (usually a machine-owned scratch sink that [`crate::compose::lift`]
+/// then drains into the outer wire type).
+pub type QuadSink<V, P> = StepSink<QuadMsg<V, P>, QuadDecision<V, P>>;
+
 /// The VIEW-CHANGE votes a leader collects for one view.
 type ViewChangeVotes<V, P> = Vec<(ProcessId, Option<PreparedCert<V, P>>)>;
 
@@ -280,11 +285,11 @@ where
     }
 
     /// Starts participation (view 1). Call from the parent's `init`.
-    pub fn start(&mut self, env: &Env) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    pub fn start(&mut self, env: &Env, sink: &mut QuadSink<V, P>) {
         if self.view != 0 {
-            return Vec::new();
+            return;
         }
-        self.enter_view(1, env)
+        self.enter_view(1, env, sink);
     }
 
     /// Submits this process's input pair. May arrive after `start`.
@@ -293,70 +298,54 @@ where
     ///
     /// Panics if the pair does not satisfy `verify` (the paper assumes
     /// correct processes propose valid pairs).
-    pub fn propose(
-        &mut self,
-        value: V,
-        proof: P,
-        env: &Env,
-    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    pub fn propose(&mut self, value: V, proof: P, env: &Env, sink: &mut QuadSink<V, P>) {
         assert!(
             (self.cfg.verify)(&value, &proof),
             "correct processes propose only valid value-proof pairs"
         );
         self.proposal = Some((value, proof));
-        let mut steps = Vec::new();
         if self.view == 0 {
-            steps.extend(self.enter_view(1, env));
+            self.enter_view(1, env, sink);
         }
         // If we are a leader already waiting with view changes, try now.
         let v = self.view;
         if Self::leader(v, env) == env.id && self.leader_ready.contains(&v) {
-            steps.extend(self.try_propose(v, env));
+            self.try_propose(v, env, sink);
         }
-        steps
     }
 
-    fn enter_view(&mut self, view: u64, env: &Env) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    fn enter_view(&mut self, view: u64, env: &Env, sink: &mut QuadSink<V, P>) {
         if self.decided || view <= self.view {
-            return Vec::new();
+            return;
         }
         self.view = view;
-        let mut steps = Vec::new();
-        steps.push(Step::Send(
+        sink.send(
             Self::leader(view, env),
             QuadMsg::ViewChange {
                 view,
                 prepared: self.lock.clone(),
             },
-        ));
-        steps.push(Step::Timer(
-            Self::view_timeout(view, env),
-            Self::timeout_tag(view),
-        ));
+        );
+        sink.timer(Self::view_timeout(view, env), Self::timeout_tag(view));
         if Self::leader(view, env) == env.id {
-            steps.push(Step::Timer(
+            sink.timer(
                 (self.leader_wait * env.delta).max(1),
                 Self::leader_tag(view),
-            ));
+            );
         }
-        steps
     }
 
     /// Leader: propose once the wait elapsed and `n − t` view-changes are in.
-    fn try_propose(
-        &mut self,
-        view: u64,
-        env: &Env,
-    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    fn try_propose(&mut self, view: u64, env: &Env, sink: &mut QuadSink<V, P>) {
         if self.decided || self.proposed.contains(&view) || Self::leader(view, env) != env.id {
-            return Vec::new();
+            return;
         }
         if !self.leader_ready.contains(&view) {
-            return Vec::new();
+            return;
         }
         let vcs = self.view_changes.entry(view).or_default();
         if vcs.len() < env.quorum() {
-            return Vec::new();
+            return;
         }
         // Highest prepared certificate among the view changes.
         let best = vcs
@@ -368,51 +357,51 @@ where
             Some(cert) => (cert.value.clone(), cert.proof.clone(), Some(cert)),
             None => match &self.proposal {
                 Some((v, p)) => (v.clone(), p.clone(), None),
-                None => return Vec::new(), // no input yet: cannot lead this view
+                None => return, // no input yet: cannot lead this view
             },
         };
         self.proposed.insert(view);
         self.driving.insert(view, (value.clone(), proof.clone()));
-        vec![Step::Broadcast(QuadMsg::Propose {
+        sink.broadcast(QuadMsg::Propose {
             view,
             value,
             proof,
             justification,
-        })]
+        });
     }
 
     /// Handles a message. `from` is the authenticated sender.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: QuadMsg<V, P>,
+        msg: &QuadMsg<V, P>,
         env: &Env,
-    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+        sink: &mut QuadSink<V, P>,
+    ) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         match msg {
             QuadMsg::ViewChange { view, prepared } => {
+                let view = *view;
                 if Self::leader(view, env) != env.id {
-                    return Vec::new();
+                    return;
                 }
-                if let Some(cert) = &prepared {
+                if let Some(cert) = prepared {
                     if !self.cert_valid(cert) {
-                        return Vec::new();
+                        return;
                     }
                 }
                 let vcs = self.view_changes.entry(view).or_default();
                 if vcs.iter().any(|(p, _)| *p == from) {
-                    return Vec::new();
+                    return;
                 }
-                vcs.push((from, prepared));
-                let mut steps = Vec::new();
+                vcs.push((from, prepared.clone()));
                 // A leader lagging behind jumps to the view it must lead.
                 if view > self.view {
-                    steps.extend(self.enter_view(view, env));
+                    self.enter_view(view, env, sink);
                 }
-                steps.extend(self.try_propose(view, env));
-                steps
+                self.try_propose(view, env, sink);
             }
             QuadMsg::Propose {
                 view,
@@ -420,57 +409,57 @@ where
                 proof,
                 justification,
             } => {
+                let view = *view;
                 if from != Self::leader(view, env) || view < self.view {
-                    return Vec::new();
+                    return;
                 }
-                if !(self.cfg.verify)(&value, &proof) {
-                    return Vec::new();
+                if !(self.cfg.verify)(value, proof) {
+                    return;
                 }
-                if let Some(cert) = &justification {
-                    if !self.cert_valid(cert) || cert.value != value || cert.view >= view {
-                        return Vec::new();
+                if let Some(cert) = justification {
+                    if !self.cert_valid(cert) || &cert.value != value || cert.view >= view {
+                        return;
                     }
                 }
                 // Lock rule: never vote against a newer lock.
                 if let Some(lock) = &self.lock {
                     let just_view = justification.as_ref().map_or(0, |c| c.view);
-                    if just_view < lock.view && value != lock.value {
-                        return Vec::new();
+                    if just_view < lock.view && *value != lock.value {
+                        return;
                     }
                 }
                 if !self.voted_prepare.insert(view) {
-                    return Vec::new();
+                    return;
                 }
-                let mut steps = Vec::new();
                 if view > self.view {
-                    steps.extend(self.enter_view(view, env));
+                    self.enter_view(view, env, sink);
                 }
-                let digest = self.prepare_digest(view, &value);
+                let digest = self.prepare_digest(view, value);
                 let partial = self.cfg.scheme.partially_sign(&self.cfg.signer, &digest);
-                steps.push(Step::Send(
+                sink.send(
                     Self::leader(view, env),
                     QuadMsg::PrepareVote { view, partial },
-                ));
-                steps
+                );
             }
             QuadMsg::PrepareVote { view, partial } => {
+                let view = *view;
                 if Self::leader(view, env) != env.id || self.prepared_sent.contains(&view) {
-                    return Vec::new();
+                    return;
                 }
                 let Some((value, proof)) = self.driving.get(&view).cloned() else {
-                    return Vec::new();
+                    return;
                 };
                 let digest = self.prepare_digest(view, &value);
-                if !self.cfg.scheme.verify_partial(&digest, &partial) {
-                    return Vec::new();
+                if !self.cfg.scheme.verify_partial(&digest, partial) {
+                    return;
                 }
                 let partials = self.prepare_partials.entry(view).or_default();
                 if partials.iter().any(|p| p.signer() == partial.signer()) {
-                    return Vec::new();
+                    return;
                 }
-                partials.push(partial);
+                partials.push(*partial);
                 if partials.len() < env.quorum() {
-                    return Vec::new();
+                    return;
                 }
                 let tsig = self
                     .cfg
@@ -478,28 +467,27 @@ where
                     .combine(&digest, partials.iter().copied())
                     .expect("verified distinct partials combine");
                 self.prepared_sent.insert(view);
-                vec![Step::Broadcast(QuadMsg::Prepared(PreparedCert {
+                sink.broadcast(QuadMsg::Prepared(PreparedCert {
                     view,
                     value,
                     proof,
                     tsig,
-                }))]
+                }));
             }
             QuadMsg::Prepared(cert) => {
-                if !self.cert_valid(&cert) {
-                    return Vec::new();
+                if !self.cert_valid(cert) {
+                    return;
                 }
                 let view = cert.view;
                 if view < self.view {
                     // stale certificate: still useful as a lock update
                     if self.lock.as_ref().is_none_or(|l| l.view < view) {
-                        self.lock = Some(cert);
+                        self.lock = Some(cert.clone());
                     }
-                    return Vec::new();
+                    return;
                 }
-                let mut steps = Vec::new();
                 if view > self.view {
-                    steps.extend(self.enter_view(view, env));
+                    self.enter_view(view, env, sink);
                 }
                 if self.lock.as_ref().is_none_or(|l| l.view < view) {
                     self.lock = Some(cert.clone());
@@ -507,31 +495,31 @@ where
                 if self.voted_commit.insert(view) {
                     let digest = self.commit_digest(view, &cert.value);
                     let partial = self.cfg.scheme.partially_sign(&self.cfg.signer, &digest);
-                    steps.push(Step::Send(
+                    sink.send(
                         Self::leader(view, env),
                         QuadMsg::CommitVote { view, partial },
-                    ));
+                    );
                 }
-                steps
             }
             QuadMsg::CommitVote { view, partial } => {
+                let view = *view;
                 if Self::leader(view, env) != env.id || self.committed_sent.contains(&view) {
-                    return Vec::new();
+                    return;
                 }
                 let Some((value, proof)) = self.driving.get(&view).cloned() else {
-                    return Vec::new();
+                    return;
                 };
                 let digest = self.commit_digest(view, &value);
-                if !self.cfg.scheme.verify_partial(&digest, &partial) {
-                    return Vec::new();
+                if !self.cfg.scheme.verify_partial(&digest, partial) {
+                    return;
                 }
                 let partials = self.commit_partials.entry(view).or_default();
                 if partials.iter().any(|p| p.signer() == partial.signer()) {
-                    return Vec::new();
+                    return;
                 }
-                partials.push(partial);
+                partials.push(*partial);
                 if partials.len() < env.quorum() {
-                    return Vec::new();
+                    return;
                 }
                 let tsig = self
                     .cfg
@@ -539,12 +527,12 @@ where
                     .combine(&digest, partials.iter().copied())
                     .expect("verified distinct partials combine");
                 self.committed_sent.insert(view);
-                vec![Step::Broadcast(QuadMsg::Committed {
+                sink.broadcast(QuadMsg::Committed {
                     view,
                     value,
                     proof,
                     tsig,
-                })]
+                });
             }
             QuadMsg::Committed {
                 view,
@@ -558,51 +546,44 @@ where
                 proof,
                 tsig,
             } => {
-                if !(self.cfg.verify)(&value, &proof) {
-                    return Vec::new();
+                if !(self.cfg.verify)(value, proof) {
+                    return;
                 }
                 if !self
                     .cfg
                     .scheme
-                    .verify(&self.commit_digest(view, &value), &tsig)
+                    .verify(&self.commit_digest(*view, value), tsig)
                 {
-                    return Vec::new();
+                    return;
                 }
                 self.decided = true;
-                vec![
-                    Step::Broadcast(QuadMsg::Decided {
-                        view,
-                        value: value.clone(),
-                        proof: proof.clone(),
-                        tsig,
-                    }),
-                    Step::Output((value, proof)),
-                    Step::Halt,
-                ]
+                sink.broadcast(QuadMsg::Decided {
+                    view: *view,
+                    value: value.clone(),
+                    proof: proof.clone(),
+                    tsig: *tsig,
+                });
+                sink.output((value.clone(), proof.clone()));
+                sink.halt();
             }
         }
     }
 
     /// Handles a namespaced timer.
-    pub fn on_timer(
-        &mut self,
-        tag: u64,
-        env: &Env,
-    ) -> Vec<Step<QuadMsg<V, P>, QuadDecision<V, P>>> {
+    pub fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut QuadSink<V, P>) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         let view = tag / 2;
         if tag.is_multiple_of(2) {
             // view timeout: advance if still stuck in that view
             if view == self.view {
-                return self.enter_view(view + 1, env);
+                self.enter_view(view + 1, env, sink);
             }
-            Vec::new()
         } else {
             // leader proposal delay elapsed
             self.leader_ready.insert(view);
-            self.try_propose(view, env)
+            self.try_propose(view, env, sink);
         }
     }
 }
@@ -644,25 +625,25 @@ where
     type Msg = QuadMsg<V, P>;
     type Output = QuadDecision<V, P>;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
-        let mut steps = self.core.start(env);
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
+        self.core.start(env, sink);
         if let Some((v, p)) = self.input.take() {
-            steps.extend(self.core.propose(v, p, env));
+            self.core.propose(v, p, env, sink);
         }
-        steps
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>> {
-        self.core.on_message(from, msg, env)
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    ) {
+        self.core.on_message(from, msg, env, sink);
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
-        self.core.on_timer(tag, env)
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
+        self.core.on_timer(tag, env, sink);
     }
 }
 
@@ -692,23 +673,23 @@ mod tests {
         type Msg = Msg;
         type Output = (u64, u64);
 
-        fn init(&mut self, env: &Env) -> Vec<Step<Msg, (u64, u64)>> {
-            let mut steps = self.core.start(env);
-            steps.extend(self.core.propose(self.input, 0, env));
-            steps
+        fn init(&mut self, env: &Env, sink: &mut StepSink<Msg, (u64, u64)>) {
+            self.core.start(env, sink);
+            self.core.propose(self.input, 0, env, sink);
         }
 
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: Msg,
+            msg: &Msg,
             env: &Env,
-        ) -> Vec<Step<Msg, (u64, u64)>> {
-            self.core.on_message(from, msg, env)
+            sink: &mut StepSink<Msg, (u64, u64)>,
+        ) {
+            self.core.on_message(from, msg, env, sink);
         }
 
-        fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Msg, (u64, u64)>> {
-            self.core.on_timer(tag, env)
+        fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Msg, (u64, u64)>) {
+            self.core.on_timer(tag, env, sink);
         }
     }
 

@@ -29,7 +29,7 @@ use std::fmt;
 
 use validity_core::{InputConfig, ProcessId, SystemParams, Value};
 use validity_crypto::{KeyStore, ThresholdScheme};
-use validity_simnet::{Env, Machine, Message, Step};
+use validity_simnet::{Env, Machine, Message, Step, StepSink};
 
 use crate::codec::{Codec, Words};
 use crate::vector_auth::{VectorAuth, VectorAuthMsg};
@@ -90,23 +90,29 @@ impl VectorKind {
         input: V,
     ) -> VectorMachine<V> {
         match self {
-            VectorKind::Auth => VectorMachine::Auth(VectorAuth::new(
-                input,
-                ctx.keys.clone(),
-                ctx.keys.signer(p),
-                ctx.scheme.clone(),
-                ctx.params,
-            )),
+            VectorKind::Auth => VectorMachine::Auth(
+                VectorAuth::new(
+                    input,
+                    ctx.keys.clone(),
+                    ctx.keys.signer(p),
+                    ctx.scheme.clone(),
+                    ctx.params,
+                ),
+                StepSink::new(),
+            ),
             VectorKind::NonAuth => {
-                VectorMachine::NonAuth(VectorNonAuth::new(input, ctx.params.n()))
+                VectorMachine::NonAuth(VectorNonAuth::new(input, ctx.params.n()), StepSink::new())
             }
-            VectorKind::Fast => VectorMachine::Fast(VectorFast::new(
-                input,
-                ctx.keys.clone(),
-                ctx.keys.signer(p),
-                ctx.scheme.clone(),
-                ctx.params,
-            )),
+            VectorKind::Fast => VectorMachine::Fast(
+                VectorFast::new(
+                    input,
+                    ctx.keys.clone(),
+                    ctx.keys.signer(p),
+                    ctx.scheme.clone(),
+                    ctx.params,
+                ),
+                StepSink::new(),
+            ),
         }
     }
 }
@@ -173,72 +179,97 @@ impl<V: Value + Words> Message for VectorMsg<V> {
 /// boxing every event dispatch.
 #[allow(clippy::large_enum_variant)]
 pub enum VectorMachine<V: Value> {
-    /// Algorithm 1.
-    Auth(VectorAuth<V>),
-    /// Algorithm 3.
-    NonAuth(VectorNonAuth<V>),
-    /// Algorithm 6.
-    Fast(VectorFast<V>),
+    /// Algorithm 1, with its reusable scratch sink.
+    Auth(VectorAuth<V>, StepSink<VectorAuthMsg<V>, InputConfig<V>>),
+    /// Algorithm 3, with its reusable scratch sink.
+    NonAuth(
+        VectorNonAuth<V>,
+        StepSink<VectorNonAuthMsg<V>, InputConfig<V>>,
+    ),
+    /// Algorithm 6, with its reusable scratch sink.
+    Fast(VectorFast<V>, StepSink<VectorFastMsg<V>, InputConfig<V>>),
 }
 
+/// Drains a variant's scratch sink into the outer sink, wrapping messages.
 fn wrap<V, M, O>(
-    steps: Vec<Step<M, O>>,
+    scratch: &mut StepSink<M, O>,
     f: impl Fn(M) -> VectorMsg<V>,
-) -> Vec<Step<VectorMsg<V>, O>>
-where
+    out: &mut StepSink<VectorMsg<V>, O>,
+) where
     V: Value,
 {
-    steps
-        .into_iter()
-        .map(|s| match s {
-            Step::Send(to, m) => Step::Send(to, f(m)),
-            Step::Broadcast(m) => Step::Broadcast(f(m)),
-            Step::Timer(d, tag) => Step::Timer(d, tag),
-            Step::Output(o) => Step::Output(o),
-            Step::Halt => Step::Halt,
-        })
-        .collect()
+    for s in scratch.drain() {
+        match s {
+            Step::Send(to, m) => out.send(to, f(m)),
+            Step::Broadcast(m) => out.broadcast(f(m)),
+            Step::Timer(d, tag) => out.timer(d, tag),
+            Step::Output(o) => out.output(o),
+            Step::Halt => out.halt(),
+        }
+    }
 }
 
 impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
     type Msg = VectorMsg<V>;
     type Output = InputConfig<V>;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         match self {
-            VectorMachine::Auth(m) => wrap(m.init(env), VectorMsg::Auth),
-            VectorMachine::NonAuth(m) => wrap(m.init(env), VectorMsg::NonAuth),
-            VectorMachine::Fast(m) => wrap(m.init(env), VectorMsg::Fast),
+            VectorMachine::Auth(m, scratch) => {
+                m.init(env, scratch);
+                wrap(scratch, VectorMsg::Auth, sink);
+            }
+            VectorMachine::NonAuth(m, scratch) => {
+                m.init(env, scratch);
+                wrap(scratch, VectorMsg::NonAuth, sink);
+            }
+            VectorMachine::Fast(m, scratch) => {
+                m.init(env, scratch);
+                wrap(scratch, VectorMsg::Fast, sink);
+            }
         }
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    ) {
         // A mismatched variant can only come from a Byzantine sender talking
         // the wrong protocol; correct machines ignore it.
         match (self, msg) {
-            (VectorMachine::Auth(m), VectorMsg::Auth(x)) => {
-                wrap(m.on_message(from, x, env), VectorMsg::Auth)
+            (VectorMachine::Auth(m, scratch), VectorMsg::Auth(x)) => {
+                m.on_message(from, x, env, scratch);
+                wrap(scratch, VectorMsg::Auth, sink);
             }
-            (VectorMachine::NonAuth(m), VectorMsg::NonAuth(x)) => {
-                wrap(m.on_message(from, x, env), VectorMsg::NonAuth)
+            (VectorMachine::NonAuth(m, scratch), VectorMsg::NonAuth(x)) => {
+                m.on_message(from, x, env, scratch);
+                wrap(scratch, VectorMsg::NonAuth, sink);
             }
-            (VectorMachine::Fast(m), VectorMsg::Fast(x)) => {
-                wrap(m.on_message(from, x, env), VectorMsg::Fast)
+            (VectorMachine::Fast(m, scratch), VectorMsg::Fast(x)) => {
+                m.on_message(from, x, env, scratch);
+                wrap(scratch, VectorMsg::Fast, sink);
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         match self {
-            VectorMachine::Auth(m) => wrap(m.on_timer(tag, env), VectorMsg::Auth),
-            VectorMachine::NonAuth(m) => wrap(m.on_timer(tag, env), VectorMsg::NonAuth),
-            VectorMachine::Fast(m) => wrap(m.on_timer(tag, env), VectorMsg::Fast),
+            VectorMachine::Auth(m, scratch) => {
+                m.on_timer(tag, env, scratch);
+                wrap(scratch, VectorMsg::Auth, sink);
+            }
+            VectorMachine::NonAuth(m, scratch) => {
+                m.on_timer(tag, env, scratch);
+                wrap(scratch, VectorMsg::NonAuth, sink);
+            }
+            VectorMachine::Fast(m, scratch) => {
+                m.on_timer(tag, env, scratch);
+                wrap(scratch, VectorMsg::Fast, sink);
+            }
         }
     }
 }

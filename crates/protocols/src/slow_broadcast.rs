@@ -8,7 +8,7 @@
 //! Theorem 10), at the price of worst-case exponential latency.
 
 use validity_core::ProcessId;
-use validity_simnet::{Env, Step, Time};
+use validity_simnet::{Env, StepSink, Time};
 
 /// Caps the waiting step so virtual time cannot overflow: latency remains
 /// exponential in spirit but bounded in the simulator.
@@ -49,27 +49,30 @@ impl<P: Clone> SlowBroadcast<P> {
 
     /// Starts the broadcast: sends to `P_1` immediately and schedules the
     /// rest. `tag` is the timer tag this component will use (the parent
-    /// routes `on_timer(tag)` back here).
-    pub fn broadcast<M>(
+    /// routes `on_timer(tag)` back here). The component emits no outputs,
+    /// so it writes directly into the parent's sink (any output type `O`).
+    pub fn broadcast<M, O>(
         &mut self,
         payload: P,
         wrap: impl Fn(P) -> M,
         tag: u64,
         env: &Env,
-    ) -> Vec<Step<M, std::convert::Infallible>> {
+        sink: &mut StepSink<M, O>,
+    ) {
         assert!(self.payload.is_none(), "broadcast starts once");
         self.payload = Some(payload);
-        self.send_next(wrap, tag, env)
+        self.send_next(wrap, tag, env, sink);
     }
 
     /// Timer callback: send to the next recipient.
-    pub fn on_timer<M>(
+    pub fn on_timer<M, O>(
         &mut self,
         wrap: impl Fn(P) -> M,
         tag: u64,
         env: &Env,
-    ) -> Vec<Step<M, std::convert::Infallible>> {
-        self.send_next(wrap, tag, env)
+        sink: &mut StepSink<M, O>,
+    ) {
+        self.send_next(wrap, tag, env, sink);
     }
 
     /// Stops the broadcast (the Algorithm 5 "stop participating" step).
@@ -82,25 +85,25 @@ impl<P: Clone> SlowBroadcast<P> {
         self.next >= env.n()
     }
 
-    fn send_next<M>(
+    fn send_next<M, O>(
         &mut self,
         wrap: impl Fn(P) -> M,
         tag: u64,
         env: &Env,
-    ) -> Vec<Step<M, std::convert::Infallible>> {
+        sink: &mut StepSink<M, O>,
+    ) {
         if self.halted || self.next >= env.n() {
-            return Vec::new();
+            return;
         }
         let Some(payload) = self.payload.clone() else {
-            return Vec::new();
+            return;
         };
         let to = ProcessId::from_index(self.next);
         self.next += 1;
-        let mut steps = vec![Step::Send(to, wrap(payload))];
+        sink.send(to, wrap(payload));
         if self.next < env.n() {
-            steps.push(Step::Timer(Self::waiting_step(env), tag));
+            sink.timer(Self::waiting_step(env), tag);
         }
-        steps
     }
 }
 
@@ -138,30 +141,40 @@ mod tests {
         assert_eq!(SlowBroadcast::<u64>::waiting_step(&e), MAX_WAIT);
     }
 
+    use validity_simnet::Step;
+
+    fn tick(sb: &mut SlowBroadcast<u64>, e: &Env) -> Vec<Step<u64, ()>> {
+        let mut sink = StepSink::new();
+        sb.on_timer(|p| p, 0, e, &mut sink);
+        sink.drain().collect()
+    }
+
     #[test]
     fn sends_one_by_one() {
         let e = env(1, 4);
         let mut sb = SlowBroadcast::new();
-        let steps = sb.broadcast(7u64, |p| p, 0, &e);
-        assert_eq!(steps.len(), 2); // send to P1 + timer
-        assert!(matches!(steps[0], Step::Send(ProcessId(0), 7)));
-        assert!(matches!(steps[1], Step::Timer(400, 0)));
-        let steps = sb.on_timer(|p| p, 0, &e);
+        let mut sink: StepSink<u64, ()> = StepSink::new();
+        sb.broadcast(7u64, |p| p, 0, &e, &mut sink);
+        assert_eq!(sink.len(), 2); // send to P1 + timer
+        assert!(matches!(sink.steps()[0], Step::Send(ProcessId(0), 7)));
+        assert!(matches!(sink.steps()[1], Step::Timer(400, 0)));
+        let steps = tick(&mut sb, &e);
         assert!(matches!(steps[0], Step::Send(ProcessId(1), 7)));
-        let _ = sb.on_timer(|p| p, 0, &e);
-        let steps = sb.on_timer(|p| p, 0, &e);
+        let _ = tick(&mut sb, &e);
+        let steps = tick(&mut sb, &e);
         assert_eq!(steps.len(), 1); // last send, no trailing timer
         assert!(matches!(steps[0], Step::Send(ProcessId(3), 7)));
         assert!(sb.is_done(&e));
-        assert!(sb.on_timer(|p| p, 0, &e).is_empty());
+        assert!(tick(&mut sb, &e).is_empty());
     }
 
     #[test]
     fn halt_stops_sending() {
         let e = env(0, 4);
         let mut sb = SlowBroadcast::new();
-        let _ = sb.broadcast(7u64, |p| p, 0, &e);
+        let mut sink: StepSink<u64, ()> = StepSink::new();
+        sb.broadcast(7u64, |p| p, 0, &e, &mut sink);
         sb.halt();
-        assert!(sb.on_timer(|p| p, 0, &e).is_empty());
+        assert!(tick(&mut sb, &e).is_empty());
     }
 }

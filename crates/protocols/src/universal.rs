@@ -15,7 +15,7 @@
 //! latency).
 
 use validity_core::{InputConfig, LambdaFn, ProcessId, Value};
-use validity_simnet::{Env, Machine, Step};
+use validity_simnet::{Env, Machine, Step, StepSink};
 
 /// The `Universal` machine: vector consensus composed with `Λ`.
 ///
@@ -48,8 +48,13 @@ use validity_simnet::{Env, Machine, Step};
 /// assert_eq!(sim.decisions()[0].as_ref().unwrap().1, 7); // unanimous ⇒ pinned
 /// # Ok::<(), validity_core::ParamError>(())
 /// ```
-pub struct Universal<V, VC, L> {
+pub struct Universal<V, VC, L>
+where
+    VC: Machine,
+{
     vc: VC,
+    /// Scratch sink lent to the wrapped vector-consensus machine.
+    vc_sink: StepSink<VC::Msg, VC::Output>,
     lambda: L,
     decided: bool,
     _marker: std::marker::PhantomData<V>,
@@ -65,6 +70,7 @@ where
     pub fn new(vc: VC, lambda: L) -> Self {
         Universal {
             vc,
+            vc_sink: StepSink::new(),
             lambda,
             decided: false,
             _marker: std::marker::PhantomData,
@@ -76,13 +82,15 @@ where
         &self.vc
     }
 
-    fn map_steps(&mut self, steps: Vec<Step<VC::Msg, InputConfig<V>>>) -> Vec<Step<VC::Msg, V>> {
-        let mut out = Vec::new();
-        for step in steps {
+    /// Drains the scratch sink into the outer sink, applying `Λ` to the
+    /// decided vector.
+    fn drain_vc(&mut self, out: &mut StepSink<VC::Msg, V>) {
+        let mut scratch = std::mem::take(&mut self.vc_sink);
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(to, m)),
-                Step::Broadcast(m) => out.push(Step::Broadcast(m)),
-                Step::Timer(d, tag) => out.push(Step::Timer(d, tag)),
+                Step::Send(to, m) => out.send(to, m),
+                Step::Broadcast(m) => out.broadcast(m),
+                Step::Timer(d, tag) => out.timer(d, tag),
                 Step::Output(vector) => {
                     if !self.decided {
                         self.decided = true;
@@ -97,13 +105,13 @@ where
                                 self.lambda.name()
                             )
                         });
-                        out.push(Step::Output(v));
+                        out.output(v);
                     }
                 }
-                Step::Halt => out.push(Step::Halt),
+                Step::Halt => out.halt(),
             }
         }
-        out
+        self.vc_sink = scratch;
     }
 }
 
@@ -116,24 +124,31 @@ where
     type Msg = VC::Msg;
     type Output = V;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, V>> {
-        let steps = self.vc.init(env);
-        self.map_steps(steps)
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, V>) {
+        let mut scratch = std::mem::take(&mut self.vc_sink);
+        self.vc.init(env, &mut scratch);
+        self.vc_sink = scratch;
+        self.drain_vc(sink);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, V>> {
-        let steps = self.vc.on_message(from, msg, env);
-        self.map_steps(steps)
+        sink: &mut StepSink<Self::Msg, V>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.vc_sink);
+        self.vc.on_message(from, msg, env, &mut scratch);
+        self.vc_sink = scratch;
+        self.drain_vc(sink);
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, V>> {
-        let steps = self.vc.on_timer(tag, env);
-        self.map_steps(steps)
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, V>) {
+        let mut scratch = std::mem::take(&mut self.vc_sink);
+        self.vc.on_timer(tag, env, &mut scratch);
+        self.vc_sink = scratch;
+        self.drain_vc(sink);
     }
 }
 

@@ -20,10 +20,10 @@ use std::sync::Arc;
 
 use validity_core::{InputConfig, ProcessId, SystemParams, Value};
 use validity_crypto::{KeyStore, Signature, Signer};
-use validity_simnet::{Env, Machine, Message, Step};
+use validity_simnet::{Env, Machine, Message, Step, StepSink};
 
 use crate::codec::{Codec, Words};
-use crate::quad::{QuadConfig, QuadCore, QuadMsg};
+use crate::quad::{QuadConfig, QuadCore, QuadMsg, QuadSink};
 
 /// A signed proposal message, as carried inside Quad proofs.
 #[derive(Clone, Debug)]
@@ -56,9 +56,9 @@ pub fn proposal_sign_bytes<V: Codec>(v: &V) -> Vec<u8> {
     validity_crypto::sig::message_bytes("validity/alg1/proposal", &[&v.encode()])
 }
 
-/// A step of the embedded Quad instance, before the Algorithm-1 wrapper
-/// maps it onto the outer wire type.
-type QuadStep<V> = Step<QuadMsg<InputConfig<V>, VectorProof<V>>, (InputConfig<V>, VectorProof<V>)>;
+/// The scratch sink of the embedded Quad instance, before the Algorithm-1
+/// wrapper drains it onto the outer wire type.
+type AuthQuadSink<V> = QuadSink<InputConfig<V>, VectorProof<V>>;
 
 /// Builds the Quad `verify` function of Algorithm 1.
 pub fn vector_verify<V>(
@@ -111,6 +111,7 @@ pub struct VectorAuth<V: Value> {
     input: V,
     signer: Signer,
     quad: QuadCore<InputConfig<V>, VectorProof<V>>,
+    quad_sink: AuthQuadSink<V>,
     proposals: BTreeMap<ProcessId, SignedProposal<V>>,
     keystore: KeyStore,
     proposed_to_quad: bool,
@@ -143,6 +144,7 @@ where
             input,
             signer,
             quad,
+            quad_sink: StepSink::new(),
             proposals: BTreeMap::new(),
             keystore,
             proposed_to_quad: false,
@@ -150,26 +152,25 @@ where
         }
     }
 
-    fn handle_quad_steps(
-        &mut self,
-        steps: Vec<QuadStep<V>>,
-    ) -> Vec<Step<VectorAuthMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
-        for step in steps {
+    /// Drains the Quad scratch sink into the outer sink, wrapping messages
+    /// and intercepting the (vector, proof) decision.
+    fn drain_quad(&mut self, out: &mut StepSink<VectorAuthMsg<V>, InputConfig<V>>) {
+        let mut scratch = std::mem::take(&mut self.quad_sink);
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(to, VectorAuthMsg::Quad(m))),
-                Step::Broadcast(m) => out.push(Step::Broadcast(VectorAuthMsg::Quad(m))),
-                Step::Timer(d, tag) => out.push(Step::Timer(d, tag)),
+                Step::Send(to, m) => out.send(to, VectorAuthMsg::Quad(m)),
+                Step::Broadcast(m) => out.broadcast(VectorAuthMsg::Quad(m)),
+                Step::Timer(d, tag) => out.timer(d, tag),
                 Step::Output((vector, _proof)) => {
                     if !self.decided {
                         self.decided = true;
-                        out.push(Step::Output(vector));
+                        out.output(vector);
                     }
                 }
-                Step::Halt => out.push(Step::Halt),
+                Step::Halt => out.halt(),
             }
         }
-        out
+        self.quad_sink = scratch;
     }
 }
 
@@ -180,23 +181,25 @@ where
     type Msg = VectorAuthMsg<V>;
     type Output = InputConfig<V>;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         let sig = self.signer.sign(proposal_sign_bytes(&self.input));
-        let mut steps = vec![Step::Broadcast(VectorAuthMsg::Proposal {
+        sink.broadcast(VectorAuthMsg::Proposal {
             value: self.input.clone(),
             sig,
-        })];
-        let quad_steps = self.quad.start(env);
-        steps.extend(self.handle_quad_steps(quad_steps));
-        steps
+        });
+        let mut scratch = std::mem::take(&mut self.quad_sink);
+        self.quad.start(env, &mut scratch);
+        self.quad_sink = scratch;
+        self.drain_quad(sink);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    ) {
         match msg {
             VectorAuthMsg::Proposal { value, sig } => {
                 // lines 10–17 of Algorithm 1: collect the first n − t valid
@@ -204,14 +207,20 @@ where
                 if self.proposed_to_quad
                     || self.proposals.contains_key(&from)
                     || sig.signer() != from
-                    || !self.keystore.verify(proposal_sign_bytes(&value), &sig)
+                    || !self.keystore.verify(proposal_sign_bytes(value), sig)
                 {
-                    return Vec::new();
+                    return;
                 }
-                self.proposals
-                    .insert(from, SignedProposal { from, value, sig });
+                self.proposals.insert(
+                    from,
+                    SignedProposal {
+                        from,
+                        value: value.clone(),
+                        sig: *sig,
+                    },
+                );
                 if self.proposals.len() < env.quorum() {
-                    return Vec::new();
+                    return;
                 }
                 self.proposed_to_quad = true;
                 let vector = InputConfig::from_pairs(
@@ -222,19 +231,25 @@ where
                 )
                 .expect("n − t distinct proposals form a valid configuration");
                 let proof: VectorProof<V> = self.proposals.values().cloned().collect();
-                let steps = self.quad.propose(vector, proof, env);
-                self.handle_quad_steps(steps)
+                let mut scratch = std::mem::take(&mut self.quad_sink);
+                self.quad.propose(vector, proof, env, &mut scratch);
+                self.quad_sink = scratch;
+                self.drain_quad(sink);
             }
             VectorAuthMsg::Quad(inner) => {
-                let steps = self.quad.on_message(from, inner, env);
-                self.handle_quad_steps(steps)
+                let mut scratch = std::mem::take(&mut self.quad_sink);
+                self.quad.on_message(from, inner, env, &mut scratch);
+                self.quad_sink = scratch;
+                self.drain_quad(sink);
             }
         }
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
-        let steps = self.quad.on_timer(tag, env);
-        self.handle_quad_steps(steps)
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
+        let mut scratch = std::mem::take(&mut self.quad_sink);
+        self.quad.on_timer(tag, env, &mut scratch);
+        self.quad_sink = scratch;
+        self.drain_quad(sink);
     }
 }
 

@@ -23,18 +23,21 @@ use std::sync::Arc;
 
 use validity_core::{InputConfig, ProcessId, SystemParams, Value};
 use validity_crypto::{Digest, KeyStore, Signer, ThresholdScheme, ThresholdSignature};
-use validity_simnet::{Env, Machine, Message, Step};
+use validity_simnet::{Env, Machine, Message, Step, StepSink};
 
 use crate::add::{stamp_echo_index, Add, AddMsg};
 use crate::codec::{Codec, Words};
 use crate::compose::{tag_unwrap, tag_wrap};
-use crate::dissemination::{DissemMsg, VectorDissemination};
-use crate::quad::{QuadConfig, QuadCore, QuadMsg};
+use crate::dissemination::{Acquired, DissemMsg, VectorDissemination};
+use crate::quad::{QuadConfig, QuadCore, QuadMsg, QuadSink};
 use crate::vector_auth::{proposal_sign_bytes, SignedProposal, VectorProof};
 
 /// Child indices for timer-tag namespacing.
 const CHILD_QUAD: u64 = 0;
 const CHILD_DISSEM: u64 = 1;
+
+/// Shorthand for the outer sink the Algorithm-6 helpers write into.
+type OutSink<'a, V> = &'a mut StepSink<VectorFastMsg<V>, InputConfig<V>>;
 
 /// Wire messages of Algorithm 6.
 #[derive(Clone, Debug)]
@@ -74,6 +77,10 @@ pub struct VectorFast<V: Value> {
     dissem: VectorDissemination<V>,
     quad: QuadCore<Digest, ThresholdSignature>,
     add: Add,
+    /// Scratch sinks lent to the embedded components; reused across events.
+    quad_sink: QuadSink<Digest, ThresholdSignature>,
+    dissem_sink: StepSink<DissemMsg<V>, Acquired>,
+    add_sink: StepSink<AddMsg, Vec<u8>>,
     disseminating: bool,
     proposed_to_quad: bool,
     add_started: bool,
@@ -110,6 +117,9 @@ where
             dissem,
             quad,
             add: Add::new(params.n(), params.t()),
+            quad_sink: StepSink::new(),
+            dissem_sink: StepSink::new(),
+            add_sink: StepSink::new(),
             disseminating: false,
             proposed_to_quad: false,
             add_started: false,
@@ -117,70 +127,60 @@ where
         }
     }
 
-    fn lift_quad(
-        &mut self,
-        steps: Vec<Step<QuadMsg<Digest, ThresholdSignature>, (Digest, ThresholdSignature)>>,
-        env: &Env,
-    ) -> Vec<Step<VectorFastMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
+    fn lift_quad(&mut self, env: &Env, out: OutSink<'_, V>) {
+        let mut scratch = std::mem::take(&mut self.quad_sink);
         let mut outputs = Vec::new();
-        for step in steps {
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(to, VectorFastMsg::Quad(m))),
-                Step::Broadcast(m) => out.push(Step::Broadcast(VectorFastMsg::Quad(m))),
-                Step::Timer(d, tag) => out.push(Step::Timer(d, tag_wrap(CHILD_QUAD, tag))),
+                Step::Send(to, m) => out.send(to, VectorFastMsg::Quad(m)),
+                Step::Broadcast(m) => out.broadcast(VectorFastMsg::Quad(m)),
+                Step::Timer(d, tag) => out.timer(d, tag_wrap(CHILD_QUAD, tag)),
                 Step::Output(o) => outputs.push(o),
                 Step::Halt => {} // quad halting must not halt Algorithm 6
             }
         }
+        self.quad_sink = scratch;
         for (h, _tsig) in outputs {
-            out.extend(self.on_quad_decision(h, env));
+            self.on_quad_decision(h, env, out);
         }
-        out
     }
 
-    fn lift_dissem(
-        &mut self,
-        steps: Vec<Step<DissemMsg<V>, (Digest, ThresholdSignature)>>,
-        env: &Env,
-    ) -> Vec<Step<VectorFastMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
+    fn lift_dissem(&mut self, env: &Env, out: OutSink<'_, V>) {
+        let mut scratch = std::mem::take(&mut self.dissem_sink);
         let mut acquired = Vec::new();
-        for step in steps {
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(to, VectorFastMsg::Dissem(m))),
-                Step::Broadcast(m) => out.push(Step::Broadcast(VectorFastMsg::Dissem(m))),
-                Step::Timer(d, tag) => out.push(Step::Timer(d, tag_wrap(CHILD_DISSEM, tag))),
+                Step::Send(to, m) => out.send(to, VectorFastMsg::Dissem(m)),
+                Step::Broadcast(m) => out.broadcast(VectorFastMsg::Dissem(m)),
+                Step::Timer(d, tag) => out.timer(d, tag_wrap(CHILD_DISSEM, tag)),
                 Step::Output(o) => acquired.push(o),
                 Step::Halt => {}
             }
         }
+        self.dissem_sink = scratch;
         for (h, tsig) in acquired {
             // lines 19–21: propose the acquired pair to Quad (once).
             if !self.proposed_to_quad {
                 self.proposed_to_quad = true;
-                let steps = self.quad.propose(h, tsig, env);
-                out.extend(self.lift_quad(steps, env));
+                let mut qs = std::mem::take(&mut self.quad_sink);
+                self.quad.propose(h, tsig, env, &mut qs);
+                self.quad_sink = qs;
+                self.lift_quad(env, out);
             }
         }
-        out
     }
 
-    fn lift_add(
-        &mut self,
-        steps: Vec<Step<AddMsg, Vec<u8>>>,
-        env: &Env,
-    ) -> Vec<Step<VectorFastMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
-        for step in steps {
+    fn lift_add(&mut self, env: &Env, out: OutSink<'_, V>) {
+        let mut scratch = std::mem::take(&mut self.add_sink);
+        for step in scratch.drain() {
             match step {
                 Step::Send(to, mut m) => {
                     stamp_echo_index(&mut m, env.id);
-                    out.push(Step::Send(to, VectorFastMsg::Add(m)));
+                    out.send(to, VectorFastMsg::Add(m));
                 }
                 Step::Broadcast(mut m) => {
                     stamp_echo_index(&mut m, env.id);
-                    out.push(Step::Broadcast(VectorFastMsg::Add(m)));
+                    out.broadcast(VectorFastMsg::Add(m));
                 }
                 Step::Timer(..) => unreachable!("ADD uses no timers"),
                 Step::Output(blob) => {
@@ -188,31 +188,29 @@ where
                     if !self.decided {
                         if let Some(vector) = InputConfig::<V>::decode_all(&blob) {
                             self.decided = true;
-                            out.push(Step::Output(vector));
-                            out.push(Step::Halt);
+                            out.output(vector);
+                            out.halt();
                         }
                     }
                 }
                 Step::Halt => {}
             }
         }
-        out
+        self.add_sink = scratch;
     }
 
     /// Lines 22–24: Quad decided a hash — feed ADD with the cached
     /// pre-image (or `⊥`).
-    fn on_quad_decision(
-        &mut self,
-        h: Digest,
-        env: &Env,
-    ) -> Vec<Step<VectorFastMsg<V>, InputConfig<V>>> {
+    fn on_quad_decision(&mut self, h: Digest, env: &Env, out: OutSink<'_, V>) {
         if self.add_started {
-            return Vec::new();
+            return;
         }
         self.add_started = true;
         let blob = self.dissem.cached(&h).map(Codec::encode);
-        let steps = self.add.input(blob, env);
-        self.lift_add(steps, env)
+        let mut scratch = std::mem::take(&mut self.add_sink);
+        self.add.input(blob, env, &mut scratch);
+        self.add_sink = scratch;
+        self.lift_add(env, out);
     }
 }
 
@@ -223,23 +221,25 @@ where
     type Msg = VectorFastMsg<V>;
     type Output = InputConfig<V>;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         let sig = self.signer.sign(proposal_sign_bytes(&self.input));
-        let mut steps = vec![Step::Broadcast(VectorFastMsg::Proposal {
+        sink.broadcast(VectorFastMsg::Proposal {
             value: self.input.clone(),
             sig,
-        })];
-        let quad_steps = self.quad.start(env);
-        steps.extend(self.lift_quad(quad_steps, env));
-        steps
+        });
+        let mut qs = std::mem::take(&mut self.quad_sink);
+        self.quad.start(env, &mut qs);
+        self.quad_sink = qs;
+        self.lift_quad(env, sink);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    ) {
         match msg {
             VectorFastMsg::Proposal { value, sig } => {
                 // lines 12–18: collect n − t valid proposals, then
@@ -247,14 +247,20 @@ where
                 if self.disseminating
                     || self.proposals.contains_key(&from)
                     || sig.signer() != from
-                    || !self.keystore.verify(proposal_sign_bytes(&value), &sig)
+                    || !self.keystore.verify(proposal_sign_bytes(value), sig)
                 {
-                    return Vec::new();
+                    return;
                 }
-                self.proposals
-                    .insert(from, SignedProposal { from, value, sig });
+                self.proposals.insert(
+                    from,
+                    SignedProposal {
+                        from,
+                        value: value.clone(),
+                        sig: *sig,
+                    },
+                );
                 if self.proposals.len() < env.quorum() {
-                    return Vec::new();
+                    return;
                 }
                 self.disseminating = true;
                 let vector = InputConfig::from_pairs(
@@ -265,36 +271,48 @@ where
                 )
                 .expect("n − t distinct proposals form a valid configuration");
                 let proof: VectorProof<V> = self.proposals.values().cloned().collect();
-                let steps = self.dissem.disseminate(vector, proof, 0, env);
-                self.lift_dissem(steps, env)
+                let mut ds = std::mem::take(&mut self.dissem_sink);
+                self.dissem.disseminate(vector, proof, 0, env, &mut ds);
+                self.dissem_sink = ds;
+                self.lift_dissem(env, sink);
             }
             VectorFastMsg::Dissem(inner) => {
-                let steps = self.dissem.on_message(from, inner, env);
-                self.lift_dissem(steps, env)
+                let mut ds = std::mem::take(&mut self.dissem_sink);
+                self.dissem.on_message(from, inner, env, &mut ds);
+                self.dissem_sink = ds;
+                self.lift_dissem(env, sink);
             }
             VectorFastMsg::Quad(inner) => {
-                let steps = self.quad.on_message(from, inner, env);
-                self.lift_quad(steps, env)
+                let mut qs = std::mem::take(&mut self.quad_sink);
+                self.quad.on_message(from, inner, env, &mut qs);
+                self.quad_sink = qs;
+                self.lift_quad(env, sink);
             }
             VectorFastMsg::Add(inner) => {
-                let steps = self.add.on_message(from, inner, env);
-                self.lift_add(steps, env)
+                let mut asink = std::mem::take(&mut self.add_sink);
+                self.add.on_message(from, inner, env, &mut asink);
+                self.add_sink = asink;
+                self.lift_add(env, sink);
             }
         }
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         let (child, inner) = tag_unwrap(tag);
         match child {
             CHILD_QUAD => {
-                let steps = self.quad.on_timer(inner, env);
-                self.lift_quad(steps, env)
+                let mut qs = std::mem::take(&mut self.quad_sink);
+                self.quad.on_timer(inner, env, &mut qs);
+                self.quad_sink = qs;
+                self.lift_quad(env, sink);
             }
             CHILD_DISSEM => {
-                let steps = self.dissem.on_timer(inner, env);
-                self.lift_dissem(steps, env)
+                let mut ds = std::mem::take(&mut self.dissem_sink);
+                self.dissem.on_timer(inner, env, &mut ds);
+                self.dissem_sink = ds;
+                self.lift_dissem(env, sink);
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 }

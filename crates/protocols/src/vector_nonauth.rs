@@ -17,7 +17,7 @@
 //! signatures (the paper's Appendix B.2 bound).
 
 use validity_core::{InputConfig, ProcessId, Value};
-use validity_simnet::{Env, Machine, Message, Step};
+use validity_simnet::{Env, Machine, Message, Step, StepSink};
 
 use crate::brb::{BrbInstance, BrbMsg};
 use crate::codec::Words;
@@ -25,6 +25,9 @@ use crate::dbft::{DbftBinary, DbftMsg};
 
 /// Timer-tag stride: DBFT instance `j` owns tags `{r · MAX_N + j}`.
 const MAX_N: u64 = 128;
+
+/// Shorthand for the outer sink the Algorithm-3 helpers write into.
+type OutSink<'a, V> = &'a mut StepSink<VectorNonAuthMsg<V>, InputConfig<V>>;
 
 /// Wire messages of Algorithm 3.
 #[derive(Clone, Debug)]
@@ -59,6 +62,10 @@ pub struct VectorNonAuth<V> {
     input: V,
     brbs: Vec<BrbInstance<V>>,
     dbfts: Vec<DbftBinary>,
+    /// Scratch sink lent to BRB instances; reused across events.
+    brb_sink: StepSink<BrbMsg<V>, V>,
+    /// Scratch sink lent to DBFT instances; reused across events.
+    dbft_sink: StepSink<DbftMsg, bool>,
     proposals: Vec<Option<V>>,
     dbft_proposing: bool,
     decided: bool,
@@ -73,95 +80,83 @@ impl<V: Value + Words> VectorNonAuth<V> {
                 .map(|j| BrbInstance::new(ProcessId::from_index(j)))
                 .collect(),
             dbfts: (0..n).map(|_| DbftBinary::new()).collect(),
+            brb_sink: StepSink::new(),
+            dbft_sink: StepSink::new(),
             proposals: vec![None; n],
             dbft_proposing: true,
             decided: false,
         }
     }
 
-    fn lift_brb(
-        &mut self,
-        j: usize,
-        steps: Vec<Step<BrbMsg<V>, V>>,
-        env: &Env,
-    ) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
+    /// Drains the BRB scratch sink for instance `j` into the outer sink.
+    fn lift_brb(&mut self, j: usize, env: &Env, out: OutSink<'_, V>) {
+        let mut scratch = std::mem::take(&mut self.brb_sink);
         let mut delivered = Vec::new();
-        for step in steps {
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(
+                Step::Send(to, m) => out.send(
                     to,
                     VectorNonAuthMsg::Brb {
                         sender: ProcessId::from_index(j),
                         inner: m,
                     },
-                )),
-                Step::Broadcast(m) => out.push(Step::Broadcast(VectorNonAuthMsg::Brb {
+                ),
+                Step::Broadcast(m) => out.broadcast(VectorNonAuthMsg::Brb {
                     sender: ProcessId::from_index(j),
                     inner: m,
-                })),
+                }),
                 Step::Timer(..) | Step::Halt => unreachable!("BRB uses no timers"),
                 Step::Output(v) => delivered.push(v),
             }
         }
+        self.brb_sink = scratch;
         for v in delivered {
-            out.extend(self.on_brb_delivery(j, v, env));
+            self.on_brb_delivery(j, v, env, out);
         }
-        out
     }
 
-    fn lift_dbft(
-        &mut self,
-        j: usize,
-        steps: Vec<Step<DbftMsg, bool>>,
-        env: &Env,
-    ) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
-        let mut outputs = Vec::new();
-        for step in steps {
+    /// Drains the DBFT scratch sink for instance `j` into the outer sink.
+    fn lift_dbft(&mut self, j: usize, env: &Env, out: OutSink<'_, V>) {
+        let mut scratch = std::mem::take(&mut self.dbft_sink);
+        let mut outputs = 0usize;
+        for step in scratch.drain() {
             match step {
-                Step::Send(to, m) => out.push(Step::Send(
+                Step::Send(to, m) => out.send(
                     to,
                     VectorNonAuthMsg::Dbft {
                         instance: j as u32,
                         inner: m,
                     },
-                )),
-                Step::Broadcast(m) => out.push(Step::Broadcast(VectorNonAuthMsg::Dbft {
+                ),
+                Step::Broadcast(m) => out.broadcast(VectorNonAuthMsg::Dbft {
                     instance: j as u32,
                     inner: m,
-                })),
-                Step::Timer(d, tag) => out.push(Step::Timer(d, tag * MAX_N + j as u64)),
-                Step::Output(b) => outputs.push(b),
+                }),
+                Step::Timer(d, tag) => out.timer(d, tag * MAX_N + j as u64),
+                Step::Output(_) => outputs += 1,
                 Step::Halt => {} // instance-local halt
             }
         }
-        for _ in outputs {
-            out.extend(self.on_dbft_decision(env));
+        self.dbft_sink = scratch;
+        for _ in 0..outputs {
+            self.on_dbft_decision(env, out);
         }
-        out
     }
 
     /// Lines 11–15: a BRB delivery of `P_j`'s proposal.
-    fn on_brb_delivery(
-        &mut self,
-        j: usize,
-        v: V,
-        env: &Env,
-    ) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
+    fn on_brb_delivery(&mut self, j: usize, v: V, env: &Env, out: OutSink<'_, V>) {
         self.proposals[j] = Some(v);
-        let mut out = Vec::new();
         if self.dbft_proposing && !self.dbfts[j].has_proposed() {
-            let steps = self.dbfts[j].propose(true, env);
-            out.extend(self.lift_dbft(j, steps, env));
+            let mut scratch = std::mem::take(&mut self.dbft_sink);
+            self.dbfts[j].propose(true, env, &mut scratch);
+            self.dbft_sink = scratch;
+            self.lift_dbft(j, env, out);
         }
-        out.extend(self.try_decide(env));
-        out
+        self.try_decide(env, out);
     }
 
     /// Lines 16–20 and 21–23: react to DBFT progress.
-    fn on_dbft_decision(&mut self, env: &Env) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
-        let mut out = Vec::new();
+    fn on_dbft_decision(&mut self, env: &Env, out: OutSink<'_, V>) {
         let ones = self
             .dbfts
             .iter()
@@ -171,22 +166,23 @@ impl<V: Value + Words> VectorNonAuth<V> {
             self.dbft_proposing = false;
             for j in 0..self.dbfts.len() {
                 if !self.dbfts[j].has_proposed() && self.dbfts[j].decided().is_none() {
-                    let steps = self.dbfts[j].propose(false, env);
-                    out.extend(self.lift_dbft(j, steps, env));
+                    let mut scratch = std::mem::take(&mut self.dbft_sink);
+                    self.dbfts[j].propose(false, env, &mut scratch);
+                    self.dbft_sink = scratch;
+                    self.lift_dbft(j, env, out);
                 }
             }
         }
-        out.extend(self.try_decide(env));
-        out
+        self.try_decide(env, out);
     }
 
     /// Lines 21–23: all instances decided + proposals present ⇒ decide.
-    fn try_decide(&mut self, env: &Env) -> Vec<Step<VectorNonAuthMsg<V>, InputConfig<V>>> {
+    fn try_decide(&mut self, env: &Env, out: OutSink<'_, V>) {
         if self.decided {
-            return Vec::new();
+            return;
         }
         if self.dbfts.iter().any(|d| d.decided().is_none()) {
-            return Vec::new();
+            return;
         }
         let winners: Vec<usize> = (0..self.dbfts.len())
             .filter(|&j| self.dbfts[j].decided() == Some(true))
@@ -196,10 +192,10 @@ impl<V: Value + Words> VectorNonAuth<V> {
             // Fewer than n − t instances decided 1: impossible in a valid
             // run (at least n − t instances receive 1-proposals from all
             // correct processes), but guard anyway.
-            return Vec::new();
+            return;
         }
         if winners.iter().any(|&j| self.proposals[j].is_none()) {
-            return Vec::new(); // await BRB totality
+            return; // await BRB totality
         }
         self.decided = true;
         let vector = InputConfig::from_pairs(
@@ -209,7 +205,7 @@ impl<V: Value + Words> VectorNonAuth<V> {
                 .map(|&j| (ProcessId::from_index(j), self.proposals[j].clone().unwrap())),
         )
         .expect("n − t distinct winners form a valid configuration");
-        vec![Step::Output(vector)]
+        out.output(vector);
     }
 }
 
@@ -217,47 +213,56 @@ impl<V: Value + Words> Machine for VectorNonAuth<V> {
     type Msg = VectorNonAuthMsg<V>;
     type Output = InputConfig<V>;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         let me = env.id.index();
         let input = self.input.clone();
-        let steps = self.brbs[me].broadcast(input, env);
-        self.lift_brb(me, steps, env)
+        let mut scratch = std::mem::take(&mut self.brb_sink);
+        self.brbs[me].broadcast(input, env, &mut scratch);
+        self.brb_sink = scratch;
+        self.lift_brb(me, env, sink);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>> {
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    ) {
         match msg {
             VectorNonAuthMsg::Brb { sender, inner } => {
                 let j = sender.index();
                 if j >= self.brbs.len() {
-                    return Vec::new();
+                    return;
                 }
-                let steps = self.brbs[j].on_message(from, inner, env);
-                self.lift_brb(j, steps, env)
+                let mut scratch = std::mem::take(&mut self.brb_sink);
+                self.brbs[j].on_message(from, inner, env, &mut scratch);
+                self.brb_sink = scratch;
+                self.lift_brb(j, env, sink);
             }
             VectorNonAuthMsg::Dbft { instance, inner } => {
-                let j = instance as usize;
+                let j = *instance as usize;
                 if j >= self.dbfts.len() {
-                    return Vec::new();
+                    return;
                 }
-                let steps = self.dbfts[j].on_message(from, inner, env);
-                self.lift_dbft(j, steps, env)
+                let mut scratch = std::mem::take(&mut self.dbft_sink);
+                self.dbfts[j].on_message(from, inner, env, &mut scratch);
+                self.dbft_sink = scratch;
+                self.lift_dbft(j, env, sink);
             }
         }
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>) {
         let j = (tag % MAX_N) as usize;
         let inner_tag = tag / MAX_N;
         if j >= self.dbfts.len() {
-            return Vec::new();
+            return;
         }
-        let steps = self.dbfts[j].on_timer(inner_tag, env);
-        self.lift_dbft(j, steps, env)
+        let mut scratch = std::mem::take(&mut self.dbft_sink);
+        self.dbfts[j].on_timer(inner_tag, env, &mut scratch);
+        self.dbft_sink = scratch;
+        self.lift_dbft(j, env, sink);
     }
 }
 

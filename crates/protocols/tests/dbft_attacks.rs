@@ -5,7 +5,8 @@
 use validity_core::{ProcessId, SystemParams};
 use validity_protocols::{DbftBinary, DbftMsg};
 use validity_simnet::{
-    agreement_holds, ByzStep, Byzantine, Env, Machine, NodeKind, SimConfig, Simulation, Step,
+    agreement_holds, ByzSink, ByzStep, Byzantine, Env, Machine, NodeKind, SimConfig, Simulation,
+    StepSink,
 };
 
 #[derive(Clone, Debug)]
@@ -18,16 +19,22 @@ impl Machine for DbftNode {
     type Msg = DbftMsg;
     type Output = bool;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-        self.inner.propose(self.proposal, env)
+    fn init(&mut self, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
+        self.inner.propose(self.proposal, env, sink);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: DbftMsg, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-        self.inner.on_message(from, msg, env)
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &DbftMsg,
+        env: &Env,
+        sink: &mut StepSink<DbftMsg, bool>,
+    ) {
+        self.inner.on_message(from, msg, env, sink);
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<Step<DbftMsg, bool>> {
-        self.inner.on_timer(tag, env)
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut StepSink<DbftMsg, bool>) {
+        self.inner.on_timer(tag, env, sink);
     }
 }
 
@@ -36,20 +43,19 @@ impl Machine for DbftNode {
 struct DbftEquivocator;
 
 impl Byzantine<DbftMsg> for DbftEquivocator {
-    fn init(&mut self, env: &Env) -> Vec<ByzStep<DbftMsg>> {
-        let mut steps = Vec::new();
+    fn init(&mut self, env: &Env, sink: &mut ByzSink<DbftMsg>) {
         for round in 1..=4u32 {
             for i in 0..env.n() {
                 let to = ProcessId::from_index(i);
                 // opposite estimates to alternating receivers
-                steps.push(ByzStep::Send(
+                sink.push(ByzStep::Send(
                     to,
                     DbftMsg::Est {
                         round,
                         value: i % 2 == 0,
                     },
                 ));
-                steps.push(ByzStep::Send(
+                sink.push(ByzStep::Send(
                     to,
                     DbftMsg::Aux {
                         round,
@@ -59,8 +65,7 @@ impl Byzantine<DbftMsg> for DbftEquivocator {
             }
         }
         // A lone DONE is below the t+1 threshold and must be inert.
-        steps.push(ByzStep::Broadcast(DbftMsg::Done { value: true }));
-        steps
+        sink.push(ByzStep::Broadcast(DbftMsg::Done { value: true }));
     }
 }
 

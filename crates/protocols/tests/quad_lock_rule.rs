@@ -8,7 +8,7 @@ use std::sync::Arc;
 use validity_core::{ProcessId, SystemParams};
 use validity_crypto::{sha256, KeyStore, ThresholdScheme};
 use validity_protocols::{PreparedCert, QuadConfig, QuadCore, QuadMsg};
-use validity_simnet::{Env, Step};
+use validity_simnet::{Env, Step, StepSink};
 
 type Core = QuadCore<u64, u64>;
 type Msg = QuadMsg<u64, u64>;
@@ -61,6 +61,19 @@ fn prepared_cert(
     }
 }
 
+/// Runs `start` into a throwaway sink.
+fn start(core: &mut Core, env: &Env) {
+    let mut sink = StepSink::new();
+    core.start(env, &mut sink);
+}
+
+/// Delivers one message and returns the emitted steps.
+fn deliver(core: &mut Core, from: ProcessId, msg: Msg, env: &Env) -> Vec<Step<Msg, (u64, u64)>> {
+    let mut sink = StepSink::new();
+    core.on_message(from, &msg, env, &mut sink);
+    sink.drain().collect()
+}
+
 fn prepare_vote_count(steps: &[Step<Msg, (u64, u64)>]) -> usize {
     steps
         .iter()
@@ -71,9 +84,10 @@ fn prepare_vote_count(steps: &[Step<Msg, (u64, u64)>]) -> usize {
 #[test]
 fn follower_votes_for_justified_proposal() {
     let (mut core, env, _ks, _scheme) = setup(1);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     // Leader of view 1 is P1 (index 0); a plain proposal with no lock held:
-    let steps = core.on_message(
+    let steps = deliver(
+        &mut core,
         ProcessId(0),
         QuadMsg::Propose {
             view: 1,
@@ -89,25 +103,26 @@ fn follower_votes_for_justified_proposal() {
 #[test]
 fn follower_votes_at_most_once_per_view() {
     let (mut core, env, _ks, _scheme) = setup(1);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     let propose = |v: u64| QuadMsg::Propose {
         view: 1,
         value: v,
         proof: 0,
         justification: None,
     };
-    let first = core.on_message(ProcessId(0), propose(42), &env);
+    let first = deliver(&mut core, ProcessId(0), propose(42), &env);
     assert_eq!(prepare_vote_count(&first), 1);
     // Equivocating leader: second proposal in the same view gets no vote.
-    let second = core.on_message(ProcessId(0), propose(43), &env);
+    let second = deliver(&mut core, ProcessId(0), propose(43), &env);
     assert_eq!(prepare_vote_count(&second), 0);
 }
 
 #[test]
 fn non_leader_proposals_are_ignored() {
     let (mut core, env, _ks, _scheme) = setup(1);
-    let _ = core.start(&env);
-    let steps = core.on_message(
+    start(&mut core, &env);
+    let steps = deliver(
+        &mut core,
         ProcessId(2), // not the leader of view 1
         QuadMsg::Propose {
             view: 1,
@@ -123,10 +138,10 @@ fn non_leader_proposals_are_ignored() {
 #[test]
 fn locked_follower_rejects_conflicting_unjustified_proposal() {
     let (mut core, env, ks, scheme) = setup(2);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     // Lock the follower on (view 1, value 7) via a genuine prepared cert.
     let cert = prepared_cert(&ks, &scheme, 1, 7, &[0, 1, 3]);
-    let steps = core.on_message(ProcessId(0), QuadMsg::Prepared(cert), &env);
+    let steps = deliver(&mut core, ProcessId(0), QuadMsg::Prepared(cert), &env);
     assert!(
         steps
             .iter()
@@ -135,7 +150,8 @@ fn locked_follower_rejects_conflicting_unjustified_proposal() {
     );
     // Leader of view 2 (P2, index 1) proposes a *different* value without
     // justification ≥ the lock: must be rejected.
-    let steps = core.on_message(
+    let steps = deliver(
+        &mut core,
         ProcessId(1),
         QuadMsg::Propose {
             view: 2,
@@ -151,13 +167,19 @@ fn locked_follower_rejects_conflicting_unjustified_proposal() {
 #[test]
 fn locked_follower_accepts_same_value_or_higher_justification() {
     let (mut core, env, ks, scheme) = setup(2);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     let lock = prepared_cert(&ks, &scheme, 1, 7, &[0, 1, 3]);
-    let _ = core.on_message(ProcessId(0), QuadMsg::Prepared(lock.clone()), &env);
+    let _ = deliver(
+        &mut core,
+        ProcessId(0),
+        QuadMsg::Prepared(lock.clone()),
+        &env,
+    );
 
     // Same value re-proposed in view 2 without justification: fine (the
     // lock's value matches).
-    let steps = core.on_message(
+    let steps = deliver(
+        &mut core,
         ProcessId(1),
         QuadMsg::Propose {
             view: 2,
@@ -173,18 +195,18 @@ fn locked_follower_accepts_same_value_or_higher_justification() {
 #[test]
 fn forged_prepared_certificate_is_rejected() {
     let (mut core, env, ks, scheme) = setup(2);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     // A certificate whose tsig is over a *different* value's digest:
     let mut cert = prepared_cert(&ks, &scheme, 1, 7, &[0, 1, 3]);
     cert.value = 8; // mismatch
-    let steps = core.on_message(ProcessId(0), QuadMsg::Prepared(cert), &env);
+    let steps = deliver(&mut core, ProcessId(0), QuadMsg::Prepared(cert), &env);
     assert!(steps.is_empty(), "mismatched certificate must be ignored");
 }
 
 #[test]
 fn committed_with_undersized_quorum_is_rejected() {
     let (mut core, env, ks, _) = setup(2);
-    let _ = core.start(&env);
+    start(&mut core, &env);
     // A "commit certificate" combined under a k = 1 scheme (weight 1):
     let weak = ThresholdScheme::new(ks.clone(), 1);
     let mut h = validity_crypto::Sha256::new();
@@ -195,7 +217,8 @@ fn committed_with_undersized_quorum_is_rejected() {
     let digest = h.finalize();
     let partial = weak.partially_sign(&ks.signer(ProcessId(3)), &digest);
     let tsig = weak.combine(&digest, [partial]).unwrap();
-    let steps = core.on_message(
+    let steps = deliver(
+        &mut core,
         ProcessId(3),
         QuadMsg::Committed {
             view: 1,

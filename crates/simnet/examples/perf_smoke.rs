@@ -1,0 +1,142 @@
+//! Perf-smoke harness: measures the event loop's events/second on the
+//! broadcast-heavy workload (the same shapes as `benches/event_loop.rs`)
+//! and writes a `BENCH_simnet.json` artifact for the CI `perf-smoke` job.
+//!
+//! Timing is best-of-N over fixed batches — the minimum is robust against
+//! scheduler noise on shared runners — and the artifact is advisory: it
+//! seeds a perf trajectory (alongside `BENCH_lab.json`) without gating
+//! merges, so trend tooling can grow teeth later without rewriting the
+//! emitter.
+//!
+//! ```text
+//! cargo run --release -p validity-simnet --example perf_smoke -- \
+//!     [--quick] [OUTPUT.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use validity_core::{ProcessId, SystemParams};
+use validity_simnet::{Env, Machine, Message, NodeKind, SimConfig, Simulation, StepSink};
+
+#[derive(Clone, Debug)]
+struct Gossip(Vec<u64>);
+
+impl Message for Gossip {
+    fn words(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Broadcast-heavy machine with `O(n)`-word payloads (the message shape of
+/// the paper's vector-consensus algorithms); see `benches/event_loop.rs`.
+struct Flooder {
+    payload: Vec<u64>,
+    rounds_left: u32,
+    got: usize,
+}
+
+const ROUNDS: u32 = 40;
+
+impl Machine for Flooder {
+    type Msg = Gossip;
+    type Output = u64;
+
+    fn init(&mut self, _env: &Env, sink: &mut StepSink<Gossip, u64>) {
+        sink.broadcast(Gossip(self.payload.clone()));
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        _msg: &Gossip,
+        env: &Env,
+        sink: &mut StepSink<Gossip, u64>,
+    ) {
+        self.got += 1;
+        if self.got.is_multiple_of(env.n()) && self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            sink.broadcast(Gossip(self.payload.clone()));
+        }
+        if self.got == env.n() * ROUNDS as usize {
+            sink.output(self.got as u64);
+        }
+    }
+}
+
+fn run_once(n: usize, seed: u64) -> u64 {
+    let t = (n - 1) / 3;
+    let params = SystemParams::new(n, t).unwrap();
+    let nodes: Vec<NodeKind<Flooder>> = (0..n)
+        .map(|_| {
+            NodeKind::Correct(Flooder {
+                payload: (0..4 * n as u64).collect(),
+                rounds_left: ROUNDS - 1,
+                got: 0,
+            })
+        })
+        .collect();
+    let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
+    sim.run_until_decided();
+    sim.events_processed()
+}
+
+/// Best-of-`rounds` seconds per iteration for shape `n`.
+fn measure(n: usize, rounds: u64, reps: u64) -> f64 {
+    run_once(n, u64::MAX); // warm-up
+    let mut best = f64::MAX;
+    for round in 0..rounds {
+        let start = Instant::now();
+        for r in 0..reps {
+            std::hint::black_box(run_once(n, round * 10_000 + r));
+        }
+        let per_iter = start.elapsed().as_secs_f64() / reps as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simnet.json".to_string());
+    let rounds = if quick { 5 } else { 12 };
+
+    let mut shapes = String::new();
+    for (i, n) in [4usize, 16, 64].into_iter().enumerate() {
+        let events = run_once(n, 0);
+        let reps = if n == 64 { 4 } else { 40 };
+        let best = measure(n, rounds, reps);
+        let rate = events as f64 / best;
+        eprintln!(
+            "n={n}: {events} events, best {:.2} µs/iter, {rate:.0} events/sec",
+            best * 1e6
+        );
+        if i > 0 {
+            shapes.push_str(",\n");
+        }
+        let _ = write!(
+            shapes,
+            "    {{\"n\": {n}, \"events_per_iter\": {events}, \
+             \"best_us_per_iter\": {:.3}, \"events_per_sec\": {:.0}}}",
+            best * 1e6,
+            rate
+        );
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"validity-simnet/bench@1\",\n  \
+         \"workload\": \"broadcast_heavy_4n_words\",\n  \
+         \"rounds\": {rounds},\n  \"shapes\": [\n{shapes}\n  ]\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -12,16 +12,20 @@
 //!   paper's execution-merging proofs (Lemmas 2, 3, 7) need to become
 //!   executable tests.
 //!
-//! Protocols are written as effect-returning [`Machine`]s; Byzantine
-//! behaviours implement [`Byzantine`] and may send arbitrary messages,
-//! equivocate, or stay [`Silent`] (canonical executions).
+//! Protocols are written as effect-writing [`Machine`]s — hooks append
+//! their effects to a reusable [`StepSink`] — and Byzantine behaviours
+//! implement [`Byzantine`] (writing into a [`ByzSink`]) and may send
+//! arbitrary messages, equivocate, or stay [`Silent`] (canonical
+//! executions). The sink-based hook API, the shared broadcast payloads and
+//! the calendar-queue scheduler keep the event loop free of per-event heap
+//! allocation — see `sim`'s module docs for the full hot-path story.
 //!
 //! ## Example
 //!
 //! ```
 //! use validity_core::{ProcessId, SystemParams};
 //! use validity_simnet::{
-//!     Env, Machine, Message, NodeKind, SimConfig, Silent, Simulation, Step,
+//!     Env, Machine, Message, NodeKind, SimConfig, Silent, Simulation, StepSink,
 //! };
 //!
 //! #[derive(Clone, Debug)]
@@ -35,12 +39,13 @@
 //! impl Machine for Quorum {
 //!     type Msg = Hello;
 //!     type Output = usize;
-//!     fn init(&mut self, _env: &Env) -> Vec<Step<Hello, usize>> {
-//!         vec![Step::Broadcast(Hello)]
+//!     fn init(&mut self, _env: &Env, sink: &mut StepSink<Hello, usize>) {
+//!         sink.broadcast(Hello);
 //!     }
-//!     fn on_message(&mut self, _f: ProcessId, _m: Hello, env: &Env) -> Vec<Step<Hello, usize>> {
+//!     fn on_message(&mut self, _f: ProcessId, _m: &Hello, env: &Env,
+//!                   sink: &mut StepSink<Hello, usize>) {
 //!         self.heard += 1;
-//!         if self.heard == env.quorum() { vec![Step::Output(self.heard)] } else { vec![] }
+//!         if self.heard == env.quorum() { sink.output(self.heard); }
 //!     }
 //! }
 //!
@@ -61,13 +66,17 @@
 #![warn(missing_docs)]
 
 pub mod node;
+pub mod queue;
 pub mod sim;
+pub mod sink;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
+pub use queue::CalendarQueue;
 pub use sim::{agreement_holds, NodeKind, PreGstPolicy, RunOutcome, SimConfig, Simulation};
+pub use sink::{ByzSink, StepSink};
 pub use stats::NetStats;
 pub use time::{Time, DEFAULT_DELTA, DEFAULT_GST};
 pub use trace::{Trace, TraceEvent};

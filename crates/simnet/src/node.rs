@@ -1,17 +1,25 @@
 //! The process model: deterministic state machines ([`Machine`]) for correct
 //! processes and unconstrained [`Byzantine`] behaviours for faulty ones.
 //!
-//! Machines are *effect-returning*: every hook returns a list of [`Step`]s
-//! (sends, broadcasts, timers, outputs). This style makes protocols
-//! composable — an outer protocol embeds an inner machine, maps its message
-//! type, and intercepts its outputs — and keeps the whole execution
-//! deterministic and replayable, which the paper's execution-merging
-//! arguments (Lemmas 2, 3, 7) require.
+//! Machines are *effect-writing*: every hook receives a reusable
+//! [`StepSink`] (or [`ByzSink`]) and appends [`Step`]s (sends, broadcasts,
+//! timers, outputs) to it. The buffer is owned by the simulation and
+//! recycled across events, so the hook API itself never allocates. This
+//! style stays composable — an outer protocol embeds an inner machine,
+//! lends it a scratch sink, maps its message type, and intercepts its
+//! outputs — and keeps the whole execution deterministic and replayable,
+//! which the paper's execution-merging arguments (Lemmas 2, 3, 7) require.
+//!
+//! Deliveries hand the machine a *shared reference* to the message:
+//! broadcast payloads are enqueued once and delivered `n` times from the
+//! same allocation, so a machine that needs to keep (part of) a message
+//! clones exactly what it keeps.
 
 use std::fmt::Debug;
 
 use validity_core::{ProcessId, SystemParams};
 
+use crate::sink::{ByzSink, StepSink};
 use crate::time::Time;
 
 /// A protocol message. `words()` implements the paper's communication-
@@ -77,6 +85,11 @@ pub enum Step<M, O> {
 
 /// A deterministic correct-process state machine.
 ///
+/// Hooks write their effects into the provided [`StepSink`]; returning
+/// nothing (writing no steps) is the common case and costs nothing. The
+/// sink is cleared by the simulator between events — machines must not
+/// assume steps survive across hook invocations.
+///
 /// Machines are `Send`: simulations are deterministic and independent, so a
 /// scenario sweep can move them freely across worker threads.
 pub trait Machine: Send {
@@ -86,20 +99,20 @@ pub trait Machine: Send {
     type Output: Clone + Debug + Send + 'static;
 
     /// Called once when the process starts (before any delivery).
-    fn init(&mut self, env: &Env) -> Vec<Step<Self::Msg, Self::Output>>;
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Self::Msg, Self::Output>);
 
-    /// Called on delivery of `msg` from `from`.
+    /// Called on delivery of `msg` from `from`. Broadcast deliveries share
+    /// one payload allocation across all recipients; clone what you keep.
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         env: &Env,
-    ) -> Vec<Step<Self::Msg, Self::Output>>;
+        sink: &mut StepSink<Self::Msg, Self::Output>,
+    );
 
     /// Called when a timer set via [`Step::Timer`] fires.
-    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<Step<Self::Msg, Self::Output>> {
-        Vec::new()
-    }
+    fn on_timer(&mut self, _tag: u64, _env: &Env, _sink: &mut StepSink<Self::Msg, Self::Output>) {}
 }
 
 /// An effect requested by a Byzantine behaviour. Byzantine nodes cannot
@@ -119,22 +132,17 @@ pub enum ByzStep<M> {
 ///
 /// The only power the model denies Byzantine processes is signature forgery,
 /// which the crypto substrate enforces structurally. Like [`Machine`],
-/// behaviours are `Send` so node vectors can cross threads.
+/// behaviours are `Send` so node vectors can cross threads, and hooks write
+/// effects into the provided [`ByzSink`].
 pub trait Byzantine<Msg: Message>: Send {
     /// Called once at start.
-    fn init(&mut self, _env: &Env) -> Vec<ByzStep<Msg>> {
-        Vec::new()
-    }
+    fn init(&mut self, _env: &Env, _sink: &mut ByzSink<Msg>) {}
 
     /// Called on delivery.
-    fn on_message(&mut self, _from: ProcessId, _msg: Msg, _env: &Env) -> Vec<ByzStep<Msg>> {
-        Vec::new()
-    }
+    fn on_message(&mut self, _from: ProcessId, _msg: &Msg, _env: &Env, _sink: &mut ByzSink<Msg>) {}
 
     /// Called on timer expiry.
-    fn on_timer(&mut self, _tag: u64, _env: &Env) -> Vec<ByzStep<Msg>> {
-        Vec::new()
-    }
+    fn on_timer(&mut self, _tag: u64, _env: &Env, _sink: &mut ByzSink<Msg>) {}
 }
 
 /// The silent Byzantine behaviour: sends nothing, ever. Running *all* faulty
@@ -158,6 +166,8 @@ pub struct FilteredMachine<M: Machine> {
     omit_to: Vec<ProcessId>,
     crash_after: Option<Time>,
     halted: bool,
+    /// Scratch buffer the inner machine writes into; reused across events.
+    scratch: StepSink<M::Msg, M::Output>,
 }
 
 impl<M: Machine> FilteredMachine<M> {
@@ -170,6 +180,7 @@ impl<M: Machine> FilteredMachine<M> {
             omit_to: Vec::new(),
             crash_after: None,
             halted: false,
+            scratch: StepSink::new(),
         }
     }
 
@@ -191,29 +202,30 @@ impl<M: Machine> FilteredMachine<M> {
         self
     }
 
-    fn filter(&mut self, env: &Env, steps: Vec<Step<M::Msg, M::Output>>) -> Vec<ByzStep<M::Msg>> {
-        let mut out = Vec::new();
-        for step in steps {
+    /// Drains the scratch sink through the filters into `out`.
+    fn filter(&mut self, env: &Env, out: &mut ByzSink<M::Msg>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for step in scratch.drain() {
             match step {
                 Step::Send(to, m) => {
                     if !self.omit_to.contains(&to) {
-                        out.push(ByzStep::Send(to, m));
+                        out.send(to, m);
                     }
                 }
                 Step::Broadcast(m) => {
                     for i in 0..env.n() {
                         let to = ProcessId::from_index(i);
                         if !self.omit_to.contains(&to) {
-                            out.push(ByzStep::Send(to, m.clone()));
+                            out.send(to, m.clone());
                         }
                     }
                 }
-                Step::Timer(d, tag) => out.push(ByzStep::Timer(d, tag)),
+                Step::Timer(d, tag) => out.timer(d, tag),
                 Step::Output(_) => {} // faulty "decisions" don't count
                 Step::Halt => self.halted = true,
             }
         }
-        out
+        self.scratch = scratch;
     }
 
     fn crashed(&self, env: &Env) -> bool {
@@ -222,33 +234,39 @@ impl<M: Machine> FilteredMachine<M> {
 }
 
 impl<M: Machine> Byzantine<M::Msg> for FilteredMachine<M> {
-    fn init(&mut self, env: &Env) -> Vec<ByzStep<M::Msg>> {
+    fn init(&mut self, env: &Env, sink: &mut ByzSink<M::Msg>) {
         if self.crashed(env) {
-            return Vec::new();
+            return;
         }
-        let steps = self.inner.init(env);
-        self.filter(env, steps)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.inner.init(env, &mut scratch);
+        self.scratch = scratch;
+        self.filter(env, sink);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: M::Msg, env: &Env) -> Vec<ByzStep<M::Msg>> {
+    fn on_message(&mut self, from: ProcessId, msg: &M::Msg, env: &Env, sink: &mut ByzSink<M::Msg>) {
         if self.crashed(env) {
-            return Vec::new();
+            return;
         }
         if self.received < self.ignore_first {
             self.received += 1;
-            return Vec::new();
+            return;
         }
         self.received += 1;
-        let steps = self.inner.on_message(from, msg, env);
-        self.filter(env, steps)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.inner.on_message(from, msg, env, &mut scratch);
+        self.scratch = scratch;
+        self.filter(env, sink);
     }
 
-    fn on_timer(&mut self, tag: u64, env: &Env) -> Vec<ByzStep<M::Msg>> {
+    fn on_timer(&mut self, tag: u64, env: &Env, sink: &mut ByzSink<M::Msg>) {
         if self.crashed(env) {
-            return Vec::new();
+            return;
         }
-        let steps = self.inner.on_timer(tag, env);
-        self.filter(env, steps)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.inner.on_timer(tag, env, &mut scratch);
+        self.scratch = scratch;
+        self.filter(env, sink);
     }
 }
 
@@ -266,12 +284,19 @@ mod tests {
         type Msg = u32;
         type Output = u32;
 
-        fn init(&mut self, _env: &Env) -> Vec<Step<u32, u32>> {
-            vec![Step::Broadcast(0)]
+        fn init(&mut self, _env: &Env, sink: &mut StepSink<u32, u32>) {
+            sink.broadcast(0);
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: u32, _env: &Env) -> Vec<Step<u32, u32>> {
-            vec![Step::Send(from, msg + 1), Step::Output(msg)]
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: &u32,
+            _env: &Env,
+            sink: &mut StepSink<u32, u32>,
+        ) {
+            sink.send(from, msg + 1);
+            sink.output(*msg);
         }
     }
 
@@ -284,20 +309,32 @@ mod tests {
         }
     }
 
+    /// Runs a Byzantine hook into a fresh sink and returns the steps.
+    fn byz_on_message<B: Byzantine<u32>>(
+        b: &mut B,
+        from: ProcessId,
+        msg: u32,
+    ) -> Vec<ByzStep<u32>> {
+        let mut sink = ByzSink::new();
+        b.on_message(from, &msg, &env(), &mut sink);
+        sink.drain().collect()
+    }
+
     #[test]
     fn silent_behaviour_emits_nothing() {
         let mut s = Silent;
-        assert!(Byzantine::<u32>::init(&mut s, &env()).is_empty());
-        assert!(s.on_message(ProcessId(1), 5u32, &env()).is_empty());
+        let mut sink = ByzSink::new();
+        Byzantine::<u32>::init(&mut s, &env(), &mut sink);
+        assert!(sink.is_empty());
+        assert!(byz_on_message(&mut s, ProcessId(1), 5).is_empty());
     }
 
     #[test]
     fn filtered_machine_ignores_first_k() {
         let mut b = FilteredMachine::new(Echo).ignore_first(2);
-        let e = env();
-        assert!(b.on_message(ProcessId(1), 1, &e).is_empty());
-        assert!(b.on_message(ProcessId(1), 2, &e).is_empty());
-        let steps = b.on_message(ProcessId(1), 3, &e);
+        assert!(byz_on_message(&mut b, ProcessId(1), 1).is_empty());
+        assert!(byz_on_message(&mut b, ProcessId(1), 2).is_empty());
+        let steps = byz_on_message(&mut b, ProcessId(1), 3);
         assert_eq!(steps.len(), 1); // the echo Send; Output filtered out
         assert!(matches!(steps[0], ByzStep::Send(ProcessId(1), 4)));
     }
@@ -305,21 +342,23 @@ mod tests {
     #[test]
     fn filtered_machine_omits_targets() {
         let mut b = FilteredMachine::new(Echo).omit_to([ProcessId(2), ProcessId(3)]);
-        let e = env();
         // init broadcasts to n = 4, minus 2 omitted
-        let steps = b.init(&e);
-        assert_eq!(steps.len(), 2);
+        let mut sink = ByzSink::new();
+        b.init(&env(), &mut sink);
+        assert_eq!(sink.len(), 2);
         // echo back to an omitted process is dropped
-        assert!(b.on_message(ProcessId(2), 9, &e).is_empty());
+        assert!(byz_on_message(&mut b, ProcessId(2), 9).is_empty());
     }
 
     #[test]
     fn filtered_machine_crashes_at_time() {
         let mut b = FilteredMachine::new(Echo).crash_after(5);
+        assert!(!byz_on_message(&mut b, ProcessId(1), 1).is_empty());
         let mut e = env();
-        assert!(!b.on_message(ProcessId(1), 1, &e).is_empty());
         e.now = 5;
-        assert!(b.on_message(ProcessId(1), 2, &e).is_empty());
+        let mut sink = ByzSink::new();
+        b.on_message(ProcessId(1), &2, &e, &mut sink);
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! The O(1)-dispatch event scheduler: a calendar queue over discrete ticks.
+//!
+//! The simulator's historical scheduler was a `BinaryHeap<Event>` ordered
+//! by `(at, seq)` with a strictly increasing sequence number — `O(log q)`
+//! per operation with `q` queued events, plus an `Event`-sized memmove per
+//! sift level. But almost every event lands within a bounded horizon of
+//! the current tick (post-GST delays are `≤ δ`; pre-GST sends are capped
+//! at `GST + δ`; protocol timers are short multiples of `δ`), which is the
+//! textbook calendar-queue regime:
+//!
+//! * a power-of-two ring of buckets, one bucket per tick, covering the
+//!   window `[floor, floor + capacity)`;
+//! * push = append to `ring[at & mask]`, pop = drain the bucket at the
+//!   cursor — both `O(1)`;
+//! * the rare far-future event (e.g. the exponentially staggered timers of
+//!   slow broadcast, Algorithm 4) overflows into a `BTreeMap` tier and
+//!   migrates into the ring when its time enters the window.
+//!
+//! # Ordering invariant (why FIFO buckets reproduce `(at, seq)` order)
+//!
+//! The heap popped events by ascending `(at, seq)`. `seq` was assigned in
+//! push order and strictly increased, so among events with equal `at` the
+//! heap order *was* push order. A bucket holds exactly the events of one
+//! tick, appended in push order and drained front-to-back — the same
+//! order, with no `seq` to maintain. Across ticks the cursor visits
+//! buckets in ascending time. Two facts make the bucket story sound:
+//!
+//! 1. **No push into the past or present mid-drain.** Every effect is
+//!    scheduled strictly in the future (`arrival ≥ now + 1`, timers clamp
+//!    `delay ≥ 1`), so the bucket being drained can never grow under the
+//!    cursor.
+//! 2. **Far-tier migration preserves age order.** An overflow bucket is
+//!    pulled into the ring as soon as its tick enters the window — before
+//!    any in-window push could target the same tick — so a ring bucket
+//!    never interleaves older far events behind newer ring events.
+//!
+//! Memory stays bounded: bucket vectors are recycled (the drained bucket's
+//! allocation is swapped back into the ring), so a steady-state workload
+//! performs zero heap allocations in the scheduler.
+
+use std::collections::BTreeMap;
+
+use crate::time::Time;
+
+/// Initial ring size (ticks). Deliberately small: a simulation is
+/// constructed per scenario cell, so an oversized ring would dominate the
+/// cost of short runs. Grows by doubling when a push lands beyond the
+/// window, up to [`MAX_RING`]; farther events use the overflow tier.
+const INITIAL_RING: usize = 64;
+
+/// Largest ring the queue will grow to (2¹⁶ ticks ≈ 650 δ at the default
+/// δ = 100). Pushes beyond this horizon are rare enough that `BTreeMap`
+/// cost is irrelevant.
+const MAX_RING: usize = 1 << 16;
+
+/// A monotone calendar queue: items are pushed with a tick `at` that is
+/// `≥` the tick of the last popped item, and popped in ascending tick
+/// order, FIFO within a tick.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// Power-of-two ring; `slots[at & mask]` holds the items of tick `at`
+    /// for `at ∈ [floor, floor + slots.len())`.
+    slots: Vec<Vec<T>>,
+    /// Occupancy bitmap over `slots` (one bit per slot): lets the cursor
+    /// jump to the next occupied bucket with `trailing_zeros` instead of
+    /// probing empty buckets tick by tick.
+    occ: Vec<u64>,
+    mask: u64,
+    /// Lower edge of the ring window; no queued item is earlier.
+    floor: Time,
+    /// Items currently in the ring.
+    ring_len: usize,
+    /// Far-future overflow: ticks at or beyond `floor + slots.len()`.
+    far: BTreeMap<Time, Vec<T>>,
+    far_len: usize,
+    /// The bucket being drained, reversed so `pop` is `Vec::pop`.
+    live: Vec<T>,
+    live_at: Time,
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            slots: (0..INITIAL_RING).map(|_| Vec::new()).collect(),
+            occ: vec![0; (INITIAL_RING / 64).max(1)],
+            mask: (INITIAL_RING - 1) as u64,
+            floor: 0,
+            ring_len: 0,
+            far: BTreeMap::new(),
+            far_len: 0,
+            live: Vec::new(),
+            live_at: 0,
+        }
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.far_len + self.live.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` at tick `at`.
+    ///
+    /// `at` must be at or after the tick of the last popped item (the
+    /// simulator only schedules into the future); earlier pushes would
+    /// violate time monotonicity and are a caller bug.
+    #[inline]
+    pub fn push(&mut self, at: Time, item: T) {
+        debug_assert!(
+            at >= self.floor,
+            "push into the past: at = {at}, floor = {}",
+            self.floor
+        );
+        let span = at.saturating_sub(self.floor);
+        if span >= self.slots.len() as u64 {
+            if span >= MAX_RING as u64 {
+                self.far.entry(at).or_default().push(item);
+                self.far_len += 1;
+                return;
+            }
+            self.grow(span);
+        }
+        let idx = (at & self.mask) as usize;
+        self.occ[idx >> 6] |= 1 << (idx & 63);
+        let slot = &mut self.slots[idx];
+        if slot.capacity() == slot.len() {
+            // First allocation jumps straight to 8 entries: synchronized
+            // protocol timers routinely co-locate `n` small events in one
+            // tick, and paying the 1→2→4→8 growth ladder once per slot ×
+            // phase is a long-tailed allocation source the audit test would
+            // see. Subsequent growth doubles as usual (amortized O(1)).
+            slot.reserve(8.max(slot.len()));
+        }
+        slot.push(item);
+        self.ring_len += 1;
+    }
+
+    /// Dequeues the earliest item, FIFO within a tick.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        loop {
+            if let Some(item) = self.live.pop() {
+                return Some((self.live_at, item));
+            }
+            if self.ring_len == 0 {
+                if self.far_len == 0 {
+                    return None;
+                }
+                // Jump the window straight to the earliest overflow tick.
+                let (&k, _) = self.far.iter().next().expect("far_len > 0");
+                self.floor = k;
+            } else {
+                // Advance the cursor to the next occupied bucket: scan the
+                // occupancy bitmap word by word (the ring holds at least
+                // one occupied slot, so this terminates within one lap).
+                let start = (self.floor & self.mask) as usize;
+                let mut word_i = start >> 6;
+                let mut word = self.occ[word_i] & (!0u64 << (start & 63));
+                let words = self.occ.len();
+                while word == 0 {
+                    word_i = (word_i + 1) % words;
+                    word = self.occ[word_i];
+                }
+                let idx = (word_i << 6) + word.trailing_zeros() as usize;
+                // Forward ring distance from the cursor slot to the found
+                // slot; every queued tick is within one window of `floor`,
+                // so the modular distance is the true tick delta.
+                let dist = (idx as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(self.slots.len() as u64)
+                    & self.mask;
+                self.floor += dist;
+            }
+            if self.far_len > 0 {
+                self.migrate_far();
+            }
+            // Return the drained bucket's allocation to its home slot.
+            // Workloads with synchronized timers refill the same tick
+            // phase every round, so keeping capacity at its phase is what
+            // makes the steady state allocation-free. The slot is usually
+            // empty (an in-window *push* to it would be for tick
+            // `live_at + capacity`, which forces a grow first), but a
+            // far-tier bucket whose tick aliases the drained one modulo
+            // the ring size can have just migrated into it — hence the
+            // explicit emptiness check.
+            if self.live.capacity() > 0 {
+                let home = (self.live_at & self.mask) as usize;
+                if self.slots[home].is_empty() && self.slots[home].capacity() < self.live.capacity()
+                {
+                    std::mem::swap(&mut self.slots[home], &mut self.live);
+                }
+            }
+            let idx = (self.floor & self.mask) as usize;
+            std::mem::swap(&mut self.live, &mut self.slots[idx]);
+            self.occ[idx >> 6] &= !(1 << (idx & 63));
+            self.ring_len -= self.live.len();
+            self.live.reverse();
+            self.live_at = self.floor;
+        }
+    }
+
+    /// Pulls overflow buckets whose tick has entered the ring window.
+    /// Called every time `floor` advances, which maintains the invariant
+    /// that `far` only holds ticks outside the window — the precondition
+    /// for pushes and migrations to never split one tick across tiers.
+    fn migrate_far(&mut self) {
+        let cap = self.slots.len() as u64;
+        while let Some((&k, _)) = self.far.iter().next() {
+            if k.saturating_sub(self.floor) >= cap {
+                break;
+            }
+            let bucket = self.far.remove(&k).expect("first key exists");
+            self.far_len -= bucket.len();
+            self.ring_len += bucket.len();
+            let idx = (k & self.mask) as usize;
+            self.occ[idx >> 6] |= 1 << (idx & 63);
+            let slot = &mut self.slots[idx];
+            debug_assert!(
+                slot.is_empty(),
+                "ring bucket occupied before its far tier migrated"
+            );
+            if slot.is_empty() {
+                *slot = bucket;
+            } else {
+                // Defensive: far items are older than any ring item of the
+                // same tick, so they go first.
+                let mut merged = bucket;
+                merged.append(slot);
+                *slot = merged;
+            }
+        }
+    }
+
+    /// Doubles the ring until it covers `span` ticks past `floor`,
+    /// re-binning resident items (bucket vectors move wholesale, so FIFO
+    /// order within each tick is untouched).
+    fn grow(&mut self, span: u64) {
+        let mut new_cap = self.slots.len() * 2;
+        while (new_cap as u64) <= span {
+            new_cap *= 2;
+        }
+        debug_assert!(new_cap <= MAX_RING);
+        let old_cap = self.slots.len() as u64;
+        let old_mask = self.mask;
+        let mut old =
+            std::mem::replace(&mut self.slots, (0..new_cap).map(|_| Vec::new()).collect());
+        self.mask = (new_cap - 1) as u64;
+        self.occ = vec![0; (new_cap / 64).max(1)];
+        for offset in 0..old_cap {
+            let t = self.floor + offset;
+            let bucket = std::mem::take(&mut old[(t & old_mask) as usize]);
+            if !bucket.is_empty() {
+                let idx = (t & self.mask) as usize;
+                self.occ[idx >> 6] |= 1 << (idx & 63);
+                self.slots[idx] = bucket;
+            }
+        }
+        // The window may now reach ticks previously parked in the far tier.
+        self.migrate_far();
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_time_order_fifo_within_ticks() {
+        let mut q = CalendarQueue::new();
+        q.push(5, "a");
+        q.push(3, "b");
+        q.push(5, "c");
+        q.push(3, "d");
+        q.push(10, "e");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(3, "b"), (3, "d"), (5, "a"), (5, "c"), (10, "e")]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_monotone() {
+        let mut q = CalendarQueue::new();
+        q.push(1, 1u32);
+        q.push(2, 2);
+        assert_eq!(q.pop(), Some((1, 1)));
+        // Push at the tick currently being drained +1 and far beyond.
+        q.push(2, 3);
+        q.push(700, 4);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((2, 3)));
+        assert_eq!(q.pop(), Some((700, 4)));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_ring() {
+        let mut q = CalendarQueue::new();
+        q.push(0, 0u64);
+        q.push(INITIAL_RING as u64 * 3 + 7, 1);
+        q.push(2, 2);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((INITIAL_RING as u64 * 3 + 7, 1)));
+    }
+
+    #[test]
+    fn far_tier_round_trips_exponential_horizons() {
+        // The slow-broadcast shape: timers at δ·nᵏ, far beyond any ring.
+        let mut q = CalendarQueue::new();
+        let mut expected = Vec::new();
+        let mut t: Time = 100;
+        for i in 0..12u64 {
+            q.push(t, i);
+            expected.push((t, i));
+            t = t.saturating_mul(4);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, expected);
+    }
+
+    /// Regression: a far-tier bucket whose tick aliases the last-drained
+    /// tick modulo the ring size migrates into that tick's *home slot*.
+    /// The allocation-recycle swap must not clobber it (it used to check
+    /// only capacity, stranding the migrated events with their occupancy
+    /// bit cleared — an infinite pop loop in release builds).
+    #[test]
+    fn far_bucket_aliasing_drained_tick_survives_recycle() {
+        let mut q = CalendarQueue::new();
+        // Give tick 3's bucket a large capacity (> 8 items grows it).
+        for i in 0..9u64 {
+            q.push(3, i);
+        }
+        // Park an event past the far horizon at a tick ≡ 3 (mod ring size;
+        // MAX_RING is a multiple of every ring size the queue can have).
+        let far_at = 3 + (MAX_RING as u64) * 2;
+        q.push(far_at, 100);
+        for i in 0..9u64 {
+            assert_eq!(q.pop(), Some((3, i)));
+        }
+        assert_eq!(q.pop(), Some((far_at, 100)));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_events_entering_the_window_sort_before_later_ring_pushes() {
+        let mut q = CalendarQueue::new();
+        // Parked far beyond the initial window:
+        let far_at = (MAX_RING as u64) + 50;
+        q.push(far_at, "far");
+        q.push(1, "near");
+        assert_eq!(q.pop(), Some((1, "near")));
+        // Now the cursor jumps to the far tick; a ring push at a later
+        // tick must not overtake it.
+        q.push(far_at + 1, "later");
+        assert_eq!(q.pop(), Some((far_at, "far")));
+        assert_eq!(q.pop(), Some((far_at + 1, "later")));
+    }
+
+    /// Differential test against the reference semantics: a max-heap of
+    /// `Reverse((at, seq))` — exactly the ordering the simulator's
+    /// `BinaryHeap` scheduler used.
+    #[test]
+    fn matches_binary_heap_reference_on_random_workloads() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut q = CalendarQueue::new();
+            let mut heap: BinaryHeap<Reverse<(Time, u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now: Time = 0;
+            let mut pending = 0usize;
+            for _ in 0..2000 {
+                let do_push = pending == 0 || rng.gen_range(0..3u32) < 2;
+                if do_push {
+                    // Mostly near-future, occasionally very far.
+                    let delta = if rng.gen_range(0..50u32) == 0 {
+                        rng.gen_range(1..5_000_000u64)
+                    } else {
+                        rng.gen_range(1..=1500u64)
+                    };
+                    let at = now + delta;
+                    seq += 1;
+                    q.push(at, seq);
+                    heap.push(Reverse((at, seq, seq)));
+                    pending += 1;
+                } else {
+                    let got = q.pop();
+                    let Reverse((at, seq_ref, item)) = heap.pop().expect("same length");
+                    assert_eq!(got, Some((at, item)), "seed {seed} seq {seq_ref}");
+                    now = at;
+                    pending -= 1;
+                }
+            }
+            // Drain both completely.
+            while let Some(got) = q.pop() {
+                let Reverse((at, _, item)) = heap.pop().expect("same length");
+                assert_eq!(got, (at, item));
+            }
+            assert!(heap.is_empty());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Reusable effect buffers (the *sink* halves of the [`Machine`] and
+//! [`Byzantine`] hook APIs).
+//!
+//! Machine hooks do not return `Vec<Step>`; they write into a
+//! [`StepSink`] (correct processes) or [`ByzSink`] (Byzantine behaviours)
+//! handed in by the caller. The [`crate::Simulation`] owns one buffer of
+//! each kind, clears it per event, and re-lends it to every hook — so the
+//! steady-state event loop performs **zero heap allocations** for effect
+//! collection, no matter how many events run. Composite machines keep their
+//! own scratch sinks for embedded components and drain them into the outer
+//! sink, reusing capacity the same way.
+//!
+//! [`Machine`]: crate::Machine
+//! [`Byzantine`]: crate::Byzantine
+
+use validity_core::ProcessId;
+
+use crate::node::{ByzStep, Step};
+use crate::time::Time;
+
+/// An effects buffer for correct machines: an append-only list of
+/// [`Step`]s with convenience constructors. Order is preserved — the
+/// simulator applies steps in exactly the order they were pushed, which is
+/// what keeps executions byte-identical to the historical `Vec<Step>`
+/// return-value API.
+#[derive(Clone, Debug)]
+pub struct StepSink<M, O> {
+    steps: Vec<Step<M, O>>,
+}
+
+impl<M, O> StepSink<M, O> {
+    /// Creates an empty sink (no allocation until the first push).
+    pub fn new() -> Self {
+        StepSink { steps: Vec::new() }
+    }
+
+    /// Appends an arbitrary step.
+    #[inline]
+    pub fn push(&mut self, step: Step<M, O>) {
+        self.steps.push(step);
+    }
+
+    /// Requests a point-to-point send of `msg` to `to`.
+    #[inline]
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.steps.push(Step::Send(to, msg));
+    }
+
+    /// Requests a broadcast of `msg` to every process (including self).
+    #[inline]
+    pub fn broadcast(&mut self, msg: M) {
+        self.steps.push(Step::Broadcast(msg));
+    }
+
+    /// Requests a timer callback with `tag` after `delay` ticks.
+    #[inline]
+    pub fn timer(&mut self, delay: Time, tag: u64) {
+        self.steps.push(Step::Timer(delay, tag));
+    }
+
+    /// Produces a protocol output.
+    #[inline]
+    pub fn output(&mut self, o: O) {
+        self.steps.push(Step::Output(o));
+    }
+
+    /// Stops participating.
+    pub fn halt(&mut self) {
+        self.steps.push(Step::Halt);
+    }
+
+    /// Number of buffered steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sink holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The buffered steps, in push order (used by component tests).
+    pub fn steps(&self) -> &[Step<M, O>] {
+        &self.steps
+    }
+
+    /// Discards all buffered steps, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Drains the buffered steps in push order, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Step<M, O>> {
+        self.steps.drain(..)
+    }
+}
+
+impl<M, O> Default for StepSink<M, O> {
+    fn default() -> Self {
+        StepSink::new()
+    }
+}
+
+/// An effects buffer for Byzantine behaviours — the [`ByzStep`] analogue
+/// of [`StepSink`].
+#[derive(Clone, Debug)]
+pub struct ByzSink<M> {
+    steps: Vec<ByzStep<M>>,
+}
+
+impl<M> ByzSink<M> {
+    /// Creates an empty sink (no allocation until the first push).
+    pub fn new() -> Self {
+        ByzSink { steps: Vec::new() }
+    }
+
+    /// Appends an arbitrary step.
+    #[inline]
+    pub fn push(&mut self, step: ByzStep<M>) {
+        self.steps.push(step);
+    }
+
+    /// Requests a point-to-point send of `msg` to `to`.
+    #[inline]
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.steps.push(ByzStep::Send(to, msg));
+    }
+
+    /// Requests a broadcast of `msg` to every process.
+    #[inline]
+    pub fn broadcast(&mut self, msg: M) {
+        self.steps.push(ByzStep::Broadcast(msg));
+    }
+
+    /// Requests a timer callback with `tag` after `delay` ticks.
+    #[inline]
+    pub fn timer(&mut self, delay: Time, tag: u64) {
+        self.steps.push(ByzStep::Timer(delay, tag));
+    }
+
+    /// Number of buffered steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sink holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The buffered steps, in push order (used by behaviour tests).
+    pub fn steps(&self) -> &[ByzStep<M>] {
+        &self.steps
+    }
+
+    /// Discards all buffered steps, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Drains the buffered steps in push order, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, ByzStep<M>> {
+        self.steps.drain(..)
+    }
+}
+
+impl<M> Default for ByzSink<M> {
+    fn default() -> Self {
+        ByzSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_sink_preserves_push_order() {
+        let mut sink: StepSink<u32, u64> = StepSink::new();
+        sink.broadcast(7);
+        sink.send(ProcessId(2), 8);
+        sink.timer(10, 3);
+        sink.output(99);
+        sink.halt();
+        assert_eq!(sink.len(), 5);
+        assert!(matches!(sink.steps()[0], Step::Broadcast(7)));
+        assert!(matches!(sink.steps()[1], Step::Send(ProcessId(2), 8)));
+        assert!(matches!(sink.steps()[2], Step::Timer(10, 3)));
+        assert!(matches!(sink.steps()[3], Step::Output(99)));
+        assert!(matches!(sink.steps()[4], Step::Halt));
+        let drained: Vec<_> = sink.drain().collect();
+        assert_eq!(drained.len(), 5);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut sink: StepSink<u32, u64> = StepSink::new();
+        for i in 0..64 {
+            sink.send(ProcessId(0), i);
+        }
+        let cap = sink.steps.capacity();
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.steps.capacity(), cap);
+    }
+
+    #[test]
+    fn byz_sink_preserves_push_order() {
+        let mut sink: ByzSink<u32> = ByzSink::new();
+        sink.broadcast(1);
+        sink.send(ProcessId(1), 2);
+        sink.timer(5, 0);
+        assert_eq!(sink.len(), 3);
+        assert!(matches!(sink.steps()[0], ByzStep::Broadcast(1)));
+        assert!(matches!(sink.steps()[1], ByzStep::Send(ProcessId(1), 2)));
+        assert!(matches!(sink.steps()[2], ByzStep::Timer(5, 0)));
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+}

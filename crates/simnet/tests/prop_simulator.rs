@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use validity_core::{ProcessId, SystemParams};
 use validity_simnet::{
-    Env, Machine, Message, NodeKind, PreGstPolicy, Silent, SimConfig, Simulation, Step,
+    Env, Machine, Message, NodeKind, PreGstPolicy, Silent, SimConfig, Simulation, StepSink,
 };
 
 #[derive(Clone, Debug)]
@@ -26,16 +26,21 @@ impl Machine for QuorumHear {
     type Msg = Tick;
     type Output = u64;
 
-    fn init(&mut self, env: &Env) -> Vec<Step<Tick, u64>> {
-        vec![Step::Broadcast(Tick(env.id.index() as u64))]
+    fn init(&mut self, env: &Env, sink: &mut StepSink<Tick, u64>) {
+        sink.broadcast(Tick(env.id.index() as u64));
     }
 
-    fn on_message(&mut self, _from: ProcessId, _m: Tick, env: &Env) -> Vec<Step<Tick, u64>> {
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        _m: &Tick,
+        env: &Env,
+        sink: &mut StepSink<Tick, u64>,
+    ) {
         self.heard += 1;
         if self.heard == env.quorum() {
-            vec![Step::Output(self.heard as u64), Step::Halt]
-        } else {
-            Vec::new()
+            sink.output(self.heard as u64);
+            sink.halt();
         }
     }
 }

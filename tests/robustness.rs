@@ -13,8 +13,8 @@ use validity_core::{
 use validity_crypto::{KeyStore, Signer, ThresholdScheme};
 use validity_protocols::{proposal_sign_bytes, Universal, VectorAuth, VectorAuthMsg};
 use validity_simnet::{
-    agreement_holds, ByzStep, Byzantine, Env, FilteredMachine, NodeKind, PreGstPolicy, Silent,
-    SimConfig, Simulation, Time,
+    agreement_holds, ByzSink, ByzStep, Byzantine, Env, FilteredMachine, NodeKind, PreGstPolicy,
+    Silent, SimConfig, Simulation, Time,
 };
 
 type Uni = Universal<u64, VectorAuth<u64>, StrongLambda>;
@@ -27,19 +27,17 @@ struct EquivocatingProposer {
 }
 
 impl Byzantine<Msg> for EquivocatingProposer {
-    fn init(&mut self, env: &Env) -> Vec<ByzStep<Msg>> {
-        (0..env.n())
-            .map(|i| {
-                let v = if i % 2 == 0 { 100u64 } else { 200 };
-                ByzStep::Send(
-                    ProcessId::from_index(i),
-                    VectorAuthMsg::Proposal {
-                        value: v,
-                        sig: self.signer.sign(proposal_sign_bytes(&v)),
-                    },
-                )
-            })
-            .collect()
+    fn init(&mut self, env: &Env, sink: &mut ByzSink<Msg>) {
+        for i in 0..env.n() {
+            let v = if i % 2 == 0 { 100u64 } else { 200 };
+            sink.push(ByzStep::Send(
+                ProcessId::from_index(i),
+                VectorAuthMsg::Proposal {
+                    value: v,
+                    sig: self.signer.sign(proposal_sign_bytes(&v)),
+                },
+            ));
+        }
     }
 }
 
@@ -51,12 +49,12 @@ struct NoiseReflector {
 }
 
 impl Byzantine<Msg> for NoiseReflector {
-    fn on_message(&mut self, _from: ProcessId, msg: Msg, _env: &Env) -> Vec<ByzStep<Msg>> {
+    fn on_message(&mut self, _from: ProcessId, msg: &Msg, _env: &Env, sink: &mut ByzSink<Msg>) {
         if self.budget == 0 {
-            return Vec::new();
+            return;
         }
         self.budget -= 1;
-        vec![ByzStep::Broadcast(msg)]
+        sink.broadcast(msg.clone());
     }
 }
 

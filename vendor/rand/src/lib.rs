@@ -42,10 +42,21 @@ macro_rules! impl_sample_uniform {
                     // Full-width range: every word is a valid sample.
                     return rng.next_u64() as $t;
                 }
-                // Debiased via rejection sampling on the top chunk.
-                let zone = u128::from(u64::MAX) - (u128::from(u64::MAX) + 1) % span;
+                if span > u128::from(u64::MAX) {
+                    // span == 2^64 (a full 64-bit type's range): zone is
+                    // u64::MAX and x % 2^64 == x, so every word is valid.
+                    return low.wrapping_add(rng.next_u64() as $t);
+                }
+                // Debiased via rejection sampling on the top chunk. The
+                // zone and modulo are computed in 64-bit arithmetic —
+                // bit-identical to the historical u128 formulation
+                // ((2^64) % span == (u64::MAX % span + 1) % span) but
+                // without 128-bit divisions, which dominated the
+                // simulator's per-event cost.
+                let span = span as u64;
+                let zone = u64::MAX - (u64::MAX % span + 1) % span;
                 loop {
-                    let x = u128::from(rng.next_u64());
+                    let x = rng.next_u64();
                     if x <= zone {
                         return low.wrapping_add((x % span) as $t);
                     }
