@@ -1,11 +1,13 @@
 //! The `lab` CLI: run scenario sweeps (whole or sharded), list the
-//! registries, merge shard partials, diff reports, and emit / gate on the
-//! CI bench-trend artifact.
+//! registries, merge shard partials, diff reports, emit / gate on the CI
+//! bench-trend artifact, profile sweeps, and gate the engine events/sec
+//! baseline.
 //!
 //! ```text
 //! lab list [--names]
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
 //! lab run --suite universal --dry-run
+//! lab run --suite quick --observe --timing
 //! lab run --suite complexity --shard 2/4 --json part2.json
 //! lab run --suite complexity --adaptive --precision 0.05 --batch 2 --max-seeds 16
 //! lab run --protocols universal/alg1-auth --validities strong,median \
@@ -18,15 +20,21 @@
 //! lab trend --from-reports complexity.json,universal.json \
 //!           --baseline BENCH_lab_baseline.json --out BENCH_lab.json
 //! lab trend --suites complexity,universal --update-baseline
+//! lab profile --suite quick --top 5 --timeline hot
+//! lab perf --bench BENCH_simnet.json --baseline ci/BENCH_simnet_baseline.json
+//! lab perf --bench BENCH_simnet.json --update-baseline
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use validity_adversary::BehaviorId;
 use validity_lab::json::Json;
+use validity_lab::perf::{compare_simnet, SimnetBench};
 use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
-    merge, suites, FitAxis, FitMeasure, PartialReport, ProtocolSpec, SamplingSpec, ScenarioMatrix,
+    hottest_by_events, merge, observe_json, observe_markdown, profile_markdown, suites,
+    timeline_for, FitAxis, FitMeasure, PartialReport, ProtocolSpec, SamplingSpec, ScenarioMatrix,
     ScheduleSpec, ShardSpec, SweepEngine, SweepReport, ValiditySpec, PARTIAL_SCHEMA,
     PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
 };
@@ -44,22 +52,28 @@ fn main() -> ExitCode {
         Some((&"merge", rest)) => merge_cmd(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"trend", rest)) => trend(rest),
+        Some((&"profile", rest)) => profile(rest),
+        Some((&"perf", rest)) => perf(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | merge | diff | trend> ...\n\n\
+                "usage: lab <list | run | merge | diff | trend | profile | perf> ...\n\n\
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
-                 \x20        [--max-steps N] [--shard i/m] [--dry-run]\n\
+                 \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
                  \x20        [--adaptive] [--precision X] [--batch N] [--max-seeds N]\n\
                  lab run --protocols P,.. --validities V,.. --behaviors B,..\n\
                  \x20        --schedules S,.. --systems n,t;n,t --faults 0,max --seeds a..b\n\
                  \x20        [--fits messages,words,latency] [--fit-axis n|t|domain]\n\
-                 \x20        [--max-steps N] [--shard i/m] [--dry-run]\n\
+                 \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
                  \x20        [--adaptive] [--precision X] [--batch N] [--max-seeds N]\n\
                  lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
                  lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
                  \x20        [--threads N] [--out FILE] [--baseline FILE] [--tolerance X]\n\
+                 \x20        [--update-baseline]\n\
+                 lab profile --suite <name> [--threads N] [--top K] [--out FILE]\n\
+                 \x20        [--timeline BASE] [--cell LABEL]\n\
+                 lab perf [--bench FILE] [--baseline FILE] [--tolerance X]\n\
                  \x20        [--update-baseline]"
             );
             ExitCode::FAILURE
@@ -132,7 +146,7 @@ const RUN_FLAGS: [&str; 18] = [
 ];
 
 /// Flags that take no value.
-const RUN_SWITCHES: [&str; 3] = ["--dry-run", "--adaptive", "--timing"];
+const RUN_SWITCHES: [&str; 4] = ["--dry-run", "--adaptive", "--timing", "--observe"];
 
 /// Rejects misspelled or unknown options instead of silently falling back
 /// to defaults (a sweep that quietly measures the wrong scenario is worse
@@ -430,10 +444,18 @@ fn run(rest: &[&str]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let observing = rest.contains(&"--observe");
     if let Some(shard) = shard {
+        if observing {
+            eprintln!(
+                "--observe is not available with --shard: observations are \
+                 per-process; run the whole matrix observed, or profile it"
+            );
+            return ExitCode::FAILURE;
+        }
         return run_shard(rest, &matrix, shard, threads);
     }
-    let engine = SweepEngine::new(threads);
+    let engine = SweepEngine::new(threads).observe(observing);
     match matrix.sampling {
         Some(spec) => eprintln!(
             "sweep '{}': adaptive over {} work unit(s) (precision {}) on {} worker thread(s)...",
@@ -473,13 +495,51 @@ fn run(rest: &[&str]) -> ExitCode {
     let md_path = opt_value(rest, "--md")
         .map(String::from)
         .unwrap_or_else(|| format!("lab-{}.md", matrix.name));
-    // `--timing` appends a wall-clock section (per-cell events/sec) to the
-    // Markdown output only. The JSON report and the default Markdown stay
-    // byte-identical to timing-free runs — timing is nondeterministic and
-    // must never leak into canonical artifacts.
-    let extra_md = rest
-        .contains(&"--timing")
-        .then(|| validity_lab::timing_markdown(&sweep.timings));
+    // `--timing` and `--observe` append extra sections to the Markdown
+    // output only. The JSON report and the default Markdown stay
+    // byte-identical to plain runs — timing is nondeterministic, and even
+    // the deterministic observe metrics must never leak into canonical
+    // artifacts (their fingerprints cannot depend on instrumentation).
+    let mut extra = String::new();
+    if rest.contains(&"--timing") {
+        extra.push_str(&validity_lab::timing_markdown(
+            &sweep.timings,
+            matrix.sampling.is_some(),
+        ));
+    }
+    if observing {
+        if !extra.is_empty() {
+            extra.push('\n');
+        }
+        extra.push_str(&observe_markdown(&sweep.observed));
+        // Side artifacts: the full-histogram JSON, plus a timeline export
+        // of the hottest observed unit (deterministic choice — events are
+        // seeded, so reruns pick the same cell).
+        let base = json_path.strip_suffix(".json").unwrap_or(&json_path);
+        let observe_path = format!("{base}.observe.json");
+        if let Err(e) = std::fs::write(&observe_path, observe_json(&matrix.name, &sweep.observed)) {
+            eprintln!("cannot write {observe_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("observe artifact: {observe_path}");
+        if let Some(hot) = hottest_by_events(&sweep.observed) {
+            if let Some(timeline) = timeline_for(&matrix, &hot.label) {
+                let jsonl_path = format!("{base}.timeline.jsonl");
+                let trace_path = format!("{base}.timeline.trace.json");
+                for (path, text) in [
+                    (&jsonl_path, timeline.to_jsonl()),
+                    (&trace_path, timeline.to_chrome_trace()),
+                ] {
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                eprintln!("timeline ({}): {jsonl_path}, {trace_path}", hot.label);
+            }
+        }
+    }
+    let extra_md = (!extra.is_empty()).then_some(extra);
     emit_reports_with(&report, &json_path, &md_path, extra_md.as_deref())
 }
 
@@ -968,6 +1028,219 @@ fn trend(rest: &[&str]) -> ExitCode {
         }
     }
     if failed {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lab profile`: run a suite with the metrics probe attached and print
+/// where the sweep spends its effort — phase wall-clock breakdown, the
+/// top-k hottest cells by simulator events and by wall time, and
+/// queue/slab occupancy summaries. With `--timeline BASE`, additionally
+/// exports the hottest cell (or `--cell LABEL`) as `BASE.jsonl` and
+/// `BASE.trace.json` (Chrome `chrome://tracing` / Perfetto format).
+fn profile(rest: &[&str]) -> ExitCode {
+    const PROFILE_FLAGS: [&str; 6] = [
+        "--suite",
+        "--threads",
+        "--top",
+        "--out",
+        "--timeline",
+        "--cell",
+    ];
+    let mut i = 0;
+    while i < rest.len() {
+        if !PROFILE_FLAGS.contains(&rest[i]) || i + 1 >= rest.len() {
+            eprintln!(
+                "usage: lab profile --suite <name> [--threads N] [--top K] [--out FILE]\n\
+                 \x20                 [--timeline BASE] [--cell LABEL]"
+            );
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    let Some(name) = opt_value(rest, "--suite") else {
+        eprintln!("lab profile wants --suite <name>; see `lab list`");
+        return ExitCode::FAILURE;
+    };
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top: usize = match opt_value(rest, "--top").map(str::parse) {
+        None => 10,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("--top wants a positive count");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(matrix) = suites::build(name) else {
+        eprintln!("unknown suite '{name}'; see `lab list`");
+        return ExitCode::FAILURE;
+    };
+
+    let start = Instant::now();
+    let cells = matrix.len();
+    let units = matrix.work_units().len();
+    let enumerate = start.elapsed();
+    let engine = SweepEngine::new(threads).observe(true);
+    eprintln!(
+        "profile '{name}': {cells} cell(s) / {units} work unit(s) on {} worker thread(s)...",
+        engine.threads()
+    );
+    let run_start = Instant::now();
+    let (_report, sweep) = engine.run(&matrix);
+    // The sweep's own wall clock is the execute phase; everything else of
+    // `run` (record collection, aggregation, fitting) is the aggregate
+    // phase.
+    let aggregate = run_start.elapsed().saturating_sub(sweep.wall);
+    let phases = [
+        ("enumerate", enumerate),
+        ("execute", sweep.wall),
+        ("aggregate", aggregate),
+    ];
+    let md = profile_markdown(name, &phases, &sweep.timings, &sweep.observed, top);
+    if let Some(out_path) = opt_value(rest, "--out") {
+        if let Err(e) = std::fs::write(out_path, &md) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("profile: {out_path}");
+    }
+    print!("{md}");
+
+    if let Some(base) = opt_value(rest, "--timeline") {
+        let label = match opt_value(rest, "--cell") {
+            Some(label) => label.to_string(),
+            None => match hottest_by_events(&sweep.observed) {
+                Some(hot) => hot.label.clone(),
+                None => {
+                    eprintln!("nothing to export: the suite observed no run cells");
+                    return ExitCode::from(1);
+                }
+            },
+        };
+        let Some(timeline) = timeline_for(&matrix, &label) else {
+            eprintln!(
+                "no timeline for '{label}': not a run cell of this suite \
+                 (classification cells have no event timeline)"
+            );
+            return ExitCode::from(1);
+        };
+        let jsonl_path = format!("{base}.jsonl");
+        let trace_path = format!("{base}.trace.json");
+        for (path, text) in [
+            (&jsonl_path, timeline.to_jsonl()),
+            (&trace_path, timeline.to_chrome_trace()),
+        ] {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("timeline ({label}): {jsonl_path}, {trace_path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lab perf`: gate the engine's events/sec against the committed
+/// baseline. The current artifact comes from the `perf_smoke` example
+/// (`cargo run --release -p validity-simnet --example perf_smoke`); this
+/// command diffs it against `--baseline` and fails on slowdowns beyond
+/// `--tolerance`, changed per-iteration event counts (determinism drift),
+/// and vanished shapes. `--update-baseline` instead rewrites the baseline
+/// from the current artifact — the deliberate-refresh path after an
+/// intentional engine change.
+fn perf(rest: &[&str]) -> ExitCode {
+    const PERF_FLAGS: [&str; 3] = ["--bench", "--baseline", "--tolerance"];
+    const PERF_SWITCHES: [&str; 1] = ["--update-baseline"];
+    let mut i = 0;
+    while i < rest.len() {
+        if PERF_SWITCHES.contains(&rest[i]) {
+            i += 1;
+            continue;
+        }
+        if !PERF_FLAGS.contains(&rest[i]) || i + 1 >= rest.len() {
+            eprintln!(
+                "usage: lab perf [--bench FILE] [--baseline FILE] [--tolerance X]\n\
+                 \x20              [--update-baseline]"
+            );
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    // Same non-finite guard as `lab trend`: a NaN tolerance would make
+    // every slowdown comparison false and silently disarm the gate.
+    let tolerance: f64 = match opt_value(rest, "--tolerance").map(str::parse) {
+        None => 0.5,
+        Some(Ok(x)) if x >= 0.0 && f64::is_finite(x) => x,
+        Some(_) => {
+            eprintln!("--tolerance wants a finite non-negative number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bench_path = opt_value(rest, "--bench").unwrap_or("BENCH_simnet.json");
+    let baseline_path = opt_value(rest, "--baseline").unwrap_or("ci/BENCH_simnet_baseline.json");
+    let current = match std::fs::read_to_string(bench_path) {
+        Ok(text) => match SimnetBench::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{bench_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "cannot read {bench_path}: {e}\n(produce it with: cargo run --release \
+                 -p validity-simnet --example perf_smoke -- {bench_path})"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if rest.contains(&"--update-baseline") {
+        // Re-emit through the canonical renderer (not a byte copy) so the
+        // committed baseline always has the one reviewable layout, whatever
+        // produced the input.
+        if let Err(e) = std::fs::write(baseline_path, current.to_json()) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline updated: {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match SimnetBench::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if current.workload != baseline.workload {
+        eprintln!(
+            "PERF FAILURE: workload mismatch — current '{}' vs baseline '{}': \
+             the artifacts measure different things",
+            current.workload, baseline.workload
+        );
+        return ExitCode::from(1);
+    }
+    let diff = compare_simnet(&current, &baseline, tolerance);
+    print!("{}", diff.render_markdown());
+    if diff.regressions() > 0 {
+        eprintln!(
+            "PERF FAILURE: {} regression(s) vs baseline {baseline_path}",
+            diff.regressions()
+        );
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -13,17 +13,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use validity_simnet::Metrics;
+
 use crate::matrix::{CellSpec, RunCell, SamplingSpec, ScenarioMatrix, ShardSpec, WorkUnit};
+use crate::observe::CellObservation;
 use crate::report::SweepReport;
 use crate::runner::{
-    execute_run_with_context, execute_with_budget, CellRecord, GroupContext, Outcome,
+    execute_run_with_context, execute_run_with_probe, execute_with_budget, CellRecord,
+    GroupContext, Outcome,
 };
 use crate::sampling;
 
-/// The sweep engine: a worker-pool width and nothing else.
+/// The sweep engine: a worker-pool width plus an observe switch.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepEngine {
     threads: usize,
+    observe: bool,
 }
 
 /// What a finished sweep hands back: ordered records plus timing.
@@ -40,6 +45,13 @@ pub struct SweepRun {
     /// nondeterministic observable: it feeds the `--timing` harness and
     /// never enters canonical reports.
     pub timings: Vec<CellTiming>,
+    /// Per-cell (fixed sweeps) or per-work-unit (adaptive sweeps) engine
+    /// metrics, aligned with `timings`, when the engine ran with
+    /// [`SweepEngine::observe`]. Unlike `timings` these are fully
+    /// deterministic — but still non-canonical: they feed the `--observe`
+    /// section and artifacts, never the report. Classification cells run
+    /// no simulator and contribute no observation.
+    pub observed: Vec<CellObservation>,
 }
 
 /// Wall-clock cost of one executed cell (or adaptive work unit).
@@ -55,11 +67,26 @@ pub struct CellTiming {
 }
 
 /// Renders the timing table appended to Markdown output under `--timing`.
-pub fn timing_markdown(timings: &[CellTiming]) -> String {
+///
+/// `adaptive` selects the row-unit label: a fixed sweep times each *cell*,
+/// an adaptive sweep times each *work unit* (a whole seed ladder, many
+/// cells deep, or one classification cell). The header names the unit so
+/// the two modes cannot be misread as comparable events/sec figures.
+pub fn timing_markdown(timings: &[CellTiming], adaptive: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("## Timing (wall clock; never part of canonical reports)\n\n");
-    out.push_str("| cell | events | wall ms | events/sec |\n|---|---|---|---|\n");
+    if adaptive {
+        out.push_str(
+            "Adaptive sampling: one row per **work unit** (a full seed \
+             ladder, or one classification cell) — events/sec is per unit \
+             and not comparable with fixed-sweep per-cell rows.\n\n",
+        );
+        out.push_str("| work unit | events | wall ms | events/sec |\n|---|---|---|---|\n");
+    } else {
+        out.push_str("One row per **cell** (single seed).\n\n");
+        out.push_str("| cell | events | wall ms | events/sec |\n|---|---|---|---|\n");
+    }
     let mut events_total = 0u64;
     let mut wall_total = Duration::ZERO;
     for t in timings {
@@ -112,12 +139,29 @@ impl SweepEngine {
         } else {
             threads
         };
-        SweepEngine { threads }
+        SweepEngine {
+            threads,
+            observe: false,
+        }
     }
 
     /// The worker-pool width.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables (or disables) engine observation: run cells execute with a
+    /// [`Metrics`] probe attached and the sweep returns per-cell/unit
+    /// [`CellObservation`]s. Records and reports are byte-identical either
+    /// way — probes observe, never perturb (builder-style).
+    pub fn observe(mut self, on: bool) -> Self {
+        self.observe = on;
+        self
+    }
+
+    /// Whether this engine observes run cells.
+    pub fn observing(&self) -> bool {
+        self.observe
     }
 
     /// Executes every cell of `matrix` (under its step budget, if any) and
@@ -127,21 +171,23 @@ impl SweepEngine {
     pub fn execute(&self, matrix: &ScenarioMatrix) -> SweepRun {
         if matrix.sampling.is_some() {
             let units = matrix.work_units();
-            let (records, wall, timings) = self.execute_units(matrix, &units);
+            let (records, wall, timings, observed) = self.execute_units(matrix, &units);
             return SweepRun {
                 records,
                 threads: self.threads,
                 wall,
                 timings,
+                observed,
             };
         }
         let cells = matrix.cells();
-        let (records, wall, timings) = self.execute_cells(&cells, matrix.max_steps);
+        let (records, wall, timings, observed) = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
             records,
             threads: self.threads,
             wall,
             timings,
+            observed,
         }
     }
 
@@ -162,21 +208,23 @@ impl SweepEngine {
     pub fn execute_shard(&self, matrix: &ScenarioMatrix, shard: ShardSpec) -> SweepRun {
         if matrix.sampling.is_some() {
             let units = matrix.shard_units(shard);
-            let (records, wall, timings) = self.execute_units(matrix, &units);
+            let (records, wall, timings, observed) = self.execute_units(matrix, &units);
             return SweepRun {
                 records,
                 threads: self.threads,
                 wall,
                 timings,
+                observed,
             };
         }
         let cells = matrix.shard_cells(shard);
-        let (records, wall, timings) = self.execute_cells(&cells, matrix.max_steps);
+        let (records, wall, timings, observed) = self.execute_cells(&cells, matrix.max_steps);
         SweepRun {
             records,
             threads: self.threads,
             wall,
             timings,
+            observed,
         }
     }
 
@@ -187,12 +235,17 @@ impl SweepEngine {
         &self,
         cells: &[CellSpec],
         max_steps: Option<u64>,
-    ) -> (Vec<CellRecord>, Duration, Vec<CellTiming>) {
+    ) -> (
+        Vec<CellRecord>,
+        Duration,
+        Vec<CellTiming>,
+        Vec<CellObservation>,
+    ) {
         let started = Instant::now();
         let n = cells.len();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(CellRecord, Duration)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type CellSlot = Mutex<Option<(CellRecord, Duration, Option<Metrics>)>>;
+        let slots: Vec<CellSlot> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n.max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -202,16 +255,25 @@ impl SweepEngine {
                         break;
                     }
                     let cell_started = Instant::now();
-                    let record = execute_with_budget(&cells[i], max_steps);
+                    let (record, metrics) = match (&cells[i], self.observe) {
+                        (CellSpec::Run(c), true) => {
+                            let ctx = GroupContext::new(c, max_steps);
+                            let probe = Metrics::new(ctx.round_width());
+                            let (record, m) = execute_run_with_probe(&ctx, c.seed, probe);
+                            (record, Some(m))
+                        }
+                        _ => (execute_with_budget(&cells[i], max_steps), None),
+                    };
                     *slots[i].lock().expect("result slot poisoned") =
-                        Some((record, cell_started.elapsed()));
+                        Some((record, cell_started.elapsed(), metrics));
                 });
             }
         });
         let mut records = Vec::with_capacity(n);
         let mut timings = Vec::with_capacity(n);
+        let mut observed = Vec::new();
         for s in slots {
-            let (record, wall) = s
+            let (record, wall, metrics) = s
                 .into_inner()
                 .expect("result slot poisoned")
                 .expect("worker pool exited with an unfilled slot");
@@ -220,9 +282,15 @@ impl SweepEngine {
                 events: record_events(&record),
                 wall,
             });
+            if let Some(metrics) = metrics {
+                observed.push(CellObservation {
+                    label: record.key.clone(),
+                    metrics,
+                });
+            }
             records.push(record);
         }
-        (records, started.elapsed(), timings)
+        (records, started.elapsed(), timings, observed)
     }
 
     /// Executes a pre-enumerated work-unit list under the matrix's
@@ -235,14 +303,19 @@ impl SweepEngine {
         &self,
         matrix: &ScenarioMatrix,
         units: &[WorkUnit],
-    ) -> (Vec<CellRecord>, Duration, Vec<CellTiming>) {
+    ) -> (
+        Vec<CellRecord>,
+        Duration,
+        Vec<CellTiming>,
+        Vec<CellObservation>,
+    ) {
         let spec = matrix
             .sampling
             .expect("execute_units requires an adaptive matrix");
         let started = Instant::now();
         let n = units.len();
         let next = AtomicUsize::new(0);
-        type UnitSlot = Mutex<Option<(Vec<CellRecord>, Duration)>>;
+        type UnitSlot = Mutex<Option<(Vec<CellRecord>, Duration, Option<Metrics>)>>;
         let slots: Vec<UnitSlot> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n.max(1));
         std::thread::scope(|scope| {
@@ -253,30 +326,45 @@ impl SweepEngine {
                         break;
                     }
                     let unit_started = Instant::now();
-                    let records = match &units[i] {
-                        WorkUnit::Classify(c) => {
+                    let (records, metrics) = match &units[i] {
+                        WorkUnit::Classify(c) => (
                             vec![execute_with_budget(
                                 &CellSpec::Classify(*c),
                                 matrix.max_steps,
-                            )]
+                            )],
+                            None,
+                        ),
+                        WorkUnit::Group(template) if self.observe => {
+                            let (records, m) = run_adaptive_group_observed(
+                                template,
+                                &spec,
+                                &matrix.fit_measures,
+                                matrix.seeds.start,
+                                matrix.max_steps,
+                            );
+                            (records, Some(m))
                         }
-                        WorkUnit::Group(template) => run_adaptive_group(
-                            template,
-                            &spec,
-                            &matrix.fit_measures,
-                            matrix.seeds.start,
-                            matrix.max_steps,
+                        WorkUnit::Group(template) => (
+                            run_adaptive_group(
+                                template,
+                                &spec,
+                                &matrix.fit_measures,
+                                matrix.seeds.start,
+                                matrix.max_steps,
+                            ),
+                            None,
                         ),
                     };
                     *slots[i].lock().expect("result slot poisoned") =
-                        Some((records, unit_started.elapsed()));
+                        Some((records, unit_started.elapsed(), metrics));
                 });
             }
         });
         let mut records = Vec::new();
         let mut timings = Vec::with_capacity(n);
+        let mut observed = Vec::new();
         for (slot, unit) in slots.into_iter().zip(units) {
-            let (unit_records, wall) = slot
+            let (unit_records, wall, metrics) = slot
                 .into_inner()
                 .expect("result slot poisoned")
                 .expect("worker pool exited with an unfilled slot");
@@ -285,13 +373,16 @@ impl SweepEngine {
                 WorkUnit::Group(template) => template.group_key(),
             };
             timings.push(CellTiming {
-                label,
+                label: label.clone(),
                 events: unit_records.iter().map(record_events).sum(),
                 wall,
             });
+            if let Some(metrics) = metrics {
+                observed.push(CellObservation { label, metrics });
+            }
             records.extend(unit_records);
         }
-        (records, started.elapsed(), timings)
+        (records, started.elapsed(), timings, observed)
     }
 
     /// Executes `matrix` and aggregates into a [`SweepReport`] (fit groups
@@ -316,17 +407,67 @@ pub fn run_adaptive_group(
     first_seed: u64,
     max_steps: Option<u64>,
 ) -> Vec<CellRecord> {
-    let batch = spec.batch_size();
     // Everything seed-invariant (the SimConfig with its start_times vector
     // and schedule closures, the validity property, the actual-input
     // configuration) is built once for the whole ladder instead of once
     // per seed.
     let context = GroupContext::new(template, max_steps);
+    run_ladder(
+        &context,
+        template,
+        spec,
+        measures,
+        first_seed,
+        execute_run_with_context,
+    )
+}
+
+/// [`run_adaptive_group`] with a [`Metrics`] probe on every seed, folded
+/// into one per-group observation. The record ladder — including its
+/// stopping point — is byte-identical to the unobserved one: the probe is
+/// outside the stability decision entirely.
+pub(crate) fn run_adaptive_group_observed(
+    template: &RunCell,
+    spec: &SamplingSpec,
+    measures: &[crate::matrix::FitMeasure],
+    first_seed: u64,
+    max_steps: Option<u64>,
+) -> (Vec<CellRecord>, Metrics) {
+    let context = GroupContext::new(template, max_steps);
+    let mut metrics = Metrics::new(context.round_width());
+    let records = run_ladder(
+        &context,
+        template,
+        spec,
+        measures,
+        first_seed,
+        |ctx, seed| {
+            let (record, m) = execute_run_with_probe(ctx, seed, Metrics::new(ctx.round_width()));
+            metrics.merge(&m);
+            record
+        },
+    );
+    (records, metrics)
+}
+
+/// The shared seed-ladder loop: batches of `spec.batch` seeds from
+/// `first_seed`, stopping at the first stable prefix or when the next
+/// batch would exceed the seed cap. `exec` runs one seed; the stopping
+/// decision is a pure function of the records it returns.
+fn run_ladder(
+    context: &GroupContext,
+    template: &RunCell,
+    spec: &SamplingSpec,
+    measures: &[crate::matrix::FitMeasure],
+    first_seed: u64,
+    mut exec: impl FnMut(&GroupContext, u64) -> CellRecord,
+) -> Vec<CellRecord> {
+    let batch = spec.batch_size();
     let mut records: Vec<CellRecord> = Vec::new();
     loop {
         let from = records.len() as u64;
         for s in from..from + batch {
-            records.push(execute_run_with_context(&context, first_seed + s));
+            records.push(exec(context, first_seed + s));
         }
         let consumed = records.len() as u64;
         if sampling::is_stable(&records, measures, spec.precision)
@@ -386,5 +527,63 @@ mod tests {
         let one = SweepEngine::new(1).execute(&m).records;
         let four = SweepEngine::new(4).execute(&m).records;
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn observing_does_not_change_records() {
+        let m = matrix();
+        let plain = SweepEngine::new(2).execute(&m);
+        let observed = SweepEngine::new(2).observe(true).execute(&m);
+        assert_eq!(plain.records, observed.records);
+        assert!(plain.observed.is_empty());
+        assert_eq!(observed.observed.len(), m.cells().len());
+    }
+
+    /// Single source of truth: the metrics probe's event count per cell is
+    /// the same number the `--timing` harness reports (both are
+    /// `Simulation::events_processed`, counted at the same hook).
+    #[test]
+    fn observed_events_match_timing_events() {
+        let m = matrix();
+        let run = SweepEngine::new(1).observe(true).execute(&m);
+        assert_eq!(run.observed.len(), run.timings.len());
+        for (obs, timing) in run.observed.iter().zip(&run.timings) {
+            assert_eq!(obs.label, timing.label);
+            assert_eq!(
+                obs.metrics.events, timing.events,
+                "probe and timing disagree for {}",
+                obs.label
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_observation_pools_the_whole_ladder() {
+        let mut m = matrix();
+        m.sampling = Some(crate::matrix::SamplingSpec::default());
+        let plain = SweepEngine::new(2).execute(&m);
+        let observed = SweepEngine::new(2).observe(true).execute(&m);
+        assert_eq!(plain.records, observed.records);
+        // One observation per run group (this matrix has no classify cells).
+        assert_eq!(observed.observed.len(), observed.timings.len());
+        for (obs, timing) in observed.observed.iter().zip(&observed.timings) {
+            assert_eq!(obs.label, timing.label);
+            assert_eq!(obs.metrics.events, timing.events);
+        }
+    }
+
+    #[test]
+    fn timing_markdown_labels_the_row_unit() {
+        let timings = vec![CellTiming {
+            label: "k".into(),
+            events: 10,
+            wall: Duration::from_millis(1),
+        }];
+        let fixed = timing_markdown(&timings, false);
+        let adaptive = timing_markdown(&timings, true);
+        assert!(fixed.contains("| cell |"));
+        assert!(fixed.contains("per **cell**"));
+        assert!(adaptive.contains("| work unit |"));
+        assert!(adaptive.contains("not comparable"));
     }
 }

@@ -40,8 +40,16 @@
 //! * **[`trend`]** — the versioned `BENCH_lab.json` artifact plus
 //!   historical comparison: `lab trend --baseline` diffs today's fitted
 //!   exponents against a previous artifact and fails on regressions.
-//! * the **`lab`** binary — `run` / `list` / `diff` / `merge` / `trend`
-//!   over all of the above.
+//! * **[`observe`]** — per-cell engine metrics from the simulator's
+//!   zero-cost probe layer (`lab run --observe`, `lab profile`): latency
+//!   and queue-depth histograms, per-round traffic, occupancy high-water
+//!   marks, and timeline export. Deterministic but non-canonical.
+//! * **[`perf`]** — the engine events/sec baseline gate over the
+//!   `validity-simnet/bench@1` artifact (`lab perf`): the CI guard that
+//!   fails when the hot path slows down, mirroring [`trend`]'s exponent
+//!   gate.
+//! * the **`lab`** binary — `run` / `list` / `diff` / `merge` / `trend` /
+//!   `profile` / `perf` over all of the above.
 //!
 //! ## Example
 //!
@@ -64,7 +72,9 @@ pub mod executor;
 pub mod fit;
 pub mod json;
 pub mod matrix;
+pub mod observe;
 pub mod partial;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sampling;
@@ -77,7 +87,12 @@ pub use matrix::{
     CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, RunCell, SamplingSpec,
     ScenarioMatrix, ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
 };
+pub use observe::{
+    hottest_by_events, observe_json, observe_markdown, profile_markdown, timeline_for,
+    CellObservation, OBSERVE_SCHEMA,
+};
 pub use partial::{merge, PartialReport, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1};
+pub use perf::{compare_simnet, SimnetBench, SimnetDiff, SimnetShape, SIMNET_BENCH_SCHEMA};
 pub use report::{FitRow, GroupSummary, SamplingSection, SweepReport, REPORT_SCHEMA};
 pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};
 pub use sampling::GroupSampling;

@@ -1,0 +1,412 @@
+//! The engine events/sec baseline gate.
+//!
+//! The `perf_smoke` example (`crates/simnet/examples/perf_smoke.rs`)
+//! measures the simulator's hot path — events/second on the
+//! broadcast-heavy workload at three shapes — and writes a small
+//! `validity-simnet/bench@1` artifact. This module makes that artifact
+//! *enforceable*, the same way [`crate::trend`] armed `BENCH_lab.json`:
+//! [`SimnetBench`] is the versioned model of the file, and
+//! [`compare_simnet`] diffs a fresh measurement against a committed
+//! baseline (`ci/BENCH_simnet_baseline.json`).
+//!
+//! Three things are regressions (`lab perf` exits non-zero on any):
+//!
+//! * **Slowdown** — a shape's events/sec fell below
+//!   `(1 − tolerance) × baseline`. Wall clock on shared runners is noisy,
+//!   so the default tolerance is generous; best-of-N timing in the
+//!   emitter does the rest.
+//! * **Drift** — a shape's `events_per_iter` changed. The workload is
+//!   seeded and deterministic, so this never moves with hardware: it
+//!   means the engine's event accounting changed and the baseline must be
+//!   refreshed deliberately (`--update-baseline`), not waved through.
+//! * **Missing shape** — a shape in the baseline is absent from the
+//!   current artifact: coverage vanished.
+//!
+//! Speedups and brand-new shapes are reported but never gated. The parser
+//! ignores unknown fields and refuses only an explicitly *different*
+//! schema tag, mirroring [`crate::trend::BenchArtifact::parse`].
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::report::json_str;
+
+/// Schema tag of the simnet bench artifact (written by `perf_smoke`).
+pub const SIMNET_BENCH_SCHEMA: &str = "validity-simnet/bench@1";
+
+/// One measured shape: the workload at one system size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimnetShape {
+    /// System size.
+    pub n: u64,
+    /// Events the seeded run processes — deterministic, hardware-free.
+    pub events_per_iter: u64,
+    /// Best-of-N microseconds per iteration.
+    pub best_us_per_iter: f64,
+    /// `events_per_iter / best_seconds` — the gated rate.
+    pub events_per_sec: f64,
+}
+
+/// The whole simnet bench artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimnetBench {
+    /// Workload name (`broadcast_heavy_4n_words`).
+    pub workload: String,
+    /// Timing rounds the emitter took the best of.
+    pub rounds: u64,
+    /// Measured shapes, in artifact order.
+    pub shapes: Vec<SimnetShape>,
+}
+
+impl SimnetBench {
+    /// Parses an artifact. Unknown fields are ignored; a file tagged with
+    /// a *different* schema is refused (an untagged file is accepted as
+    /// the current generation — there has only ever been one).
+    pub fn parse(text: &str) -> Result<SimnetBench, String> {
+        let v = Json::parse(text)?;
+        match v.get("schema").and_then(Json::as_str) {
+            None | Some(SIMNET_BENCH_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "unsupported simnet bench schema '{other}' (this lab reads \
+                     '{SIMNET_BENCH_SCHEMA}')"
+                ))
+            }
+        }
+        let shapes = v
+            .get("shapes")
+            .and_then(Json::as_arr)
+            .ok_or("simnet bench artifact missing 'shapes'")?
+            .iter()
+            .map(|s| {
+                Ok(SimnetShape {
+                    n: s.get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or("shape missing 'n'")?,
+                    events_per_iter: s
+                        .get("events_per_iter")
+                        .and_then(Json::as_u64)
+                        .ok_or("shape missing 'events_per_iter'")?,
+                    best_us_per_iter: s
+                        .get("best_us_per_iter")
+                        .and_then(Json::as_num)
+                        .ok_or("shape missing 'best_us_per_iter'")?,
+                    events_per_sec: s
+                        .get("events_per_sec")
+                        .and_then(Json::as_num)
+                        .ok_or("shape missing 'events_per_sec'")?,
+                })
+            })
+            .collect::<Result<Vec<SimnetShape>, String>>()?;
+        Ok(SimnetBench {
+            workload: v
+                .get("workload")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            rounds: v.get("rounds").and_then(Json::as_u64).unwrap_or(0),
+            shapes,
+        })
+    }
+
+    /// Renders the artifact in the exact layout `perf_smoke` emits, so a
+    /// baseline written by `--update-baseline` is byte-identical to one
+    /// copied from a fresh measurement.
+    pub fn to_json(&self) -> String {
+        let mut shapes = String::new();
+        for (i, s) in self.shapes.iter().enumerate() {
+            if i > 0 {
+                shapes.push_str(",\n");
+            }
+            let _ = write!(
+                shapes,
+                "    {{\"n\": {}, \"events_per_iter\": {}, \
+                 \"best_us_per_iter\": {:.3}, \"events_per_sec\": {:.0}}}",
+                s.n, s.events_per_iter, s.best_us_per_iter, s.events_per_sec
+            );
+        }
+        format!(
+            "{{\n  \"schema\": {},\n  \"workload\": {},\n  \
+             \"rounds\": {},\n  \"shapes\": [\n{shapes}\n  ]\n}}\n",
+            json_str(SIMNET_BENCH_SCHEMA),
+            json_str(&self.workload),
+            self.rounds
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+
+/// Verdict for one shape across the two artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PerfStatus {
+    /// Present in both, rate within tolerance, event count unchanged.
+    Ok,
+    /// Present only in the current artifact (informational).
+    New,
+    /// Present only in the baseline — coverage vanished (regression).
+    Missing,
+    /// `events_per_iter` changed: the deterministic workload now takes a
+    /// different number of events, so the rates are not comparable and
+    /// the baseline needs a deliberate refresh (regression).
+    Drift,
+    /// Events/sec fell below `(1 − tolerance) × baseline` (regression).
+    Slowdown,
+}
+
+impl PerfStatus {
+    /// Whether this status fails the perf gate.
+    pub fn is_regression(self) -> bool {
+        matches!(
+            self,
+            PerfStatus::Missing | PerfStatus::Drift | PerfStatus::Slowdown
+        )
+    }
+
+    /// The label rendered in the diff table.
+    pub fn label(self) -> &'static str {
+        match self {
+            PerfStatus::Ok => "ok",
+            PerfStatus::New => "new",
+            PerfStatus::Missing => "✘ MISSING",
+            PerfStatus::Drift => "✘ EVENT DRIFT",
+            PerfStatus::Slowdown => "✘ SLOWDOWN",
+        }
+    }
+}
+
+impl fmt::Display for PerfStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One row of the perf diff table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfRow {
+    /// System size of the shape.
+    pub n: u64,
+    /// Baseline events/sec, when the baseline had this shape.
+    pub baseline_rate: Option<f64>,
+    /// Current events/sec, when the current artifact has this shape.
+    pub current_rate: Option<f64>,
+    /// The verdict.
+    pub status: PerfStatus,
+}
+
+/// The full diff of a current artifact against the committed baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimnetDiff {
+    /// Per-shape verdicts, current-artifact order with missing baseline
+    /// shapes appended.
+    pub rows: Vec<PerfRow>,
+    /// The relative slowdown tolerance the verdicts used.
+    pub tolerance: f64,
+}
+
+impl SimnetDiff {
+    /// Number of regression rows — the perf gate fails when non-zero.
+    pub fn regressions(&self) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.status.is_regression())
+            .count() as u64
+    }
+
+    /// Renders the diff table as Markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Engine events/sec vs baseline (slowdown tolerance {:.0}%)\n",
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{} shape(s) compared, {} regression(s).\n",
+            self.rows.len(),
+            self.regressions()
+        );
+        out.push_str("| n | baseline ev/s | current ev/s | ratio | status |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let ratio = match (r.baseline_rate, r.current_rate) {
+                (Some(b), Some(c)) if b > 0.0 => format!("{:.2}×", c / b),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                r.n,
+                r.baseline_rate
+                    .map_or("-".to_string(), |v| format!("{v:.0}")),
+                r.current_rate
+                    .map_or("-".to_string(), |v| format!("{v:.0}")),
+                ratio,
+                r.status,
+            );
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`, matching shapes by `n`.
+///
+/// `tolerance` is the relative slowdown waived before gating: `0.5` lets
+/// events/sec fall to half the baseline before failing. Speedups and new
+/// shapes never gate; a changed `events_per_iter` or a vanished shape
+/// always does.
+///
+/// ```
+/// use validity_lab::perf::{compare_simnet, SimnetBench};
+///
+/// let base = SimnetBench::parse(r#"{"shapes": [{"n": 4,
+///     "events_per_iter": 100, "best_us_per_iter": 10.0,
+///     "events_per_sec": 1e7}]}"#).unwrap();
+/// let mut cur = base.clone();
+/// assert_eq!(compare_simnet(&cur, &base, 0.5).regressions(), 0);
+/// cur.shapes[0].events_per_sec = 4e6; // below half the baseline
+/// assert_eq!(compare_simnet(&cur, &base, 0.5).regressions(), 1);
+/// ```
+pub fn compare_simnet(current: &SimnetBench, baseline: &SimnetBench, tolerance: f64) -> SimnetDiff {
+    let mut rows = Vec::new();
+    let mut matched = vec![false; baseline.shapes.len()];
+    for shape in &current.shapes {
+        let base = baseline
+            .shapes
+            .iter()
+            .position(|b| b.n == shape.n)
+            .map(|i| {
+                matched[i] = true;
+                baseline.shapes[i]
+            });
+        let status = match base {
+            None => PerfStatus::New,
+            Some(b) if b.events_per_iter != shape.events_per_iter => PerfStatus::Drift,
+            Some(b) if shape.events_per_sec < (1.0 - tolerance) * b.events_per_sec => {
+                PerfStatus::Slowdown
+            }
+            Some(_) => PerfStatus::Ok,
+        };
+        rows.push(PerfRow {
+            n: shape.n,
+            baseline_rate: base.map(|b| b.events_per_sec),
+            current_rate: Some(shape.events_per_sec),
+            status,
+        });
+    }
+    for (i, b) in baseline.shapes.iter().enumerate() {
+        if !matched[i] {
+            rows.push(PerfRow {
+                n: b.n,
+                baseline_rate: Some(b.events_per_sec),
+                current_rate: None,
+                status: PerfStatus::Missing,
+            });
+        }
+    }
+    SimnetDiff { rows, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(n: u64, events: u64, rate: f64) -> SimnetShape {
+        SimnetShape {
+            n,
+            events_per_iter: events,
+            best_us_per_iter: events as f64 / rate * 1e6,
+            events_per_sec: rate,
+        }
+    }
+
+    fn bench(shapes: Vec<SimnetShape>) -> SimnetBench {
+        SimnetBench {
+            workload: "broadcast_heavy_4n_words".into(),
+            rounds: 12,
+            shapes,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_in_perf_smoke_layout() {
+        let b = bench(vec![shape(4, 3873, 9.5e6), shape(16, 15000, 8.0e6)]);
+        let text = b.to_json();
+        assert!(text.contains(SIMNET_BENCH_SCHEMA));
+        // Same shape layout as the perf_smoke emitter.
+        assert!(text.contains("    {\"n\": 4, \"events_per_iter\": 3873,"));
+        let back = SimnetBench::parse(&text).expect("round-trip");
+        assert_eq!(back.workload, "broadcast_heavy_4n_words");
+        assert_eq!(back.rounds, 12);
+        assert_eq!(back.shapes.len(), 2);
+        assert_eq!(back.shapes[0].events_per_iter, 3873);
+        // Rendering a parsed artifact is stable.
+        assert_eq!(
+            back.to_json(),
+            SimnetBench::parse(&back.to_json()).unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schema_and_bad_shapes() {
+        let foreign = r#"{"schema": "validity-lab/bench@3", "shapes": []}"#;
+        assert!(SimnetBench::parse(foreign).is_err());
+        assert!(SimnetBench::parse(r#"{"workload": "x"}"#).is_err());
+        assert!(SimnetBench::parse(r#"{"shapes": [{"n": 4}]}"#).is_err());
+        // Untagged but well-shaped: accepted; unknown fields ignored.
+        let ok = r#"{"shapes": [{"n": 4, "events_per_iter": 10,
+            "best_us_per_iter": 1.0, "events_per_sec": 1e7,
+            "extra": "ignored"}], "future_field": null}"#;
+        assert_eq!(SimnetBench::parse(ok).unwrap().shapes[0].n, 4);
+    }
+
+    #[test]
+    fn compare_flags_each_regression_kind() {
+        let base = bench(vec![
+            shape(4, 100, 1e7),
+            shape(16, 400, 8e6),
+            shape(64, 1600, 6e6),
+            shape(256, 6400, 4e6),
+        ]);
+        let current = bench(vec![
+            shape(4, 100, 9.5e6),   // fine: within tolerance
+            shape(16, 401, 8e6),    // event drift
+            shape(64, 1600, 2e6),   // slowdown past 50%
+            shape(1024, 9999, 1e6), // brand new
+        ]);
+        let diff = compare_simnet(&current, &base, 0.5);
+        let status_of = |n: u64| {
+            diff.rows
+                .iter()
+                .find(|r| r.n == n)
+                .unwrap_or_else(|| panic!("no row for n={n}"))
+                .status
+        };
+        assert_eq!(status_of(4), PerfStatus::Ok);
+        assert_eq!(status_of(16), PerfStatus::Drift);
+        assert_eq!(status_of(64), PerfStatus::Slowdown);
+        assert_eq!(status_of(256), PerfStatus::Missing);
+        assert_eq!(status_of(1024), PerfStatus::New);
+        assert_eq!(diff.regressions(), 3);
+        let md = diff.render_markdown();
+        assert!(md.contains("✘ SLOWDOWN"));
+        assert!(md.contains("✘ EVENT DRIFT"));
+        assert!(md.contains("✘ MISSING"));
+        assert!(md.contains("0.33×"));
+    }
+
+    #[test]
+    fn speedups_and_identical_artifacts_never_gate() {
+        let base = bench(vec![shape(4, 100, 1e6)]);
+        let diff = compare_simnet(&base, &base.clone(), 0.25);
+        assert_eq!(diff.regressions(), 0);
+        let faster = bench(vec![shape(4, 100, 5e6)]);
+        assert_eq!(compare_simnet(&faster, &base, 0.25).regressions(), 0);
+        // Zero tolerance gates any slowdown at all.
+        let hair_slower = bench(vec![shape(4, 100, 0.999e6)]);
+        assert_eq!(compare_simnet(&hair_slower, &base, 0.0).regressions(), 1);
+    }
+}

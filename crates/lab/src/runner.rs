@@ -16,7 +16,9 @@ use validity_core::{
     UnsolvableReason,
 };
 use validity_protocols::{Universal, VectorContext};
-use validity_simnet::{agreement_holds, Machine, NetStats, NodeKind, RunOutcome, Simulation, Time};
+use validity_simnet::{
+    agreement_holds, Machine, NetStats, NoProbe, NodeKind, Probe, RunOutcome, Simulation, Time,
+};
 
 use crate::matrix::{CellSpec, ClassifyCell, RunCell, ValiditySpec};
 
@@ -164,22 +166,43 @@ impl GroupContext {
             universal,
         }
     }
+
+    /// The cell's `δ` — the natural round width for a
+    /// [`validity_simnet::Metrics`] probe observing this group.
+    pub(crate) fn round_width(&self) -> Time {
+        self.cfg.delta
+    }
 }
 
 /// Executes the context's cell template at `seed` (see [`GroupContext`]).
 pub(crate) fn execute_run_with_context(ctx: &GroupContext, seed: u64) -> CellRecord {
+    execute_run_with_probe(ctx, seed, NoProbe).0
+}
+
+/// Executes the context's cell template at `seed` with an instrumentation
+/// probe attached, returning the probe alongside the record. The record is
+/// byte-identical to the unprobed one — probes observe, never perturb —
+/// which is what keeps `--observe` runs on the canonical fingerprints.
+pub(crate) fn execute_run_with_probe<P: Probe>(
+    ctx: &GroupContext,
+    seed: u64,
+    probe: P,
+) -> (CellRecord, P) {
     let mut cell = ctx.cell;
     cell.seed = seed;
-    let record = if ctx.universal.is_some() {
-        run_universal(&cell, ctx, seed)
+    let (record, probe) = if ctx.universal.is_some() {
+        run_universal(&cell, ctx, seed, probe)
     } else {
-        run_raw(&cell, ctx, seed)
+        run_raw(&cell, ctx, seed, probe)
     };
-    CellRecord {
-        key: cell.key(),
-        group: cell.group_key(),
-        outcome: Outcome::Run(record),
-    }
+    (
+        CellRecord {
+            key: cell.key(),
+            group: cell.group_key(),
+            outcome: Outcome::Run(record),
+        },
+        probe,
+    )
 }
 
 /// Builds the node vector for machine type `M`: correct machines in the
@@ -213,7 +236,10 @@ fn actual_config(
         .expect("n − byz ≥ n − t pairs are always a valid configuration")
 }
 
-fn collect<M: Machine>(sim: &mut Simulation<M>, check: impl Fn(&M::Output) -> bool) -> RunRecord
+fn collect<M: Machine, P: Probe>(
+    sim: &mut Simulation<M, P>,
+    check: impl Fn(&M::Output) -> bool,
+) -> RunRecord
 where
     M::Output: std::fmt::Debug + PartialEq,
 {
@@ -257,7 +283,12 @@ fn budgeted(
     cfg
 }
 
-fn run_universal(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
+fn run_universal<P: Probe>(
+    cell: &RunCell,
+    gctx: &GroupContext,
+    seed: u64,
+    probe: P,
+) -> (RunRecord, P) {
     let params = gctx.params;
     let uni = gctx
         .universal
@@ -282,13 +313,14 @@ fn run_universal(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
         )
     };
     let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
-    let mut sim = Simulation::new(cfg, nodes);
-    collect(&mut sim, |v: &u64| {
+    let mut sim = Simulation::with_probe(cfg, nodes, probe);
+    let record = collect(&mut sim, |v: &u64| {
         uni.property.is_admissible(&uni.actual, v)
-    })
+    });
+    (record, sim.into_probe())
 }
 
-fn run_raw(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
+fn run_raw<P: Probe>(cell: &RunCell, gctx: &GroupContext, seed: u64, probe: P) -> (RunRecord, P) {
     let params = gctx.params;
     let ctx = VectorContext::new(params, seed);
     let cfg = gctx.cfg.clone().seed(seed);
@@ -297,17 +329,18 @@ fn run_raw(cell: &RunCell, gctx: &GroupContext, seed: u64) -> RunRecord {
     let input_of = |i: usize| (i as u64) * 10;
     let mk = |p: ProcessId, face: u64| kind.machine::<u64>(&ctx, p, input_of(p.index()) + face * 5);
     let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
-    let mut sim = Simulation::new(cfg, nodes);
+    let mut sim = Simulation::with_probe(cfg, nodes, probe);
     // Vector Validity: the decided vector has ≥ n − t entries and every
     // entry attributed to a *correct* process carries its real proposal.
     let quorum = params.quorum();
     let correct_bound = params.n() - cell.byz;
-    collect(&mut sim, move |vector: &InputConfig<u64>| {
+    let record = collect(&mut sim, move |vector: &InputConfig<u64>| {
         vector.pi().len() >= quorum
             && vector
                 .pairs()
                 .all(|(p, v)| p.index() >= correct_bound || *v == input_of(p.index()))
-    })
+    });
+    (record, sim.into_probe())
 }
 
 fn execute_classify(cell: &ClassifyCell) -> ClassifyRecord {

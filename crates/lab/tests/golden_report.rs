@@ -35,11 +35,15 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 fn quick_report(threads: usize, adaptive: bool) -> SweepReport {
+    quick_report_observed(threads, adaptive, false)
+}
+
+fn quick_report_observed(threads: usize, adaptive: bool, observe: bool) -> SweepReport {
     let mut matrix = suites::build("quick").expect("quick suite exists");
     if adaptive {
         matrix.sampling = Some(validity_lab::SamplingSpec::default());
     }
-    let (report, _run) = SweepEngine::new(threads).run(&matrix);
+    let (report, _run) = SweepEngine::new(threads).observe(observe).run(&matrix);
     report
 }
 
@@ -70,4 +74,29 @@ fn quick_suite_adaptive_report_matches_pre_refactor_fingerprint() {
             "adaptive quick JSON drifted from the pre-refactor engine (threads {threads})"
         );
     }
+}
+
+/// The probe layer must not perturb execution: running the same suites
+/// with the `Metrics` probe attached (`lab run --observe`) reproduces the
+/// exact pre-refactor bytes — instrumented runs match the *same* golden
+/// fingerprints, both fixed and adaptive.
+#[test]
+fn observed_runs_match_the_unobserved_fingerprints() {
+    let report = quick_report_observed(0, false, true);
+    assert_eq!(
+        hex(sha256(report.to_json()).as_ref()),
+        QUICK_FIXED_JSON,
+        "--observe changed the canonical quick JSON"
+    );
+    assert_eq!(
+        hex(sha256(report.to_markdown()).as_ref()),
+        QUICK_FIXED_MD,
+        "--observe changed the canonical quick Markdown"
+    );
+    let adaptive = quick_report_observed(0, true, true);
+    assert_eq!(
+        hex(sha256(adaptive.to_json()).as_ref()),
+        QUICK_ADAPTIVE_JSON,
+        "--observe changed the canonical adaptive quick JSON"
+    );
 }

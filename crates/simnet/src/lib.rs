@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod node;
+pub mod probe;
 pub mod queue;
 pub mod sim;
 pub mod sink;
@@ -74,6 +75,7 @@ pub mod time;
 pub mod trace;
 
 pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
+pub use probe::{EventClass, Hist, Metrics, NoProbe, Probe, Tandem, Timeline};
 pub use queue::CalendarQueue;
 pub use sim::{agreement_holds, NodeKind, PreGstPolicy, RunOutcome, SimConfig, Simulation};
 pub use sink::{ByzSink, StepSink};

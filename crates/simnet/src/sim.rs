@@ -42,11 +42,12 @@ use rand::{RngCore, SeedableRng};
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 
 use crate::node::{ByzStep, Byzantine, Env, Machine, Step};
+use crate::probe::{EventClass, NoProbe, Probe};
 use crate::queue::CalendarQueue;
 use crate::sink::{ByzSink, StepSink};
 use crate::stats::NetStats;
 use crate::time::{Time, DEFAULT_DELTA, DEFAULT_GST};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 
 /// Message-delay policy before GST.
 #[derive(Clone)]
@@ -254,6 +255,13 @@ impl<Msg> PayloadSlab<Msg> {
             self.free.push(slot);
         }
     }
+
+    /// Number of live (occupied) slots — what the slab high-water probe
+    /// hook observes.
+    #[inline]
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
 }
 
 enum EventKind {
@@ -285,7 +293,13 @@ pub enum RunOutcome {
 }
 
 /// The simulation: nodes + queue + clock + stats.
-pub struct Simulation<M: Machine> {
+///
+/// The second type parameter is the instrumentation probe (see
+/// [`crate::probe`]). It defaults to [`NoProbe`], whose hooks — guarded by
+/// the compile-time const [`Probe::ENABLED`] — monomorphize away entirely,
+/// so an unprobed `Simulation<M>` is byte-for-byte the pre-probe engine
+/// (pinned by the golden report fingerprints and the allocation audit).
+pub struct Simulation<M: Machine, P: Probe = NoProbe> {
     config: SimConfig,
     nodes: Vec<NodeKind<M>>,
     halted: Vec<bool>,
@@ -310,15 +324,30 @@ pub struct Simulation<M: Machine> {
     /// Reusable effect buffer lent to Byzantine behaviours.
     byz_sink: ByzSink<M::Msg>,
     trace: Option<Trace>,
+    /// The instrumentation probe ([`NoProbe`] by default — compiled away).
+    probe: P,
 }
 
 impl<M: Machine> Simulation<M> {
-    /// Creates a simulation over the given nodes.
+    /// Creates an uninstrumented simulation over the given nodes.
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != n` or more than `t` nodes are Byzantine.
     pub fn new(config: SimConfig, nodes: Vec<NodeKind<M>>) -> Self {
+        Simulation::with_probe(config, nodes, NoProbe)
+    }
+}
+
+impl<M: Machine, P: Probe> Simulation<M, P> {
+    /// Creates a simulation instrumented with `probe` (see
+    /// [`crate::probe`]). Probes observe the run but cannot perturb it:
+    /// the seeded execution is identical to an unprobed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != n` or more than `t` nodes are Byzantine.
+    pub fn with_probe(config: SimConfig, nodes: Vec<NodeKind<M>>, probe: P) -> Self {
         let n = config.params.n();
         assert_eq!(nodes.len(), n, "need exactly n nodes");
         let faulty = nodes.iter().filter(|x| !x.is_correct()).count();
@@ -328,25 +357,13 @@ impl<M: Machine> Simulation<M> {
             config.params.t()
         );
         assert_eq!(config.start_times.len(), n, "need n start times");
-        let mut queue = CalendarQueue::new();
-        // Start events are pushed in process order; within one tick the
-        // queue's FIFO order preserves it (the old scheduler's seq = i).
-        for (i, &at) in config.start_times.iter().enumerate() {
-            queue.push(
-                at,
-                Event {
-                    node: ProcessId::from_index(i),
-                    kind: EventKind::Start,
-                },
-            );
-        }
         let rng = StdRng::seed_from_u64(config.seed);
         let jitter = CachedUniform::new_inclusive(1, config.delta.max(1));
         let pre_uniform = match &config.pre_gst {
             PreGstPolicy::Uniform { max } => Some(CachedUniform::new_inclusive(1, (*max).max(1))),
             _ => None,
         };
-        Simulation {
+        let mut sim = Simulation {
             jitter,
             pre_uniform,
             halted: vec![false; n],
@@ -356,14 +373,47 @@ impl<M: Machine> Simulation<M> {
             time: 0,
             events_processed: 0,
             rng,
-            queue,
+            queue: CalendarQueue::new(),
             config,
             nodes,
             payloads: PayloadSlab::new(),
             sink: StepSink::new(),
             byz_sink: ByzSink::new(),
             trace: None,
+            probe,
+        };
+        // Start events are pushed in process order; within one tick the
+        // queue's FIFO order preserves it (the old scheduler's seq = i).
+        for i in 0..n {
+            let at = sim.config.start_times[i];
+            sim.queue.push(
+                at,
+                Event {
+                    node: ProcessId::from_index(i),
+                    kind: EventKind::Start,
+                },
+            );
+            if P::ENABLED {
+                sim.probe.on_queue_push(at, sim.queue.len());
+            }
         }
+        sim
+    }
+
+    /// Shared access to the probe (e.g. to read [`crate::Metrics`] after a
+    /// run).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the simulation and returns the probe.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Enables execution tracing: deliveries, timer fires and decisions are
@@ -483,6 +533,9 @@ impl<M: Machine> Simulation<M> {
         self.stats
             .record_send(from, words, self.time, self.config.gst, correct);
         let at = self.arrival_time(from, to, self.time);
+        if P::ENABLED {
+            self.probe.on_send(from, to, words, self.time, at);
+        }
         self.queue.push(
             at,
             Event {
@@ -490,6 +543,9 @@ impl<M: Machine> Simulation<M> {
                 kind: EventKind::Deliver { from, slot },
             },
         );
+        if P::ENABLED {
+            self.probe.on_queue_push(at, self.queue.len());
+        }
     }
 
     /// Enqueues a point-to-point send (slab count 1).
@@ -498,6 +554,9 @@ impl<M: Machine> Simulation<M> {
         use crate::node::Message as _;
         let words = msg.words();
         let slot = self.payloads.insert(msg, 1);
+        if P::ENABLED {
+            self.probe.on_slab_alloc(self.payloads.live());
+        }
         self.enqueue_delivery(from, to, slot, words, correct);
     }
 
@@ -509,19 +568,36 @@ impl<M: Machine> Simulation<M> {
         let words = msg.words();
         let n = self.config.params.n();
         let slot = self.payloads.insert(msg, n as u32);
+        if P::ENABLED {
+            self.probe.on_slab_alloc(self.payloads.live());
+        }
         for i in 0..n {
             self.enqueue_delivery(from, ProcessId::from_index(i), slot, words, correct);
         }
     }
 
     fn enqueue_timer(&mut self, node: ProcessId, delay: Time, tag: u64) {
+        let at = self.time + delay.max(1);
         self.queue.push(
-            self.time + delay.max(1),
+            at,
             Event {
                 node,
                 kind: EventKind::Timer { tag },
             },
         );
+        if P::ENABLED {
+            self.probe.on_queue_push(at, self.queue.len());
+        }
+    }
+
+    /// Releases one payload-slab reference and tells the probe the new
+    /// live-slot count.
+    #[inline]
+    fn release_payload(&mut self, slot: u32) {
+        self.payloads.release(slot);
+        if P::ENABLED {
+            self.probe.on_slab_release(self.payloads.live());
+        }
     }
 
     fn apply_correct_steps(&mut self, p: ProcessId, sink: &mut StepSink<M::Msg, M::Output>) {
@@ -532,21 +608,23 @@ impl<M: Machine> Simulation<M> {
                 Step::Timer(delay, tag) => self.enqueue_timer(p, delay, tag),
                 Step::Output(o) => {
                     if self.decisions[p.index()].is_none() {
-                        if let Some(trace) = &mut self.trace {
-                            trace.record(
-                                p,
-                                TraceEvent::Decided {
-                                    at: self.time,
-                                    output: format!("{o:?}"),
-                                },
-                            );
+                        if P::ENABLED || self.trace.is_some() {
+                            self.probe.on_decide(self.time, p, &o);
+                            if let Some(trace) = &mut self.trace {
+                                trace.on_decide(self.time, p, &o);
+                            }
                         }
                         self.decisions[p.index()] = Some((self.time, o));
                         self.stats.record_decision(self.time);
                         self.undecided_correct -= 1;
                     }
                 }
-                Step::Halt => self.halted[p.index()] = true,
+                Step::Halt => {
+                    self.halted[p.index()] = true;
+                    if P::ENABLED {
+                        self.probe.on_halt(self.time, p);
+                    }
+                }
             }
         }
     }
@@ -567,29 +645,35 @@ impl<M: Machine> Simulation<M> {
             // A halted receiver still consumes its reference to the
             // payload, or the slot would never be recycled.
             if let EventKind::Deliver { slot, .. } = ev.kind {
-                self.payloads.release(slot);
+                self.release_payload(slot);
             }
             return;
         }
         let env = self.env_for(p);
-        if let Some(trace) = &mut self.trace {
+        // One capture path: the probe and the (optional) trace observe the
+        // event through identical hooks. The guard keeps the disabled case
+        // (`NoProbe`, no trace) free of even the argument computation.
+        if P::ENABLED || self.trace.is_some() {
             match &ev.kind {
-                EventKind::Start => trace.record(p, TraceEvent::Started { at: self.time }),
-                EventKind::Deliver { from, slot } => trace.record(
-                    p,
-                    TraceEvent::Delivered {
-                        at: self.time,
-                        from: *from,
-                        message: format!("{:?}", self.payloads.get(*slot)),
-                    },
-                ),
-                EventKind::Timer { tag } => trace.record(
-                    p,
-                    TraceEvent::TimerFired {
-                        at: self.time,
-                        tag: *tag,
-                    },
-                ),
+                EventKind::Start => {
+                    self.probe.on_start(self.time, p);
+                    if let Some(trace) = &mut self.trace {
+                        trace.on_start(self.time, p);
+                    }
+                }
+                EventKind::Deliver { from, slot } => {
+                    let msg = self.payloads.get(*slot);
+                    self.probe.on_deliver(self.time, p, *from, msg);
+                    if let Some(trace) = &mut self.trace {
+                        trace.on_deliver(self.time, p, *from, msg);
+                    }
+                }
+                EventKind::Timer { tag } => {
+                    self.probe.on_timer_fire(self.time, p, *tag);
+                    if let Some(trace) = &mut self.trace {
+                        trace.on_timer_fire(self.time, p, *tag);
+                    }
+                }
             }
         }
         if self.nodes[p.index()].is_correct() {
@@ -610,7 +694,7 @@ impl<M: Machine> Simulation<M> {
                 }
             }
             if let EventKind::Deliver { slot, .. } = ev.kind {
-                self.payloads.release(slot);
+                self.release_payload(slot);
             }
             // apply_correct_steps drained the sink; restore it (with its
             // capacity) for the next event.
@@ -632,7 +716,7 @@ impl<M: Machine> Simulation<M> {
                 }
             }
             if let EventKind::Deliver { slot, .. } = ev.kind {
-                self.payloads.release(slot);
+                self.release_payload(slot);
             }
             self.apply_byz_steps(p, &mut sink);
             self.byz_sink = sink;
@@ -667,6 +751,19 @@ impl<M: Machine> Simulation<M> {
                 return RunOutcome::TimeLimit;
             }
             self.events_processed += 1;
+            if P::ENABLED {
+                // Fired exactly where `events_processed` increments, so a
+                // probe's event count *is* the engine's count (single
+                // source of truth — including the event that trips
+                // `max_events` below).
+                self.probe.on_queue_pop(at, self.queue.len());
+                let class = match ev.kind {
+                    EventKind::Start => EventClass::Start,
+                    EventKind::Deliver { .. } => EventClass::Deliver,
+                    EventKind::Timer { .. } => EventClass::Timer,
+                };
+                self.probe.on_event(at, ev.node, class);
+            }
             if self.events_processed > self.config.max_events {
                 return RunOutcome::EventLimit;
             }
@@ -876,6 +973,92 @@ mod tests {
         sim.run_to_quiescence();
         // 4 starts + 16 deliveries
         assert_eq!(sim.events_processed(), 20);
+    }
+
+    /// A `Metrics` probe counts from the same hook the engine counter
+    /// increments at, so the two can never drift (the `--timing` /
+    /// `--observe` single-source-of-truth guarantee).
+    #[test]
+    fn metrics_probe_agrees_with_engine_counters() {
+        let mut sim = Simulation::with_probe(
+            SimConfig::new(params()).seed(1),
+            quorum_nodes(0),
+            crate::probe::Metrics::new(DEFAULT_DELTA),
+        );
+        sim.run_to_quiescence();
+        let stats = sim.stats().clone();
+        let events = sim.events_processed();
+        let m = sim.into_probe();
+        assert_eq!(m.events, events);
+        assert_eq!(m.events, 20);
+        assert_eq!(m.starts, 4);
+        assert_eq!(m.messages, 16);
+        assert_eq!(m.words, stats.words_total);
+        assert_eq!(m.decides, 4);
+        assert_eq!(m.halts, 4);
+        // Halted receivers skip delivery hooks but still count as events.
+        assert!(m.starts + m.deliveries + m.timer_fires <= m.events);
+        assert_eq!(m.queue_pushes, 20); // 4 starts + 16 deliveries enqueued
+        assert_eq!(m.queue_pops, 20);
+        assert!(m.queue_high_water >= 4);
+        assert!(m.slab_high_water >= 1);
+        assert_eq!(m.latency.count(), 16);
+        assert!(m.latency.max() <= 4 * DEFAULT_DELTA + DEFAULT_DELTA);
+    }
+
+    /// Probes observe but never perturb: a probed run is event-for-event
+    /// identical to an unprobed run of the same seed.
+    #[test]
+    fn probes_do_not_perturb_the_execution() {
+        let baseline = {
+            let mut sim = Simulation::new(SimConfig::new(params()).seed(9), quorum_nodes(1));
+            sim.run_to_quiescence();
+            (
+                sim.events_processed(),
+                sim.stats().clone(),
+                sim.decisions().to_vec(),
+            )
+        };
+        let probed = {
+            let mut sim = Simulation::with_probe(
+                SimConfig::new(params()).seed(9),
+                quorum_nodes(1),
+                crate::probe::Tandem(
+                    crate::probe::Metrics::new(DEFAULT_DELTA),
+                    crate::probe::Timeline::new(),
+                ),
+            );
+            sim.enable_tracing();
+            sim.run_to_quiescence();
+            (
+                sim.events_processed(),
+                sim.stats().clone(),
+                sim.decisions().to_vec(),
+            )
+        };
+        assert_eq!(baseline, probed);
+    }
+
+    /// The timeline probe and the trace observe through the same hooks, so
+    /// they agree on the per-process event sequence.
+    #[test]
+    fn timeline_and_trace_capture_the_same_events() {
+        let mut sim = Simulation::with_probe(
+            SimConfig::new(params()).seed(4),
+            quorum_nodes(0),
+            crate::probe::Timeline::new(),
+        );
+        sim.enable_tracing();
+        sim.run_to_quiescence();
+        let trace_len = sim.trace().unwrap().len();
+        let timeline = sim.into_probe();
+        // Timeline additionally records halts, which traces do not.
+        let halts = timeline
+            .events()
+            .iter()
+            .filter(|e| e.kind == crate::probe::TimelineKind::Halt)
+            .count();
+        assert_eq!(timeline.len() - halts, trace_len);
     }
 
     /// Pins the RNG draw order across engine refactors: these decision

@@ -11,6 +11,7 @@ use std::fmt;
 
 use validity_core::ProcessId;
 
+use crate::probe::Probe;
 use crate::time::Time;
 
 /// One observable event from a process's point of view.
@@ -132,6 +133,42 @@ impl Trace {
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+/// Trace capture is a probe: the simulator records traces through the same
+/// hook vocabulary as every other instrument (one capture path). Message
+/// and output contents are rendered eagerly with `format!("{:?}")`, exactly
+/// as the pre-probe bespoke capture did, so recorded traces — and
+/// [`Trace::indistinguishable_for`] verdicts — are unchanged.
+impl Probe for Trace {
+    fn on_start(&mut self, at: Time, node: ProcessId) {
+        self.record(node, TraceEvent::Started { at });
+    }
+
+    fn on_deliver(&mut self, at: Time, node: ProcessId, from: ProcessId, message: &dyn fmt::Debug) {
+        self.record(
+            node,
+            TraceEvent::Delivered {
+                at,
+                from,
+                message: format!("{message:?}"),
+            },
+        );
+    }
+
+    fn on_timer_fire(&mut self, at: Time, node: ProcessId, tag: u64) {
+        self.record(node, TraceEvent::TimerFired { at, tag });
+    }
+
+    fn on_decide(&mut self, at: Time, node: ProcessId, output: &dyn fmt::Debug) {
+        self.record(
+            node,
+            TraceEvent::Decided {
+                at,
+                output: format!("{output:?}"),
+            },
+        );
     }
 }
 

@@ -14,7 +14,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use validity_core::{ProcessId, SystemParams};
-use validity_simnet::{Env, Machine, Message, NodeKind, SimConfig, Simulation, StepSink};
+use validity_simnet::{
+    Env, Machine, Message, Metrics, NoProbe, NodeKind, Probe, SimConfig, Simulation, StepSink,
+};
 
 struct CountingAlloc;
 
@@ -108,13 +110,13 @@ impl Machine for Rebroadcaster {
     }
 }
 
-/// Runs `build()`'s simulation for exactly `events` events and returns the
-/// allocation count observed across the run.
-fn measure<M: Machine>(events: u64, nodes: Vec<NodeKind<M>>) -> u64 {
+/// Runs a simulation with `probe` for exactly `events` events and returns
+/// the allocation count observed across the run.
+fn measure_with<M: Machine, P: Probe>(events: u64, nodes: Vec<NodeKind<M>>, probe: P) -> u64 {
     let params = SystemParams::new(4, 1).unwrap();
     let mut cfg = SimConfig::new(params).seed(42);
     cfg.max_events = events;
-    let mut sim = Simulation::new(cfg, nodes);
+    let mut sim = Simulation::with_probe(cfg, nodes, probe);
     let before = allocs();
     sim.run_until_decided();
     let after = allocs();
@@ -122,9 +124,9 @@ fn measure<M: Machine>(events: u64, nodes: Vec<NodeKind<M>>) -> u64 {
     after - before
 }
 
-/// Single test so no concurrent test thread pollutes the counter.
-#[test]
-fn steady_state_event_loop_does_not_allocate() {
+/// Asserts the marginal cost of 40k extra events is (next to) nothing for
+/// both workload shapes under the given probe constructor.
+fn audit_steady_state<P: Probe>(label: &str, mut probe: impl FnMut() -> P) {
     let ring = |_: usize| {
         (0..4)
             .map(|_| NodeKind::Correct(RingForwarder))
@@ -133,13 +135,13 @@ fn steady_state_event_loop_does_not_allocate() {
     // Warm-up run vs. longer run: the marginal 40_000 events must cost
     // (next to) nothing. The ring warms within the short run (its 1024
     // slots cycle every ~100 events here).
-    let short = measure(10_000, ring(0));
-    let long = measure(50_000, ring(0));
+    let short = measure_with(10_000, ring(0), probe());
+    let long = measure_with(50_000, ring(0), probe());
     let marginal = long.saturating_sub(short);
     assert!(
         marginal <= 8,
-        "p2p steady state allocated {marginal} times over 40k extra events \
-         (short run: {short}, long run: {long})"
+        "[{label}] p2p steady state allocated {marginal} times over 40k \
+         extra events (short run: {short}, long run: {long})"
     );
 
     // Broadcast workload: payloads go through the recycled slab, so the
@@ -149,12 +151,25 @@ fn steady_state_event_loop_does_not_allocate() {
             .map(|_| NodeKind::Correct(Rebroadcaster { got: 0 }))
             .collect::<Vec<_>>()
     };
-    let short = measure(10_000, bcast(0));
-    let long = measure(50_000, bcast(0));
+    let short = measure_with(10_000, bcast(0), probe());
+    let long = measure_with(50_000, bcast(0), probe());
     let marginal = long.saturating_sub(short);
     assert!(
         marginal <= 8,
-        "broadcast steady state allocated {marginal} times over 40k extra \
-         events (short run: {short}, long run: {long})"
+        "[{label}] broadcast steady state allocated {marginal} times over \
+         40k extra events (short run: {short}, long run: {long})"
     );
+}
+
+/// Single test so no concurrent test thread pollutes the counter.
+#[test]
+fn steady_state_event_loop_does_not_allocate() {
+    // Disabled probe: the default `Simulation::new` path must stay
+    // allocation-free per event — the probe layer compiles away entirely.
+    audit_steady_state("NoProbe", || NoProbe);
+
+    // Enabled `Metrics` probe: every counter and histogram lives in a
+    // preallocated fixed-size structure, so even the *instrumented* hot
+    // path allocates nothing in steady state.
+    audit_steady_state("Metrics", || Metrics::new(100));
 }
