@@ -15,11 +15,13 @@ use std::collections::BTreeMap;
 
 use validity_bench::Table;
 use validity_lab::{suites, CellSpec, FitMeasure, Outcome, SweepEngine};
-use validity_protocols::VectorKind;
+use validity_protocols::{find_vector, VectorSpec};
 
 fn main() {
     println!("=== Appendix B.2: Algorithm 3 (no signatures) vs Algorithm 1 ===\n");
 
+    let auth = find_vector("alg1-auth").expect("registered");
+    let nonauth = find_vector("alg3-nonauth").expect("registered");
     let matrix = suites::build("nonauth").expect("built-in suite");
     let cells = matrix.cells();
     let engine = SweepEngine::new(0);
@@ -34,17 +36,17 @@ fn main() {
 
     // Per (n, algorithm) measurements at seed 0 (synchronous fault-free
     // counts are seed-invariant).
-    let mut by_n: BTreeMap<usize, BTreeMap<VectorKind, (u64, u64, usize)>> = BTreeMap::new();
-    let mut fit_keys: BTreeMap<VectorKind, String> = BTreeMap::new();
+    let mut by_n: BTreeMap<usize, BTreeMap<VectorSpec, (u64, u64, usize)>> = BTreeMap::new();
+    let mut fit_keys: BTreeMap<VectorSpec, String> = BTreeMap::new();
     for (spec, rec) in cells.iter().zip(&report.cells) {
         let (CellSpec::Run(c), Outcome::Run(r)) = (spec, &rec.outcome) else {
             continue;
         };
         assert!(r.decided && r.agreement, "run failed: {}", rec.key);
-        fit_keys.insert(c.protocol.kind, c.fit_key());
+        fit_keys.insert(c.protocol.engine, c.fit_key());
         if c.seed == 0 {
             by_n.entry(c.n).or_default().insert(
-                c.protocol.kind,
+                c.protocol.engine,
                 (r.messages_after_gst, r.words_after_gst, c.t),
             );
         }
@@ -60,8 +62,8 @@ fn main() {
         "Alg 3 words",
     ]);
     for (n, row) in &by_n {
-        let (m1, w1, t) = row[&VectorKind::Auth];
-        let (m3, w3, _) = row[&VectorKind::NonAuth];
+        let (m1, w1, t) = row[&auth];
+        let (m3, w3, _) = row[&nonauth];
         table.row(vec![
             n.to_string(),
             t.to_string(),
@@ -74,14 +76,14 @@ fn main() {
     }
     table.print();
 
-    let fit_of = |kind: VectorKind| {
+    let fit_of = |spec: VectorSpec| {
         report
-            .fit(&fit_keys[&kind], FitMeasure::Messages)
+            .fit(&fit_keys[&spec], FitMeasure::Messages)
             .and_then(|row| row.fit)
             .expect("suite declares message fits")
     };
-    let f1 = fit_of(VectorKind::Auth);
-    let f3 = fit_of(VectorKind::NonAuth);
+    let f1 = fit_of(auth);
+    let f3 = fit_of(nonauth);
     println!(
         "\nfitted: Alg 1 ≈ {:.2} · n^{:.2} (R² {:.3});  Alg 3 ≈ {:.2} · n^{:.2} (R² {:.3})",
         f1.constant, f1.exponent, f1.r_squared, f3.constant, f3.exponent, f3.r_squared

@@ -15,11 +15,13 @@ use std::collections::BTreeMap;
 
 use validity_bench::Table;
 use validity_lab::{suites, CellSpec, FitMeasure, Outcome, SweepEngine};
-use validity_protocols::VectorKind;
+use validity_protocols::{find_vector, VectorSpec};
 
 fn main() {
     println!("=== Appendix B.3: Algorithm 6 (subcubic words) vs Algorithm 1 ===\n");
 
+    let auth = find_vector("alg1-auth").expect("registered");
+    let fast = find_vector("alg6-fast").expect("registered");
     let matrix = suites::build("subcubic").expect("built-in suite");
     let cells = matrix.cells();
     let engine = SweepEngine::new(0);
@@ -35,9 +37,9 @@ fn main() {
     // Per (n, algorithm): fault-free words for the communication claim,
     // full-load latency for the latency claim (seed 0; synchronous counts
     // are seed-invariant).
-    let mut words_by_n: BTreeMap<usize, BTreeMap<VectorKind, (u64, u64, usize)>> = BTreeMap::new();
-    let mut loaded_latency: BTreeMap<usize, BTreeMap<VectorKind, u64>> = BTreeMap::new();
-    let mut fit_keys: BTreeMap<VectorKind, String> = BTreeMap::new();
+    let mut words_by_n: BTreeMap<usize, BTreeMap<VectorSpec, (u64, u64, usize)>> = BTreeMap::new();
+    let mut loaded_latency: BTreeMap<usize, BTreeMap<VectorSpec, u64>> = BTreeMap::new();
+    let mut fit_keys: BTreeMap<VectorSpec, String> = BTreeMap::new();
     for (spec, rec) in cells.iter().zip(&report.cells) {
         let (CellSpec::Run(c), Outcome::Run(r)) = (spec, &rec.outcome) else {
             continue;
@@ -47,16 +49,16 @@ fn main() {
             continue;
         }
         if c.byz == 0 {
-            fit_keys.insert(c.protocol.kind, c.fit_key());
+            fit_keys.insert(c.protocol.engine, c.fit_key());
             words_by_n
                 .entry(c.n)
                 .or_default()
-                .insert(c.protocol.kind, (r.words_after_gst, r.latency, c.t));
+                .insert(c.protocol.engine, (r.words_after_gst, r.latency, c.t));
         } else {
             loaded_latency
                 .entry(c.n)
                 .or_default()
-                .insert(c.protocol.kind, r.latency);
+                .insert(c.protocol.engine, r.latency);
         }
     }
 
@@ -71,8 +73,8 @@ fn main() {
         "latency ratio",
     ]);
     for (n, row) in &words_by_n {
-        let (w1, l1, t) = row[&VectorKind::Auth];
-        let (w6, l6, _) = row[&VectorKind::Fast];
+        let (w1, l1, t) = row[&auth];
+        let (w6, l6, _) = row[&fast];
         table.row(vec![
             n.to_string(),
             t.to_string(),
@@ -86,14 +88,14 @@ fn main() {
     }
     table.print();
 
-    let fit_of = |kind: VectorKind| {
+    let fit_of = |spec: VectorSpec| {
         report
-            .fit(&fit_keys[&kind], FitMeasure::Words)
+            .fit(&fit_keys[&spec], FitMeasure::Words)
             .and_then(|row| row.fit)
             .expect("suite declares word fits")
     };
-    let f1 = fit_of(VectorKind::Auth);
-    let f6 = fit_of(VectorKind::Fast);
+    let f1 = fit_of(auth);
+    let f6 = fit_of(fast);
     println!(
         "\nfitted words: Alg 1 ≈ n^{:.2} (R² {:.3});  Alg 6 ≈ n^{:.2} (R² {:.3})",
         f1.exponent, f1.r_squared, f6.exponent, f6.r_squared
@@ -109,7 +111,7 @@ fn main() {
     );
     // The latency price must be visible at the largest n under full load.
     let (&n_max, loaded) = loaded_latency.iter().next_back().expect("loaded cells");
-    let (l1, l6) = (loaded[&VectorKind::Auth], loaded[&VectorKind::Fast]);
+    let (l1, l6) = (loaded[&auth], loaded[&fast]);
     assert!(l6 > l1, "the slow-broadcast latency price must show");
     println!(
         "\n✔ Trade-off reproduced: Algorithm 6 wins on communication (n^{:.1} vs n^{:.1})",

@@ -1,0 +1,76 @@
+//! Service-throughput smoke: runs the built-in `service` suite and writes
+//! a `BENCH_service.json` artifact — decisions/sec for the CI `perf-smoke`
+//! job, alongside the simnet events/sec artifact.
+//!
+//! Two throughput numbers come out:
+//!
+//! * **simulated** decisions/sec (fixed-point thousandths) per report
+//!   group — a pure function of the execution, byte-deterministic, the
+//!   number a future baseline can gate on;
+//! * **wall-clock** decisions/sec over the whole suite — advisory only
+//!   (shared runners are noisy), recorded so the artifact seeds a perf
+//!   trajectory without gating merges, exactly like `BENCH_simnet.json`
+//!   did before its baseline was committed.
+//!
+//! ```text
+//! cargo run --release -p validity-lab --example service_smoke -- [OUTPUT.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use validity_lab::{run_service, ServiceMatrix};
+
+/// Schema tag of the service-bench artifact.
+const SCHEMA: &str = "validity-lab/service-bench@1";
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let matrix = ServiceMatrix::suite();
+    let (report, wall, _timings) = run_service(&matrix, 0);
+    assert_eq!(
+        report.failures(),
+        0,
+        "the built-in service suite must run clean"
+    );
+
+    let decisions: u64 = report.groups.iter().map(|g| g.committed).sum();
+    let requests: u64 = report.groups.iter().map(|g| g.requests).sum();
+    let wall_s = wall.as_secs_f64();
+    let wall_dps = decisions as f64 / wall_s;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(json, "  \"suite\": \"{}\",", matrix.name);
+    let _ = writeln!(json, "  \"runs\": {},", report.cells.len());
+    let _ = writeln!(json, "  \"decisions\": {decisions},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"wall_seconds\": {wall_s:.6},");
+    let _ = writeln!(json, "  \"decisions_per_sec_wall\": {wall_dps:.1},");
+    let _ = writeln!(json, "  \"groups\": [");
+    for (i, g) in report.groups.iter().enumerate() {
+        let comma = if i + 1 < report.groups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"key\": \"{}\", \"decisions_per_sec_milli\": {}, \
+             \"requests_per_sec_milli\": {}, \"messages_per_decision_centi\": {}}}{comma}",
+            g.key,
+            g.decisions_per_sec_milli(),
+            g.requests_per_sec_milli(),
+            g.messages_per_decision_centi(),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write artifact");
+    println!(
+        "service_smoke: {decisions} decisions over {} run(s) in {wall_s:.3}s wall \
+         ({wall_dps:.0} decisions/sec wall-clock)",
+        report.cells.len(),
+    );
+    println!("artifact: {out_path}");
+}

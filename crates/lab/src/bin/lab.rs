@@ -6,6 +6,8 @@
 //! ```text
 //! lab list [--names]
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
+//! lab service --threads 8 --json service.json --md service.md
+//! lab service --slots 8 --pipelines 1,2,4 --batches 1,8 --seeds 0..4 --timing
 //! lab run --suite universal --dry-run
 //! lab run --suite quick --observe --timing
 //! lab run --suite complexity --shard 2/4 --json part2.json
@@ -33,12 +35,12 @@ use validity_lab::json::Json;
 use validity_lab::perf::{compare_simnet, SimnetBench};
 use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
-    hottest_by_events, merge, observe_json, observe_markdown, profile_markdown, suites,
-    timeline_for, FitAxis, FitMeasure, PartialReport, ProtocolSpec, SamplingSpec, ScenarioMatrix,
-    ScheduleSpec, ShardSpec, SweepEngine, SweepReport, ValiditySpec, PARTIAL_SCHEMA,
-    PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
+    hottest_by_events, merge, observe_json, observe_markdown, profile_markdown, run_service,
+    suites, timeline_for, FitAxis, FitMeasure, PartialReport, ProtocolAxis, SamplingSpec,
+    ScenarioMatrix, ScheduleSpec, ServiceMatrix, ServiceTiming, ShardSpec, SweepEngine,
+    SweepReport, ValiditySpec, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
 };
-use validity_protocols::VectorKind;
+use validity_protocols::vector_registry;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some((&"run", rest)) => run(rest),
+        Some((&"service", rest)) => service_cmd(rest),
         Some((&"merge", rest)) => merge_cmd(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"trend", rest)) => trend(rest),
@@ -56,7 +59,7 @@ fn main() -> ExitCode {
         Some((&"perf", rest)) => perf(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | merge | diff | trend | profile | perf> ...\n\n\
+                "usage: lab <list | run | service | merge | diff | trend | profile | perf> ...\n\n\
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
                  \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
@@ -66,6 +69,9 @@ fn main() -> ExitCode {
                  \x20        [--fits messages,words,latency] [--fit-axis n|t|domain]\n\
                  \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
                  \x20        [--adaptive] [--precision X] [--batch N] [--max-seeds N]\n\
+                 lab service [--threads N] [--json FILE] [--md FILE] [--seeds a..b]\n\
+                 \x20        [--slots N] [--pipelines 1,2,..] [--batches 1,8,..]\n\
+                 \x20        [--dry-run] [--timing]\n\
                  lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
                  lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
@@ -81,9 +87,19 @@ fn main() -> ExitCode {
     }
 }
 
+/// Suites the CLI runs outside the [`ScenarioMatrix`] engine; `lab run
+/// --suite <name>` delegates them to their own drivers.
+const EXTRA_SUITES: [(&str, &str); 1] = [(
+    "service",
+    "repeated consensus as a replicated service (throughput/latency)",
+)];
+
 fn list(names_only: bool) {
     if names_only {
         for name in suites::ALL {
+            println!("{name}");
+        }
+        for (name, _) in EXTRA_SUITES {
             println!("{name}");
         }
         return;
@@ -92,9 +108,12 @@ fn list(names_only: bool) {
     for name in suites::ALL {
         println!("  {name:12} {}", suites::describe(name).unwrap_or(""));
     }
+    for (name, describe) in EXTRA_SUITES {
+        println!("  {name:12} {describe}");
+    }
     println!("\nprotocols (raw; prefix with 'universal/' to wrap in Algorithm 2):");
-    for kind in VectorKind::ALL {
-        println!("  {:14} {}", kind.name(), kind.complexity());
+    for spec in vector_registry::<u64>() {
+        println!("  {:14} {}", spec.name(), spec.complexity());
     }
     println!("\nvalidities:");
     for v in ValiditySpec::ALL {
@@ -200,7 +219,7 @@ fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
     m.protocols = parse_list(
         opt_value(rest, "--protocols").unwrap_or("universal/alg1-auth"),
         "protocol",
-        ProtocolSpec::parse,
+        ProtocolAxis::parse,
     )?;
     m.validities = parse_list(
         opt_value(rest, "--validities").unwrap_or("strong"),
@@ -306,6 +325,12 @@ fn parse_sampling(rest: &[&str]) -> Result<Option<SamplingSpec>, String> {
 }
 
 fn run(rest: &[&str]) -> ExitCode {
+    // The service suite runs on its own driver (a repeated-consensus
+    // pipeline, not a scenario sweep); `lab run --suite service` is a
+    // synonym for `lab service` with the same argv.
+    if opt_value(rest, "--suite") == Some("service") {
+        return service_cmd(rest);
+    }
     if let Err(e) = check_flags(rest) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -541,6 +566,245 @@ fn run(rest: &[&str]) -> ExitCode {
     }
     let extra_md = (!extra.is_empty()).then_some(extra);
     emit_reports_with(&report, &json_path, &md_path, extra_md.as_deref())
+}
+
+/// Every value-taking flag `lab service` understands (`--suite` is
+/// accepted so `lab run --suite service` can delegate here with its argv
+/// intact).
+const SERVICE_FLAGS: [&str; 8] = [
+    "--suite",
+    "--threads",
+    "--json",
+    "--md",
+    "--seeds",
+    "--slots",
+    "--pipelines",
+    "--batches",
+];
+
+/// `lab service` flags that take no value.
+const SERVICE_SWITCHES: [&str; 2] = ["--dry-run", "--timing"];
+
+/// `lab run` surface that makes no sense for the service driver, each with
+/// the reason it is refused — a named error beats silently ignoring a flag
+/// the user believes is in effect.
+const SERVICE_REFUSALS: [(&str, &str); 15] = [
+    (
+        "--shard",
+        "service sweeps are small and there is no partial service report to merge; run unsharded",
+    ),
+    (
+        "--observe",
+        "the service report already carries per-slot latency and amortized cost; \
+         use `lab profile` for engine metrics",
+    ),
+    (
+        "--adaptive",
+        "adaptive sampling targets fit precision, which service reports do not compute",
+    ),
+    (
+        "--precision",
+        "adaptive sampling targets fit precision, which service reports do not compute",
+    ),
+    (
+        "--max-seeds",
+        "adaptive sampling targets fit precision, which service reports do not compute; \
+         set the seed axis directly with --seeds a..b",
+    ),
+    (
+        "--fits",
+        "service reports carry throughput and latency, not complexity fits",
+    ),
+    (
+        "--fit-axis",
+        "service reports carry throughput and latency, not complexity fits",
+    ),
+    (
+        "--max-steps",
+        "the service driver runs under the schedule's own event budget",
+    ),
+    (
+        "--protocols",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--validities",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--behaviors",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--schedules",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--systems",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--faults",
+        "the service suite fixes its axes; tune --slots/--pipelines/--batches/--seeds instead",
+    ),
+    (
+        "--batch",
+        "ambiguous with the service batching axis; use --batches (client batching) \
+         — adaptive sampling is not available here",
+    ),
+];
+
+/// `lab service`: run the repeated-consensus service suite and emit the
+/// throughput/latency report. The report bytes are deterministic and
+/// thread-count independent, like every other lab artifact.
+fn service_cmd(rest: &[&str]) -> ExitCode {
+    for (flag, why) in SERVICE_REFUSALS {
+        if rest.contains(&flag) {
+            eprintln!("{flag} is not available with `lab service`: {why}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i];
+        if SERVICE_SWITCHES.contains(&arg) {
+            i += 1;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            eprintln!("unexpected argument '{arg}'");
+            return ExitCode::FAILURE;
+        }
+        if !SERVICE_FLAGS.contains(&arg) {
+            eprintln!(
+                "unknown option '{arg}'; known: {} {}",
+                SERVICE_FLAGS.join(" "),
+                SERVICE_SWITCHES.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        if i + 1 >= rest.len() {
+            eprintln!("option '{arg}' wants a value");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    if let Some(name) = opt_value(rest, "--suite") {
+        if name != "service" {
+            eprintln!("`lab service` runs the service suite; for '{name}' use `lab run --suite`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut matrix = ServiceMatrix::suite();
+    if let Some(seeds) = opt_value(rest, "--seeds") {
+        let parsed = seeds
+            .split_once("..")
+            .and_then(|(lo, hi)| Some(lo.parse::<u64>().ok()?..hi.parse::<u64>().ok()?));
+        match parsed {
+            Some(range) => matrix.seeds = range,
+            None => {
+                eprintln!("bad seed range: '{seeds}' (want a..b)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(slots) = opt_value(rest, "--slots") {
+        match slots.parse() {
+            Ok(n) if n >= 1 => matrix.slots = n,
+            _ => {
+                eprintln!("--slots wants a positive slot count, got '{slots}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for (flag, axis) in [
+        ("--pipelines", &mut matrix.pipelines),
+        ("--batches", &mut matrix.batches),
+    ] {
+        if let Some(text) = opt_value(rest, flag) {
+            match parse_list(text, "count", |s| s.parse::<u32>().ok().filter(|n| *n >= 1)) {
+                Ok(values) if !values.is_empty() => *axis = values,
+                _ => {
+                    eprintln!("{flag} wants a comma list of positive counts, got '{text}'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if rest.contains(&"--dry-run") {
+        println!(
+            "{}: {} cells ({} slot(s) each; pipelines {:?}, batches {:?}, seeds {:?})",
+            matrix.name,
+            matrix.len(),
+            matrix.slots,
+            matrix.pipelines,
+            matrix.batches,
+            matrix.seeds,
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "service '{}': {} cells on {} worker thread(s)...",
+        matrix.name,
+        matrix.len(),
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |w| w.get())
+        } else {
+            threads
+        },
+    );
+    let (report, wall, timings) = run_service(&matrix, threads);
+    eprintln!(
+        "done in {:.3}s wall ({} cells, {} group(s), {} failure(s))",
+        wall.as_secs_f64(),
+        report.cells.len(),
+        report.groups.len(),
+        report.failures(),
+    );
+    let json_path = opt_value(rest, "--json").unwrap_or("lab-service.json");
+    let md_path = opt_value(rest, "--md").unwrap_or("lab-service.md");
+    let mut markdown = report.to_markdown();
+    if rest.contains(&"--timing") {
+        markdown.push('\n');
+        markdown.push_str(&service_timing_markdown(&timings));
+    }
+    if let Err(e) = std::fs::write(json_path, report.to_json()) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(md_path, &markdown) {
+        eprintln!("cannot write {md_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("reports: {json_path}, {md_path}");
+    print!("{markdown}");
+    if report.failures() > 0 {
+        eprintln!("SERVICE FAILURE: {} run(s) failed", report.failures());
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--timing` appendix of `lab service`: per-cell wall clock, slowest
+/// first. Diagnostic only — wall time never enters the JSON report.
+fn service_timing_markdown(timings: &[ServiceTiming]) -> String {
+    use std::fmt::Write;
+    let mut rows: Vec<&ServiceTiming> = timings.iter().collect();
+    rows.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.label.cmp(&b.label)));
+    let mut out =
+        String::from("## Cell timing (wall clock, slowest first)\n\n| cell | ms |\n|---|---|\n");
+    for t in rows {
+        let _ = writeln!(out, "| {} | {:.3} |", t.label, t.wall.as_secs_f64() * 1e3);
+    }
+    out
 }
 
 /// Writes a full report's JSON and Markdown files and echoes the Markdown

@@ -487,16 +487,13 @@ fn run_ladder(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matrix::{ProtocolSpec, ScheduleSpec, ValiditySpec};
+    use crate::matrix::{ProtocolAxis, ScheduleSpec, ValiditySpec};
     use validity_adversary::BehaviorId;
-    use validity_protocols::VectorKind;
+    use validity_protocols::find_vector;
 
     fn matrix() -> ScenarioMatrix {
         let mut m = ScenarioMatrix::new("exec-test");
-        m.protocols = vec![ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: true,
-        }];
+        m.protocols = vec![ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap())];
         m.validities = vec![ValiditySpec::Strong, ValiditySpec::Median];
         m.behaviors = vec![BehaviorId::Silent];
         m.faults = vec![1];

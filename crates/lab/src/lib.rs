@@ -78,13 +78,14 @@ pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod service;
 pub mod suites;
 pub mod trend;
 
 pub use executor::{run_adaptive_group, timing_markdown, CellTiming, SweepEngine, SweepRun};
 pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
-    CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, RunCell, SamplingSpec,
+    CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolAxis, RunCell, SamplingSpec,
     ScenarioMatrix, ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
 };
 pub use observe::{
@@ -96,4 +97,8 @@ pub use perf::{compare_simnet, SimnetBench, SimnetDiff, SimnetShape, SIMNET_BENC
 pub use report::{FitRow, GroupSummary, SamplingSection, SweepReport, REPORT_SCHEMA};
 pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};
 pub use sampling::GroupSampling;
+pub use service::{
+    execute_service, run_service, ServiceCell, ServiceGroup, ServiceMatrix, ServiceRecord,
+    ServiceReport, ServiceTiming, SERVICE_SCHEMA,
+};
 pub use trend::{compare, BenchArtifact, BenchFit, BenchSuite, TrendDiff, BENCH_SCHEMA};

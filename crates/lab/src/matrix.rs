@@ -15,8 +15,8 @@ use validity_core::{
     DynValidity, ExactMedianValidity, LambdaFn, MedianValidity, ParityValidity, RankLambda,
     StrongLambda, StrongValidity, SystemParams, TrivialValidity, WeakLambda, WeakValidity,
 };
-use validity_protocols::VectorKind;
-use validity_simnet::{PreGstPolicy, SimConfig, Time, DEFAULT_DELTA};
+use validity_protocols::registry::{find_vector, VectorSpec};
+use validity_simnet::{PreGstPolicy, SimBuilder, SimConfig, Time, DEFAULT_DELTA};
 
 /// One shard of an `m`-way partition of a matrix — `--shard i/m` on the
 /// CLI, with `index` 1-based.
@@ -261,7 +261,15 @@ impl ScheduleSpec {
         ScheduleSpec::ALL.into_iter().find(|s| s.name() == name)
     }
 
-    /// Builds the simulator configuration for one run.
+    /// Builds the validating simulation builder for one run — the
+    /// preferred construction path (see [`SimBuilder`]); `lab` code should
+    /// not assemble `SimConfig` literals directly.
+    pub fn builder(self, params: SystemParams, seed: u64) -> SimBuilder {
+        SimBuilder::from_config(self.build(params, seed))
+    }
+
+    /// Builds the raw simulator configuration for one run (the
+    /// [`ScheduleSpec::builder`] path is preferred for running).
     pub fn build(self, params: SystemParams, seed: u64) -> SimConfig {
         match self {
             ScheduleSpec::Synchronous => SimConfig::synchronous(params).seed(seed),
@@ -290,53 +298,63 @@ impl fmt::Display for ScheduleSpec {
     }
 }
 
-/// One protocol column of the matrix: a vector-consensus engine, run either
-/// raw (deciding whole vectors) or under `Universal` (deciding values via
-/// the cell's `Λ`).
+/// One protocol column of the matrix: a vector-consensus engine (a
+/// registry [`VectorSpec`]), run either raw (deciding whole vectors) or
+/// under `Universal` (deciding values via the cell's `Λ`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct ProtocolSpec {
-    /// Which vector-consensus engine.
-    pub kind: VectorKind,
+pub struct ProtocolAxis {
+    /// Which vector-consensus engine (by registration record).
+    pub engine: VectorSpec,
     /// Whether to wrap it in `Universal` (Algorithm 2).
     pub universal: bool,
 }
 
-impl ProtocolSpec {
-    /// The registry name: `alg1-auth` raw, `universal/alg1-auth` wrapped.
-    pub fn name(self) -> String {
-        if self.universal {
-            format!("universal/{}", self.kind.name())
-        } else {
-            self.kind.name().to_string()
+impl ProtocolAxis {
+    /// A raw engine column (deciding whole vectors).
+    pub fn raw(engine: VectorSpec) -> ProtocolAxis {
+        ProtocolAxis {
+            engine,
+            universal: false,
         }
     }
 
-    /// Parses `alg1-auth` or `universal/alg1-auth`.
+    /// A `Universal`-wrapped engine column (deciding values via `Λ`).
+    pub fn wrapped(engine: VectorSpec) -> ProtocolAxis {
+        ProtocolAxis {
+            engine,
+            universal: true,
+        }
+    }
+
+    /// The registry name: `alg1-auth` raw, `universal/alg1-auth` wrapped.
+    pub fn name(self) -> String {
+        if self.universal {
+            format!("universal/{}", self.engine.name())
+        } else {
+            self.engine.name().to_string()
+        }
+    }
+
+    /// Parses `alg1-auth` or `universal/alg1-auth` against the registry.
     ///
     /// ```
-    /// use validity_lab::ProtocolSpec;
+    /// use validity_lab::ProtocolAxis;
     ///
-    /// let p = ProtocolSpec::parse("universal/alg1-auth").unwrap();
+    /// let p = ProtocolAxis::parse("universal/alg1-auth").unwrap();
     /// assert!(p.universal);
     /// assert_eq!(p.name(), "universal/alg1-auth");
-    /// assert!(ProtocolSpec::parse("universal/nope").is_none());
+    /// assert!(ProtocolAxis::parse("universal/nope").is_none());
     /// ```
-    pub fn parse(name: &str) -> Option<ProtocolSpec> {
+    pub fn parse(name: &str) -> Option<ProtocolAxis> {
         if let Some(rest) = name.strip_prefix("universal/") {
-            Some(ProtocolSpec {
-                kind: VectorKind::parse(rest)?,
-                universal: true,
-            })
+            Some(ProtocolAxis::wrapped(find_vector(rest)?))
         } else {
-            Some(ProtocolSpec {
-                kind: VectorKind::parse(name)?,
-                universal: false,
-            })
+            Some(ProtocolAxis::raw(find_vector(name)?))
         }
     }
 }
 
-impl fmt::Display for ProtocolSpec {
+impl fmt::Display for ProtocolAxis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.name())
     }
@@ -563,7 +581,7 @@ impl ClassifyCell {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RunCell {
     /// Protocol engine + mode.
-    pub protocol: ProtocolSpec,
+    pub protocol: ProtocolAxis,
     /// Validity property; `None` for raw vector-consensus cells (their
     /// specification *is* Vector Validity).
     pub validity: Option<ValiditySpec>,
@@ -722,7 +740,7 @@ pub struct ScenarioMatrix {
     /// Matrix name (suite name or "custom").
     pub name: String,
     /// Protocol axis.
-    pub protocols: Vec<ProtocolSpec>,
+    pub protocols: Vec<ProtocolAxis>,
     /// Validity axis (applies to `universal` protocols; raw vector cells
     /// ignore it).
     pub validities: Vec<ValiditySpec>,
@@ -940,18 +958,13 @@ impl ScenarioMatrix {
 mod tests {
     use super::*;
 
+    fn auth() -> VectorSpec {
+        find_vector("alg1-auth").unwrap()
+    }
+
     fn small_matrix() -> ScenarioMatrix {
         let mut m = ScenarioMatrix::new("test");
-        m.protocols = vec![
-            ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: true,
-            },
-            ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: false,
-            },
-        ];
+        m.protocols = vec![ProtocolAxis::wrapped(auth()), ProtocolAxis::raw(auth())];
         m.validities = vec![ValiditySpec::Strong, ValiditySpec::Parity];
         m.behaviors = vec![BehaviorId::Silent, BehaviorId::Crash];
         m.faults = vec![0, 1];
@@ -1031,11 +1044,8 @@ mod tests {
         for a in FitAxis::ALL {
             assert_eq!(FitAxis::parse(a.name()), Some(a));
         }
-        let p = ProtocolSpec {
-            kind: VectorKind::Fast,
-            universal: true,
-        };
-        assert_eq!(ProtocolSpec::parse(&p.name()), Some(p));
+        let p = ProtocolAxis::wrapped(find_vector("alg6-fast").unwrap());
+        assert_eq!(ProtocolAxis::parse(&p.name()), Some(p));
     }
 
     #[test]
@@ -1094,10 +1104,7 @@ mod tests {
     #[test]
     fn fit_key_on_t_axis_keeps_size_and_drops_the_fault_load() {
         let mut cell = RunCell {
-            protocol: ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: false,
-            },
+            protocol: ProtocolAxis::raw(auth()),
             validity: None,
             behavior: BehaviorId::Silent,
             byz: 1,
@@ -1126,10 +1133,7 @@ mod tests {
     #[test]
     fn fit_key_collapses_size_and_scales_fault_load() {
         let mut cell = RunCell {
-            protocol: ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: true,
-            },
+            protocol: ProtocolAxis::wrapped(auth()),
             validity: Some(ValiditySpec::Strong),
             behavior: BehaviorId::Silent,
             byz: 1,

@@ -292,16 +292,13 @@ pub fn profile_markdown(
 mod tests {
     use super::*;
     use crate::executor::SweepEngine;
-    use crate::matrix::{ProtocolSpec, ScheduleSpec, ValiditySpec};
+    use crate::matrix::{ProtocolAxis, ScheduleSpec, ValiditySpec};
     use validity_adversary::BehaviorId;
-    use validity_protocols::VectorKind;
+    use validity_protocols::find_vector;
 
     fn matrix() -> ScenarioMatrix {
         let mut m = ScenarioMatrix::new("observe-test");
-        m.protocols = vec![ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: true,
-        }];
+        m.protocols = vec![ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap())];
         m.validities = vec![ValiditySpec::Strong];
         m.behaviors = vec![BehaviorId::Silent];
         m.faults = vec![1];

@@ -50,7 +50,7 @@ use validity_simnet::NetStats;
 
 use crate::json::Json;
 use crate::matrix::{
-    ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, SamplingSpec, ScenarioMatrix,
+    ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolAxis, SamplingSpec, ScenarioMatrix,
     ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
 };
 use crate::report::{json_str, SweepReport};
@@ -538,7 +538,7 @@ fn matrix_from_json(v: &Json) -> Result<ScenarioMatrix, String> {
             .ok_or("matrix missing 'name'")?,
     );
     m.protocols = parse_names(v, "protocols", |s| {
-        ProtocolSpec::parse(s).ok_or_else(|| format!("unknown protocol '{s}'"))
+        ProtocolAxis::parse(s).ok_or_else(|| format!("unknown protocol '{s}'"))
     })?;
     m.validities = parse_names(v, "validities", |s| {
         ValiditySpec::parse(s).ok_or_else(|| format!("unknown validity '{s}'"))

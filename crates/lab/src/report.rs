@@ -976,19 +976,16 @@ mod tests {
     mod fits {
         use super::*;
         use crate::matrix::{
-            CellSpec, FitBand, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ValiditySpec,
+            CellSpec, FitBand, ProtocolAxis, ScenarioMatrix, ScheduleSpec, ValiditySpec,
         };
         use validity_adversary::BehaviorId;
-        use validity_protocols::VectorKind;
+        use validity_protocols::find_vector;
 
         /// A matrix over three sizes, with synthetic records following an
         /// exact power law `messages = 3·n²`, `words = 2·n³`.
         fn matrix_and_records() -> (ScenarioMatrix, Vec<CellRecord>) {
             let mut m = ScenarioMatrix::new("fit-test");
-            m.protocols = vec![ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: true,
-            }];
+            m.protocols = vec![ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap())];
             m.validities = vec![ValiditySpec::Strong];
             m.behaviors = vec![BehaviorId::Silent];
             m.faults = vec![0];

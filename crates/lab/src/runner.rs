@@ -15,9 +15,10 @@ use validity_core::{
     classify_with_cost, Classification, Domain, InputConfig, ProcessId, SystemParams,
     UnsolvableReason,
 };
-use validity_protocols::{Universal, VectorContext};
+use validity_protocols::{ProtocolContext, Universal};
 use validity_simnet::{
-    agreement_holds, Machine, NetStats, NoProbe, NodeKind, Probe, RunOutcome, Simulation, Time,
+    agreement_holds, Machine, NetStats, NoProbe, NodeKind, Probe, RunOutcome, SimBuilder,
+    Simulation, Time,
 };
 
 use crate::matrix::{CellSpec, ClassifyCell, RunCell, ValiditySpec};
@@ -130,8 +131,10 @@ fn params_of(n: usize, t: usize) -> SystemParams {
 pub(crate) struct GroupContext {
     cell: RunCell,
     params: SystemParams,
-    /// Budgeted config template; per-seed execution only swaps the seed.
-    cfg: validity_simnet::SimConfig,
+    /// Budgeted, validated builder template; per-seed execution only swaps
+    /// the seed (the [`SimBuilder`] path keeps raw `SimConfig` literals
+    /// out of the runner).
+    builder: SimBuilder,
     /// Universal path: the property and actual inputs for the
     /// admissibility check (`None` for raw vector cells).
     universal: Option<UniversalContext>,
@@ -148,7 +151,7 @@ impl GroupContext {
     /// irrelevant; callers pass the per-cell seed at execution time).
     pub(crate) fn new(template: &RunCell, max_steps: Option<u64>) -> GroupContext {
         let params = params_of(template.n, template.t);
-        let cfg = budgeted(template.schedule.build(params, 0), max_steps);
+        let builder = budgeted(template.schedule.builder(params, 0), max_steps);
         let universal = template.protocol.universal.then(|| {
             let validity = template
                 .validity
@@ -162,7 +165,7 @@ impl GroupContext {
         GroupContext {
             cell: *template,
             params,
-            cfg,
+            builder,
             universal,
         }
     }
@@ -170,7 +173,7 @@ impl GroupContext {
     /// The cell's `δ` — the natural round width for a
     /// [`validity_simnet::Metrics`] probe observing this group.
     pub(crate) fn round_width(&self) -> Time {
-        self.cfg.delta
+        self.builder.config().delta
     }
 }
 
@@ -272,15 +275,12 @@ where
     }
 }
 
-/// Applies the matrix's per-cell step budget to a simulator configuration.
-fn budgeted(
-    mut cfg: validity_simnet::SimConfig,
-    max_steps: Option<u64>,
-) -> validity_simnet::SimConfig {
-    if let Some(budget) = max_steps {
-        cfg.max_events = budget;
+/// Applies the matrix's per-cell step budget to a builder template.
+fn budgeted(builder: SimBuilder, max_steps: Option<u64>) -> SimBuilder {
+    match max_steps {
+        Some(budget) => builder.max_events(budget),
+        None => builder,
     }
-    cfg
 }
 
 fn run_universal<P: Probe>(
@@ -295,10 +295,10 @@ fn run_universal<P: Probe>(
         .as_ref()
         .expect("run_universal requires a universal context");
     let validity = uni.validity;
-    let ctx = VectorContext::new(params, seed);
-    let cfg = gctx.cfg.clone().seed(seed);
-    let gst = cfg.gst;
-    let kind = cell.protocol.kind;
+    let ctx = ProtocolContext::new(params, seed);
+    let builder = gctx.builder.clone().seed(seed);
+    let gst = builder.config().gst;
+    let engine = cell.protocol.engine;
     let mk = |p: ProcessId, face: u64| {
         let input = if face == 0 {
             validity.input_for(p.index())
@@ -306,14 +306,16 @@ fn run_universal<P: Probe>(
             validity.alt_input_for(p.index())
         };
         Universal::new(
-            kind.machine::<u64>(&ctx, p, input),
+            engine.machine(&ctx, p, input),
             validity
                 .lambda(params)
                 .expect("matrix only pairs Universal with Λ-bearing properties"),
         )
     };
     let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
-    let mut sim = Simulation::with_probe(cfg, nodes, probe);
+    let mut sim = builder
+        .build_with_probe(nodes, probe)
+        .expect("matrix-derived configurations always validate");
     let record = collect(&mut sim, |v: &u64| {
         uni.property.is_admissible(&uni.actual, v)
     });
@@ -322,14 +324,16 @@ fn run_universal<P: Probe>(
 
 fn run_raw<P: Probe>(cell: &RunCell, gctx: &GroupContext, seed: u64, probe: P) -> (RunRecord, P) {
     let params = gctx.params;
-    let ctx = VectorContext::new(params, seed);
-    let cfg = gctx.cfg.clone().seed(seed);
-    let gst = cfg.gst;
-    let kind = cell.protocol.kind;
+    let ctx = ProtocolContext::new(params, seed);
+    let builder = gctx.builder.clone().seed(seed);
+    let gst = builder.config().gst;
+    let engine = cell.protocol.engine;
     let input_of = |i: usize| (i as u64) * 10;
-    let mk = |p: ProcessId, face: u64| kind.machine::<u64>(&ctx, p, input_of(p.index()) + face * 5);
+    let mk = |p: ProcessId, face: u64| engine.machine(&ctx, p, input_of(p.index()) + face * 5);
     let nodes = build_nodes(params, cell.byz, cell.behavior, gst, mk);
-    let mut sim = Simulation::with_probe(cfg, nodes, probe);
+    let mut sim = builder
+        .build_with_probe(nodes, probe)
+        .expect("matrix-derived configurations always validate");
     // Vector Validity: the decided vector has ≥ n − t entries and every
     // entry attributed to a *correct* process carries its real proposal.
     let quorum = params.quorum();
@@ -372,15 +376,12 @@ fn execute_classify(cell: &ClassifyCell) -> ClassifyRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matrix::{ProtocolSpec, ScheduleSpec};
-    use validity_protocols::VectorKind;
+    use crate::matrix::{ProtocolAxis, ScheduleSpec};
+    use validity_protocols::find_vector;
 
     fn strong_cell(seed: u64) -> CellSpec {
         CellSpec::Run(RunCell {
-            protocol: ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: true,
-            },
+            protocol: ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
             validity: Some(ValiditySpec::Strong),
             behavior: BehaviorId::Silent,
             byz: 1,
@@ -431,10 +432,7 @@ mod tests {
     #[test]
     fn raw_vector_cell_checks_vector_validity() {
         let cell = CellSpec::Run(RunCell {
-            protocol: ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: false,
-            },
+            protocol: ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
             validity: None,
             behavior: BehaviorId::Crash,
             byz: 1,

@@ -6,10 +6,10 @@
 //! CLIs and the sweep engine cannot drift apart.
 
 use validity_adversary::BehaviorId;
-use validity_protocols::VectorKind;
+use validity_protocols::{find_vector, vector_registry};
 
 use crate::matrix::{
-    ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolSpec, ScenarioMatrix, ScheduleSpec,
+    ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolAxis, ScenarioMatrix, ScheduleSpec,
     ValiditySpec,
 };
 
@@ -122,10 +122,7 @@ pub fn fig1() -> ScenarioMatrix {
             });
         }
     }
-    m.protocols = vec![ProtocolSpec {
-        kind: VectorKind::Auth,
-        universal: true,
-    }];
+    m.protocols = vec![ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap())];
     m.validities = ValiditySpec::RUNNABLE.to_vec();
     m.behaviors = vec![BehaviorId::Silent, BehaviorId::Crash, BehaviorId::TwoFaced];
     m.faults = vec![0, usize::MAX]; // usize::MAX clamps to t: "maximum load"
@@ -140,14 +137,8 @@ pub fn fig1() -> ScenarioMatrix {
 pub fn schedules() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("schedules");
     m.protocols = vec![
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: false,
-        },
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: true,
-        },
+        ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
     ];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent];
@@ -163,12 +154,9 @@ pub fn schedules() -> ScenarioMatrix {
 /// fault-free curves.
 pub fn complexity() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("complexity");
-    m.protocols = VectorKind::ALL
+    m.protocols = vector_registry()
         .into_iter()
-        .map(|kind| ProtocolSpec {
-            kind,
-            universal: false,
-        })
+        .map(ProtocolAxis::raw)
         .collect();
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent];
@@ -207,10 +195,7 @@ pub fn complexity() -> ScenarioMatrix {
 /// property (the historical `thm5_universal` binary renders this suite).
 pub fn universal() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("universal");
-    m.protocols = vec![ProtocolSpec {
-        kind: VectorKind::Auth,
-        universal: true,
-    }];
+    m.protocols = vec![ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap())];
     m.validities = vec![
         ValiditySpec::Strong,
         ValiditySpec::Median,
@@ -244,14 +229,8 @@ pub fn universal() -> ScenarioMatrix {
 pub fn nonauth() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("nonauth");
     m.protocols = vec![
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: false,
-        },
-        ProtocolSpec {
-            kind: VectorKind::NonAuth,
-            universal: false,
-        },
+        ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::raw(find_vector("alg3-nonauth").unwrap()),
     ];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent];
@@ -286,14 +265,8 @@ pub fn nonauth() -> ScenarioMatrix {
 pub fn subcubic() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("subcubic");
     m.protocols = vec![
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: false,
-        },
-        ProtocolSpec {
-            kind: VectorKind::Fast,
-            universal: false,
-        },
+        ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::raw(find_vector("alg6-fast").unwrap()),
     ];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent];
@@ -377,14 +350,8 @@ pub fn quick() -> ScenarioMatrix {
         },
     ];
     m.protocols = vec![
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: true,
-        },
-        ProtocolSpec {
-            kind: VectorKind::NonAuth,
-            universal: false,
-        },
+        ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::raw(find_vector("alg3-nonauth").unwrap()),
     ];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent, BehaviorId::Stale];

@@ -7,22 +7,19 @@
 //! quarantined.
 
 use validity_lab::{
-    merge, suites, FitAxis, FitMeasure, PartialReport, ProtocolSpec, SamplingSpec, ScenarioMatrix,
+    merge, suites, FitAxis, FitMeasure, PartialReport, ProtocolAxis, SamplingSpec, ScenarioMatrix,
     ScheduleSpec, ShardSpec, SweepEngine,
 };
-use validity_protocols::VectorKind;
+use validity_protocols::find_vector;
 
-fn raw(kind: VectorKind) -> ProtocolSpec {
-    ProtocolSpec {
-        kind,
-        universal: false,
-    }
+fn raw(name: &str) -> ProtocolAxis {
+    ProtocolAxis::raw(find_vector(name).unwrap())
 }
 
 /// One-group matrix: a single protocol/schedule/system configuration.
-fn single_group(kind: VectorKind, schedule: ScheduleSpec, spec: SamplingSpec) -> ScenarioMatrix {
+fn single_group(name: &str, schedule: ScheduleSpec, spec: SamplingSpec) -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("adaptive-test");
-    m.protocols = vec![raw(kind)];
+    m.protocols = vec![raw(name)];
     m.behaviors = vec![validity_adversary::BehaviorId::Silent];
     m.faults = vec![0];
     m.schedules = vec![schedule];
@@ -37,7 +34,7 @@ fn zero_variance_group_stops_after_the_first_batch() {
     // alg1-auth under full synchrony is seed-invariant: the pilot batch
     // already has zero spread, so the group must stop immediately.
     let m = single_group(
-        VectorKind::Auth,
+        "alg1-auth",
         ScheduleSpec::Synchronous,
         SamplingSpec::default(),
     );
@@ -63,7 +60,7 @@ fn never_stabilizing_group_stops_at_the_cap_and_is_flagged_not_quarantined() {
         batch: 2,
         max_seeds: 6,
     };
-    let m = single_group(VectorKind::Fast, ScheduleSpec::PartialSync, spec);
+    let m = single_group("alg6-fast", ScheduleSpec::PartialSync, spec);
     let (report, _) = SweepEngine::new(2).run(&m);
     let sampling = report.sampling.as_ref().expect("adaptive report");
     let g = &sampling.groups[0];
@@ -268,7 +265,7 @@ fn fault_axis_fits_group_by_size_and_vary_byz() {
     // cannot sit on a log–log line and must be skipped — not poison the
     // whole group into "unfittable".
     let mut m = ScenarioMatrix::new("t-axis");
-    m.protocols = vec![raw(VectorKind::Auth)];
+    m.protocols = vec![raw("alg1-auth")];
     m.behaviors = vec![validity_adversary::BehaviorId::Silent];
     m.faults = vec![0, 1, 2];
     m.schedules = vec![ScheduleSpec::Synchronous];

@@ -5,10 +5,10 @@
 
 use validity_adversary::BehaviorId;
 use validity_lab::{
-    execute, suites, CellSpec, ProtocolSpec, RunCell, ScenarioMatrix, ScheduleSpec, SweepEngine,
+    execute, suites, CellSpec, ProtocolAxis, RunCell, ScenarioMatrix, ScheduleSpec, SweepEngine,
     ValiditySpec,
 };
-use validity_protocols::VectorKind;
+use validity_protocols::find_vector;
 
 /// A matrix that exercises every axis kind: both protocol modes, a
 /// classification grid, multiple behaviours/schedules/systems/seeds.
@@ -29,10 +29,7 @@ fn cross_section() -> ScenarioMatrix {
 #[test]
 fn same_cell_twice_is_byte_identical() {
     let cell = CellSpec::Run(RunCell {
-        protocol: ProtocolSpec {
-            kind: VectorKind::Fast,
-            universal: true,
-        },
+        protocol: ProtocolAxis::wrapped(find_vector("alg6-fast").unwrap()),
         validity: Some(ValiditySpec::Median),
         behavior: BehaviorId::Stale,
         byz: 2,

@@ -11,18 +11,15 @@
 
 use validity_adversary::BehaviorId;
 use validity_lab::{
-    Outcome, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
+    Outcome, ProtocolAxis, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
 };
-use validity_protocols::VectorKind;
+use validity_protocols::find_vector;
 
 /// One diverging cell (alg6 at `(3, 1)` under `flood`) alongside healthy
 /// cells (`(4, 1)`, where every engine decides even under the flood).
 fn mixed_matrix(max_steps: Option<u64>) -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("quarantine-test");
-    m.protocols = vec![ProtocolSpec {
-        kind: VectorKind::Fast,
-        universal: false,
-    }];
+    m.protocols = vec![ProtocolAxis::raw(find_vector("alg6-fast").unwrap())];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Flood];
     m.faults = vec![1];

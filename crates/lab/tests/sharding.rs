@@ -7,10 +7,10 @@
 use proptest::prelude::*;
 use validity_adversary::BehaviorId;
 use validity_lab::{
-    merge, suites, PartialReport, ProtocolSpec, ScenarioMatrix, ScheduleSpec, ShardSpec,
+    merge, suites, PartialReport, ProtocolAxis, ScenarioMatrix, ScheduleSpec, ShardSpec,
     SweepEngine, ValiditySpec,
 };
-use validity_protocols::VectorKind;
+use validity_protocols::find_vector;
 
 /// Builds a random small matrix from axis pools. `pick` masks select a
 /// non-empty subset of each pool, so the matrices differ in protocols,
@@ -34,18 +34,9 @@ fn random_matrix(masks: (u8, u8, u8, u8, u8, u8), seeds: u64, classify: bool) ->
     let mut m = ScenarioMatrix::new("random");
     m.protocols = picked(
         &[
-            ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: true,
-            },
-            ProtocolSpec {
-                kind: VectorKind::Auth,
-                universal: false,
-            },
-            ProtocolSpec {
-                kind: VectorKind::NonAuth,
-                universal: false,
-            },
+            ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
+            ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+            ProtocolAxis::raw(find_vector("alg3-nonauth").unwrap()),
         ],
         proto_mask,
     );

@@ -35,6 +35,7 @@ pub mod dbft;
 pub mod dissemination;
 pub mod quad;
 pub mod registry;
+pub mod service;
 pub mod slow_broadcast;
 pub mod universal;
 pub mod vector_auth;
@@ -50,7 +51,11 @@ pub use dissemination::{vector_hash, Acquired, DissemMsg, VectorDissemination};
 pub use quad::{
     PreparedCert, QuadConfig, QuadCore, QuadDecision, QuadMachine, QuadMsg, QuadSink, QuadVerify,
 };
-pub use registry::{VectorContext, VectorKind, VectorMachine, VectorMsg};
+pub use registry::{
+    find_vector, vector_registry, ProtocolContext, ProtocolSpec, VectorContext, VectorKind,
+    VectorMachine, VectorMsg, VectorSpec,
+};
+pub use service::{batch_proposal, Replicated, ServiceConfig};
 pub use slow_broadcast::SlowBroadcast;
 pub use universal::Universal;
 pub use vector_auth::{

@@ -1,23 +1,33 @@
-//! A constructor registry over the interchangeable vector-consensus
-//! engines (Algorithms 1, 3 and 6).
+//! The protocol registry: protocol-agnostic registration records
+//! ([`ProtocolSpec`]) over the interchangeable consensus engines.
 //!
-//! The three machines share the shape `inputs → InputConfig<V>` but differ
-//! in constructor signatures and wire types. [`VectorKind`] names them,
-//! [`VectorContext`] carries the shared crypto substrate, and
-//! [`VectorMachine`] / [`VectorMsg`] erase the per-algorithm types behind
-//! one concrete [`Machine`], so sweep harnesses (`validity-lab`) and CLI
-//! tools can pick an algorithm by name at runtime and still run it
-//! statically dispatched inside the simulator.
+//! A [`ProtocolSpec`] is what a sweep harness needs to run a protocol it
+//! has never heard of: a stable name, its trust assumptions
+//! (authenticated or not), its asymptotic complexity band, and a
+//! type-erased machine factory — a plain function pointer from the shared
+//! substrate ([`ProtocolContext`], derived from `SystemParams` + a setup
+//! seed) and a `(process, input)` pair to a runnable [`Machine`]. The spec
+//! is generic over the machine type a protocol *family* erases to, so new
+//! families (e.g. many-valued dynamics) register through the same record
+//! shape without touching existing callers.
+//!
+//! The vector-consensus family (Algorithms 1, 3 and 6) registers as
+//! [`VectorSpec`]s: the three engines share the shape
+//! `inputs → InputConfig<V>` and erase to one concrete [`VectorMachine`] /
+//! [`VectorMsg`] pair, statically dispatched inside the simulator.
+//! [`VectorKind`] survives as a thin compatibility shim over the specs for
+//! code that wants compile-time engine selection.
 //!
 //! ```
 //! use validity_core::SystemParams;
-//! use validity_protocols::registry::{VectorContext, VectorKind};
+//! use validity_protocols::registry::{self, ProtocolContext};
 //! use validity_simnet::{NodeKind, SimConfig, Simulation};
 //!
 //! let params = SystemParams::new(4, 1)?;
-//! let ctx = VectorContext::new(params, 7);
+//! let spec = registry::find_vector::<u64>("alg1-auth").expect("registered");
+//! let ctx = ProtocolContext::new(params, 7);
 //! let nodes = (0..4)
-//!     .map(|i| NodeKind::Correct(VectorKind::Auth.machine(&ctx, i.into(), i as u64)))
+//!     .map(|i| NodeKind::Correct(spec.machine(&ctx, i.into(), i as u64)))
 //!     .collect();
 //! let mut sim = Simulation::new(SimConfig::new(params).seed(7), nodes);
 //! sim.run_until_decided();
@@ -25,18 +35,230 @@
 //! # Ok::<(), validity_core::ParamError>(())
 //! ```
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use validity_core::{InputConfig, ProcessId, SystemParams, Value};
 use validity_crypto::{KeyStore, ThresholdScheme};
-use validity_simnet::{Env, Machine, Message, Step, StepSink};
+use validity_simnet::{Env, Machine, Message, StepSink};
 
 use crate::codec::{Codec, Words};
 use crate::vector_auth::{VectorAuth, VectorAuthMsg};
 use crate::vector_fast::{VectorFast, VectorFastMsg};
 use crate::vector_nonauth::{VectorNonAuth, VectorNonAuthMsg};
 
+/// The shared substrate every node of a run needs: system parameters plus
+/// the simulated PKI and threshold scheme, derived deterministically from
+/// `SystemParams` and a setup seed — identical contexts are reproducible,
+/// and one context can be built once and shared across many machines (and,
+/// in service mode, across many consensus slots).
+#[derive(Clone)]
+pub struct ProtocolContext {
+    /// System parameters `(n, t)`.
+    pub params: SystemParams,
+    /// The simulated PKI shared by all processes.
+    pub keys: KeyStore,
+    /// Threshold scheme with `k = n − t` (what Quad expects).
+    pub scheme: ThresholdScheme,
+}
+
+impl fmt::Debug for ProtocolContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolContext")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProtocolContext {
+    /// Creates the substrate for `params` from a deterministic setup seed.
+    pub fn new(params: SystemParams, setup_seed: u64) -> Self {
+        let keys = KeyStore::new(params.n(), setup_seed);
+        let scheme = ThresholdScheme::new(keys.clone(), params.quorum());
+        ProtocolContext {
+            params,
+            keys,
+            scheme,
+        }
+    }
+}
+
+/// Backwards-compatible name for [`ProtocolContext`] (the substrate was
+/// vector-specific before the registry went protocol-agnostic).
+pub type VectorContext = ProtocolContext;
+
+/// A protocol registration record: everything a harness needs to select,
+/// describe, and instantiate a protocol by name at runtime.
+///
+/// Generic over the machine type `M` the protocol family erases to and the
+/// value type `V` it proposes; the factory is a plain `fn` pointer, so
+/// specs are `Copy` and can live in matrix cells. Identity (equality,
+/// ordering, hashing) is by registry name.
+pub struct ProtocolSpec<M, V = u64> {
+    name: &'static str,
+    authenticated: bool,
+    complexity: &'static str,
+    factory: fn(&ProtocolContext, ProcessId, V) -> M,
+}
+
+impl<M, V> ProtocolSpec<M, V> {
+    /// Registers a protocol: stable `name`, whether it relies on the PKI,
+    /// its complexity band, and its machine factory.
+    pub const fn new(
+        name: &'static str,
+        authenticated: bool,
+        complexity: &'static str,
+        factory: fn(&ProtocolContext, ProcessId, V) -> M,
+    ) -> Self {
+        ProtocolSpec {
+            name,
+            authenticated,
+            complexity,
+            factory,
+        }
+    }
+
+    /// The stable registry name (used by CLIs and reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether the protocol relies on the PKI (signatures / threshold
+    /// signatures).
+    pub fn authenticated(&self) -> bool {
+        self.authenticated
+    }
+
+    /// The paper's asymptotic cost band, for report headers.
+    pub fn complexity(&self) -> &'static str {
+        self.complexity
+    }
+
+    /// Builds the machine for process `p` proposing `input`.
+    pub fn machine(&self, ctx: &ProtocolContext, p: ProcessId, input: V) -> M {
+        (self.factory)(ctx, p, input)
+    }
+}
+
+impl<M, V> Clone for ProtocolSpec<M, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M, V> Copy for ProtocolSpec<M, V> {}
+
+impl<M, V> PartialEq for ProtocolSpec<M, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl<M, V> Eq for ProtocolSpec<M, V> {}
+
+impl<M, V> PartialOrd for ProtocolSpec<M, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, V> Ord for ProtocolSpec<M, V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.name.cmp(other.name)
+    }
+}
+
+impl<M, V> Hash for ProtocolSpec<M, V> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl<M, V> fmt::Debug for ProtocolSpec<M, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolSpec")
+            .field("name", &self.name)
+            .field("authenticated", &self.authenticated)
+            .field("complexity", &self.complexity)
+            .finish()
+    }
+}
+
+impl<M, V> fmt::Display for ProtocolSpec<M, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// A registration record of the vector-consensus family: proposes `V`,
+/// erases to [`VectorMachine<V>`].
+pub type VectorSpec<V = u64> = ProtocolSpec<VectorMachine<V>, V>;
+
+fn make_auth<V: Value + Codec + Words>(
+    ctx: &ProtocolContext,
+    p: ProcessId,
+    input: V,
+) -> VectorMachine<V> {
+    VectorMachine::Auth(
+        VectorAuth::new(
+            input,
+            ctx.keys.clone(),
+            ctx.keys.signer(p),
+            ctx.scheme.clone(),
+            ctx.params,
+        ),
+        StepSink::new(),
+    )
+}
+
+fn make_nonauth<V: Value + Codec + Words>(
+    ctx: &ProtocolContext,
+    _p: ProcessId,
+    input: V,
+) -> VectorMachine<V> {
+    VectorMachine::NonAuth(VectorNonAuth::new(input, ctx.params.n()), StepSink::new())
+}
+
+fn make_fast<V: Value + Codec + Words>(
+    ctx: &ProtocolContext,
+    p: ProcessId,
+    input: V,
+) -> VectorMachine<V> {
+    VectorMachine::Fast(
+        VectorFast::new(
+            input,
+            ctx.keys.clone(),
+            ctx.keys.signer(p),
+            ctx.scheme.clone(),
+            ctx.params,
+        ),
+        StepSink::new(),
+    )
+}
+
+/// The registered vector-consensus protocols, in presentation order.
+pub fn vector_registry<V: Value + Codec + Words>() -> [VectorSpec<V>; 3] {
+    [
+        ProtocolSpec::new("alg1-auth", true, "O(n²) msgs, O(n³) words", make_auth::<V>),
+        ProtocolSpec::new("alg3-nonauth", false, "O(n⁴) msgs", make_nonauth::<V>),
+        ProtocolSpec::new("alg6-fast", true, "O(n² log n) words", make_fast::<V>),
+    ]
+}
+
+/// Looks a vector-consensus protocol up by its registry name.
+pub fn find_vector<V: Value + Codec + Words>(name: &str) -> Option<VectorSpec<V>> {
+    vector_registry::<V>()
+        .into_iter()
+        .find(|s| s.name() == name)
+}
+
 /// Names one of the three vector-consensus algorithms.
+///
+/// A thin compatibility shim over the [`VectorSpec`] registry for code
+/// that wants compile-time engine selection; every accessor delegates to
+/// the spec. New call sites should prefer [`vector_registry`] /
+/// [`find_vector`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum VectorKind {
     /// **Algorithm 1** — authenticated vector consensus (Quad-based),
@@ -53,13 +275,14 @@ impl VectorKind {
     /// Every registered algorithm, in presentation order.
     pub const ALL: [VectorKind; 3] = [VectorKind::Auth, VectorKind::NonAuth, VectorKind::Fast];
 
+    /// This engine's registration record.
+    pub fn spec<V: Value + Codec + Words>(self) -> VectorSpec<V> {
+        vector_registry::<V>()[self as usize]
+    }
+
     /// The stable registry name (used by CLIs and reports).
     pub fn name(self) -> &'static str {
-        match self {
-            VectorKind::Auth => "alg1-auth",
-            VectorKind::NonAuth => "alg3-nonauth",
-            VectorKind::Fast => "alg6-fast",
-        }
+        self.spec::<u64>().name()
     }
 
     /// Looks an algorithm up by its registry name.
@@ -70,82 +293,28 @@ impl VectorKind {
     /// Whether the algorithm relies on the PKI (signatures / threshold
     /// signatures).
     pub fn authenticated(self) -> bool {
-        !matches!(self, VectorKind::NonAuth)
+        self.spec::<u64>().authenticated()
     }
 
     /// The paper's asymptotic cost, for report headers.
     pub fn complexity(self) -> &'static str {
-        match self {
-            VectorKind::Auth => "O(n²) msgs, O(n³) words",
-            VectorKind::NonAuth => "O(n⁴) msgs",
-            VectorKind::Fast => "O(n² log n) words",
-        }
+        self.spec::<u64>().complexity()
     }
 
     /// Builds the machine for process `p` proposing `input`.
     pub fn machine<V: Value + Codec + Words>(
         self,
-        ctx: &VectorContext,
+        ctx: &ProtocolContext,
         p: ProcessId,
         input: V,
     ) -> VectorMachine<V> {
-        match self {
-            VectorKind::Auth => VectorMachine::Auth(
-                VectorAuth::new(
-                    input,
-                    ctx.keys.clone(),
-                    ctx.keys.signer(p),
-                    ctx.scheme.clone(),
-                    ctx.params,
-                ),
-                StepSink::new(),
-            ),
-            VectorKind::NonAuth => {
-                VectorMachine::NonAuth(VectorNonAuth::new(input, ctx.params.n()), StepSink::new())
-            }
-            VectorKind::Fast => VectorMachine::Fast(
-                VectorFast::new(
-                    input,
-                    ctx.keys.clone(),
-                    ctx.keys.signer(p),
-                    ctx.scheme.clone(),
-                    ctx.params,
-                ),
-                StepSink::new(),
-            ),
-        }
+        self.spec::<V>().machine(ctx, p, input)
     }
 }
 
 impl fmt::Display for VectorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
-    }
-}
-
-/// The shared substrate every node of a run needs: system parameters plus
-/// the simulated PKI and threshold scheme (derived deterministically from a
-/// setup seed, so identical contexts are reproducible).
-#[derive(Clone)]
-pub struct VectorContext {
-    /// System parameters `(n, t)`.
-    pub params: SystemParams,
-    /// The simulated PKI shared by all processes.
-    pub keys: KeyStore,
-    /// Threshold scheme with `k = n − t` (what Quad expects).
-    pub scheme: ThresholdScheme,
-}
-
-impl VectorContext {
-    /// Creates the substrate for `params` from a deterministic setup seed.
-    pub fn new(params: SystemParams, setup_seed: u64) -> Self {
-        let keys = KeyStore::new(params.n(), setup_seed);
-        let scheme = ThresholdScheme::new(keys.clone(), params.quorum());
-        VectorContext {
-            params,
-            keys,
-            scheme,
-        }
     }
 }
 
@@ -191,6 +360,8 @@ pub enum VectorMachine<V: Value> {
 }
 
 /// Drains a variant's scratch sink into the outer sink, wrapping messages.
+/// Built on [`StepSink::drain_map`], which preserves push order — the
+/// erasure stays byte-identical to hand-written draining.
 fn wrap<V, M, O>(
     scratch: &mut StepSink<M, O>,
     f: impl Fn(M) -> VectorMsg<V>,
@@ -198,15 +369,7 @@ fn wrap<V, M, O>(
 ) where
     V: Value,
 {
-    for s in scratch.drain() {
-        match s {
-            Step::Send(to, m) => out.send(to, f(m)),
-            Step::Broadcast(m) => out.broadcast(f(m)),
-            Step::Timer(d, tag) => out.timer(d, tag),
-            Step::Output(o) => out.output(o),
-            Step::Halt => out.halt(),
-        }
-    }
+    scratch.drain_map(out, f, |t| t, |o, out| out.output(o), |out| out.halt());
 }
 
 impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
@@ -285,13 +448,28 @@ mod tests {
             assert_eq!(VectorKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(VectorKind::parse("nope"), None);
+        for spec in vector_registry::<u64>() {
+            assert_eq!(find_vector::<u64>(spec.name()), Some(spec));
+        }
+        assert_eq!(find_vector::<u64>("nope"), None);
+    }
+
+    #[test]
+    fn shim_and_spec_agree_on_metadata() {
+        for (kind, spec) in VectorKind::ALL.into_iter().zip(vector_registry::<u64>()) {
+            assert_eq!(kind.name(), spec.name());
+            assert_eq!(kind.authenticated(), spec.authenticated());
+            assert_eq!(kind.complexity(), spec.complexity());
+        }
+        assert!(find_vector::<u64>("alg1-auth").unwrap().authenticated());
+        assert!(!find_vector::<u64>("alg3-nonauth").unwrap().authenticated());
     }
 
     #[test]
     fn every_kind_reaches_agreement_with_a_silent_byzantine() {
         let params = SystemParams::new(4, 1).unwrap();
         for kind in VectorKind::ALL {
-            let ctx = VectorContext::new(params, 11);
+            let ctx = ProtocolContext::new(params, 11);
             let nodes: Vec<NodeKind<VectorMachine<u64>>> = (0..4)
                 .map(|i| {
                     if i < 3 {
@@ -313,9 +491,10 @@ mod tests {
         // The registry path must measure identically to hand-built nodes
         // (modulo the enum wrapper, which adds no words).
         let params = SystemParams::new(4, 1).unwrap();
-        let ctx = VectorContext::new(params, 3);
+        let ctx = ProtocolContext::new(params, 3);
+        let spec = find_vector::<u64>("alg3-nonauth").unwrap();
         let nodes: Vec<NodeKind<VectorMachine<u64>>> = (0..4)
-            .map(|i| NodeKind::Correct(VectorKind::NonAuth.machine(&ctx, i.into(), 5u64)))
+            .map(|i| NodeKind::Correct(spec.machine(&ctx, i.into(), 5u64)))
             .collect();
         let mut sim = Simulation::new(SimConfig::new(params).seed(3), nodes);
         sim.run_until_decided();
@@ -332,5 +511,37 @@ mod tests {
             "enum erasure must not change message accounting"
         );
         assert_eq!(sim.stats().words_total, dsim.stats().words_total);
+    }
+
+    #[test]
+    fn spec_machine_matches_shim_machine() {
+        // The shim delegates to the spec, so both construction paths run
+        // byte-identically under the same seed.
+        let params = SystemParams::new(4, 1).unwrap();
+        let run = |via_spec: bool| {
+            let ctx = ProtocolContext::new(params, 5);
+            let nodes: Vec<NodeKind<VectorMachine<u64>>> = (0..4)
+                .map(|i| {
+                    let p = ProcessId::from_index(i);
+                    NodeKind::Correct(if via_spec {
+                        find_vector::<u64>("alg1-auth")
+                            .unwrap()
+                            .machine(&ctx, p, i as u64)
+                    } else {
+                        VectorKind::Auth.machine(&ctx, p, i as u64)
+                    })
+                })
+                .collect();
+            let mut sim = Simulation::new(SimConfig::new(params).seed(5), nodes);
+            sim.run_until_decided();
+            (
+                sim.stats().clone(),
+                sim.decisions()
+                    .iter()
+                    .map(|d| d.as_ref().map(|(t, o)| (*t, format!("{o:?}"))))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -25,7 +25,7 @@
 //! ```
 //! use validity_core::{ProcessId, SystemParams};
 //! use validity_simnet::{
-//!     Env, Machine, Message, NodeKind, SimConfig, Silent, Simulation, StepSink,
+//!     Env, Machine, Message, NodeKind, Silent, SimBuilder, StepSink,
 //! };
 //!
 //! #[derive(Clone, Debug)]
@@ -56,15 +56,23 @@
 //!     NodeKind::Correct(Quorum::default()),
 //!     NodeKind::Byzantine(Box::new(Silent)),
 //! ];
-//! let mut sim = Simulation::new(SimConfig::new(params), nodes);
+//! let mut sim = SimBuilder::new(params).build(nodes).expect("valid configuration");
 //! sim.run_until_decided();
 //! assert!(sim.all_correct_decided());
 //! # Ok::<(), validity_core::ParamError>(())
 //! ```
+//!
+//! [`SimBuilder`] is the supported construction path: it validates the
+//! node count, fault threshold, schedule and timing knobs up front and
+//! returns a named [`BuildError`] instead of panicking mid-run.
+//! `Simulation::new(SimConfig { .. }, nodes)` still exists for
+//! pre-validated configurations (the lab's schedule layer builds on it),
+//! but new code should not construct `SimConfig` literals directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mux;
 pub mod node;
 pub mod probe;
 pub mod queue;
@@ -74,10 +82,14 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use mux::{InstanceId, Multiplex, MuxMsg, SlotDecision};
 pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
 pub use probe::{EventClass, Hist, Metrics, NoProbe, Probe, Tandem, Timeline};
 pub use queue::CalendarQueue;
-pub use sim::{agreement_holds, NodeKind, PreGstPolicy, RunOutcome, SimConfig, Simulation};
+pub use sim::{
+    agreement_holds, BuildError, NodeKind, PreGstPolicy, RunOutcome, SimBuilder, SimConfig,
+    Simulation,
+};
 pub use sink::{ByzSink, StepSink};
 pub use stats::NetStats;
 pub use time::{Time, DEFAULT_DELTA, DEFAULT_GST};

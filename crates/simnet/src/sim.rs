@@ -152,6 +152,199 @@ impl SimConfig {
     }
 }
 
+/// A validation failure reported by [`SimBuilder::build`].
+///
+/// The unchecked [`Simulation::new`] / [`Simulation::with_probe`]
+/// constructors panic on the same conditions; the builder surfaces them as
+/// values so harnesses (the lab runner, service drivers, CLIs) can refuse
+/// bad configurations with a named error instead of crashing a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// `nodes.len()` does not equal `n`.
+    NodeCount {
+        /// The configured `n`.
+        expected: usize,
+        /// The node vector's actual length.
+        got: usize,
+    },
+    /// More than `t` node slots are Byzantine.
+    TooManyFaulty {
+        /// The configured fault bound `t`.
+        t: usize,
+        /// The number of Byzantine slots supplied.
+        got: usize,
+    },
+    /// `start_times.len()` does not equal `n`.
+    StartTimes {
+        /// The configured `n`.
+        expected: usize,
+        /// The start-time vector's actual length.
+        got: usize,
+    },
+    /// `δ = 0`: the post-GST delay bound must be at least one tick.
+    ZeroDelta,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NodeCount { expected, got } => {
+                write!(f, "need exactly n = {expected} nodes, got {got}")
+            }
+            BuildError::TooManyFaulty { t, got } => {
+                write!(f, "{got} Byzantine nodes exceeds t = {t}")
+            }
+            BuildError::StartTimes { expected, got } => {
+                write!(f, "need n = {expected} start times, got {got}")
+            }
+            BuildError::ZeroDelta => write!(f, "δ must be ≥ 1 tick"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A validating builder for [`Simulation`] — the front door for harness
+/// code. Collects the same knobs as [`SimConfig`] (seed, GST, δ, pre-GST
+/// policy, limits, start times, or a whole schedule-produced config via
+/// [`SimBuilder::from_config`]) and checks the node vector against the
+/// system parameters at [`SimBuilder::build`] time, returning a
+/// [`BuildError`] instead of panicking.
+///
+/// ```
+/// use validity_core::SystemParams;
+/// use validity_simnet::{NodeKind, Silent, SimBuilder};
+/// # use validity_core::ProcessId;
+/// # use validity_simnet::{Env, Machine, Message, StepSink};
+/// # #[derive(Clone, Debug)]
+/// # struct Ping;
+/// # impl Message for Ping {}
+/// # struct Echo;
+/// # impl Machine for Echo {
+/// #     type Msg = Ping;
+/// #     type Output = u64;
+/// #     fn init(&mut self, _e: &Env, s: &mut StepSink<Ping, u64>) { s.output(0); }
+/// #     fn on_message(&mut self, _f: ProcessId, _m: &Ping, _e: &Env,
+/// #                   _s: &mut StepSink<Ping, u64>) {}
+/// # }
+/// let params = SystemParams::new(4, 1)?;
+/// let nodes: Vec<NodeKind<Echo>> = (0..3).map(|_| NodeKind::Correct(Echo))
+///     .chain([NodeKind::Byzantine(Box::new(Silent) as _)])
+///     .collect();
+/// let mut sim = SimBuilder::new(params).seed(7).build(nodes).expect("valid");
+/// sim.run_until_decided();
+/// # Ok::<(), validity_core::ParamError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimBuilder {
+    cfg: SimConfig,
+}
+
+impl SimBuilder {
+    /// A builder over the standard configuration for `params`
+    /// (equivalent to starting from [`SimConfig::new`]).
+    pub fn new(params: SystemParams) -> SimBuilder {
+        SimBuilder {
+            cfg: SimConfig::new(params),
+        }
+    }
+
+    /// A builder seeded from an existing configuration — the bridge for
+    /// schedule factories that produce whole [`SimConfig`]s.
+    pub fn from_config(cfg: SimConfig) -> SimBuilder {
+        SimBuilder { cfg }
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> SimBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the Global Stabilization Time.
+    pub fn gst(mut self, gst: Time) -> SimBuilder {
+        self.cfg.gst = gst;
+        self
+    }
+
+    /// Sets the post-GST delay bound `δ`.
+    pub fn delta(mut self, delta: Time) -> SimBuilder {
+        self.cfg.delta = delta;
+        self
+    }
+
+    /// Sets the pre-GST delay policy.
+    pub fn pre_gst(mut self, p: PreGstPolicy) -> SimBuilder {
+        self.cfg.pre_gst = p;
+        self
+    }
+
+    /// Sets the hard event-count stop (step budget).
+    pub fn max_events(mut self, max: u64) -> SimBuilder {
+        self.cfg.max_events = max;
+        self
+    }
+
+    /// Sets the hard time stop.
+    pub fn max_time(mut self, max: Time) -> SimBuilder {
+        self.cfg.max_time = max;
+        self
+    }
+
+    /// Sets per-process start times (validated against `n` at build time).
+    pub fn start_times(mut self, starts: Vec<Time>) -> SimBuilder {
+        self.cfg.start_times = starts;
+        self
+    }
+
+    /// The configuration as assembled so far.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn validate<M: Machine>(&self, nodes: &[NodeKind<M>]) -> Result<(), BuildError> {
+        let n = self.cfg.params.n();
+        if nodes.len() != n {
+            return Err(BuildError::NodeCount {
+                expected: n,
+                got: nodes.len(),
+            });
+        }
+        let faulty = nodes.iter().filter(|x| !x.is_correct()).count();
+        if faulty > self.cfg.params.t() {
+            return Err(BuildError::TooManyFaulty {
+                t: self.cfg.params.t(),
+                got: faulty,
+            });
+        }
+        if self.cfg.start_times.len() != n {
+            return Err(BuildError::StartTimes {
+                expected: n,
+                got: self.cfg.start_times.len(),
+            });
+        }
+        if self.cfg.delta == 0 {
+            return Err(BuildError::ZeroDelta);
+        }
+        Ok(())
+    }
+
+    /// Validates and builds an uninstrumented simulation.
+    pub fn build<M: Machine>(self, nodes: Vec<NodeKind<M>>) -> Result<Simulation<M>, BuildError> {
+        self.build_with_probe(nodes, NoProbe)
+    }
+
+    /// Validates and builds a simulation instrumented with `probe`.
+    pub fn build_with_probe<M: Machine, P: Probe>(
+        self,
+        nodes: Vec<NodeKind<M>>,
+        probe: P,
+    ) -> Result<Simulation<M, P>, BuildError> {
+        self.validate(&nodes)?;
+        Ok(Simulation::with_probe(self.cfg, nodes, probe))
+    }
+}
+
 /// A node slot: either a correct machine or a Byzantine behaviour.
 pub enum NodeKind<M: Machine> {
     /// A correct process running `M`.
@@ -331,11 +524,20 @@ pub struct Simulation<M: Machine, P: Probe = NoProbe> {
 impl<M: Machine> Simulation<M> {
     /// Creates an uninstrumented simulation over the given nodes.
     ///
+    /// Prefer [`Simulation::builder`] in harness code: it reports invalid
+    /// setups as [`BuildError`]s instead of panicking.
+    ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != n` or more than `t` nodes are Byzantine.
     pub fn new(config: SimConfig, nodes: Vec<NodeKind<M>>) -> Self {
         Simulation::with_probe(config, nodes, NoProbe)
+    }
+
+    /// A validating [`SimBuilder`] over the standard configuration —
+    /// the recommended construction path.
+    pub fn builder(params: SystemParams) -> SimBuilder {
+        SimBuilder::new(params)
     }
 }
 

@@ -93,6 +93,31 @@ impl<M, O> StepSink<M, O> {
     pub fn drain(&mut self) -> std::vec::Drain<'_, Step<M, O>> {
         self.steps.drain(..)
     }
+
+    /// Drains into `out`, rewriting each step: messages go through `msg`,
+    /// timer tags through `tag`, and outputs / halts are routed to the
+    /// `output` / `halt` callbacks (which may push into `out` themselves,
+    /// or intercept — composite machines use this to capture inner
+    /// decisions). Push order is preserved, so wrappers built on this
+    /// helper keep executions byte-identical to hand-written draining.
+    pub fn drain_map<M2, O2>(
+        &mut self,
+        out: &mut StepSink<M2, O2>,
+        mut msg: impl FnMut(M) -> M2,
+        mut tag: impl FnMut(u64) -> u64,
+        mut output: impl FnMut(O, &mut StepSink<M2, O2>),
+        mut halt: impl FnMut(&mut StepSink<M2, O2>),
+    ) {
+        for s in self.steps.drain(..) {
+            match s {
+                Step::Send(to, m) => out.send(to, msg(m)),
+                Step::Broadcast(m) => out.broadcast(msg(m)),
+                Step::Timer(d, t) => out.timer(d, tag(t)),
+                Step::Output(o) => output(o, out),
+                Step::Halt => halt(out),
+            }
+        }
+    }
 }
 
 impl<M, O> Default for StepSink<M, O> {
@@ -203,6 +228,33 @@ mod tests {
         sink.clear();
         assert!(sink.is_empty());
         assert_eq!(sink.steps.capacity(), cap);
+    }
+
+    #[test]
+    fn drain_map_rewrites_and_routes() {
+        let mut inner: StepSink<u32, u64> = StepSink::new();
+        inner.broadcast(1);
+        inner.timer(5, 2);
+        inner.output(9);
+        inner.send(ProcessId(1), 3);
+        inner.halt();
+        let mut out: StepSink<(u32, u32), u64> = StepSink::new();
+        let mut decisions = Vec::new();
+        let mut halted = false;
+        inner.drain_map(
+            &mut out,
+            |m| (7, m),
+            |t| t + 100,
+            |o, _| decisions.push(o),
+            |_| halted = true,
+        );
+        assert!(inner.is_empty());
+        assert_eq!(out.len(), 3); // broadcast, timer, send — output/halt routed
+        assert!(matches!(out.steps()[0], Step::Broadcast((7, 1))));
+        assert!(matches!(out.steps()[1], Step::Timer(5, 102)));
+        assert!(matches!(out.steps()[2], Step::Send(ProcessId(1), (7, 3))));
+        assert_eq!(decisions, vec![9]);
+        assert!(halted);
     }
 
     #[test]

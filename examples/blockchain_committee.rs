@@ -91,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         })
         .collect();
-    let mut sim = Simulation::new(SimConfig::new(params).seed(11), nodes);
+    let mut sim = SimBuilder::new(params)
+        .seed(11)
+        .build(nodes)
+        .expect("valid configuration");
     sim.run_until_decided();
     assert!(sim.all_correct_decided() && agreement_holds(sim.decisions()));
     let block = sim.decisions()[0].as_ref().unwrap().1.clone();

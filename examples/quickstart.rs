@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Run in a partially synchronous network: chaos before GST = 1000,
     //    delays ≤ δ = 100 afterwards.
-    let mut sim = Simulation::new(SimConfig::new(params).seed(42), nodes);
+    let mut sim = SimBuilder::new(params)
+        .seed(42)
+        .build(nodes)
+        .expect("valid configuration");
     let outcome = sim.run_until_decided();
     println!("outcome: {outcome:?}");
 

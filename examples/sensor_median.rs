@@ -49,7 +49,10 @@ fn run(
         })
         .collect();
 
-    let mut sim = Simulation::new(SimConfig::new(params).seed(seed), nodes);
+    let mut sim = SimBuilder::new(params)
+        .seed(seed)
+        .build(nodes)
+        .expect("valid configuration");
     sim.run_until_decided();
     assert!(sim.all_correct_decided() && agreement_holds(sim.decisions()));
     let decided = sim.decisions()[0].as_ref().unwrap().1;

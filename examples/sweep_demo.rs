@@ -5,23 +5,17 @@
 
 use consensus_validity::adversary::BehaviorId;
 use consensus_validity::lab::{
-    suites, ProtocolSpec, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
+    suites, ProtocolAxis, ScenarioMatrix, ScheduleSpec, SweepEngine, ValiditySpec,
 };
-use consensus_validity::protocols::VectorKind;
+use consensus_validity::protocols::find_vector;
 
 fn main() {
     // 1. A custom matrix: two protocol modes × two validity properties ×
     //    two adversaries × two schedules × two system sizes × four seeds.
     let mut matrix = ScenarioMatrix::new("sweep-demo");
     matrix.protocols = vec![
-        ProtocolSpec {
-            kind: VectorKind::Auth,
-            universal: true,
-        },
-        ProtocolSpec {
-            kind: VectorKind::Fast,
-            universal: false,
-        },
+        ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::raw(find_vector("alg6-fast").unwrap()),
     ];
     matrix.validities = vec![ValiditySpec::Strong, ValiditySpec::Median];
     matrix.behaviors = vec![BehaviorId::Silent, BehaviorId::TwoFaced];

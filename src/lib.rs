@@ -60,11 +60,13 @@ pub mod prelude {
         WeakLambda, WeakValidity,
     };
     pub use validity_crypto::{KeyStore, ThresholdScheme};
-    pub use validity_lab::{ScenarioMatrix, SweepEngine, SweepReport};
+    pub use validity_lab::{ScenarioMatrix, ServiceMatrix, SweepEngine, SweepReport};
     pub use validity_protocols::{
-        Universal, VectorAuth, VectorContext, VectorFast, VectorKind, VectorNonAuth,
+        find_vector, vector_registry, ProtocolContext, ProtocolSpec, Replicated, ServiceConfig,
+        Universal, VectorAuth, VectorContext, VectorFast, VectorKind, VectorNonAuth, VectorSpec,
     };
     pub use validity_simnet::{
-        agreement_holds, Machine, NodeKind, PreGstPolicy, Silent, SimConfig, Simulation,
+        agreement_holds, Machine, Multiplex, NodeKind, PreGstPolicy, Silent, SimBuilder, SimConfig,
+        Simulation,
     };
 }
