@@ -145,18 +145,25 @@ impl ServiceMatrix {
     /// Enumerates the matrix into a deterministically ordered cell list
     /// (engine, behavior, fault load, schedule, system, pipeline, batch,
     /// seed). Like the scenario matrix, a zero fault load collapses the
-    /// behaviour axis and invalid `(n, t)` pairs are skipped.
+    /// behaviour axis and invalid `(n, t)` pairs are skipped. Fault loads
+    /// are clamped to each cell's `t`, and two axis values that clamp to
+    /// the same load for a given `(n, t)` (e.g. `1` and `usize::MAX` at
+    /// `t = 1`) enumerate only once — otherwise the duplicates would
+    /// share a key and double-count runs in the pooled groups.
     pub fn cells(&self) -> Vec<ServiceCell> {
         let mut out = Vec::new();
         for &engine in &self.engines {
             for &behavior in &self.behaviors {
-                for &fault in &self.faults {
+                for (fi, &fault) in self.faults.iter().enumerate() {
                     if fault == 0 && behavior != self.behaviors[0] {
                         continue;
                     }
                     for &schedule in &self.schedules {
                         for &(n, t) in &self.systems {
                             if SystemParams::new(n, t).is_err() {
+                                continue;
+                            }
+                            if self.faults[..fi].iter().any(|&f| f.min(t) == fault.min(t)) {
                                 continue;
                             }
                             for &pipeline in &self.pipelines {
@@ -600,6 +607,25 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), a.len(), "duplicate cells");
+    }
+
+    #[test]
+    fn fault_axis_dedups_post_clamp_per_system() {
+        // Two axis values that clamp to the same load must enumerate
+        // once, and the dedup is per (n, t): at t = 1 both 1 and
+        // usize::MAX clamp to byz 1, while at t = 2 they stay distinct.
+        let mut m = tiny();
+        m.systems = vec![(4, 1), (7, 2)];
+        m.faults = vec![1, usize::MAX];
+        let cells = m.cells();
+        let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "clamped duplicate cells");
+        assert!(cells.iter().all(|c| c.t != 1 || c.byz == 1));
+        assert!(cells.iter().any(|c| c.t == 2 && c.byz == 1));
+        assert!(cells.iter().any(|c| c.t == 2 && c.byz == 2));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   flight. `pipeline = 1` degenerates to strictly sequential slots.
 //! * **Deliver.** Messages for a not-yet-opened slot (a faster peer is
 //!   ahead) are buffered and replayed, in arrival order, when the slot
-//!   opens. Messages for a halted slot are dropped.
+//!   opens — and replay runs to a fixpoint, so a slot decided *during*
+//!   replay (sliding the window again) has its own buffered messages
+//!   replayed too. Messages for a halted slot are dropped.
 //! * **Decide.** Each slot's first output is recorded as a
 //!   [`SlotDecision`] (open time, decision time, output). When *all*
 //!   slots have decided locally the multiplexer emits its single
@@ -50,13 +52,16 @@ const TAG_MASK: u64 = (1 << 32) - 1;
 
 /// Packs an instance id into the high 32 bits of a timer tag. Inner
 /// protocols must keep their tags within 32 bits (every protocol in this
-/// repository does); debug builds assert it.
+/// repository does). The check holds in release builds too — silently
+/// truncating an oversized tag would corrupt the instance half and
+/// misroute the timer, and packing happens when timers are *set*, far off
+/// the per-event hot path.
 pub fn pack_tag(instance: InstanceId, tag: u64) -> u64 {
-    debug_assert!(
+    assert!(
         tag <= TAG_MASK,
         "inner timer tag {tag:#x} does not fit 32 bits under multiplexing"
     );
-    ((instance as u64) << 32) | (tag & TAG_MASK)
+    ((instance as u64) << 32) | tag
 }
 
 /// Splits a packed timer tag back into `(instance, inner tag)`.
@@ -173,17 +178,23 @@ impl<M: Machine> Multiplex<M> {
     }
 
     /// Deterministic digest of the per-slot outputs in instance order —
-    /// the multiplexer's node-level output. Equal across two nodes iff
+    /// the multiplexer's node-level output. Each record is framed as
+    /// `instance · output length · output bytes` (fixed-width
+    /// little-endian prefixes) before folding into the FNV state, so the
+    /// framing is prefix-free and distinct decision vectors cannot
+    /// concatenate to the same byte stream. Equal across two nodes iff
     /// their per-slot decisions (rendered via `Debug`) are equal.
     fn digest(&self) -> u64 {
         let mut by_instance: Vec<&SlotDecision<M::Output>> = self.finished.iter().collect();
         by_instance.sort_by_key(|d| d.instance);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for d in by_instance {
+            let out = format!("{:?}", d.output).into_bytes();
             for b in (d.instance as u64)
                 .to_le_bytes()
                 .into_iter()
-                .chain(format!("{:?}", d.output).into_bytes())
+                .chain((out.len() as u64).to_le_bytes())
+                .chain(out)
             {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100_0000_01b3);
@@ -242,8 +253,9 @@ impl<M: Machine> Multiplex<M> {
     }
 
     /// Opens instances until the pipeline window is full (or slots run
-    /// out). Opening replays buffered deliveries, which can decide a slot
-    /// immediately and slide the window again — hence the loop.
+    /// out), then replays buffered deliveries for every opened instance.
+    /// Replay can decide a slot immediately and slide the window again —
+    /// hence the loop here and the fixpoint inside `replay_pending`.
     fn refill(&mut self, env: &Env, sink: &mut StepSink<MuxMsg<M::Msg>, u64>) {
         while self.next < self.total && self.open_undecided() < self.pipeline {
             let id = self.next;
@@ -260,27 +272,28 @@ impl<M: Machine> Multiplex<M> {
             self.slots[i].machine.init(env, &mut scratch);
             self.scratch = scratch;
             self.drain_slot(id, env, sink);
-            self.replay_pending(id, env, sink);
         }
+        self.replay_pending(env, sink);
     }
 
-    /// Replays deliveries buffered for `id`, preserving arrival order.
-    fn replay_pending(
-        &mut self,
-        id: InstanceId,
-        env: &Env,
-        sink: &mut StepSink<MuxMsg<M::Msg>, u64>,
-    ) {
-        if !self.pending.iter().any(|(pid, _, _)| *pid == id) {
-            return;
-        }
-        let pending = std::mem::take(&mut self.pending);
-        for (pid, from, msg) in pending {
-            if pid == id {
-                self.deliver(id, from, &msg, env, sink);
-            } else {
-                self.pending.push((pid, from, msg));
-            }
+    /// Delivers every buffered message whose instance has been opened, in
+    /// arrival order, until none remain. Delivery can decide a slot and
+    /// slide the window — opening further instances whose buffered
+    /// messages then also become deliverable — so this re-scans
+    /// `self.pending` to a fixpoint. (Replaying one instance's entries by
+    /// draining a snapshot of the buffer is wrong: a nested window slide
+    /// mid-replay only sees the entries already pushed back, stranding
+    /// later entries for the newly opened slot forever.) Entries for
+    /// opened-then-halted instances are dropped by `deliver`, and nothing
+    /// reachable from here appends to the buffer, so the scan terminates.
+    fn replay_pending(&mut self, env: &Env, sink: &mut StepSink<MuxMsg<M::Msg>, u64>) {
+        loop {
+            let next = self.next;
+            let Some(pos) = self.pending.iter().position(|(pid, _, _)| *pid < next) else {
+                return;
+            };
+            let (pid, from, msg) = self.pending.remove(pos);
+            self.deliver(pid, from, &msg, env, sink);
         }
     }
 
@@ -475,6 +488,78 @@ mod tests {
             assert_eq!(w[1].opened_at, w[0].decided_at);
             assert!(w[1].instance > w[0].instance);
         }
+    }
+
+    #[test]
+    fn replay_survives_window_slides_with_interleaved_buffered_messages() {
+        // Regression: replaying a newly opened slot can decide it and
+        // slide the window *mid-replay*. The old snapshot-draining replay
+        // stranded buffered entries for the next slot that sat *after*
+        // the nested open in arrival order — the slot opened, its replay
+        // ran against a partial buffer, and the stranded entries were
+        // never delivered again. Drive the multiplexer directly: 3 slots,
+        // window 1, with slot-1 and slot-2 messages interleaved in the
+        // buffer before slot 0 decides.
+        let params = SystemParams::new(4, 1).unwrap();
+        let env = Env {
+            id: ProcessId(0),
+            params,
+            now: 0,
+            delta: 10,
+        };
+        let mut mux = Multiplex::new(3, 1, |id, _env: &Env| Quorum {
+            input: 100 * (id as u64 + 1),
+            heard: 0,
+        });
+        let mut sink = StepSink::new();
+        mux.init(&env, &mut sink); // opens slot 0 only (window 1)
+        assert_eq!(mux.opened(), 1);
+
+        let msg = |instance, val| MuxMsg {
+            instance,
+            inner: Ping(val),
+        };
+        // Buffer a full quorum for slots 1 and 2, interleaved: every
+        // slot-2 entry is separated from the next by a slot-1 entry, so
+        // the nested slide (slot 1 decides during its replay, opening
+        // slot 2) happens with slot-2 entries still in the taken buffer.
+        for from in 1..=3u64 {
+            mux.on_message(
+                ProcessId::from_index(from as usize),
+                &msg(1, 200),
+                &env,
+                &mut sink,
+            );
+            mux.on_message(
+                ProcessId::from_index(from as usize),
+                &msg(2, 300),
+                &env,
+                &mut sink,
+            );
+        }
+        assert_eq!(mux.pending.len(), 6, "future-slot messages buffer");
+
+        // Deliver slot 0's quorum. The third delivery decides slot 0,
+        // opens slot 1, replays its quorum (deciding it), opens slot 2,
+        // and must replay *all three* slot-2 entries — including the ones
+        // after the nested open point.
+        for from in 1..=3u64 {
+            mux.on_message(
+                ProcessId::from_index(from as usize),
+                &msg(0, 100),
+                &env,
+                &mut sink,
+            );
+        }
+        assert!(mux.all_decided(), "a buffered delivery was stranded");
+        assert!(mux.pending.is_empty(), "replay must drain the buffer");
+        let mut outputs: Vec<(InstanceId, u64)> = mux
+            .decisions()
+            .iter()
+            .map(|d| (d.instance, d.output))
+            .collect();
+        outputs.sort_unstable();
+        assert_eq!(outputs, vec![(0, 100), (1, 200), (2, 300)]);
     }
 
     #[test]
