@@ -74,6 +74,36 @@ impl<V: Value> Classification<V> {
         matches!(self, Classification::Trivial { .. })
     }
 
+    /// Cross-checks this static verdict against the outcome of one
+    /// simulated run of the same property: `decided` is whether every
+    /// correct process decided, and `validity_ok` whether the decided
+    /// values were admissible (`None` when the run never reached a
+    /// decision to check).
+    ///
+    /// A *solvable* classification promises a protocol exists, so a
+    /// healthy run of a correct engine must decide admissibly — an
+    /// undecided or inadmissible run contradicts the classifier (or
+    /// convicts the engine). An *unsolvable* classification is an
+    /// ∀-protocol impossibility: a single run that happens to succeed
+    /// refutes nothing, so it never conflicts.
+    ///
+    /// ```
+    /// use validity_core::{classify, Domain, StrongValidity, SystemParams};
+    ///
+    /// let params = SystemParams::new(4, 1)?;
+    /// let verdict = classify(&StrongValidity, params, &Domain::binary());
+    /// assert!(verdict.consistent_with_run(true, Some(true)));
+    /// assert!(!verdict.consistent_with_run(false, None));
+    /// # Ok::<(), validity_core::ParamError>(())
+    /// ```
+    pub fn consistent_with_run(&self, decided: bool, validity_ok: Option<bool>) -> bool {
+        if self.is_solvable() {
+            decided && validity_ok == Some(true)
+        } else {
+            true
+        }
+    }
+
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -303,6 +333,28 @@ mod tests {
         let prop = ConstantSetValidity::new([1u64, 2]);
         let c = classify(&prop, params(3, 1), &d);
         assert!(matches!(c, Classification::Trivial { witness: 1 }));
+    }
+
+    #[test]
+    fn consistent_with_run_constrains_solvable_verdicts_only() {
+        let d = Domain::binary();
+        let solvable = classify(&StrongValidity, params(4, 1), &d);
+        assert!(solvable.is_solvable());
+        // A solvable verdict demands a healthy run: decided + admissible.
+        assert!(solvable.consistent_with_run(true, Some(true)));
+        assert!(!solvable.consistent_with_run(true, Some(false)));
+        assert!(!solvable.consistent_with_run(true, None));
+        assert!(!solvable.consistent_with_run(false, None));
+
+        // An unsolvable verdict is a ∀-protocol claim: no single run
+        // outcome can contradict it.
+        let unsolvable = classify(&ParityValidity, params(4, 1), &d);
+        assert!(!unsolvable.is_solvable());
+        for decided in [true, false] {
+            for ok in [Some(true), Some(false), None] {
+                assert!(unsolvable.consistent_with_run(decided, ok));
+            }
+        }
     }
 
     #[test]

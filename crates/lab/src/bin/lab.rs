@@ -8,6 +8,8 @@
 //! lab run --suite fig1 --threads 8 --json fig1.json --md fig1.md
 //! lab service --threads 8 --json service.json --md service.md
 //! lab service --slots 8 --pipelines 1,2,4 --batches 1,8 --seeds 0..4 --timing
+//! lab crosscheck --threads 8 --json crosscheck.json --md crosscheck.md
+//! lab crosscheck --seeds 0..4 --max-steps 5000000 --timing
 //! lab run --suite universal --dry-run
 //! lab run --suite quick --observe --timing
 //! lab run --suite complexity --shard 2/4 --json part2.json
@@ -32,11 +34,14 @@ use std::time::Instant;
 
 use validity_adversary::BehaviorId;
 use validity_lab::json::Json;
-use validity_lab::perf::{compare_simnet, SimnetBench};
+use validity_lab::perf::{
+    compare_service, compare_simnet, ServiceBench, SimnetBench, SERVICE_BENCH_SCHEMA,
+};
 use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
-    hottest_by_events, merge, observe_json, observe_markdown, profile_markdown, run_service,
-    suites, timeline_for, FitAxis, FitMeasure, PartialReport, ProtocolAxis, SamplingSpec,
+    compare_emitted, hottest_by_events, merge, observe_json, observe_markdown, profile_markdown,
+    run_crosscheck, run_service, suites, timeline_for, AgreementLevel, CrosscheckMatrix,
+    CrosscheckTiming, FitAxis, FitMeasure, PartialReport, ProtocolAxis, SamplingSpec,
     ScenarioMatrix, ScheduleSpec, ServiceMatrix, ServiceTiming, ShardSpec, SweepEngine,
     SweepReport, ValiditySpec, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
 };
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         }
         Some((&"run", rest)) => run(rest),
         Some((&"service", rest)) => service_cmd(rest),
+        Some((&"crosscheck", rest)) => crosscheck_cmd(rest),
         Some((&"merge", rest)) => merge_cmd(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"trend", rest)) => trend(rest),
@@ -59,7 +65,7 @@ fn main() -> ExitCode {
         Some((&"perf", rest)) => perf(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | service | merge | diff | trend | profile | perf> ...\n\n\
+                "usage: lab <list | run | service | crosscheck | merge | diff | trend | profile | perf> ...\n\n\
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
                  \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
@@ -72,6 +78,8 @@ fn main() -> ExitCode {
                  lab service [--threads N] [--json FILE] [--md FILE] [--seeds a..b]\n\
                  \x20        [--slots N] [--pipelines 1,2,..] [--batches 1,8,..]\n\
                  \x20        [--dry-run] [--timing]\n\
+                 lab crosscheck [--threads N] [--json FILE] [--md FILE] [--seeds a..b]\n\
+                 \x20        [--max-steps N] [--dry-run] [--timing]\n\
                  lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
                  lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
@@ -89,10 +97,16 @@ fn main() -> ExitCode {
 
 /// Suites the CLI runs outside the [`ScenarioMatrix`] engine; `lab run
 /// --suite <name>` delegates them to their own drivers.
-const EXTRA_SUITES: [(&str, &str); 1] = [(
-    "service",
-    "repeated consensus as a replicated service (throughput/latency)",
-)];
+const EXTRA_SUITES: [(&str, &str); 2] = [
+    (
+        "service",
+        "repeated consensus as a replicated service (throughput/latency)",
+    ),
+    (
+        "crosscheck",
+        "differential oracle: every engine + classifier cross-checked per cell",
+    ),
+];
 
 fn list(names_only: bool) {
     if names_only {
@@ -330,6 +344,11 @@ fn run(rest: &[&str]) -> ExitCode {
     // synonym for `lab service` with the same argv.
     if opt_value(rest, "--suite") == Some("service") {
         return service_cmd(rest);
+    }
+    // Likewise the crosscheck suite: `lab run --suite crosscheck` is a
+    // synonym for `lab crosscheck` with the same argv.
+    if opt_value(rest, "--suite") == Some("crosscheck") {
+        return crosscheck_cmd(rest);
     }
     if let Err(e) = check_flags(rest) {
         eprintln!("{e}");
@@ -798,6 +817,264 @@ fn service_cmd(rest: &[&str]) -> ExitCode {
 fn service_timing_markdown(timings: &[ServiceTiming]) -> String {
     use std::fmt::Write;
     let mut rows: Vec<&ServiceTiming> = timings.iter().collect();
+    rows.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.label.cmp(&b.label)));
+    let mut out =
+        String::from("## Cell timing (wall clock, slowest first)\n\n| cell | ms |\n|---|---|\n");
+    for t in rows {
+        let _ = writeln!(out, "| {} | {:.3} |", t.label, t.wall.as_secs_f64() * 1e3);
+    }
+    out
+}
+
+/// Every value-taking flag `lab crosscheck` understands (`--suite` is
+/// accepted so `lab run --suite crosscheck` can delegate here with its
+/// argv intact).
+const CROSSCHECK_FLAGS: [&str; 6] = [
+    "--suite",
+    "--threads",
+    "--json",
+    "--md",
+    "--seeds",
+    "--max-steps",
+];
+
+/// `lab crosscheck` flags that take no value.
+const CROSSCHECK_SWITCHES: [&str; 2] = ["--dry-run", "--timing"];
+
+/// `lab run` / `lab service` surface that makes no sense for the
+/// crosscheck driver, each with the reason it is refused.
+const CROSSCHECK_REFUSALS: [(&str, &str); 17] = [
+    (
+        "--shard",
+        "the crosscheck grid is small and there is no partial crosscheck report to merge; \
+         run unsharded",
+    ),
+    (
+        "--observe",
+        "crosscheck grades agreement, not engine metrics; use `lab profile` for those",
+    ),
+    (
+        "--adaptive",
+        "adaptive sampling targets fit precision, which crosscheck reports do not compute",
+    ),
+    (
+        "--precision",
+        "adaptive sampling targets fit precision, which crosscheck reports do not compute",
+    ),
+    (
+        "--max-seeds",
+        "adaptive sampling targets fit precision, which crosscheck reports do not compute; \
+         set the seed axis directly with --seeds a..b",
+    ),
+    (
+        "--fits",
+        "crosscheck reports carry agreement levels, not complexity fits",
+    ),
+    (
+        "--fit-axis",
+        "crosscheck reports carry agreement levels, not complexity fits",
+    ),
+    (
+        "--protocols",
+        "crosscheck runs *every* registered engine on every cell — \
+         narrowing the protocol axis would defeat the oracle",
+    ),
+    (
+        "--validities",
+        "the crosscheck suite fixes its axes; tune --seeds/--max-steps instead",
+    ),
+    (
+        "--behaviors",
+        "the crosscheck suite fixes its axes; tune --seeds/--max-steps instead",
+    ),
+    (
+        "--schedules",
+        "the crosscheck suite fixes its axes; tune --seeds/--max-steps instead",
+    ),
+    (
+        "--systems",
+        "the crosscheck suite fixes its axes; tune --seeds/--max-steps instead",
+    ),
+    (
+        "--faults",
+        "the crosscheck suite fixes its axes; tune --seeds/--max-steps instead",
+    ),
+    ("--batch", "adaptive sampling is not available here"),
+    (
+        "--slots",
+        "service pipelining does not apply to single-shot crosscheck cells",
+    ),
+    (
+        "--pipelines",
+        "service pipelining does not apply to single-shot crosscheck cells",
+    ),
+    (
+        "--batches",
+        "service batching does not apply to single-shot crosscheck cells",
+    ),
+];
+
+/// `lab crosscheck`: run the differential cross-validation suite — every
+/// registered engine plus the solvability classifier on identical cells —
+/// grade agreement per cell, and cross-check the two report emitters
+/// against each other. Exits non-zero on any DISAGREEMENT cell or emitter
+/// round-trip mismatch. The report bytes are deterministic and
+/// thread-count independent, like every other lab artifact.
+fn crosscheck_cmd(rest: &[&str]) -> ExitCode {
+    for (flag, why) in CROSSCHECK_REFUSALS {
+        if rest.contains(&flag) {
+            eprintln!("{flag} is not available with `lab crosscheck`: {why}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i];
+        if CROSSCHECK_SWITCHES.contains(&arg) {
+            i += 1;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            eprintln!("unexpected argument '{arg}'");
+            return ExitCode::FAILURE;
+        }
+        if !CROSSCHECK_FLAGS.contains(&arg) {
+            eprintln!(
+                "unknown option '{arg}'; known: {} {}",
+                CROSSCHECK_FLAGS.join(" "),
+                CROSSCHECK_SWITCHES.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        if i + 1 >= rest.len() {
+            eprintln!("option '{arg}' wants a value");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    if let Some(name) = opt_value(rest, "--suite") {
+        if name != "crosscheck" {
+            eprintln!(
+                "`lab crosscheck` runs the crosscheck suite; for '{name}' use `lab run --suite`"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut matrix = CrosscheckMatrix::suite();
+    if let Some(seeds) = opt_value(rest, "--seeds") {
+        let parsed = seeds
+            .split_once("..")
+            .and_then(|(lo, hi)| Some(lo.parse::<u64>().ok()?..hi.parse::<u64>().ok()?));
+        match parsed {
+            Some(range) => matrix.seeds = range,
+            None => {
+                eprintln!("bad seed range: '{seeds}' (want a..b)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match opt_value(rest, "--max-steps").map(str::parse) {
+        None => {}
+        Some(Ok(n)) => matrix.max_steps = Some(n),
+        Some(Err(_)) => {
+            eprintln!("--max-steps wants a number");
+            return ExitCode::FAILURE;
+        }
+    }
+    if rest.contains(&"--dry-run") {
+        println!(
+            "{}: {} cells ({} engine column(s) + classifier; seeds {:?})",
+            matrix.name,
+            matrix.len(),
+            matrix.engines.len(),
+            matrix.seeds,
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "crosscheck '{}': {} cells × {} engine(s) on {} worker thread(s)...",
+        matrix.name,
+        matrix.len(),
+        matrix.engines.len(),
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |w| w.get())
+        } else {
+            threads
+        },
+    );
+    let (report, wall, timings) = run_crosscheck(&matrix, threads);
+    let full = report.count(AgreementLevel::Full);
+    let expected = report.count(AgreementLevel::ExpectedDivergence);
+    let disagreements = report.disagreements();
+    eprintln!(
+        "done in {:.3}s wall ({} cells: {} full, {} expected-divergence, {} DISAGREEMENT)",
+        wall.as_secs_f64(),
+        report.cells.len(),
+        full,
+        expected,
+        disagreements.len(),
+    );
+    let json = report.to_json();
+    let mut markdown = report.to_markdown();
+    // The emitters are columns of the oracle too: a drifting renderer
+    // fails the gate just like a drifting engine.
+    let emitter_mismatches = compare_emitted(&json, &markdown);
+    if rest.contains(&"--timing") {
+        markdown.push('\n');
+        markdown.push_str(&crosscheck_timing_markdown(&timings));
+    }
+    let json_path = opt_value(rest, "--json").unwrap_or("lab-crosscheck.json");
+    let md_path = opt_value(rest, "--md").unwrap_or("lab-crosscheck.md");
+    if let Err(e) = std::fs::write(json_path, &json) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(md_path, &markdown) {
+        eprintln!("cannot write {md_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("reports: {json_path}, {md_path}");
+    print!("{markdown}");
+    let mut failed = false;
+    if !emitter_mismatches.is_empty() {
+        eprintln!(
+            "CROSSCHECK FAILURE: JSON and Markdown emitters disagree ({} mismatch(es)):",
+            emitter_mismatches.len()
+        );
+        for m in &emitter_mismatches {
+            eprintln!("  {m}");
+        }
+        failed = true;
+    }
+    if !disagreements.is_empty() {
+        eprintln!(
+            "CROSSCHECK FAILURE: {} DISAGREEMENT cell(s):",
+            disagreements.len()
+        );
+        for cell in &disagreements {
+            eprintln!("  {}: {}", cell.key, cell.detail);
+        }
+        failed = true;
+    }
+    if failed {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--timing` appendix of `lab crosscheck`: per-cell wall clock,
+/// slowest first. Diagnostic only — wall time never enters the report.
+fn crosscheck_timing_markdown(timings: &[CrosscheckTiming]) -> String {
+    use std::fmt::Write;
+    let mut rows: Vec<&CrosscheckTiming> = timings.iter().collect();
     rows.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.label.cmp(&b.label)));
     let mut out =
         String::from("## Cell timing (wall clock, slowest first)\n\n| cell | ms |\n|---|---|\n");
@@ -1412,14 +1689,21 @@ fn profile(rest: &[&str]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `lab perf`: gate the engine's events/sec against the committed
-/// baseline. The current artifact comes from the `perf_smoke` example
-/// (`cargo run --release -p validity-simnet --example perf_smoke`); this
-/// command diffs it against `--baseline` and fails on slowdowns beyond
-/// `--tolerance`, changed per-iteration event counts (determinism drift),
-/// and vanished shapes. `--update-baseline` instead rewrites the baseline
-/// from the current artifact — the deliberate-refresh path after an
-/// intentional engine change.
+/// `lab perf`: gate a measured artifact against its committed baseline,
+/// dispatching on the artifact's schema tag:
+///
+/// * `validity-simnet/bench@1` (from the `perf_smoke` example): engine
+///   events/sec — wall-clock rates, default tolerance 0.5, default
+///   baseline `ci/BENCH_simnet_baseline.json`.
+/// * `validity-lab/service-bench@1` (from the `service_smoke` example):
+///   service decisions/sec — *simulated-time* rates, deterministic, so
+///   the default tolerance is 0.0 and any drop gates; default baseline
+///   `ci/BENCH_service_baseline.json`.
+///
+/// Either path fails on slowdowns beyond `--tolerance`, determinism
+/// drift, and vanished coverage. `--update-baseline` instead rewrites the
+/// baseline from the current artifact — the deliberate-refresh path after
+/// an intentional change.
 fn perf(rest: &[&str]) -> ExitCode {
     const PERF_FLAGS: [&str; 3] = ["--bench", "--baseline", "--tolerance"];
     const PERF_SWITCHES: [&str; 1] = ["--update-baseline"];
@@ -1440,29 +1724,40 @@ fn perf(rest: &[&str]) -> ExitCode {
     }
     // Same non-finite guard as `lab trend`: a NaN tolerance would make
     // every slowdown comparison false and silently disarm the gate.
-    let tolerance: f64 = match opt_value(rest, "--tolerance").map(str::parse) {
-        None => 0.5,
-        Some(Ok(x)) if x >= 0.0 && f64::is_finite(x) => x,
+    let tolerance_flag: Option<f64> = match opt_value(rest, "--tolerance").map(str::parse) {
+        None => None,
+        Some(Ok(x)) if x >= 0.0 && f64::is_finite(x) => Some(x),
         Some(_) => {
             eprintln!("--tolerance wants a finite non-negative number");
             return ExitCode::FAILURE;
         }
     };
     let bench_path = opt_value(rest, "--bench").unwrap_or("BENCH_simnet.json");
-    let baseline_path = opt_value(rest, "--baseline").unwrap_or("ci/BENCH_simnet_baseline.json");
-    let current = match std::fs::read_to_string(bench_path) {
-        Ok(text) => match SimnetBench::parse(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("{bench_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+    let bench_text = match std::fs::read_to_string(bench_path) {
+        Ok(text) => text,
         Err(e) => {
             eprintln!(
                 "cannot read {bench_path}: {e}\n(produce it with: cargo run --release \
                  -p validity-simnet --example perf_smoke -- {bench_path})"
             );
+            return ExitCode::FAILURE;
+        }
+    };
+    // Dispatch on the artifact's own schema tag, so `lab perf --bench
+    // BENCH_service.json --baseline ci/BENCH_service_baseline.json` gates
+    // service throughput with the same command surface.
+    let schema_tag = Json::parse(&bench_text)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(Json::as_str).map(str::to_string));
+    if schema_tag.as_deref() == Some(SERVICE_BENCH_SCHEMA) {
+        return perf_service(rest, bench_path, &bench_text, tolerance_flag);
+    }
+    let tolerance = tolerance_flag.unwrap_or(0.5);
+    let baseline_path = opt_value(rest, "--baseline").unwrap_or("ci/BENCH_simnet_baseline.json");
+    let current = match SimnetBench::parse(&bench_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{bench_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -1499,6 +1794,68 @@ fn perf(rest: &[&str]) -> ExitCode {
         return ExitCode::from(1);
     }
     let diff = compare_simnet(&current, &baseline, tolerance);
+    print!("{}", diff.render_markdown());
+    if diff.regressions() > 0 {
+        eprintln!(
+            "PERF FAILURE: {} regression(s) vs baseline {baseline_path}",
+            diff.regressions()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The service-bench branch of [`perf`]: gates simulated decisions/sec
+/// per report group against `ci/BENCH_service_baseline.json`. The rates
+/// are deterministic, so the default tolerance is zero.
+fn perf_service(
+    rest: &[&str],
+    bench_path: &str,
+    bench_text: &str,
+    tolerance_flag: Option<f64>,
+) -> ExitCode {
+    let tolerance = tolerance_flag.unwrap_or(0.0);
+    let baseline_path = opt_value(rest, "--baseline").unwrap_or("ci/BENCH_service_baseline.json");
+    let current = match ServiceBench::parse(bench_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if rest.contains(&"--update-baseline") {
+        // Re-emit through the canonical renderer, which also drops the
+        // advisory wall-clock fields — the committed baseline carries
+        // only the deterministic core.
+        if let Err(e) = std::fs::write(baseline_path, current.to_json()) {
+            eprintln!("cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline updated: {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match ServiceBench::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if current.suite != baseline.suite {
+        eprintln!(
+            "PERF FAILURE: suite mismatch — current '{}' vs baseline '{}': \
+             the artifacts measure different things",
+            current.suite, baseline.suite
+        );
+        return ExitCode::from(1);
+    }
+    let diff = compare_service(&current, &baseline, tolerance);
     print!("{}", diff.render_markdown());
     if diff.regressions() > 0 {
         eprintln!(

@@ -44,10 +44,16 @@
 //!   zero-cost probe layer (`lab run --observe`, `lab profile`): latency
 //!   and queue-depth histograms, per-round traffic, occupancy high-water
 //!   marks, and timeline export. Deterministic but non-canonical.
-//! * **[`perf`]** — the engine events/sec baseline gate over the
-//!   `validity-simnet/bench@1` artifact (`lab perf`): the CI guard that
-//!   fails when the hot path slows down, mirroring [`trend`]'s exponent
-//!   gate.
+//! * **[`perf`]** — the baseline gates (`lab perf`, dispatching on the
+//!   artifact's schema tag): engine events/sec over
+//!   `validity-simnet/bench@1` and service decisions/sec over
+//!   `validity-lab/service-bench@1` — the CI guards that fail when a
+//!   hot path slows down, mirroring [`trend`]'s exponent gate.
+//! * **[`crosscheck`]** — the differential oracle (`lab crosscheck`):
+//!   every applicable registry engine, the solvability classifier, and
+//!   both report emitters run on identical cells and graded into an
+//!   agreement matrix (`full` / `expected-divergence` /
+//!   `DISAGREEMENT`), with unexplained splits failing the run.
 //! * the **`lab`** binary — `run` / `list` / `diff` / `merge` / `trend` /
 //!   `profile` / `perf` over all of the above.
 //!
@@ -68,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crosscheck;
 pub mod executor;
 pub mod fit;
 pub mod json;
@@ -82,6 +89,11 @@ pub mod service;
 pub mod suites;
 pub mod trend;
 
+pub use crosscheck::{
+    classifier_in_band, compare_emitted, execute_crosscheck, grade, run_crosscheck, AgreementLevel,
+    CrosscheckCell, CrosscheckMatrix, CrosscheckRecord, CrosscheckReport, CrosscheckTiming,
+    EngineColumn, EngineOutcome, EngineVerdict, CLASSIFIER_CONFIG_BUDGET, CROSSCHECK_SCHEMA,
+};
 pub use executor::{run_adaptive_group, timing_markdown, CellTiming, SweepEngine, SweepRun};
 pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
@@ -93,7 +105,10 @@ pub use observe::{
     CellObservation, OBSERVE_SCHEMA,
 };
 pub use partial::{merge, PartialReport, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1};
-pub use perf::{compare_simnet, SimnetBench, SimnetDiff, SimnetShape, SIMNET_BENCH_SCHEMA};
+pub use perf::{
+    compare_service, compare_simnet, ServiceBench, ServiceDiff, ServiceGroupBench, SimnetBench,
+    SimnetDiff, SimnetShape, SERVICE_BENCH_SCHEMA, SIMNET_BENCH_SCHEMA,
+};
 pub use report::{FitRow, GroupSummary, SamplingSection, SweepReport, REPORT_SCHEMA};
 pub use runner::{execute, execute_with_budget, CellRecord, ClassifyRecord, Outcome, RunRecord};
 pub use sampling::GroupSampling;

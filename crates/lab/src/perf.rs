@@ -25,6 +25,16 @@
 //! Speedups and brand-new shapes are reported but never gated. The parser
 //! ignores unknown fields and refuses only an explicitly *different*
 //! schema tag, mirroring [`crate::trend::BenchArtifact::parse`].
+//!
+//! The same machinery gates the **service throughput** artifact
+//! (`validity-lab/service-bench@1`, written by the `service_smoke`
+//! example): [`ServiceBench`] models its deterministic core — simulated
+//! decisions/sec per report group, a pure function of the seeded
+//! execution — and [`compare_service`] diffs it against
+//! `ci/BENCH_service_baseline.json`. Because those rates are simulated
+//! time rather than wall clock, the default tolerance there is zero: any
+//! drop is a real pipeline regression. `lab perf` dispatches on the
+//! artifact's schema tag, so one command serves both gates.
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -310,6 +320,272 @@ pub fn compare_simnet(current: &SimnetBench, baseline: &SimnetBench, tolerance: 
     SimnetDiff { rows, tolerance }
 }
 
+// ---------------------------------------------------------------------------
+// Service throughput gate
+
+/// Schema tag of the service-bench artifact (written by the
+/// `service_smoke` example).
+pub const SERVICE_BENCH_SCHEMA: &str = "validity-lab/service-bench@1";
+
+/// One report group of the service-bench artifact. All three rates are
+/// **simulated-time** fixed-point numbers — pure functions of the seeded
+/// execution, byte-deterministic and hardware-free, which is what makes
+/// them gateable at all (the artifact's wall-clock fields stay advisory
+/// and are never parsed here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceGroupBench {
+    /// The service report group key.
+    pub key: String,
+    /// Simulated decisions/sec, thousandths — the gated rate.
+    pub decisions_per_sec_milli: u64,
+    /// Simulated client requests/sec, thousandths.
+    pub requests_per_sec_milli: u64,
+    /// Amortized messages per decision, hundredths.
+    pub messages_per_decision_centi: u64,
+}
+
+/// The deterministic core of the service-bench artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceBench {
+    /// Suite name (`service`).
+    pub suite: String,
+    /// Cells the suite ran.
+    pub runs: u64,
+    /// Total decisions committed across the suite.
+    pub decisions: u64,
+    /// Total client requests served across the suite.
+    pub requests: u64,
+    /// Per-group rates, in artifact order.
+    pub groups: Vec<ServiceGroupBench>,
+}
+
+impl ServiceBench {
+    /// Parses an artifact. Unknown fields (including the advisory
+    /// wall-clock ones) are ignored; a file tagged with a *different*
+    /// schema is refused.
+    pub fn parse(text: &str) -> Result<ServiceBench, String> {
+        let v = Json::parse(text)?;
+        match v.get("schema").and_then(Json::as_str) {
+            None | Some(SERVICE_BENCH_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "unsupported service bench schema '{other}' (this lab reads \
+                     '{SERVICE_BENCH_SCHEMA}')"
+                ))
+            }
+        }
+        let groups = v
+            .get("groups")
+            .and_then(Json::as_arr)
+            .ok_or("service bench artifact missing 'groups'")?
+            .iter()
+            .map(|g| {
+                Ok(ServiceGroupBench {
+                    key: g
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or("group missing 'key'")?
+                        .to_string(),
+                    decisions_per_sec_milli: g
+                        .get("decisions_per_sec_milli")
+                        .and_then(Json::as_u64)
+                        .ok_or("group missing 'decisions_per_sec_milli'")?,
+                    requests_per_sec_milli: g
+                        .get("requests_per_sec_milli")
+                        .and_then(Json::as_u64)
+                        .ok_or("group missing 'requests_per_sec_milli'")?,
+                    messages_per_decision_centi: g
+                        .get("messages_per_decision_centi")
+                        .and_then(Json::as_u64)
+                        .ok_or("group missing 'messages_per_decision_centi'")?,
+                })
+            })
+            .collect::<Result<Vec<ServiceGroupBench>, String>>()?;
+        Ok(ServiceBench {
+            suite: v
+                .get("suite")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            runs: v.get("runs").and_then(Json::as_u64).unwrap_or(0),
+            decisions: v.get("decisions").and_then(Json::as_u64).unwrap_or(0),
+            requests: v.get("requests").and_then(Json::as_u64).unwrap_or(0),
+            groups,
+        })
+    }
+
+    /// Renders the deterministic core of the artifact — the group layout
+    /// matches the `service_smoke` emitter, but the advisory wall-clock
+    /// fields are dropped, so a committed baseline never churns with
+    /// runner hardware.
+    pub fn to_json(&self) -> String {
+        let mut groups = String::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                groups.push_str(",\n");
+            }
+            let _ = write!(
+                groups,
+                "    {{\"key\": {}, \"decisions_per_sec_milli\": {}, \
+                 \"requests_per_sec_milli\": {}, \"messages_per_decision_centi\": {}}}",
+                json_str(&g.key),
+                g.decisions_per_sec_milli,
+                g.requests_per_sec_milli,
+                g.messages_per_decision_centi
+            );
+        }
+        format!(
+            "{{\n  \"schema\": {},\n  \"suite\": {},\n  \"runs\": {},\n  \
+             \"decisions\": {},\n  \"requests\": {},\n  \"groups\": [\n{groups}\n  ]\n}}\n",
+            json_str(SERVICE_BENCH_SCHEMA),
+            json_str(&self.suite),
+            self.runs,
+            self.decisions,
+            self.requests
+        )
+    }
+}
+
+/// One row of the service perf diff table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServicePerfRow {
+    /// The service report group key.
+    pub key: String,
+    /// Baseline decisions/sec (units, from milli), when present.
+    pub baseline_rate: Option<f64>,
+    /// Current decisions/sec (units, from milli), when present.
+    pub current_rate: Option<f64>,
+    /// The verdict.
+    pub status: PerfStatus,
+}
+
+/// The full diff of a current service-bench artifact against the
+/// committed baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceDiff {
+    /// Per-group verdicts, current-artifact order with missing baseline
+    /// groups appended.
+    pub rows: Vec<ServicePerfRow>,
+    /// The relative slowdown tolerance the verdicts used.
+    pub tolerance: f64,
+}
+
+impl ServiceDiff {
+    /// Number of regression rows — the perf gate fails when non-zero.
+    pub fn regressions(&self) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.status.is_regression())
+            .count() as u64
+    }
+
+    /// Renders the diff table as Markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Service decisions/sec vs baseline (slowdown tolerance {:.0}%)\n",
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{} group(s) compared, {} regression(s).\n",
+            self.rows.len(),
+            self.regressions()
+        );
+        out.push_str("| group | baseline dec/s | current dec/s | ratio | status |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let ratio = match (r.baseline_rate, r.current_rate) {
+                (Some(b), Some(c)) if b > 0.0 => format!("{:.2}×", c / b),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                r.key,
+                r.baseline_rate
+                    .map_or("-".to_string(), |v| format!("{v:.3}")),
+                r.current_rate
+                    .map_or("-".to_string(), |v| format!("{v:.3}")),
+                ratio,
+                r.status,
+            );
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`, matching groups by key.
+///
+/// Unlike the wall-clock simnet rates, the service rates are *simulated*
+/// time — deterministic — so the natural tolerance is `0.0`: any drop in
+/// decisions/sec is a genuine throughput regression of the pipeline, not
+/// runner noise. A changed amortized message cost
+/// (`messages_per_decision_centi`) is a [`PerfStatus::Drift`] — cost
+/// accounting changed and the baseline needs a deliberate refresh.
+/// Speedups and new groups never gate; a vanished group always does.
+///
+/// ```
+/// use validity_lab::perf::{compare_service, ServiceBench};
+///
+/// let base = ServiceBench::parse(r#"{"groups": [{"key": "g",
+///     "decisions_per_sec_milli": 2000, "requests_per_sec_milli": 2000,
+///     "messages_per_decision_centi": 3600}]}"#).unwrap();
+/// let mut cur = base.clone();
+/// assert_eq!(compare_service(&cur, &base, 0.0).regressions(), 0);
+/// cur.groups[0].decisions_per_sec_milli = 1999; // any drop gates
+/// assert_eq!(compare_service(&cur, &base, 0.0).regressions(), 1);
+/// ```
+pub fn compare_service(
+    current: &ServiceBench,
+    baseline: &ServiceBench,
+    tolerance: f64,
+) -> ServiceDiff {
+    let mut rows = Vec::new();
+    let mut matched = vec![false; baseline.groups.len()];
+    for group in &current.groups {
+        let base = baseline
+            .groups
+            .iter()
+            .position(|b| b.key == group.key)
+            .map(|i| {
+                matched[i] = true;
+                &baseline.groups[i]
+            });
+        let status = match base {
+            None => PerfStatus::New,
+            Some(b) if b.messages_per_decision_centi != group.messages_per_decision_centi => {
+                PerfStatus::Drift
+            }
+            Some(b)
+                if (group.decisions_per_sec_milli as f64)
+                    < (1.0 - tolerance) * b.decisions_per_sec_milli as f64 =>
+            {
+                PerfStatus::Slowdown
+            }
+            Some(_) => PerfStatus::Ok,
+        };
+        rows.push(ServicePerfRow {
+            key: group.key.clone(),
+            baseline_rate: base.map(|b| b.decisions_per_sec_milli as f64 / 1e3),
+            current_rate: Some(group.decisions_per_sec_milli as f64 / 1e3),
+            status,
+        });
+    }
+    for (i, b) in baseline.groups.iter().enumerate() {
+        if !matched[i] {
+            rows.push(ServicePerfRow {
+                key: b.key.clone(),
+                baseline_rate: Some(b.decisions_per_sec_milli as f64 / 1e3),
+                current_rate: None,
+                status: PerfStatus::Missing,
+            });
+        }
+    }
+    ServiceDiff { rows, tolerance }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,5 +684,101 @@ mod tests {
         // Zero tolerance gates any slowdown at all.
         let hair_slower = bench(vec![shape(4, 100, 0.999e6)]);
         assert_eq!(compare_simnet(&hair_slower, &base, 0.0).regressions(), 1);
+    }
+
+    fn sgroup(key: &str, dps: u64, mpd: u64) -> ServiceGroupBench {
+        ServiceGroupBench {
+            key: key.to_string(),
+            decisions_per_sec_milli: dps,
+            requests_per_sec_milli: dps,
+            messages_per_decision_centi: mpd,
+        }
+    }
+
+    fn sbench(groups: Vec<ServiceGroupBench>) -> ServiceBench {
+        ServiceBench {
+            suite: "service".into(),
+            runs: 64,
+            decisions: 1000,
+            requests: 1000,
+            groups,
+        }
+    }
+
+    #[test]
+    fn service_artifact_round_trips_and_drops_wall_clock() {
+        // A fresh service_smoke artifact carries advisory wall-clock
+        // fields; the parser ignores them and the canonical baseline
+        // rendering drops them, so baselines never churn with hardware.
+        let fresh = r#"{
+            "schema": "validity-lab/service-bench@1",
+            "suite": "service",
+            "runs": 64,
+            "decisions": 1000,
+            "requests": 1000,
+            "wall_seconds": 1.234567,
+            "decisions_per_sec_wall": 810.3,
+            "groups": [
+                {"key": "service/a", "decisions_per_sec_milli": 2000,
+                 "requests_per_sec_milli": 2000, "messages_per_decision_centi": 3600}
+            ]
+        }"#;
+        let b = ServiceBench::parse(fresh).expect("parse");
+        assert_eq!(b.suite, "service");
+        assert_eq!(b.groups.len(), 1);
+        let canonical = b.to_json();
+        assert!(!canonical.contains("wall"));
+        assert!(canonical.contains(SERVICE_BENCH_SCHEMA));
+        // Rendering a parsed artifact is stable.
+        let back = ServiceBench::parse(&canonical).expect("round-trip");
+        assert_eq!(back, b);
+        assert_eq!(back.to_json(), canonical);
+    }
+
+    #[test]
+    fn service_parse_rejects_foreign_schema_and_bad_groups() {
+        let foreign = r#"{"schema": "validity-simnet/bench@1", "groups": []}"#;
+        assert!(ServiceBench::parse(foreign).is_err());
+        assert!(ServiceBench::parse(r#"{"suite": "service"}"#).is_err());
+        assert!(ServiceBench::parse(r#"{"groups": [{"key": "g"}]}"#).is_err());
+    }
+
+    #[test]
+    fn compare_service_flags_each_regression_kind() {
+        let base = sbench(vec![
+            sgroup("service/a", 2000, 3600),
+            sgroup("service/b", 1000, 4800),
+            sgroup("service/c", 500, 1200),
+            sgroup("service/gone", 750, 2400),
+        ]);
+        let current = sbench(vec![
+            sgroup("service/a", 2000, 3600), // identical: ok
+            sgroup("service/b", 1000, 4801), // amortized cost drift
+            sgroup("service/c", 499, 1200),  // slowdown at zero tolerance
+            sgroup("service/new", 10, 10),   // brand new
+        ]);
+        let diff = compare_service(&current, &base, 0.0);
+        let status_of = |key: &str| {
+            diff.rows
+                .iter()
+                .find(|r| r.key == key)
+                .unwrap_or_else(|| panic!("no row for {key}"))
+                .status
+        };
+        assert_eq!(status_of("service/a"), PerfStatus::Ok);
+        assert_eq!(status_of("service/b"), PerfStatus::Drift);
+        assert_eq!(status_of("service/c"), PerfStatus::Slowdown);
+        assert_eq!(status_of("service/gone"), PerfStatus::Missing);
+        assert_eq!(status_of("service/new"), PerfStatus::New);
+        assert_eq!(diff.regressions(), 3);
+        let md = diff.render_markdown();
+        assert!(md.contains("✘ SLOWDOWN"));
+        assert!(md.contains("✘ EVENT DRIFT"));
+        assert!(md.contains("✘ MISSING"));
+
+        // A generous tolerance waives the slowdown but never the drift or
+        // the vanished group.
+        let relaxed = compare_service(&current, &base, 0.5);
+        assert_eq!(relaxed.regressions(), 2);
     }
 }

@@ -88,6 +88,72 @@ impl ProtocolContext {
 /// vector-specific before the registry went protocol-agnostic).
 pub type VectorContext = ProtocolContext;
 
+/// The `(n, t)` operating band a protocol is registered for.
+///
+/// Every engine in this repo solves the same problem, but not at every
+/// system size: the non-authenticated engine's `O(n⁴)` message bill makes
+/// it impractical past moderate `n`, and the subcubic engine's latency
+/// grows exponentially in `t`. A differential harness needs to know those
+/// bands *declaratively* — an engine skipping a cell because it is out of
+/// band is *expected divergence*, not a bug — so each [`ProtocolSpec`]
+/// carries one of these records.
+///
+/// The band is inclusive: `applicable_to(n, t)` holds when `n ≤ max_n`
+/// and `t ≤ max_t` (and `(n, t)` itself is a valid `SystemParams`
+/// configuration). `None` means unbounded on that axis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Applicability {
+    /// Largest system size the engine is registered to run at, if bounded.
+    pub max_n: Option<usize>,
+    /// Largest fault budget the engine is registered to run at, if bounded.
+    pub max_t: Option<usize>,
+}
+
+impl Applicability {
+    /// Unbounded on both axes: applicable to every valid `(n, t)`.
+    pub const UNBOUNDED: Applicability = Applicability {
+        max_n: None,
+        max_t: None,
+    };
+
+    /// Bounds the band to `n ≤ max_n`.
+    pub const fn up_to_n(max_n: usize) -> Applicability {
+        Applicability {
+            max_n: Some(max_n),
+            max_t: None,
+        }
+    }
+
+    /// Bounds the band to `t ≤ max_t`.
+    pub const fn up_to_t(max_t: usize) -> Applicability {
+        Applicability {
+            max_n: None,
+            max_t: Some(max_t),
+        }
+    }
+
+    /// Whether `(n, t)` falls inside this band. Invalid parameter
+    /// combinations (rejected by [`SystemParams::new`]) are never
+    /// applicable.
+    pub fn contains(&self, n: usize, t: usize) -> bool {
+        if SystemParams::new(n, t).is_err() {
+            return false;
+        }
+        self.max_n.is_none_or(|m| n <= m) && self.max_t.is_none_or(|m| t <= m)
+    }
+}
+
+impl fmt::Display for Applicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.max_n, self.max_t) {
+            (None, None) => f.write_str("any (n, t)"),
+            (Some(n), None) => write!(f, "n ≤ {n}"),
+            (None, Some(t)) => write!(f, "t ≤ {t}"),
+            (Some(n), Some(t)) => write!(f, "n ≤ {n}, t ≤ {t}"),
+        }
+    }
+}
+
 /// A protocol registration record: everything a harness needs to select,
 /// describe, and instantiate a protocol by name at runtime.
 ///
@@ -99,12 +165,15 @@ pub struct ProtocolSpec<M, V = u64> {
     name: &'static str,
     authenticated: bool,
     complexity: &'static str,
+    applicability: Applicability,
     factory: fn(&ProtocolContext, ProcessId, V) -> M,
 }
 
 impl<M, V> ProtocolSpec<M, V> {
     /// Registers a protocol: stable `name`, whether it relies on the PKI,
-    /// its complexity band, and its machine factory.
+    /// its complexity band, and its machine factory. The spec starts
+    /// [`Applicability::UNBOUNDED`]; narrow it with
+    /// [`with_applicability`](Self::with_applicability).
     pub const fn new(
         name: &'static str,
         authenticated: bool,
@@ -115,8 +184,15 @@ impl<M, V> ProtocolSpec<M, V> {
             name,
             authenticated,
             complexity,
+            applicability: Applicability::UNBOUNDED,
             factory,
         }
+    }
+
+    /// Narrows the spec's registered `(n, t)` operating band.
+    pub const fn with_applicability(mut self, applicability: Applicability) -> Self {
+        self.applicability = applicability;
+        self
     }
 
     /// The stable registry name (used by CLIs and reports).
@@ -133,6 +209,16 @@ impl<M, V> ProtocolSpec<M, V> {
     /// The paper's asymptotic cost band, for report headers.
     pub fn complexity(&self) -> &'static str {
         self.complexity
+    }
+
+    /// The `(n, t)` operating band the engine is registered for.
+    pub fn applicability(&self) -> Applicability {
+        self.applicability
+    }
+
+    /// Whether the engine is registered to run at system size `(n, t)`.
+    pub fn applicable_to(&self, n: usize, t: usize) -> bool {
+        self.applicability.contains(n, t)
     }
 
     /// Builds the machine for process `p` proposing `input`.
@@ -238,11 +324,18 @@ fn make_fast<V: Value + Codec + Words>(
 }
 
 /// The registered vector-consensus protocols, in presentation order.
+///
+/// Operating bands mirror each engine's cost profile (and the sizes the
+/// built-in suites actually exercise): the non-authenticated engine's
+/// `O(n⁴)` message bill caps it at `n ≤ 13`, and the subcubic engine's
+/// latency grows exponentially in `t`, capping it at `t ≤ 4`.
 pub fn vector_registry<V: Value + Codec + Words>() -> [VectorSpec<V>; 3] {
     [
         ProtocolSpec::new("alg1-auth", true, "O(n²) msgs, O(n³) words", make_auth::<V>),
-        ProtocolSpec::new("alg3-nonauth", false, "O(n⁴) msgs", make_nonauth::<V>),
-        ProtocolSpec::new("alg6-fast", true, "O(n² log n) words", make_fast::<V>),
+        ProtocolSpec::new("alg3-nonauth", false, "O(n⁴) msgs", make_nonauth::<V>)
+            .with_applicability(Applicability::up_to_n(13)),
+        ProtocolSpec::new("alg6-fast", true, "O(n² log n) words", make_fast::<V>)
+            .with_applicability(Applicability::up_to_t(4)),
     ]
 }
 
@@ -463,6 +556,36 @@ mod tests {
         }
         assert!(find_vector::<u64>("alg1-auth").unwrap().authenticated());
         assert!(!find_vector::<u64>("alg3-nonauth").unwrap().authenticated());
+    }
+
+    #[test]
+    fn applicability_bands_match_registered_cost_profiles() {
+        let auth = find_vector::<u64>("alg1-auth").unwrap();
+        let nonauth = find_vector::<u64>("alg3-nonauth").unwrap();
+        let fast = find_vector::<u64>("alg6-fast").unwrap();
+
+        assert_eq!(auth.applicability(), Applicability::UNBOUNDED);
+        assert_eq!(nonauth.applicability(), Applicability::up_to_n(13));
+        assert_eq!(fast.applicability(), Applicability::up_to_t(4));
+
+        // Every engine covers the small suites…
+        for spec in vector_registry::<u64>() {
+            assert!(spec.applicable_to(4, 1), "{spec} must cover (4, 1)");
+            assert!(spec.applicable_to(13, 4), "{spec} must cover (13, 4)");
+        }
+        // …but the bands diverge at scale.
+        assert!(auth.applicable_to(16, 5));
+        assert!(!nonauth.applicable_to(16, 5), "O(n⁴) engine capped at n=13");
+        assert!(!fast.applicable_to(16, 5), "subcubic engine capped at t=4");
+
+        // Invalid parameter combinations are never applicable, even for the
+        // unbounded engine.
+        assert!(!auth.applicable_to(3, 3));
+        assert!(!auth.applicable_to(4, 0));
+
+        assert_eq!(Applicability::UNBOUNDED.to_string(), "any (n, t)");
+        assert_eq!(Applicability::up_to_n(13).to_string(), "n ≤ 13");
+        assert_eq!(Applicability::up_to_t(4).to_string(), "t ≤ 4");
     }
 
     #[test]

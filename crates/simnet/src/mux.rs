@@ -621,4 +621,126 @@ mod tests {
         assert!(sim.all_correct_decided());
         assert!(crate::agreement_holds(sim.decisions()));
     }
+
+    #[test]
+    fn pipeline_wider_than_slots_behaves_as_full_window() {
+        // The window caps open *undecided* slots, so a pipeline wider
+        // than the slot count cannot open more than `total` anyway:
+        // pipeline = 8 (or u32::MAX) over 3 slots must reproduce the
+        // pipeline = 3 execution exactly, with every slot open at time 0.
+        let params = SystemParams::new(4, 1).unwrap();
+        let run = |pipeline: u32| {
+            let mut sim = Simulation::new(
+                SimConfig::new(params).seed(7),
+                service_nodes(4, 3, 3, pipeline),
+            );
+            sim.run_until_decided();
+            assert!(sim.all_correct_decided());
+            let (messages, words, last) = {
+                let s = sim.stats();
+                (s.messages_total, s.words_total, s.last_decision_at)
+            };
+            let NodeKind::Correct(mux) = sim.node(ProcessId(0)) else {
+                panic!("expected correct node");
+            };
+            (messages, words, last, mux.decisions().to_vec())
+        };
+        let exact = run(3);
+        let wider = run(8);
+        let max = run(u32::MAX);
+        assert_eq!(exact, wider);
+        assert_eq!(exact, max);
+        assert!(
+            exact.3.iter().all(|d| d.opened_at == 0),
+            "a window covering every slot opens them all at init"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Generalizes `replay_survives_window_slides_with_interleaved_-
+        /// buffered_messages`: for *any* arrival order of the buffered
+        /// quorums of 3–5 future slots (window 1, so every one of them
+        /// triggers a nested window slide during replay), the replay
+        /// fixpoint must deliver everything — all slots decided, buffer
+        /// drained, every output correct.
+        #[test]
+        fn replay_reaches_fixpoint_for_any_buffer_interleaving(
+            seed in proptest::prelude::any::<u64>(),
+            slots in 3u32..6,
+        ) {
+            let params = SystemParams::new(4, 1).unwrap();
+            let env = Env {
+                id: ProcessId(0),
+                params,
+                now: 0,
+                delta: 10,
+            };
+            let mut mux = Multiplex::new(slots, 1, |id, _env: &Env| Quorum {
+                input: 100 * (id as u64 + 1),
+                heard: 0,
+            });
+            let mut sink = StepSink::new();
+            mux.init(&env, &mut sink); // opens slot 0 only (window 1)
+            proptest::prop_assert_eq!(mux.opened(), 1);
+
+            // A full quorum for every future slot, shuffled into an
+            // arbitrary arrival order by a seeded Fisher–Yates (splitmix64
+            // underneath, so the case is a pure function of `seed`).
+            let mut entries: Vec<(InstanceId, usize)> = (1..slots)
+                .flat_map(|inst| (1..=3usize).map(move |from| (inst, from)))
+                .collect();
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for i in (1..entries.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                entries.swap(i, j);
+            }
+            for &(inst, from) in &entries {
+                mux.on_message(
+                    ProcessId::from_index(from),
+                    &MuxMsg {
+                        instance: inst,
+                        inner: Ping(100 * (inst as u64 + 1)),
+                    },
+                    &env,
+                    &mut sink,
+                );
+            }
+            proptest::prop_assert_eq!(mux.pending.len(), entries.len());
+
+            // Slot 0's quorum sets off the cascade: decide slot 0, open
+            // slot 1, replay its buffered quorum (deciding it and sliding
+            // the window again), and so on through every future slot.
+            for from in 1..=3usize {
+                mux.on_message(
+                    ProcessId::from_index(from),
+                    &MuxMsg {
+                        instance: 0,
+                        inner: Ping(100),
+                    },
+                    &env,
+                    &mut sink,
+                );
+            }
+            proptest::prop_assert!(mux.all_decided(), "a buffered delivery was stranded");
+            proptest::prop_assert!(mux.pending.is_empty(), "replay must drain the buffer");
+            let mut outputs: Vec<(InstanceId, u64)> = mux
+                .decisions()
+                .iter()
+                .map(|d| (d.instance, d.output))
+                .collect();
+            outputs.sort_unstable();
+            let expected: Vec<(InstanceId, u64)> =
+                (0..slots).map(|i| (i, 100 * (i as u64 + 1))).collect();
+            proptest::prop_assert_eq!(outputs, expected);
+        }
+    }
 }
