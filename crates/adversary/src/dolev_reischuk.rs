@@ -20,8 +20,6 @@
 //!   delaying Q's links past both decision times (Lemma 7), and exhibits
 //!   the resulting Agreement violation.
 
-use std::sync::Arc;
-
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 use validity_simnet::{
     FilteredMachine, Machine, NodeKind, PreGstPolicy, SimConfig, Simulation, Time,
@@ -188,13 +186,13 @@ pub fn break_leader_echo(params: SystemParams, delta: Time, seed: u64) -> Disagr
     // are delayed past max(t_q, t_v); GST afterwards.
     let cutoff = (t_q.max(t_v) + 1) * 2;
     let q_for_policy = q;
-    let policy = PreGstPolicy::PerLink(Arc::new(move |from: ProcessId, to: ProcessId, _at| {
+    let policy = PreGstPolicy::per_link("lemma7-isolate-q", move |from, to, _at| {
         if from == q_for_policy || to == q_for_policy {
             Time::MAX / 8 // held back until GST forces delivery
         } else {
             1
         }
-    }));
+    });
     let mut cfg = SimConfig::new(params)
         .gst(cutoff)
         .delta(delta)

@@ -100,17 +100,15 @@ pub fn break_quorum_vote(params: SystemParams, delta: Time, seed: u64) -> Partit
 
     // Stall A ↔ C until after both sides decide (step 3 of Lemma 2).
     let (ga, gc) = (layout.group_a, layout.group_c);
-    let policy = PreGstPolicy::PerLink(std::sync::Arc::new(
-        move |from: ProcessId, to: ProcessId, _at| {
-            let cross =
-                (ga.contains(from) && gc.contains(to)) || (gc.contains(from) && ga.contains(to));
-            if cross {
-                Time::MAX / 8
-            } else {
-                1
-            }
-        },
-    ));
+    let policy = PreGstPolicy::per_link("lemma2-partition", move |from, to, _at| {
+        let cross =
+            (ga.contains(from) && gc.contains(to)) || (gc.contains(from) && ga.contains(to));
+        if cross {
+            Time::MAX / 8
+        } else {
+            1
+        }
+    });
     let gst = 200 * delta; // far beyond the QuorumVote decision time
     let cfg = SimConfig::new(params)
         .gst(gst)

@@ -245,11 +245,12 @@ fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
         "behavior",
         BehaviorId::parse,
     )?;
-    m.schedules = parse_list(
-        opt_value(rest, "--schedules").unwrap_or("partial-sync"),
-        "schedule",
-        ScheduleSpec::parse,
-    )?;
+    m.schedules = opt_value(rest, "--schedules")
+        .unwrap_or("partial-sync")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(ScheduleSpec::parse_or_err)
+        .collect::<Result<Vec<_>, _>>()?;
     m.faults = parse_list(
         opt_value(rest, "--faults").unwrap_or("max"),
         "fault load",
@@ -839,7 +840,7 @@ const CROSSCHECK_FLAGS: [&str; 6] = [
 ];
 
 /// `lab crosscheck` flags that take no value.
-const CROSSCHECK_SWITCHES: [&str; 2] = ["--dry-run", "--timing"];
+const CROSSCHECK_SWITCHES: [&str; 3] = ["--dry-run", "--timing", "--chaos"];
 
 /// `lab run` / `lab service` surface that makes no sense for the
 /// crosscheck driver, each with the reason it is refused.
@@ -968,7 +969,13 @@ fn crosscheck_cmd(rest: &[&str]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut matrix = CrosscheckMatrix::suite();
+    // --chaos swaps in the faulty-network grid (every ScheduleSpec::CHAOS
+    // schedule); the default grid keeps the committed fingerprint bytes.
+    let mut matrix = if rest.contains(&"--chaos") {
+        CrosscheckMatrix::chaos()
+    } else {
+        CrosscheckMatrix::suite()
+    };
     if let Some(seeds) = opt_value(rest, "--seeds") {
         let parsed = seeds
             .split_once("..")

@@ -166,6 +166,29 @@ impl CrosscheckMatrix {
         m
     }
 
+    /// The chaos extension grid (`lab crosscheck --chaos`): the same
+    /// oracle ensemble swept over every faulty-network schedule in
+    /// [`ScheduleSpec::CHAOS`]. A separate grid rather than extra rows in
+    /// [`CrosscheckMatrix::suite`], because the committed `crosscheck`
+    /// fingerprints pin the clean suite's bytes — but the grading bar is
+    /// identical: pre-GST loss, duplication, partitions, and churn may
+    /// slow a column down, never split the oracles, so any cell above
+    /// expected-divergence is a bug.
+    pub fn chaos() -> CrosscheckMatrix {
+        let mut m = CrosscheckMatrix::new("crosscheck-chaos");
+        m.validities = vec![ValiditySpec::Strong, ValiditySpec::Median];
+        m.behaviors = vec![BehaviorId::Silent, BehaviorId::TwoFaced];
+        m.faults = vec![0, usize::MAX];
+        m.schedules = ScheduleSpec::CHAOS.to_vec();
+        m.systems = vec![(4, 1), (7, 2)];
+        m.seeds = 0..1;
+        // Chaos cells can legitimately run long (loss withholds messages
+        // until GST); the budget quarantines divergence instead of
+        // hanging the gate.
+        m.max_steps = Some(5_000_000);
+        m
+    }
+
     /// The scenario skeleton, enumerated through
     /// [`ScenarioMatrix::run_templates`] so the crosscheck grid inherits
     /// exactly the sweep engine's axis order, collapse rules (zero fault
@@ -881,6 +904,31 @@ mod tests {
         assert!(classifier_in_band(7, m.domain));
         let in_band = m.engines.iter().filter(|e| e.applicable_to(16, 5)).count();
         assert_eq!(in_band, 1, "exactly one engine covers (16, 5)");
+    }
+
+    #[test]
+    fn chaos_grid_is_clean_on_every_chaos_schedule() {
+        // A trimmed slice of the --chaos grid (the full grid is the CI
+        // smoke's job): every faulty-network schedule, one validity, one
+        // behavior, smallest system — the oracles must never split.
+        let mut m = CrosscheckMatrix::chaos();
+        m.validities = vec![ValiditySpec::Median];
+        m.behaviors = vec![BehaviorId::Silent];
+        m.faults = vec![usize::MAX];
+        m.systems = vec![(4, 1)];
+        assert!(m.schedules.iter().all(|s| s.is_chaos()));
+        let (report, _, _) = run_crosscheck(&m, 0);
+        assert!(
+            report.disagreements().is_empty(),
+            "chaos split the oracles: {report:?}"
+        );
+        for s in ScheduleSpec::CHAOS {
+            let tag = format!("/{}/", s.name());
+            assert!(
+                report.cells.iter().any(|c| c.key.contains(&tag)),
+                "schedule {s} missing from the chaos grid"
+            );
+        }
     }
 
     #[test]

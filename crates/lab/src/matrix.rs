@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 use validity_adversary::BehaviorId;
 use validity_core::{
@@ -16,7 +17,10 @@ use validity_core::{
     StrongLambda, StrongValidity, SystemParams, TrivialValidity, WeakLambda, WeakValidity,
 };
 use validity_protocols::registry::{find_vector, VectorSpec};
-use validity_simnet::{PreGstPolicy, SimBuilder, SimConfig, Time, DEFAULT_DELTA};
+use validity_simnet::{
+    Churn, Duplicate, Jitter, Loss, NetModel, Partition, PreGstPolicy, SimBuilder, SimConfig, Time,
+    UniformModel, DEFAULT_DELTA, DEFAULT_GST,
+};
 
 /// One shard of an `m`-way partition of a matrix — `--shard i/m` on the
 /// CLI, with `index` 1-based.
@@ -222,38 +226,277 @@ impl fmt::Display for ValiditySpec {
     }
 }
 
-/// Names a network schedule: GST placement plus the pre-GST delay policy.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum ScheduleSpec {
+/// The registration record behind one [`ScheduleSpec`] handle (the same
+/// registry shape as `validity_protocols::ProtocolSpec`): a stable name,
+/// a one-line description, whether the schedule injects network faults,
+/// and the factory producing its simulator configuration.
+#[derive(Debug)]
+pub struct ScheduleRecord {
+    /// Presentation / ordering index within the registry.
+    ord: usize,
+    /// The stable registry name (`lab run --schedules <name>`).
+    name: &'static str,
+    /// One-line description for `lab list`.
+    describe: &'static str,
+    /// Whether the schedule runs a faulty network model (loss,
+    /// duplication, partition, churn) rather than a clean delay policy.
+    chaos: bool,
+    /// The configuration factory.
+    build: fn(SystemParams, u64) -> SimConfig,
+}
+
+fn sync_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::synchronous(params).seed(seed)
+}
+
+fn partial_sync_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params).seed(seed)
+}
+
+fn fixed_slow_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::Fixed(3 * DEFAULT_DELTA))
+        .seed(seed)
+}
+
+fn isolate_first_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::per_link("isolate-p1", |from, to, _at| {
+            if from.index() == 0 || to.index() == 0 {
+                Time::MAX / 8
+            } else {
+                3
+            }
+        }))
+        .seed(seed)
+}
+
+/// The default uniform pre-GST delay (what `partial-sync` runs), as the
+/// base of every chaos composition.
+fn base_model() -> Arc<dyn NetModel> {
+    Arc::new(UniformModel::new(4 * DEFAULT_DELTA))
+}
+
+fn lossy_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::model(Arc::new(Loss::new(base_model(), 200))))
+        .seed(seed)
+}
+
+fn dup_storm_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::model(Arc::new(Duplicate::new(
+            base_model(),
+            250,
+        ))))
+        .seed(seed)
+}
+
+fn partitioned_config(params: SystemParams, seed: u64) -> SimConfig {
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::model(Arc::new(Partition::new(
+            base_model(),
+            params.n() / 2,
+            DEFAULT_GST / 2,
+        ))))
+        .seed(seed)
+}
+
+fn churn_config(params: SystemParams, seed: u64) -> SimConfig {
+    // Two staggered outages, both healed well before GST.
+    let outages = vec![
+        (1, DEFAULT_DELTA, DEFAULT_GST / 2),
+        (2, DEFAULT_GST / 4, 3 * DEFAULT_GST / 4),
+    ];
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::model(Arc::new(Churn::new(
+            base_model(),
+            outages,
+        ))))
+        .seed(seed)
+}
+
+fn flaky_config(params: SystemParams, seed: u64) -> SimConfig {
+    // Everything at once: extra jitter, duplication, loss — composed
+    // inside-out, so the draw order is jitter, then dup, then loss.
+    let jittered = Arc::new(Jitter::new(base_model(), 2 * DEFAULT_DELTA));
+    let duped = Arc::new(Duplicate::new(jittered, 125));
+    SimConfig::new(params)
+        .pre_gst(PreGstPolicy::model(Arc::new(Loss::new(duped, 125))))
+        .seed(seed)
+}
+
+/// The schedule registry: the four legacy (clean) schedules first, then
+/// the chaos catalogue. Order is presentation order and the `Ord` of the
+/// handles.
+static SCHEDULE_REGISTRY: [ScheduleRecord; 9] = [
+    ScheduleRecord {
+        ord: 0,
+        name: "sync",
+        describe: "GST = 0 — synchrony from the start",
+        chaos: false,
+        build: sync_config,
+    },
+    ScheduleRecord {
+        ord: 1,
+        name: "partial-sync",
+        describe: "default partial synchrony (GST = 1000, uniform pre-GST jitter)",
+        chaos: false,
+        build: partial_sync_config,
+    },
+    ScheduleRecord {
+        ord: 2,
+        name: "fixed-slow",
+        describe: "every pre-GST message takes 3δ",
+        chaos: false,
+        build: fixed_slow_config,
+    },
+    ScheduleRecord {
+        ord: 3,
+        name: "isolate-p1",
+        describe: "all links touching P1 stalled until GST",
+        chaos: false,
+        build: isolate_first_config,
+    },
+    ScheduleRecord {
+        ord: 4,
+        name: "lossy",
+        describe: "20% of pre-GST sends withheld to their DLS deadline",
+        chaos: true,
+        build: lossy_config,
+    },
+    ScheduleRecord {
+        ord: 5,
+        name: "dup-storm",
+        describe: "25% of pre-GST deliveries duplicated",
+        chaos: true,
+        build: dup_storm_config,
+    },
+    ScheduleRecord {
+        ord: 6,
+        name: "partitioned",
+        describe: "two halves cut from each other, healing at GST/2",
+        chaos: true,
+        build: partitioned_config,
+    },
+    ScheduleRecord {
+        ord: 7,
+        name: "churn",
+        describe: "two nodes crash-recover over staggered pre-GST outages",
+        chaos: true,
+        build: churn_config,
+    },
+    ScheduleRecord {
+        ord: 8,
+        name: "flaky",
+        describe: "jitter + duplication + loss composed on one link model",
+        chaos: true,
+        build: flaky_config,
+    },
+];
+
+/// Names a network schedule: GST placement plus the pre-GST network model.
+///
+/// A `ScheduleSpec` is a `Copy` handle onto a [`ScheduleRecord`] in the
+/// static schedule registry — the same shape as the protocol registry —
+/// so the catalogue is open: adding a schedule is adding a record, not
+/// growing a closed enum. The legacy handles keep their historical
+/// constructor names ([`ScheduleSpec::Synchronous`] etc.), so existing
+/// call sites read unchanged.
+#[derive(Clone, Copy)]
+pub struct ScheduleSpec {
+    rec: &'static ScheduleRecord,
+}
+
+#[allow(non_upper_case_globals)] // legacy enum-variant spelling, kept for call-site compatibility
+impl ScheduleSpec {
     /// GST = 0 — synchrony from the start.
-    Synchronous,
+    pub const Synchronous: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[0],
+    };
     /// The default partially synchronous setup (GST = 1000, uniform jitter
     /// before it).
-    PartialSync,
+    pub const PartialSync: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[1],
+    };
     /// Every pre-GST message takes `3δ`.
-    FixedSlow,
+    pub const FixedSlow: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[2],
+    };
     /// All links touching `P1` are stalled until GST; everything else is
     /// fast.
-    IsolateFirst,
+    pub const IsolateFirst: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[3],
+    };
+    /// 20% pre-GST loss over the default uniform delays.
+    pub const Lossy: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[4],
+    };
+    /// 25% pre-GST duplication over the default uniform delays.
+    pub const DupStorm: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[5],
+    };
+    /// A two-sided partition healing at GST/2.
+    pub const Partitioned: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[6],
+    };
+    /// Crash-recovery churn: staggered per-node outages before GST.
+    pub const Churning: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[7],
+    };
+    /// Jitter + duplication + loss composed.
+    pub const Flaky: ScheduleSpec = ScheduleSpec {
+        rec: &SCHEDULE_REGISTRY[8],
+    };
 }
 
 impl ScheduleSpec {
-    /// Every registered schedule, in presentation order.
-    pub const ALL: [ScheduleSpec; 4] = [
+    /// The four clean legacy schedules (every committed fingerprint runs
+    /// over these).
+    pub const LEGACY: [ScheduleSpec; 4] = [
         ScheduleSpec::Synchronous,
         ScheduleSpec::PartialSync,
         ScheduleSpec::FixedSlow,
         ScheduleSpec::IsolateFirst,
     ];
 
+    /// The faulty-network catalogue (what the `netchaos` suite sweeps).
+    pub const CHAOS: [ScheduleSpec; 5] = [
+        ScheduleSpec::Lossy,
+        ScheduleSpec::DupStorm,
+        ScheduleSpec::Partitioned,
+        ScheduleSpec::Churning,
+        ScheduleSpec::Flaky,
+    ];
+
+    /// Every registered schedule, in presentation order (legacy first,
+    /// then chaos).
+    pub const ALL: [ScheduleSpec; 9] = [
+        ScheduleSpec::Synchronous,
+        ScheduleSpec::PartialSync,
+        ScheduleSpec::FixedSlow,
+        ScheduleSpec::IsolateFirst,
+        ScheduleSpec::Lossy,
+        ScheduleSpec::DupStorm,
+        ScheduleSpec::Partitioned,
+        ScheduleSpec::Churning,
+        ScheduleSpec::Flaky,
+    ];
+
     /// The stable registry name.
     pub fn name(self) -> &'static str {
-        match self {
-            ScheduleSpec::Synchronous => "sync",
-            ScheduleSpec::PartialSync => "partial-sync",
-            ScheduleSpec::FixedSlow => "fixed-slow",
-            ScheduleSpec::IsolateFirst => "isolate-p1",
-        }
+        self.rec.name
+    }
+
+    /// One-line description for `lab list`.
+    pub fn describe(self) -> &'static str {
+        self.rec.describe
+    }
+
+    /// Whether the schedule runs a faulty network model (loss,
+    /// duplication, partition, churn) rather than a clean delay policy.
+    pub fn is_chaos(self) -> bool {
+        self.rec.chaos
     }
 
     /// Looks a schedule up by its registry name.
@@ -261,34 +504,66 @@ impl ScheduleSpec {
         ScheduleSpec::ALL.into_iter().find(|s| s.name() == name)
     }
 
-    /// Builds the validating simulation builder for one run — the
-    /// preferred construction path (see [`SimBuilder`]); `lab` code should
-    /// not assemble `SimConfig` literals directly.
-    pub fn builder(self, params: SystemParams, seed: u64) -> SimBuilder {
-        SimBuilder::from_config(self.build(params, seed))
+    /// Like [`ScheduleSpec::parse`], but a failure names every valid
+    /// schedule — the error surface for CLI flags and suite configs.
+    pub fn parse_or_err(name: &str) -> Result<ScheduleSpec, String> {
+        ScheduleSpec::parse(name).ok_or_else(|| {
+            format!(
+                "unknown schedule: '{name}' (valid: {})",
+                ScheduleSpec::ALL.map(|s| s.name()).join(", ")
+            )
+        })
     }
 
-    /// Builds the raw simulator configuration for one run (the
-    /// [`ScheduleSpec::builder`] path is preferred for running).
+    /// Builds the validating simulation builder for one run — the
+    /// supported construction path (see [`SimBuilder`]); `lab` code must
+    /// not assemble `SimConfig` literals directly.
+    pub fn builder(self, params: SystemParams, seed: u64) -> SimBuilder {
+        SimBuilder::from_config((self.rec.build)(params, seed))
+    }
+
+    /// Builds the raw simulator configuration for one run.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ScheduleSpec::builder`, which routes through the validating `SimBuilder`"
+    )]
     pub fn build(self, params: SystemParams, seed: u64) -> SimConfig {
-        match self {
-            ScheduleSpec::Synchronous => SimConfig::synchronous(params).seed(seed),
-            ScheduleSpec::PartialSync => SimConfig::new(params).seed(seed),
-            ScheduleSpec::FixedSlow => SimConfig::new(params)
-                .pre_gst(PreGstPolicy::Fixed(3 * DEFAULT_DELTA))
-                .seed(seed),
-            ScheduleSpec::IsolateFirst => SimConfig::new(params)
-                .pre_gst(PreGstPolicy::PerLink(std::sync::Arc::new(
-                    |from: validity_core::ProcessId, to: validity_core::ProcessId, _at: Time| {
-                        if from.index() == 0 || to.index() == 0 {
-                            Time::MAX / 8
-                        } else {
-                            3
-                        }
-                    },
-                )))
-                .seed(seed),
-        }
+        (self.rec.build)(params, seed)
+    }
+}
+
+impl PartialEq for ScheduleSpec {
+    fn eq(&self, other: &ScheduleSpec) -> bool {
+        std::ptr::eq(self.rec, other.rec)
+    }
+}
+
+impl Eq for ScheduleSpec {}
+
+impl PartialOrd for ScheduleSpec {
+    fn partial_cmp(&self, other: &ScheduleSpec) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduleSpec {
+    /// Registry order — identical to the declaration order of the old
+    /// closed enum for the legacy schedules, so nothing that sorted by
+    /// the derived variant order changes.
+    fn cmp(&self, other: &ScheduleSpec) -> std::cmp::Ordering {
+        self.rec.ord.cmp(&other.rec.ord)
+    }
+}
+
+impl std::hash::Hash for ScheduleSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rec.name.hash(state);
+    }
+}
+
+impl fmt::Debug for ScheduleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScheduleSpec({})", self.rec.name)
     }
 }
 

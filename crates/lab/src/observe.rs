@@ -58,19 +58,22 @@ pub fn observe_markdown(observed: &[CellObservation]) -> String {
          log2-bucketed histograms (quantiles are bucket upper bounds).\n\n",
     );
     out.push_str(
-        "| cell | events | msgs | words | delivery latency | queue depth | q high | slab high |\n\
-         |---|---|---|---|---|---|---|---|\n",
+        "| cell | events | msgs | words | dropped | duped | delivery latency | queue depth | \
+         q high | slab high |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
     );
     let mut total = Metrics::new(1);
     for o in observed {
         let m = &o.metrics;
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             o.label,
             m.events,
             m.messages,
             m.words,
+            m.dropped,
+            m.duplicated,
             hist_cells(&m.latency),
             hist_cells(&m.queue_depth),
             m.queue_high_water,
@@ -80,10 +83,12 @@ pub fn observe_markdown(observed: &[CellObservation]) -> String {
     }
     let _ = writeln!(
         out,
-        "| **total** | {} | {} | {} | {} | {} | {} | {} |",
+        "| **total** | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
         total.events,
         total.messages,
         total.words,
+        total.dropped,
+        total.duplicated,
         hist_cells(&total.latency),
         hist_cells(&total.queue_depth),
         total.queue_high_water,
@@ -130,10 +135,13 @@ pub fn observe_json(suite: &str, observed: &[CellObservation]) -> String {
         );
         let _ = writeln!(
             out,
-            "      \"messages\": {}, \"words\": {}, \"queue_pushes\": {}, \
-             \"queue_pops\": {}, \"queue_high_water\": {}, \"slab_high_water\": {},",
+            "      \"messages\": {}, \"words\": {}, \"dropped\": {}, \"duplicated\": {}, \
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_high_water\": {}, \
+             \"slab_high_water\": {},",
             m.messages,
             m.words,
+            m.dropped,
+            m.duplicated,
             m.queue_pushes,
             m.queue_pops,
             m.queue_high_water,

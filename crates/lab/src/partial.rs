@@ -550,9 +550,7 @@ fn matrix_from_json(v: &Json) -> Result<ScenarioMatrix, String> {
         "max" => Ok(usize::MAX),
         s => s.parse().map_err(|_| format!("bad fault load '{s}'")),
     })?;
-    m.schedules = parse_names(v, "schedules", |s| {
-        ScheduleSpec::parse(s).ok_or_else(|| format!("unknown schedule '{s}'"))
-    })?;
+    m.schedules = parse_names(v, "schedules", ScheduleSpec::parse_or_err)?;
     m.systems = arr_of(v, "systems")?
         .iter()
         .map(|pair| {
@@ -779,10 +777,20 @@ fn stats_json(out: &mut String, s: &NetStats) {
     }
     let _ = write!(
         out,
-        "], \"deliveries\": {}, \"timer_fires\": {}, \
-         \"first_decision_at\": {}, \"last_decision_at\": {}}}",
-        s.deliveries,
-        s.timer_fires,
+        "], \"deliveries\": {}, \"timer_fires\": {}",
+        s.deliveries, s.timer_fires,
+    );
+    // Chaos-only counters: emitted only when nonzero, so records from the
+    // legacy (clean) schedules keep their historical bytes exactly.
+    if s.dropped != 0 {
+        let _ = write!(out, ", \"dropped\": {}", s.dropped);
+    }
+    if s.duplicated != 0 {
+        let _ = write!(out, ", \"duplicated\": {}", s.duplicated);
+    }
+    let _ = write!(
+        out,
+        ", \"first_decision_at\": {}, \"last_decision_at\": {}}}",
         s.first_decision_at
             .map_or("null".to_string(), |t| t.to_string()),
         s.last_decision_at
@@ -852,6 +860,9 @@ fn stats_from_json(v: &Json) -> Result<NetStats, String> {
         received_by: counts("received_by")?,
         deliveries: field_u64(v, "deliveries")?,
         timer_fires: field_u64(v, "timer_fires")?,
+        // Absent in records from clean schedules (and all pre-chaos ones).
+        dropped: v.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+        duplicated: v.get("duplicated").and_then(Json::as_u64).unwrap_or(0),
         first_decision_at: opt_time("first_decision_at")?,
         last_decision_at: opt_time("last_decision_at")?,
     })

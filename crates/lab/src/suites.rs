@@ -14,7 +14,7 @@ use crate::matrix::{
 };
 
 /// Names of all built-in suites, in presentation order.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 9] = [
     "fig1",
     "schedules",
     "complexity",
@@ -23,6 +23,7 @@ pub const ALL: [&str; 8] = [
     "subcubic",
     "classifier-domain",
     "quick",
+    "netchaos",
 ];
 
 /// One-line description of a suite.
@@ -65,6 +66,11 @@ pub fn describe(name: &str) -> Option<&'static str> {
              in |V|, per property",
         ),
         "quick" => Some("a seconds-scale smoke sweep touching every axis"),
+        "netchaos" => Some(
+            "network-fault ablation: every chaos schedule (loss, \
+             duplication, partition, churn, composed) across engines and \
+             behaviors — safety must never flip",
+        ),
         _ => None,
     }
 }
@@ -90,6 +96,7 @@ pub fn build(name: &str) -> Option<ScenarioMatrix> {
         "subcubic" => Some(subcubic()),
         "classifier-domain" => Some(classifier_domain()),
         "quick" => Some(quick()),
+        "netchaos" => Some(netchaos()),
         _ => None,
     }
 }
@@ -143,7 +150,7 @@ pub fn schedules() -> ScenarioMatrix {
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent];
     m.faults = vec![0];
-    m.schedules = ScheduleSpec::ALL.to_vec();
+    m.schedules = ScheduleSpec::LEGACY.to_vec();
     m.systems = vec![(10, 3)];
     m.seeds = 0..5;
     m
@@ -362,6 +369,28 @@ pub fn quick() -> ScenarioMatrix {
     m
 }
 
+/// The network-fault ablation: every chaos schedule — bounded loss,
+/// duplication, a healing partition, crash-recovery churn, and their
+/// composition — swept across both vector engines and the two standard
+/// adversaries. The point of the suite is the *absence* of movement:
+/// pre-GST network faults may slow decisions but must never flip safety,
+/// so every cell is checked exactly like a clean-schedule cell.
+pub fn netchaos() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("netchaos");
+    m.protocols = vec![
+        ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
+    ];
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = vec![BehaviorId::Silent, BehaviorId::TwoFaced];
+    m.faults = vec![usize::MAX];
+    m.schedules = ScheduleSpec::CHAOS.to_vec();
+    m.systems = vec![(4, 1), (7, 2)];
+    m.seeds = 0..3;
+    m.max_steps = Some(COMPLEXITY_BUDGET);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,7 +403,15 @@ mod tests {
             assert!(describe(name).is_some());
         }
         assert!(build("nope").is_none());
-        assert_eq!(ALL.len(), 8);
+        assert_eq!(ALL.len(), 9);
+    }
+
+    #[test]
+    fn netchaos_sweeps_exactly_the_chaos_schedules() {
+        let m = netchaos();
+        assert!(m.schedules.iter().all(|s| s.is_chaos()));
+        assert_eq!(m.schedules.len(), ScheduleSpec::CHAOS.len());
+        assert!(m.max_steps.is_some(), "chaos cells need a step budget");
     }
 
     #[test]

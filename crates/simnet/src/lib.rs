@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod mux;
+pub mod net;
 pub mod node;
 pub mod probe;
 pub mod queue;
@@ -83,6 +84,10 @@ pub mod time;
 pub mod trace;
 
 pub use mux::{InstanceId, Multiplex, MuxMsg, SlotDecision};
+pub use net::{
+    Churn, Delivery, Duplicate, FixedModel, Jitter, LinkCtx, LinkFn, Loss, NetModel, Partition,
+    PerLinkModel, SyncModel, UniformModel,
+};
 pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
 pub use probe::{EventClass, Hist, Metrics, NoProbe, Probe, Tandem, Timeline};
 pub use queue::CalendarQueue;

@@ -32,6 +32,7 @@
 //! | [`on_event`](Probe::on_event) | once per dispatched event, *including* events skipped because their target halted — the count equals [`Simulation::events_processed`](crate::Simulation::events_processed) |
 //! | [`on_queue_push`](Probe::on_queue_push) / [`on_queue_pop`](Probe::on_queue_pop) | scheduler traffic, with the queue depth after the operation |
 //! | [`on_send`](Probe::on_send) | once per enqueued delivery, with send time and (already-drawn) arrival time |
+//! | [`on_drop`](Probe::on_drop) / [`on_duplicate`](Probe::on_duplicate) | network-model faults: a pre-GST send withheld to its DLS deadline / an extra copy injected (never fire under the legacy schedules) |
 //! | [`on_slab_alloc`](Probe::on_slab_alloc) / [`on_slab_release`](Probe::on_slab_release) | payload-slab slot traffic, with the live-slot count after the operation |
 //! | [`on_start`](Probe::on_start) / [`on_deliver`](Probe::on_deliver) / [`on_timer_fire`](Probe::on_timer_fire) | per-process observable events (non-halted targets only — exactly what [`crate::Trace`] records) |
 //! | [`on_decide`](Probe::on_decide) / [`on_halt`](Probe::on_halt) | protocol outputs and voluntary halts |
@@ -93,6 +94,19 @@ pub trait Probe {
         _arrival: Time,
     ) {
     }
+
+    /// A pre-GST send `from → to` was withheld to its DLS deadline by a
+    /// [`crate::net::Loss`] model: sent at `sent_at`, it arrives exactly
+    /// at `arrival = gst + post_gst_jitter`. Fired before the
+    /// [`Probe::on_send`] for the same delivery. Never fires under the
+    /// legacy schedules.
+    fn on_drop(&mut self, _from: ProcessId, _to: ProcessId, _sent_at: Time, _arrival: Time) {}
+
+    /// A [`crate::net::Duplicate`] model injected an extra copy of a
+    /// delivery `from → to`, arriving at the same `arrival` tick as the
+    /// original. Fired once per extra copy, after the original's
+    /// [`Probe::on_send`]. Never fires under the legacy schedules.
+    fn on_duplicate(&mut self, _from: ProcessId, _to: ProcessId, _sent_at: Time, _arrival: Time) {}
 
     /// A payload-slab slot was allocated; `live` is the number of live
     /// slots after the allocation.
@@ -281,6 +295,10 @@ pub struct Metrics {
     pub messages: u64,
     /// Words across all enqueued deliveries.
     pub words: u64,
+    /// Pre-GST sends withheld to their DLS deadline by a loss model.
+    pub dropped: u64,
+    /// Duplicate copies injected by a duplication model.
+    pub duplicated: u64,
     /// Scheduler pushes observed.
     pub queue_pushes: u64,
     /// Scheduler pops observed (dispatched events only).
@@ -314,6 +332,8 @@ impl Metrics {
             halts: 0,
             messages: 0,
             words: 0,
+            dropped: 0,
+            duplicated: 0,
             queue_pushes: 0,
             queue_pops: 0,
             latency: Hist::new(),
@@ -350,6 +370,8 @@ impl Metrics {
         self.halts += other.halts;
         self.messages += other.messages;
         self.words += other.words;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
         self.queue_pushes += other.queue_pushes;
         self.queue_pops += other.queue_pops;
         self.latency.merge(&other.latency);
@@ -406,6 +428,16 @@ impl Probe for Metrics {
         let round = ((sent_at / self.round_width) as usize).min(ROUND_BUCKETS - 1);
         self.round_messages[round] += 1;
         self.round_words[round] += words as u64;
+    }
+
+    #[inline]
+    fn on_drop(&mut self, _from: ProcessId, _to: ProcessId, _sent_at: Time, _arrival: Time) {
+        self.dropped += 1;
+    }
+
+    #[inline]
+    fn on_duplicate(&mut self, _from: ProcessId, _to: ProcessId, _sent_at: Time, _arrival: Time) {
+        self.duplicated += 1;
     }
 
     #[inline]
@@ -667,6 +699,18 @@ impl<A: Probe, B: Probe> Probe for Tandem<A, B> {
     ) {
         self.0.on_send(from, to, words, sent_at, arrival);
         self.1.on_send(from, to, words, sent_at, arrival);
+    }
+
+    #[inline]
+    fn on_drop(&mut self, from: ProcessId, to: ProcessId, sent_at: Time, arrival: Time) {
+        self.0.on_drop(from, to, sent_at, arrival);
+        self.1.on_drop(from, to, sent_at, arrival);
+    }
+
+    #[inline]
+    fn on_duplicate(&mut self, from: ProcessId, to: ProcessId, sent_at: Time, arrival: Time) {
+        self.0.on_duplicate(from, to, sent_at, arrival);
+        self.1.on_duplicate(from, to, sent_at, arrival);
     }
 
     #[inline]

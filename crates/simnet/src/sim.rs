@@ -38,9 +38,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 
+use crate::net::{
+    CachedUniform, Delivery, FixedModel, LinkCtx, LinkFn, NetModel, PerLinkModel, SyncModel,
+    UniformModel,
+};
 use crate::node::{ByzStep, Byzantine, Env, Machine, Step};
 use crate::probe::{EventClass, NoProbe, Probe};
 use crate::queue::CalendarQueue;
@@ -50,6 +54,14 @@ use crate::time::{Time, DEFAULT_DELTA, DEFAULT_GST};
 use crate::trace::Trace;
 
 /// Message-delay policy before GST.
+///
+/// The four named arms are the historical closed surface; [`Model`] opens
+/// it to any composable [`NetModel`] tree (loss, duplication, partitions,
+/// churn — see [`crate::net`]). At simulation build time every arm is
+/// lowered onto a model instance, so `Simulation::arrival_plan` has one
+/// hook regardless of which arm configured it.
+///
+/// [`Model`]: PreGstPolicy::Model
 #[derive(Clone)]
 pub enum PreGstPolicy {
     /// Delays ≤ δ from the start (GST effectively 0 for delivery purposes).
@@ -62,8 +74,32 @@ pub enum PreGstPolicy {
     /// Every pre-GST message takes exactly this long (capped at `GST + δ`).
     Fixed(Time),
     /// Fully adversarial per-link delay: `f(from, to, send_time)` (capped at
-    /// `GST + δ`). Used by the partition and lower-bound harnesses.
-    PerLink(Arc<dyn Fn(ProcessId, ProcessId, Time) -> Time + Send + Sync>),
+    /// `GST + δ`). Used by the partition and lower-bound harnesses. The
+    /// [`LinkFn`] carries a display name, so schedules built from closures
+    /// identify themselves in reports and errors.
+    PerLink(LinkFn),
+    /// A composable network model (see [`crate::net`]): heterogeneous
+    /// latency, bounded pre-GST loss, duplication, extra jitter, healing
+    /// partitions, crash-recovery churn — anything implementing
+    /// [`NetModel`].
+    Model(Arc<dyn NetModel>),
+}
+
+impl PreGstPolicy {
+    /// A named per-link policy — the replacement for constructing
+    /// `PerLink` from a bare `Arc<dyn Fn ...>`. `name` is what `Debug`
+    /// prints (use the schedule name).
+    pub fn per_link(
+        name: impl Into<Arc<str>>,
+        f: impl Fn(ProcessId, ProcessId, Time) -> Time + Send + Sync + 'static,
+    ) -> PreGstPolicy {
+        PreGstPolicy::PerLink(LinkFn::new(name, f))
+    }
+
+    /// Wraps a composed model tree as a policy.
+    pub fn model(m: Arc<dyn NetModel>) -> PreGstPolicy {
+        PreGstPolicy::Model(m)
+    }
 }
 
 impl fmt::Debug for PreGstPolicy {
@@ -72,7 +108,8 @@ impl fmt::Debug for PreGstPolicy {
             PreGstPolicy::Synchronous => write!(f, "Synchronous"),
             PreGstPolicy::Uniform { max } => write!(f, "Uniform {{ max: {max} }}"),
             PreGstPolicy::Fixed(d) => write!(f, "Fixed({d})"),
-            PreGstPolicy::PerLink(_) => write!(f, "PerLink(<fn>)"),
+            PreGstPolicy::PerLink(lf) => write!(f, "PerLink({})", lf.name()),
+            PreGstPolicy::Model(m) => write!(f, "Model({})", m.name()),
         }
     }
 }
@@ -360,42 +397,6 @@ impl<M: Machine> NodeKind<M> {
     }
 }
 
-/// A uniform integer distribution over `[low, low + span)` with its
-/// rejection zone precomputed.
-///
-/// This mirrors the vendored `rand` crate's `sample_inclusive` *exactly* —
-/// same zone, same modulo, same rejection loop — so a draw here consumes
-/// the same generator words and yields the same value as
-/// `rng.gen_range(low..=high)`. Precomputing the zone once per simulation
-/// (the jitter bounds are fixed by the config) removes two integer
-/// divisions from every arrival-time draw, which the profile showed
-/// dominating the per-event cost.
-#[derive(Clone, Copy, Debug)]
-struct CachedUniform {
-    low: u64,
-    span: u64,
-    zone: u64,
-}
-
-impl CachedUniform {
-    fn new_inclusive(low: u64, high: u64) -> Self {
-        debug_assert!(low <= high);
-        let span = high - low + 1; // callers never pass a full-width range
-        let zone = u64::MAX - (u64::MAX % span + 1) % span;
-        CachedUniform { low, span, zone }
-    }
-
-    #[inline]
-    fn sample(&self, rng: &mut StdRng) -> u64 {
-        loop {
-            let x = rng.next_u64();
-            if x <= self.zone {
-                return self.low + x % self.span;
-            }
-        }
-    }
-}
-
 /// Message payload storage: one slot per in-flight message, reference
 /// counted without atomics (a simulation is single-threaded). A broadcast
 /// stores its payload **once** with a reference count of `n`; a
@@ -436,6 +437,14 @@ impl<Msg> PayloadSlab<Msg> {
             .0
             .as_ref()
             .expect("live payload slot")
+    }
+
+    /// Adds one delivery reference — a [`Duplicate`](crate::net::Duplicate)
+    /// model's extra copy shares the slot it duplicates.
+    #[inline]
+    fn bump(&mut self, slot: u32) {
+        debug_assert!(self.slots[slot as usize].1 > 0, "bump of a dead slot");
+        self.slots[slot as usize].1 += 1;
     }
 
     /// Consumes one delivery reference; frees the slot at zero.
@@ -510,8 +519,10 @@ pub struct Simulation<M: Machine, P: Probe = NoProbe> {
     payloads: PayloadSlab<M::Msg>,
     /// Post-GST jitter distribution `1..=δ` with a precomputed zone.
     jitter: CachedUniform,
-    /// Pre-GST `Uniform { max }` distribution, when that policy is active.
-    pre_uniform: Option<CachedUniform>,
+    /// The pre-GST network model, lowered from [`SimConfig::pre_gst`] at
+    /// build time (legacy policy arms become the draw-equivalent legacy
+    /// models — see [`crate::net`]).
+    model: Arc<dyn NetModel>,
     /// Reusable effect buffer lent to correct machines.
     sink: StepSink<M::Msg, M::Output>,
     /// Reusable effect buffer lent to Byzantine behaviours.
@@ -561,13 +572,19 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
         assert_eq!(config.start_times.len(), n, "need n start times");
         let rng = StdRng::seed_from_u64(config.seed);
         let jitter = CachedUniform::new_inclusive(1, config.delta.max(1));
-        let pre_uniform = match &config.pre_gst {
-            PreGstPolicy::Uniform { max } => Some(CachedUniform::new_inclusive(1, (*max).max(1))),
-            _ => None,
+        // Lower the policy onto its model instance once; the legacy arms
+        // map to models that reproduce the historical draw sequence
+        // exactly (see `crate::net`'s determinism contract).
+        let model: Arc<dyn NetModel> = match &config.pre_gst {
+            PreGstPolicy::Synchronous => Arc::new(SyncModel),
+            PreGstPolicy::Uniform { max } => Arc::new(UniformModel::new(*max)),
+            PreGstPolicy::Fixed(d) => Arc::new(FixedModel(*d)),
+            PreGstPolicy::PerLink(lf) => Arc::new(PerLinkModel(lf.clone())),
+            PreGstPolicy::Model(m) => Arc::clone(m),
         };
         let mut sim = Simulation {
             jitter,
-            pre_uniform,
+            model,
             halted: vec![false; n],
             stats: NetStats::new(n),
             decisions: vec![None; n],
@@ -681,43 +698,61 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
         }
     }
 
-    /// Draws the arrival time for a message `from → to` sent at `sent_at`.
+    /// Plans the delivery of a message `from → to` sent at `sent_at`:
+    /// arrival time, duplicate-copy count, and whether the model withheld
+    /// it to the DLS deadline ("dropped").
     ///
     /// # Determinism invariant: the two-draw order
     ///
     /// For every non-self send this function draws `post_gst_jitter`
     /// *first*, unconditionally — even when the send is pre-GST and the
-    /// policy then draws a *second* value (the `Uniform` arm) or ignores
-    /// the first draw entirely (`Fixed`/`PerLink`). The first draw is also
-    /// what caps pre-GST delivery at `gst + post_gst_jitter`. Self-sends
-    /// (`from == to`) draw **nothing**.
+    /// model then draws a *second* value (the `Uniform` arm's legacy
+    /// [`UniformModel`]) or makes no draw at all (`Fixed`/`PerLink`). The
+    /// first draw is also what caps pre-GST delivery at
+    /// `gst + post_gst_jitter`. Self-sends (`from == to`) draw
+    /// **nothing**, and post-GST sends never consult the model.
     ///
     /// This exact draw order — one draw per non-self recipient, in
-    /// recipient order `0..n` for broadcasts, with the `Uniform` arm's
-    /// second draw nested after the first — is pinned by
-    /// `tests::rng_draw_order_is_pinned` and must survive any scheduler or
-    /// event-loop refactor: every seeded execution (and every committed
-    /// report fingerprint derived from one) depends on it.
-    fn arrival_time(&mut self, from: ProcessId, to: ProcessId, sent_at: Time) -> Time {
+    /// recipient order `0..n` for broadcasts, with the model's draws
+    /// nested after the first — is pinned by
+    /// `tests::rng_draw_order_is_pinned` and must survive any scheduler,
+    /// event-loop, or network-model refactor: every seeded execution (and
+    /// every committed report fingerprint derived from one) depends on it.
+    /// Models extend the sequence only *after* the jitter draw, and the
+    /// legacy models reproduce the historical sequence draw-for-draw.
+    fn arrival_plan(&mut self, from: ProcessId, to: ProcessId, sent_at: Time) -> (Time, Delivery) {
+        const PLAIN: Delivery = Delivery {
+            raw_delay: 0,
+            dropped: false,
+            duplicates: 0,
+        };
         if from == to {
-            return sent_at + 1; // local self-delivery
+            return (sent_at + 1, PLAIN); // local self-delivery
         }
         let gst = self.config.gst;
         let post_gst_jitter = self.jitter.sample(&mut self.rng);
         if sent_at >= gst {
-            return sent_at + post_gst_jitter;
+            return (sent_at + post_gst_jitter, PLAIN);
         }
-        let raw = match &self.config.pre_gst {
-            PreGstPolicy::Synchronous => post_gst_jitter,
-            PreGstPolicy::Uniform { .. } => self
-                .pre_uniform
-                .expect("pre_uniform is Some for the Uniform policy")
-                .sample(&mut self.rng),
-            PreGstPolicy::Fixed(d) => (*d).max(1),
-            PreGstPolicy::PerLink(f) => f(from, to, sent_at).max(1),
+        let link = LinkCtx {
+            from,
+            to,
+            sent_at,
+            gst,
+            delta: self.config.delta,
+            post_gst_jitter,
         };
-        // DLS guarantee: delivered by GST + δ even if sent before GST.
-        (sent_at + raw).min(gst + post_gst_jitter).max(sent_at + 1)
+        let model = Arc::clone(&self.model);
+        let plan = model.deliver(&link, &mut self.rng);
+        // DLS guarantee: delivered by GST + δ even if sent before GST. A
+        // dropped (withheld) message arrives exactly at the deadline.
+        let cap = gst + post_gst_jitter;
+        let at = if plan.dropped {
+            cap.max(sent_at + 1)
+        } else {
+            (sent_at + plan.raw_delay).min(cap).max(sent_at + 1)
+        };
+        (at, plan)
     }
 
     /// Records and enqueues one delivery of the payload in `slot`.
@@ -734,7 +769,13 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
     ) {
         self.stats
             .record_send(from, words, self.time, self.config.gst, correct);
-        let at = self.arrival_time(from, to, self.time);
+        let (at, plan) = self.arrival_plan(from, to, self.time);
+        if plan.dropped {
+            self.stats.dropped += 1;
+            if P::ENABLED {
+                self.probe.on_drop(from, to, self.time, at);
+            }
+        }
         if P::ENABLED {
             self.probe.on_send(from, to, words, self.time, at);
         }
@@ -747,6 +788,26 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
         );
         if P::ENABLED {
             self.probe.on_queue_push(at, self.queue.len());
+        }
+        // Duplicate copies arrive at the same tick, sharing the payload
+        // slot (one extra reference each). The sender sent one message, so
+        // neither `record_send` nor `on_send` fires again.
+        for _ in 0..plan.duplicates {
+            self.payloads.bump(slot);
+            self.stats.duplicated += 1;
+            if P::ENABLED {
+                self.probe.on_duplicate(from, to, self.time, at);
+            }
+            self.queue.push(
+                at,
+                Event {
+                    node: to,
+                    kind: EventKind::Deliver { from, slot },
+                },
+            );
+            if P::ENABLED {
+                self.probe.on_queue_push(at, self.queue.len());
+            }
         }
     }
 
@@ -1127,17 +1188,18 @@ mod tests {
     #[test]
     fn per_link_policy_controls_schedule() {
         // Block all P1→P2 traffic until GST.
-        let blocked = Arc::new(|from: ProcessId, to: ProcessId, _at: Time| {
+        let blocked = PreGstPolicy::per_link("block-p1-p2", |from, to, _at| {
             if from == ProcessId(0) && to == ProcessId(1) {
                 1_000_000
             } else {
                 1
             }
         });
+        assert_eq!(format!("{blocked:?}"), "PerLink(block-p1-p2)");
         let cfg = SimConfig::new(params())
             .gst(500)
             .delta(10)
-            .pre_gst(PreGstPolicy::PerLink(blocked))
+            .pre_gst(blocked)
             .seed(6);
         let mut sim = Simulation::new(cfg, quorum_nodes(0));
         sim.run_until_decided();

@@ -34,6 +34,13 @@ pub struct NetStats {
     pub deliveries: u64,
     /// Timer events processed.
     pub timer_fires: u64,
+    /// Pre-GST sends a [`crate::net::Loss`] model withheld to their DLS
+    /// deadline. Always 0 under the legacy schedules.
+    pub dropped: u64,
+    /// Duplicate copies a [`crate::net::Duplicate`] model injected (each
+    /// shares its original's payload and arrival tick; not counted in
+    /// `messages_total`). Always 0 under the legacy schedules.
+    pub duplicated: u64,
     /// Time of the first decision by a correct process, if any.
     pub first_decision_at: Option<Time>,
     /// Time of the last decision by a correct process, if any.
@@ -96,6 +103,8 @@ impl NetStats {
         self.byzantine_messages += other.byzantine_messages;
         self.deliveries += other.deliveries;
         self.timer_fires += other.timer_fires;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
         if self.sent_by.len() < other.sent_by.len() {
             self.sent_by.resize(other.sent_by.len(), 0);
         }

@@ -5,8 +5,6 @@
 //! synchronous and at most `t` processes are faulty — which is all of the
 //! matrix.
 
-use std::sync::Arc;
-
 use validity_core::{
     check_decision, InputConfig, ProcessId, StrongLambda, StrongValidity, SystemParams,
 };
@@ -84,13 +82,13 @@ fn policies(delta: Time) -> Vec<(&'static str, PreGstPolicy)> {
         ("fixed", PreGstPolicy::Fixed(3 * delta)),
         (
             "one-link-blocked",
-            PreGstPolicy::PerLink(Arc::new(|from: ProcessId, to: ProcessId, _| {
+            PreGstPolicy::per_link("one-link-blocked", |from, to, _| {
                 if from == ProcessId(0) && to == ProcessId(1) {
                     1_000_000
                 } else {
                     7
                 }
-            })),
+            }),
         ),
     ]
 }

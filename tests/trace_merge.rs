@@ -2,8 +2,6 @@
 //! "process P cannot distinguish E from E′ until time τ" claims, checked
 //! on actual recorded executions.
 
-use std::sync::Arc;
-
 use validity_adversary::{LeaderEcho, QuorumVote};
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 use validity_simnet::{NodeKind, PreGstPolicy, SimConfig, Simulation, Time};
@@ -18,7 +16,7 @@ fn merged_execution_is_indistinguishable_for_q() {
 
     // Run 1: a world where *every* link stalls — all processes are
     // isolated, so Q's view here is exactly β_Q (timer, then decide).
-    let all_stalled = PreGstPolicy::PerLink(Arc::new(|_, _, _| Time::MAX / 8));
+    let all_stalled = PreGstPolicy::per_link("all-stalled", |_, _, _| Time::MAX / 8);
     let nodes: Vec<NodeKind<LeaderEcho<u64>>> = (0..4)
         .map(|i| NodeKind::Correct(LeaderEcho::new(if i == q.index() { 1u64 } else { 0 })))
         .collect();
@@ -31,13 +29,13 @@ fn merged_execution_is_indistinguishable_for_q() {
     isolated.run_until_decided();
 
     // Run 2: everyone correct, but Q's links stalled past its decision.
-    let policy = PreGstPolicy::PerLink(Arc::new(move |from: ProcessId, to: ProcessId, _| {
+    let policy = PreGstPolicy::per_link("stall-q", move |from, to, _| {
         if from == q || to == q {
             Time::MAX / 8
         } else {
             1
         }
-    }));
+    });
     let nodes: Vec<NodeKind<LeaderEcho<u64>>> = (0..4)
         .map(|i| NodeKind::Correct(LeaderEcho::new(if i == q.index() { 1u64 } else { 0 })))
         .collect();
@@ -71,7 +69,7 @@ fn partitioned_group_cannot_detect_the_two_faced_adversary() {
     let group_c: ProcessSet = [4usize, 5].into_iter().collect();
 
     let stall_cross = |ga: ProcessSet, gc: ProcessSet| {
-        PreGstPolicy::PerLink(Arc::new(move |from: ProcessId, to: ProcessId, _| {
+        PreGstPolicy::per_link("stall-cross", move |from, to, _| {
             let cross =
                 (ga.contains(from) && gc.contains(to)) || (gc.contains(from) && ga.contains(to));
             if cross {
@@ -79,7 +77,7 @@ fn partitioned_group_cannot_detect_the_two_faced_adversary() {
             } else {
                 1
             }
-        }))
+        })
     };
 
     // World 1: B runs the two-faced adversary (votes 0 to A, 1 to C).
