@@ -12,6 +12,7 @@
 use validity_core::{ProcessId, ProcessSet, SystemParams};
 use validity_simnet::{ByzSink, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Time};
 
+use crate::adaptive::{AdaptiveFlood, LastMinute, SplitBrain, TargetLeader};
 use crate::behaviors::TwoFaced;
 
 /// Names a protocol-generic Byzantine behaviour.
@@ -37,17 +38,45 @@ pub enum BehaviorId {
     /// cannot decide runs until a step budget aborts it. Exercises the
     /// `validity-lab` per-cell quarantine machinery.
     Flood,
+    /// *Adaptive*: equivocates only toward the node currently closest to
+    /// deciding (see [`crate::adaptive::TargetLeader`]).
+    TargetLeader,
+    /// *Adaptive*: honest until the first correct node decides, then
+    /// partitions (see [`crate::adaptive::LastMinute`]).
+    LastMinute,
+    /// *Adaptive*: splits its lies at the observed delivery median (see
+    /// [`crate::adaptive::SplitBrain`]).
+    SplitBrain,
+    /// *Adaptive*: floods only the node with the deepest pending queue
+    /// (see [`crate::adaptive::AdaptiveFlood`]). Non-terminating, like
+    /// [`BehaviorId::Flood`].
+    AdaptiveFlood,
 }
 
 impl BehaviorId {
-    /// Every registered behaviour, in presentation order.
-    pub const ALL: [BehaviorId; 6] = [
+    /// Every registered behaviour, in presentation order (oblivious
+    /// first, then adaptive).
+    pub const ALL: [BehaviorId; 10] = [
         BehaviorId::Silent,
         BehaviorId::Crash,
         BehaviorId::Stale,
         BehaviorId::OmitHalf,
         BehaviorId::TwoFaced,
         BehaviorId::Flood,
+        BehaviorId::TargetLeader,
+        BehaviorId::LastMinute,
+        BehaviorId::SplitBrain,
+        BehaviorId::AdaptiveFlood,
+    ];
+
+    /// The adaptive behaviours, in presentation order — the ones that
+    /// read the simulator's [`ObservedState`](validity_simnet::ObservedState)
+    /// view.
+    pub const ADAPTIVE: [BehaviorId; 4] = [
+        BehaviorId::TargetLeader,
+        BehaviorId::LastMinute,
+        BehaviorId::SplitBrain,
+        BehaviorId::AdaptiveFlood,
     ];
 
     /// The stable registry name (used by CLIs and reports).
@@ -59,12 +88,32 @@ impl BehaviorId {
             BehaviorId::OmitHalf => "omit-half",
             BehaviorId::TwoFaced => "two-faced",
             BehaviorId::Flood => "flood",
+            BehaviorId::TargetLeader => "target-leader",
+            BehaviorId::LastMinute => "last-minute",
+            BehaviorId::SplitBrain => "split-brain",
+            BehaviorId::AdaptiveFlood => "adaptive-flood",
         }
     }
 
     /// Looks a behaviour up by its registry name.
     pub fn parse(name: &str) -> Option<BehaviorId> {
         BehaviorId::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Looks a behaviour up by name, or explains every valid name —
+    /// the CLI-facing counterpart of [`BehaviorId::parse`].
+    pub fn parse_or_err(name: &str) -> Result<BehaviorId, String> {
+        BehaviorId::parse(name).ok_or_else(|| {
+            format!(
+                "unknown behavior: '{name}' (valid: {})",
+                BehaviorId::ALL.map(|b| b.name()).join(", ")
+            )
+        })
+    }
+
+    /// Whether this behaviour observes protocol state (adaptive).
+    pub fn is_adaptive(self) -> bool {
+        BehaviorId::ADAPTIVE.contains(&self)
     }
 
     /// One-line description for `lab list`-style output.
@@ -76,6 +125,10 @@ impl BehaviorId {
             BehaviorId::OmitHalf => "correct but omits sends to the upper half",
             BehaviorId::TwoFaced => "two correct faces with different proposals",
             BehaviorId::Flood => "replays traffic and re-arms timers forever (never quiesces)",
+            BehaviorId::TargetLeader => "adaptive: equivocates toward the node closest to deciding",
+            BehaviorId::LastMinute => "adaptive: honest until the first decision, then partitions",
+            BehaviorId::SplitBrain => "adaptive: splits its lies at the observed delivery median",
+            BehaviorId::AdaptiveFlood => "adaptive: floods only the deepest queue (never quiesces)",
         }
     }
 
@@ -108,6 +161,12 @@ impl BehaviorId {
             }
             BehaviorId::TwoFaced => Box::new(TwoFaced::new(mk(slot, 0), lower, mk(slot, 1), upper)),
             BehaviorId::Flood => Box::new(Flood::<M::Msg>::new(slot)),
+            BehaviorId::TargetLeader => Box::new(TargetLeader::new(slot, mk(slot, 0), mk(slot, 1))),
+            BehaviorId::LastMinute => {
+                Box::new(LastMinute::new(slot, mk(slot, 0), mk(slot, 1), lower))
+            }
+            BehaviorId::SplitBrain => Box::new(SplitBrain::new(slot, mk(slot, 0), mk(slot, 1))),
+            BehaviorId::AdaptiveFlood => Box::new(AdaptiveFlood::<M::Msg>::new(slot)),
         }
     }
 }
@@ -256,8 +315,37 @@ mod tests {
         };
         // A silent adversary lets the undecidable run drain its queue...
         assert_eq!(run(BehaviorId::Silent), RunOutcome::Quiescent);
-        // ...the flood adversary keeps it alive until the event limit.
+        // ...the flood adversaries keep it alive until the event limit.
         assert_eq!(run(BehaviorId::Flood), RunOutcome::EventLimit);
+        assert_eq!(run(BehaviorId::AdaptiveFlood), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn parse_or_err_names_every_behavior() {
+        assert_eq!(
+            BehaviorId::parse_or_err("split-brain"),
+            Ok(BehaviorId::SplitBrain)
+        );
+        let err = BehaviorId::parse_or_err("bogus").unwrap_err();
+        assert!(err.contains("unknown behavior: 'bogus'"));
+        for b in BehaviorId::ALL {
+            assert!(err.contains(b.name()), "error does not list {b}");
+        }
+    }
+
+    #[test]
+    fn adaptive_behaviors_declare_observation() {
+        let params = SystemParams::new(4, 1).unwrap();
+        let mk = |_p: ProcessId, face: u64| Bcast(10 + face, 0);
+        for b in BehaviorId::ALL {
+            let built: Box<dyn Byzantine<Val>> =
+                b.instantiate(params, validity_simnet::DEFAULT_GST, ProcessId(3), &mk);
+            assert_eq!(
+                built.observes(),
+                b.is_adaptive(),
+                "observation flag mismatch for {b}"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! reproduction of *On the Validity of Consensus* (PODC 2023):
 //!
 //! * [`behaviors`] — the two-faced partitioning adversary of Lemma 2;
+//! * [`adaptive`] — adversaries that pick their victims from the
+//!   simulator's observed state (`target-leader`, `last-minute`,
+//!   `split-brain`, `adaptive-flood`);
 //! * [`strawman`] — deliberately cheap consensus attempts
 //!   ([`strawman::LeaderEcho`], [`strawman::QuorumVote`]) that the paper's
 //!   bounds doom;
@@ -18,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod behaviors;
 pub mod dolev_reischuk;
 pub mod factories;
@@ -25,6 +29,7 @@ pub mod isolation;
 pub mod partition;
 pub mod strawman;
 
+pub use adaptive::{AdaptiveFlood, LastMinute, SplitBrain, TargetLeader};
 pub use behaviors::TwoFaced;
 pub use dolev_reischuk::{break_leader_echo, half_t, run_e_base, Disagreement, EBaseReport};
 pub use factories::BehaviorId;

@@ -40,12 +40,13 @@ use validity_lab::perf::{
 use validity_lab::trend::{compare, BenchArtifact, BenchSuite};
 use validity_lab::{
     compare_emitted, hottest_by_events, merge, observe_json, observe_markdown, profile_markdown,
-    run_crosscheck, run_service, suites, timeline_for, AgreementLevel, CrosscheckMatrix,
-    CrosscheckTiming, FitAxis, FitMeasure, PartialReport, ProtocolAxis, SamplingSpec,
-    ScenarioMatrix, ScheduleSpec, ServiceMatrix, ServiceTiming, ShardSpec, SweepEngine,
-    SweepReport, ValiditySpec, PARTIAL_SCHEMA, PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
+    run_crosscheck, run_mutate, run_service, suites, timeline_for, AgreementLevel,
+    CrosscheckMatrix, CrosscheckTiming, FitAxis, FitMeasure, MutateMatrix, PartialReport,
+    ProtocolAxis, SamplingSpec, ScenarioMatrix, ScheduleSpec, ServiceMatrix, ServiceTiming,
+    ShardSpec, SweepEngine, SweepReport, ValiditySpec, CATALOGUED_EQUIVALENT, PARTIAL_SCHEMA,
+    PARTIAL_SCHEMA_V1, REPORT_SCHEMA,
 };
-use validity_protocols::vector_registry;
+use validity_protocols::{vector_registry, MutationOp};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         Some((&"run", rest)) => run(rest),
         Some((&"service", rest)) => service_cmd(rest),
         Some((&"crosscheck", rest)) => crosscheck_cmd(rest),
+        Some((&"mutate", rest)) => mutate_cmd(rest),
         Some((&"merge", rest)) => merge_cmd(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"trend", rest)) => trend(rest),
@@ -65,7 +67,7 @@ fn main() -> ExitCode {
         Some((&"perf", rest)) => perf(rest),
         _ => {
             eprintln!(
-                "usage: lab <list | run | service | crosscheck | merge | diff | trend | profile | perf> ...\n\n\
+                "usage: lab <list | run | service | crosscheck | mutate | merge | diff | trend | profile | perf> ...\n\n\
                  lab list [--names]\n\
                  lab run --suite <name> [--threads N] [--json FILE] [--md FILE]\n\
                  \x20        [--max-steps N] [--shard i/m] [--dry-run] [--timing] [--observe]\n\
@@ -79,7 +81,9 @@ fn main() -> ExitCode {
                  \x20        [--slots N] [--pipelines 1,2,..] [--batches 1,8,..]\n\
                  \x20        [--dry-run] [--timing]\n\
                  lab crosscheck [--threads N] [--json FILE] [--md FILE] [--seeds a..b]\n\
-                 \x20        [--max-steps N] [--dry-run] [--timing]\n\
+                 \x20        [--max-steps N] [--chaos | --adaptive] [--dry-run] [--timing]\n\
+                 lab mutate [--threads N] [--json FILE] [--md FILE] [--seeds a..b]\n\
+                 \x20        [--max-steps N] [--operators a,b,..] [--dry-run]\n\
                  lab merge <partial.json>... [--json FILE] [--md FILE]\n\
                  lab diff <a.json> <b.json>\n\
                  lab trend [--suites a,b,.. | --from-reports a.json,b.json]\n\
@@ -97,7 +101,7 @@ fn main() -> ExitCode {
 
 /// Suites the CLI runs outside the [`ScenarioMatrix`] engine; `lab run
 /// --suite <name>` delegates them to their own drivers.
-const EXTRA_SUITES: [(&str, &str); 2] = [
+const EXTRA_SUITES: [(&str, &str); 3] = [
     (
         "service",
         "repeated consensus as a replicated service (throughput/latency)",
@@ -105,6 +109,10 @@ const EXTRA_SUITES: [(&str, &str); 2] = [
     (
         "crosscheck",
         "differential oracle: every engine + classifier cross-checked per cell",
+    ),
+    (
+        "mutate",
+        "fault injection: every engine × mutation operator, kill matrix over the oracle",
     ),
 ];
 
@@ -140,7 +148,11 @@ fn list(names_only: bool) {
     }
     println!("\nbehaviors:");
     for b in BehaviorId::ALL {
-        println!("  {:10} {}", b.name(), b.describe());
+        println!("  {:14} {}", b.name(), b.describe());
+    }
+    println!("\nmutation operators (for `lab mutate --operators`):");
+    for op in MutationOp::ALL {
+        println!("  {:22} {}", op.name(), op.describe());
     }
     println!("\nschedules:");
     for s in ScheduleSpec::ALL {
@@ -240,11 +252,12 @@ fn build_custom(rest: &[&str]) -> Result<ScenarioMatrix, String> {
         "validity",
         ValiditySpec::parse,
     )?;
-    m.behaviors = parse_list(
-        opt_value(rest, "--behaviors").unwrap_or("silent"),
-        "behavior",
-        BehaviorId::parse,
-    )?;
+    m.behaviors = opt_value(rest, "--behaviors")
+        .unwrap_or("silent")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(BehaviorId::parse_or_err)
+        .collect::<Result<Vec<_>, _>>()?;
     m.schedules = opt_value(rest, "--schedules")
         .unwrap_or("partial-sync")
         .split(',')
@@ -350,6 +363,11 @@ fn run(rest: &[&str]) -> ExitCode {
     // synonym for `lab crosscheck` with the same argv.
     if opt_value(rest, "--suite") == Some("crosscheck") {
         return crosscheck_cmd(rest);
+    }
+    // And the mutate suite: `lab run --suite mutate` delegates to the
+    // fault-injection driver.
+    if opt_value(rest, "--suite") == Some("mutate") {
+        return mutate_cmd(rest);
     }
     if let Err(e) = check_flags(rest) {
         eprintln!("{e}");
@@ -839,12 +857,14 @@ const CROSSCHECK_FLAGS: [&str; 6] = [
     "--max-steps",
 ];
 
-/// `lab crosscheck` flags that take no value.
-const CROSSCHECK_SWITCHES: [&str; 3] = ["--dry-run", "--timing", "--chaos"];
+/// `lab crosscheck` flags that take no value. `--adaptive` here selects
+/// the adaptive-*adversary* grid (the sweep engine's adaptive *sampling*
+/// has no meaning for agreement grading, so the flag is free).
+const CROSSCHECK_SWITCHES: [&str; 4] = ["--dry-run", "--timing", "--chaos", "--adaptive"];
 
 /// `lab run` / `lab service` surface that makes no sense for the
 /// crosscheck driver, each with the reason it is refused.
-const CROSSCHECK_REFUSALS: [(&str, &str); 17] = [
+const CROSSCHECK_REFUSALS: [(&str, &str); 16] = [
     (
         "--shard",
         "the crosscheck grid is small and there is no partial crosscheck report to merge; \
@@ -853,10 +873,6 @@ const CROSSCHECK_REFUSALS: [(&str, &str); 17] = [
     (
         "--observe",
         "crosscheck grades agreement, not engine metrics; use `lab profile` for those",
-    ),
-    (
-        "--adaptive",
-        "adaptive sampling targets fit precision, which crosscheck reports do not compute",
     ),
     (
         "--precision",
@@ -970,9 +986,16 @@ fn crosscheck_cmd(rest: &[&str]) -> ExitCode {
         }
     };
     // --chaos swaps in the faulty-network grid (every ScheduleSpec::CHAOS
-    // schedule); the default grid keeps the committed fingerprint bytes.
+    // schedule), --adaptive the observing-adversary grid; the default grid
+    // keeps the committed fingerprint bytes.
+    if rest.contains(&"--chaos") && rest.contains(&"--adaptive") {
+        eprintln!("--chaos and --adaptive select different grids; pick one per run");
+        return ExitCode::FAILURE;
+    }
     let mut matrix = if rest.contains(&"--chaos") {
         CrosscheckMatrix::chaos()
+    } else if rest.contains(&"--adaptive") {
+        CrosscheckMatrix::adaptive()
     } else {
         CrosscheckMatrix::suite()
     };
@@ -1089,6 +1112,163 @@ fn crosscheck_timing_markdown(timings: &[CrosscheckTiming]) -> String {
         let _ = writeln!(out, "| {} | {:.3} |", t.label, t.wall.as_secs_f64() * 1e3);
     }
     out
+}
+
+/// Every value-taking flag `lab mutate` understands (`--suite` is
+/// accepted so `lab run --suite mutate` can delegate here).
+const MUTATE_FLAGS: [&str; 7] = [
+    "--suite",
+    "--threads",
+    "--json",
+    "--md",
+    "--seeds",
+    "--max-steps",
+    "--operators",
+];
+
+/// `lab mutate` flags that take no value.
+const MUTATE_SWITCHES: [&str; 1] = ["--dry-run"];
+
+/// `lab mutate`: the fault-injection harness. Plants every mutation
+/// operator into every registry engine, runs the crosscheck oracle plus
+/// the validity checks over each `(engine × operator)` mutant next to the
+/// clean columns, and emits the kill matrix. Exits non-zero when the gate
+/// fails: a clean-baseline disagreement (false kill), an uncatalogued
+/// survivor, or a stale catalogue entry. Bytes are deterministic and
+/// thread-count independent, like every other lab artifact.
+fn mutate_cmd(rest: &[&str]) -> ExitCode {
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i];
+        if MUTATE_SWITCHES.contains(&arg) {
+            i += 1;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            eprintln!("unexpected argument '{arg}'");
+            return ExitCode::FAILURE;
+        }
+        if !MUTATE_FLAGS.contains(&arg) {
+            eprintln!(
+                "unknown option '{arg}'; known: {} {}",
+                MUTATE_FLAGS.join(" "),
+                MUTATE_SWITCHES.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        if i + 1 >= rest.len() {
+            eprintln!("option '{arg}' wants a value");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    if let Some(name) = opt_value(rest, "--suite") {
+        if name != "mutate" {
+            eprintln!("`lab mutate` runs the mutate suite; for '{name}' use `lab run --suite`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let threads: usize = match opt_value(rest, "--threads").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--threads wants a number");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut matrix = MutateMatrix::suite();
+    if let Some(ops) = opt_value(rest, "--operators") {
+        let parsed: Result<Vec<_>, String> = ops
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                MutationOp::parse(s).ok_or_else(|| {
+                    format!(
+                        "unknown operator: '{s}' (valid: {})",
+                        MutationOp::ALL.map(|o| o.name()).join(", ")
+                    )
+                })
+            })
+            .collect();
+        match parsed {
+            Ok(ops) => matrix.operators = ops,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(seeds) = opt_value(rest, "--seeds") {
+        let parsed = seeds
+            .split_once("..")
+            .and_then(|(lo, hi)| Some(lo.parse::<u64>().ok()?..hi.parse::<u64>().ok()?));
+        match parsed {
+            Some(range) => matrix.grid.seeds = range,
+            None => {
+                eprintln!("bad seed range: '{seeds}' (want a..b)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match opt_value(rest, "--max-steps").map(str::parse) {
+        None => {}
+        Some(Ok(n)) => matrix.grid.max_steps = Some(n),
+        Some(Err(_)) => {
+            eprintln!("--max-steps wants a number");
+            return ExitCode::FAILURE;
+        }
+    }
+    if rest.contains(&"--dry-run") {
+        println!(
+            "{}: {} cells × ({} engine(s) + {} mutant(s)) = {} runs (seeds {:?})",
+            matrix.grid.name,
+            matrix.grid.len(),
+            matrix.grid.engines.len(),
+            matrix.mutants().len(),
+            matrix.len(),
+            matrix.grid.seeds,
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "mutate '{}': {} cells × ({} engine(s) + {} mutant(s)) on {} worker thread(s)...",
+        matrix.grid.name,
+        matrix.grid.len(),
+        matrix.grid.engines.len(),
+        matrix.mutants().len(),
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |w| w.get())
+        } else {
+            threads
+        },
+    );
+    let (report, wall) = run_mutate(&matrix, threads);
+    eprintln!(
+        "done in {:.3}s wall ({} mutant(s): {} killed, {} survived; {} baseline false kill(s))",
+        wall.as_secs_f64(),
+        report.fates.len(),
+        report.killed(),
+        report.fates.len() - report.killed(),
+        report.false_kills.len(),
+    );
+    let json_path = opt_value(rest, "--json").unwrap_or("lab-mutate.json");
+    let md_path = opt_value(rest, "--md").unwrap_or("lab-mutate.md");
+    if let Err(e) = std::fs::write(json_path, report.to_json()) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let markdown = report.to_markdown();
+    if let Err(e) = std::fs::write(md_path, &markdown) {
+        eprintln!("cannot write {md_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("reports: {json_path}, {md_path}");
+    print!("{markdown}");
+    if let Err(e) = report.gate(CATALOGUED_EQUIVALENT) {
+        eprintln!("MUTATE FAILURE: {e}");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Writes a full report's JSON and Markdown files and echoes the Markdown

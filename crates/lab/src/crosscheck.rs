@@ -189,6 +189,28 @@ impl CrosscheckMatrix {
         m
     }
 
+    /// The adaptive extension grid (`lab crosscheck --adaptive`): the same
+    /// oracle ensemble with every *observing* behaviour in the faulty
+    /// slots. A separate grid rather than extra rows in
+    /// [`CrosscheckMatrix::suite`], because the committed `crosscheck`
+    /// fingerprints pin the clean suite's bytes — but the grading bar is
+    /// identical: an adversary that picks its victims from the execution
+    /// may cost liveness or complexity, never split the oracles, so any
+    /// cell above expected-divergence is a bug.
+    pub fn adaptive() -> CrosscheckMatrix {
+        let mut m = CrosscheckMatrix::new("crosscheck-adaptive");
+        m.validities = vec![ValiditySpec::Strong, ValiditySpec::Median];
+        m.behaviors = BehaviorId::ADAPTIVE.to_vec();
+        m.faults = vec![usize::MAX];
+        m.schedules = vec![ScheduleSpec::Synchronous, ScheduleSpec::PartialSync];
+        m.systems = vec![(4, 1), (7, 2)];
+        m.seeds = 0..2;
+        // adaptive-flood starves its victim indefinitely; the budget turns
+        // those cells into quarantines instead of a hung gate.
+        m.max_steps = Some(5_000_000);
+        m
+    }
+
     /// The scenario skeleton, enumerated through
     /// [`ScenarioMatrix::run_templates`] so the crosscheck grid inherits
     /// exactly the sweep engine's axis order, collapse rules (zero fault

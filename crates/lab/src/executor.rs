@@ -130,6 +130,15 @@ fn record_events(record: &CellRecord) -> u64 {
     }
 }
 
+/// The adversary's self-reported `(equivocations, omissions)` for one
+/// record — zero everywhere except under behaviours that file them.
+fn record_adversary_notes(record: &CellRecord) -> (u64, u64) {
+    match &record.outcome {
+        Outcome::Run(r) => (r.stats.equivocations, r.stats.omissions),
+        Outcome::Classify(_) => (0, 0),
+    }
+}
+
 impl SweepEngine {
     /// Creates an engine with the given worker count; `0` means one worker
     /// per available core.
@@ -283,9 +292,12 @@ impl SweepEngine {
                 wall,
             });
             if let Some(metrics) = metrics {
+                let (equivocations, omissions) = record_adversary_notes(&record);
                 observed.push(CellObservation {
                     label: record.key.clone(),
                     metrics,
+                    equivocations,
+                    omissions,
                 });
             }
             records.push(record);
@@ -378,7 +390,16 @@ impl SweepEngine {
                 wall,
             });
             if let Some(metrics) = metrics {
-                observed.push(CellObservation { label, metrics });
+                let (equivocations, omissions) = unit_records
+                    .iter()
+                    .map(record_adversary_notes)
+                    .fold((0, 0), |(e, o), (de, dol)| (e + de, o + dol));
+                observed.push(CellObservation {
+                    label,
+                    metrics,
+                    equivocations,
+                    omissions,
+                });
             }
             records.extend(unit_records);
         }

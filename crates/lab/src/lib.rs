@@ -54,6 +54,11 @@
 //!   both report emitters run on identical cells and graded into an
 //!   agreement matrix (`full` / `expected-divergence` /
 //!   `DISAGREEMENT`), with unexplained splits failing the run.
+//! * **[`mutate`]** — the fault-injection harness (`lab mutate`): every
+//!   registry engine crossed with a corpus of mutation operators, each
+//!   mutant run through the crosscheck oracle next to the clean columns
+//!   and reported in a kill matrix — every mutant killed or explicitly
+//!   catalogued equivalent, and zero false kills on the clean baseline.
 //! * the **`lab`** binary — `run` / `list` / `diff` / `merge` / `trend` /
 //!   `profile` / `perf` over all of the above.
 //!
@@ -79,6 +84,7 @@ pub mod executor;
 pub mod fit;
 pub mod json;
 pub mod matrix;
+pub mod mutate;
 pub mod observe;
 pub mod partial;
 pub mod perf;
@@ -99,6 +105,9 @@ pub use fit::{fit_exponent, try_fit_exponent, PowerFit};
 pub use matrix::{
     CellSpec, ClassifyCell, FitAxis, FitBand, FitMeasure, ProtocolAxis, RunCell, SamplingSpec,
     ScenarioMatrix, ScheduleSpec, ShardSpec, ValiditySpec, WorkUnit,
+};
+pub use mutate::{
+    run_mutate, Fate, MutantFate, MutateMatrix, MutateReport, CATALOGUED_EQUIVALENT, MUTATE_SCHEMA,
 };
 pub use observe::{
     hottest_by_events, observe_json, observe_markdown, profile_markdown, timeline_for,

@@ -42,6 +42,11 @@ pub struct CellObservation {
     pub label: String,
     /// The pooled engine metrics.
     pub metrics: Metrics,
+    /// Equivocations the cell's adversary reported about itself (zero for
+    /// every oblivious behaviour).
+    pub equivocations: u64,
+    /// Omissions the cell's adversary reported about itself.
+    pub omissions: u64,
 }
 
 fn hist_cells(h: &Hist) -> String {
@@ -58,37 +63,44 @@ pub fn observe_markdown(observed: &[CellObservation]) -> String {
          log2-bucketed histograms (quantiles are bucket upper bounds).\n\n",
     );
     out.push_str(
-        "| cell | events | msgs | words | dropped | duped | delivery latency | queue depth | \
-         q high | slab high |\n\
-         |---|---|---|---|---|---|---|---|---|---|\n",
+        "| cell | events | msgs | words | dropped | duped | equiv | omit | delivery latency | \
+         queue depth | q high | slab high |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     let mut total = Metrics::new(1);
+    let (mut total_equiv, mut total_omit) = (0u64, 0u64);
     for o in observed {
         let m = &o.metrics;
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             o.label,
             m.events,
             m.messages,
             m.words,
             m.dropped,
             m.duplicated,
+            o.equivocations,
+            o.omissions,
             hist_cells(&m.latency),
             hist_cells(&m.queue_depth),
             m.queue_high_water,
             m.slab_high_water,
         );
         total.merge(m);
+        total_equiv += o.equivocations;
+        total_omit += o.omissions;
     }
     let _ = writeln!(
         out,
-        "| **total** | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+        "| **total** | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
         total.events,
         total.messages,
         total.words,
         total.dropped,
         total.duplicated,
+        total_equiv,
+        total_omit,
         hist_cells(&total.latency),
         hist_cells(&total.queue_depth),
         total.queue_high_water,

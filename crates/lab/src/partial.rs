@@ -543,9 +543,7 @@ fn matrix_from_json(v: &Json) -> Result<ScenarioMatrix, String> {
     m.validities = parse_names(v, "validities", |s| {
         ValiditySpec::parse(s).ok_or_else(|| format!("unknown validity '{s}'"))
     })?;
-    m.behaviors = parse_names(v, "behaviors", |s| {
-        validity_adversary::BehaviorId::parse(s).ok_or_else(|| format!("unknown behavior '{s}'"))
-    })?;
+    m.behaviors = parse_names(v, "behaviors", validity_adversary::BehaviorId::parse_or_err)?;
     m.faults = parse_names(v, "faults", |s| match s {
         "max" => Ok(usize::MAX),
         s => s.parse().map_err(|_| format!("bad fault load '{s}'")),
@@ -788,6 +786,14 @@ fn stats_json(out: &mut String, s: &NetStats) {
     if s.duplicated != 0 {
         let _ = write!(out, ", \"duplicated\": {}", s.duplicated);
     }
+    // Adversary self-reports: only adaptive behaviours file them, so the
+    // same nonzero-only rule keeps every oblivious record byte-stable.
+    if s.equivocations != 0 {
+        let _ = write!(out, ", \"equivocations\": {}", s.equivocations);
+    }
+    if s.omissions != 0 {
+        let _ = write!(out, ", \"omissions\": {}", s.omissions);
+    }
     let _ = write!(
         out,
         ", \"first_decision_at\": {}, \"last_decision_at\": {}}}",
@@ -863,6 +869,9 @@ fn stats_from_json(v: &Json) -> Result<NetStats, String> {
         // Absent in records from clean schedules (and all pre-chaos ones).
         dropped: v.get("dropped").and_then(Json::as_u64).unwrap_or(0),
         duplicated: v.get("duplicated").and_then(Json::as_u64).unwrap_or(0),
+        // Absent unless an adaptive behaviour self-reported.
+        equivocations: v.get("equivocations").and_then(Json::as_u64).unwrap_or(0),
+        omissions: v.get("omissions").and_then(Json::as_u64).unwrap_or(0),
         first_decision_at: opt_time("first_decision_at")?,
         last_decision_at: opt_time("last_decision_at")?,
     })

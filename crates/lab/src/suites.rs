@@ -14,7 +14,7 @@ use crate::matrix::{
 };
 
 /// Names of all built-in suites, in presentation order.
-pub const ALL: [&str; 9] = [
+pub const ALL: [&str; 10] = [
     "fig1",
     "schedules",
     "complexity",
@@ -24,6 +24,7 @@ pub const ALL: [&str; 9] = [
     "classifier-domain",
     "quick",
     "netchaos",
+    "adaptive",
 ];
 
 /// One-line description of a suite.
@@ -71,6 +72,11 @@ pub fn describe(name: &str) -> Option<&'static str> {
              duplication, partition, churn, composed) across engines and \
              behaviors — safety must never flip",
         ),
+        "adaptive" => Some(
+            "adaptive-adversary ablation: every observing behavior \
+             (target-leader, last-minute, split-brain, adaptive-flood) \
+             across engines and schedules — safety must never flip",
+        ),
         _ => None,
     }
 }
@@ -97,6 +103,7 @@ pub fn build(name: &str) -> Option<ScenarioMatrix> {
         "classifier-domain" => Some(classifier_domain()),
         "quick" => Some(quick()),
         "netchaos" => Some(netchaos()),
+        "adaptive" => Some(adaptive()),
         _ => None,
     }
 }
@@ -371,10 +378,12 @@ pub fn quick() -> ScenarioMatrix {
 
 /// The network-fault ablation: every chaos schedule — bounded loss,
 /// duplication, a healing partition, crash-recovery churn, and their
-/// composition — swept across both vector engines and the two standard
-/// adversaries. The point of the suite is the *absence* of movement:
-/// pre-GST network faults may slow decisions but must never flip safety,
-/// so every cell is checked exactly like a clean-schedule cell.
+/// composition — swept across both vector engines, the two standard
+/// oblivious adversaries, and every adaptive behavior (an adversary that
+/// watches the run, attacking *through* a faulty network). The point of
+/// the suite is the *absence* of movement: pre-GST network faults may
+/// slow decisions but must never flip safety, so every cell is checked
+/// exactly like a clean-schedule cell.
 pub fn netchaos() -> ScenarioMatrix {
     let mut m = ScenarioMatrix::new("netchaos");
     m.protocols = vec![
@@ -383,10 +392,37 @@ pub fn netchaos() -> ScenarioMatrix {
     ];
     m.validities = vec![ValiditySpec::Strong];
     m.behaviors = vec![BehaviorId::Silent, BehaviorId::TwoFaced];
+    m.behaviors.extend(BehaviorId::ADAPTIVE);
     m.faults = vec![usize::MAX];
     m.schedules = ScheduleSpec::CHAOS.to_vec();
     m.systems = vec![(4, 1), (7, 2)];
     m.seeds = 0..3;
+    m.max_steps = Some(COMPLEXITY_BUDGET);
+    m
+}
+
+/// The adaptive-adversary ablation: every observing behavior — the
+/// frontrunner-targeting equivocator, the decision-triggered sleeper, the
+/// majority-splitting partitioner, and the queue-seeking flooder — swept
+/// across raw and `Universal`-wrapped Algorithm 1 on both clean schedules.
+/// Like [`netchaos`], the suite's point is the *absence* of movement: an
+/// adversary that reacts to the execution may cost liveness or complexity,
+/// but safety must never flip, so every cell is checked exactly like an
+/// oblivious-adversary cell.
+pub fn adaptive() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::new("adaptive");
+    m.protocols = vec![
+        ProtocolAxis::raw(find_vector("alg1-auth").unwrap()),
+        ProtocolAxis::wrapped(find_vector("alg1-auth").unwrap()),
+    ];
+    m.validities = vec![ValiditySpec::Strong];
+    m.behaviors = BehaviorId::ADAPTIVE.to_vec();
+    m.faults = vec![usize::MAX];
+    m.schedules = vec![ScheduleSpec::Synchronous, ScheduleSpec::PartialSync];
+    m.systems = vec![(4, 1), (7, 2)];
+    m.seeds = 0..3;
+    // adaptive-flood keeps the network busy forever; the budget turns the
+    // starved cells into quarantines instead of stalled sweeps.
     m.max_steps = Some(COMPLEXITY_BUDGET);
     m
 }
@@ -403,7 +439,15 @@ mod tests {
             assert!(describe(name).is_some());
         }
         assert!(build("nope").is_none());
-        assert_eq!(ALL.len(), 9);
+        assert_eq!(ALL.len(), 10);
+    }
+
+    #[test]
+    fn adaptive_sweeps_exactly_the_observing_behaviors() {
+        let m = adaptive();
+        assert!(m.behaviors.iter().all(|b| b.is_adaptive()));
+        assert_eq!(m.behaviors.len(), BehaviorId::ADAPTIVE.len());
+        assert!(m.max_steps.is_some(), "adaptive cells need a step budget");
     }
 
     #[test]

@@ -53,10 +53,9 @@ const SERVICE_REFUSED: [&str; 15] = [
 
 /// The surface the crosscheck driver refuses (mirrors
 /// `CROSSCHECK_REFUSALS` in the binary — update both together).
-const CROSSCHECK_REFUSED: [&str; 17] = [
+const CROSSCHECK_REFUSED: [&str; 16] = [
     "--shard",
     "--observe",
-    "--adaptive",
     "--precision",
     "--max-seeds",
     "--fits",

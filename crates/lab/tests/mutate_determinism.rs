@@ -1,0 +1,78 @@
+//! Determinism and kill-rate guarantees of the fault-injection harness.
+//!
+//! Two invariants are pinned here:
+//!
+//! 1. **Thread-count byte-identity.** The mutate kill matrix renders the
+//!    same `mutate@1` JSON (and Markdown) at worker counts 1, 2, and
+//!    default — the same guarantee every other lab artifact carries, so
+//!    a CI matrix cell and a laptop produce diffable kill matrices.
+//! 2. **Golden fingerprints.** SHA-256 of both renderings of the smoke
+//!    corpus is committed, pinning the grid, every mutant's fate, the
+//!    kill evidence, and the emitters all at once. Any drift — a new
+//!    operator, a changed kill rule, an engine change that flips a
+//!    fate — shows up as a fingerprint mismatch and must be intentional.
+//!
+//! The corpus here is the built-in suite with a trimmed step budget
+//! (stalling mutants otherwise run to the full 1M-step cap, which is
+//! test-hostile in debug builds); the trim is behaviour-preserving —
+//! every mutant still dies and the baseline still runs clean, which the
+//! gate assertion below proves on every run.
+//!
+//! The golden hashes were recorded when `lab mutate` was introduced. Do
+//! **not** regenerate them unless a mutate-schema, operator-corpus, or
+//! kill-rule change is intentional.
+
+use validity_crypto::sha256;
+use validity_lab::{run_mutate, MutateMatrix, CATALOGUED_EQUIVALENT};
+
+/// SHA-256 of `MutateReport::to_json()` for the smoke corpus (the
+/// built-in suite at a 50k step budget).
+const MUTATE_JSON: &str = "a5cca01dc757f3c25754e1dac651958fac96ed6af4cc599159faaf536c2b1eab";
+
+/// SHA-256 of the same corpus's Markdown rendering.
+const MUTATE_MD: &str = "219a8d5d34801cb05094be232c075e2c824f9707505fc9967859d01df865ead7";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The built-in suite with a step budget small enough for debug-build
+/// tests but large enough that every base engine decides comfortably.
+fn smoke() -> MutateMatrix {
+    let mut m = MutateMatrix::suite();
+    m.grid.max_steps = Some(50_000);
+    m
+}
+
+#[test]
+fn kill_matrix_is_byte_identical_across_thread_counts() {
+    let matrix = smoke();
+    let (one, _) = run_mutate(&matrix, 1);
+    let (two, _) = run_mutate(&matrix, 2);
+    let (many, _) = run_mutate(&matrix, 0);
+    assert_eq!(one.to_json(), two.to_json());
+    assert_eq!(one.to_json(), many.to_json());
+    assert_eq!(one.to_markdown(), many.to_markdown());
+
+    // The harness's reason to exist: every planted fault is caught (or
+    // would have to be explicitly catalogued equivalent), and no clean
+    // engine is ever blamed.
+    assert!(one.false_kills.is_empty(), "{:?}", one.false_kills);
+    assert_eq!(one.killed(), one.fates.len(), "{:?}", one.survivors());
+    assert!(one.gate(CATALOGUED_EQUIVALENT).is_ok());
+}
+
+#[test]
+fn kill_matrix_matches_golden_fingerprint() {
+    let (report, _) = run_mutate(&smoke(), 0);
+    assert_eq!(
+        hex(sha256(report.to_json()).as_ref()),
+        MUTATE_JSON,
+        "mutate JSON drifted from its recorded fingerprint"
+    );
+    assert_eq!(
+        hex(sha256(report.to_markdown()).as_ref()),
+        MUTATE_MD,
+        "mutate Markdown drifted from its recorded fingerprint"
+    );
+}

@@ -450,6 +450,10 @@ pub enum VectorMachine<V: Value> {
     ),
     /// Algorithm 6, with its reusable scratch sink.
     Fast(VectorFast<V>, StepSink<VectorFastMsg<V>, InputConfig<V>>),
+    /// A registered engine with a planted fault (see [`crate::mutation`]).
+    /// Boxed: mutants only exist in fault-injection runs, so clean runs
+    /// shouldn't pay for the wrapper's footprint in every variant.
+    Mutated(Box<crate::mutation::Mutant<V>>),
 }
 
 /// Drains a variant's scratch sink into the outer sink, wrapping messages.
@@ -483,6 +487,7 @@ impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
                 m.init(env, scratch);
                 wrap(scratch, VectorMsg::Fast, sink);
             }
+            VectorMachine::Mutated(m) => m.init(env, sink),
         }
     }
 
@@ -508,6 +513,9 @@ impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
                 m.on_message(from, x, env, scratch);
                 wrap(scratch, VectorMsg::Fast, sink);
             }
+            // A mutant speaks its base engine's message type; the wrapper
+            // itself does the (possibly faulty) variant filtering.
+            (VectorMachine::Mutated(m), _) => m.on_message(from, msg, env, sink),
             _ => {}
         }
     }
@@ -526,6 +534,7 @@ impl<V: Value + Codec + Words> Machine for VectorMachine<V> {
                 m.on_timer(tag, env, scratch);
                 wrap(scratch, VectorMsg::Fast, sink);
             }
+            VectorMachine::Mutated(m) => m.on_timer(tag, env, sink),
         }
     }
 }

@@ -75,6 +75,7 @@
 pub mod mux;
 pub mod net;
 pub mod node;
+pub mod observed;
 pub mod probe;
 pub mod queue;
 pub mod sim;
@@ -89,6 +90,7 @@ pub use net::{
     PerLinkModel, SyncModel, UniformModel,
 };
 pub use node::{ByzStep, Byzantine, Env, FilteredMachine, Machine, Message, Silent, Step};
+pub use observed::ObservedState;
 pub use probe::{EventClass, Hist, Metrics, NoProbe, Probe, Tandem, Timeline};
 pub use queue::CalendarQueue;
 pub use sim::{

@@ -19,6 +19,7 @@ use std::fmt::Debug;
 
 use validity_core::{ProcessId, SystemParams};
 
+use crate::observed::ObservedState;
 use crate::sink::{ByzSink, StepSink};
 use crate::time::Time;
 
@@ -143,6 +144,25 @@ pub trait Byzantine<Msg: Message>: Send {
 
     /// Called on timer expiry.
     fn on_timer(&mut self, _tag: u64, _env: &Env, _sink: &mut ByzSink<Msg>) {}
+
+    /// Whether this behaviour is *adaptive*: it wants the simulator to
+    /// maintain an [`ObservedState`] view and deliver it via [`observe`]
+    /// before every hook. Defaults to `false`, and when no behaviour in a
+    /// run observes, the view is never maintained — oblivious runs stay
+    /// byte-identical to the pre-observation engine.
+    ///
+    /// [`observe`]: Byzantine::observe
+    fn observes(&self) -> bool {
+        false
+    }
+
+    /// Delivers the current [`ObservedState`] snapshot, immediately before
+    /// each of the three event hooks. Only called when [`observes`] returns
+    /// `true`. Implementations must stay deterministic: derive choices only
+    /// from the view and internal state, never from ambient randomness.
+    ///
+    /// [`observes`]: Byzantine::observes
+    fn observe(&mut self, _state: &ObservedState) {}
 }
 
 /// The silent Byzantine behaviour: sends nothing, ever. Running *all* faulty

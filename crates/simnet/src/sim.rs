@@ -46,6 +46,7 @@ use crate::net::{
     UniformModel,
 };
 use crate::node::{ByzStep, Byzantine, Env, Machine, Step};
+use crate::observed::ObservedState;
 use crate::probe::{EventClass, NoProbe, Probe};
 use crate::queue::CalendarQueue;
 use crate::sink::{ByzSink, StepSink};
@@ -528,6 +529,9 @@ pub struct Simulation<M: Machine, P: Probe = NoProbe> {
     /// Reusable effect buffer lent to Byzantine behaviours.
     byz_sink: ByzSink<M::Msg>,
     trace: Option<Trace>,
+    /// The adaptive adversary's view (see [`crate::observed`]). Disabled —
+    /// and unmaintained — unless some Byzantine node `observes()`.
+    observed: ObservedState,
     /// The instrumentation probe ([`NoProbe`] by default — compiled away).
     probe: P,
 }
@@ -582,9 +586,21 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
             PreGstPolicy::PerLink(lf) => Arc::new(PerLinkModel(lf.clone())),
             PreGstPolicy::Model(m) => Arc::clone(m),
         };
+        // The adaptive view is maintained only when some behaviour asks
+        // for it; otherwise every `note_*` call is a dead branch and the
+        // seeded execution is byte-identical to the pre-observation engine.
+        let observing = nodes
+            .iter()
+            .any(|k| matches!(k, NodeKind::Byzantine(b) if b.observes()));
+        let observed = if observing {
+            ObservedState::tracking(n)
+        } else {
+            ObservedState::disabled()
+        };
         let mut sim = Simulation {
             jitter,
             model,
+            observed,
             halted: vec![false; n],
             stats: NetStats::new(n),
             decisions: vec![None; n],
@@ -786,6 +802,7 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
                 kind: EventKind::Deliver { from, slot },
             },
         );
+        self.observed.note_enqueued(to);
         if P::ENABLED {
             self.probe.on_queue_push(at, self.queue.len());
         }
@@ -805,6 +822,7 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
                     kind: EventKind::Deliver { from, slot },
                 },
             );
+            self.observed.note_enqueued(to);
             if P::ENABLED {
                 self.probe.on_queue_push(at, self.queue.len());
             }
@@ -878,6 +896,7 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
                             }
                         }
                         self.decisions[p.index()] = Some((self.time, o));
+                        self.observed.note_decided(p);
                         self.stats.record_decision(self.time);
                         self.undecided_correct -= 1;
                     }
@@ -893,6 +912,9 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
     }
 
     fn apply_byz_steps(&mut self, p: ProcessId, sink: &mut ByzSink<M::Msg>) {
+        let (equivocations, omissions) = sink.take_notes();
+        self.stats.equivocations += equivocations;
+        self.stats.omissions += omissions;
         for step in sink.drain() {
             match step {
                 ByzStep::Send(to, msg) => self.enqueue_send(p, to, msg, false),
@@ -904,6 +926,11 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
 
     fn dispatch(&mut self, ev: Event) {
         let p = ev.node;
+        // Every popped delivery leaves the receiver's observed inbox —
+        // including deliveries to halted nodes, which were counted in.
+        if let EventKind::Deliver { .. } = ev.kind {
+            self.observed.note_dispatched(p);
+        }
         if self.halted[p.index()] {
             // A halted receiver still consumes its reference to the
             // payload, or the slot would never be recycled.
@@ -969,6 +996,12 @@ impl<M: Machine, P: Probe> Simulation<M, P> {
                 let NodeKind::Byzantine(b) = &mut self.nodes[p.index()] else {
                     unreachable!("checked above")
                 };
+                // Adaptive behaviours get a fresh snapshot before every
+                // hook. Disjoint-field borrows: `b` borrows `self.nodes`,
+                // the view lives in `self.observed`.
+                if self.observed.is_tracking() && b.observes() {
+                    b.observe(&self.observed);
+                }
                 match ev.kind {
                     EventKind::Start => b.init(&env, &mut sink),
                     EventKind::Deliver { from, slot } => {

@@ -128,15 +128,27 @@ impl<M, O> Default for StepSink<M, O> {
 
 /// An effects buffer for Byzantine behaviours — the [`ByzStep`] analogue
 /// of [`StepSink`].
+///
+/// Besides steps, the sink carries two self-reported adversary counters
+/// ([`note_equivocation`](ByzSink::note_equivocation) /
+/// [`note_omission`](ByzSink::note_omission)) that the simulator folds
+/// into `NetStats`. Behaviours that don't report leave them at zero, and
+/// zero counters are never serialized — legacy artifact bytes are safe.
 #[derive(Clone, Debug)]
 pub struct ByzSink<M> {
     steps: Vec<ByzStep<M>>,
+    equivocations: u64,
+    omissions: u64,
 }
 
 impl<M> ByzSink<M> {
     /// Creates an empty sink (no allocation until the first push).
     pub fn new() -> Self {
-        ByzSink { steps: Vec::new() }
+        ByzSink {
+            steps: Vec::new(),
+            equivocations: 0,
+            omissions: 0,
+        }
     }
 
     /// Appends an arbitrary step.
@@ -186,6 +198,39 @@ impl<M> ByzSink<M> {
     /// Drains the buffered steps in push order, keeping the allocation.
     pub fn drain(&mut self) -> std::vec::Drain<'_, ByzStep<M>> {
         self.steps.drain(..)
+    }
+
+    /// Records that the behaviour just sent conflicting payloads for the
+    /// same logical message (counted once per divergent send).
+    #[inline]
+    pub fn note_equivocation(&mut self) {
+        self.equivocations += 1;
+    }
+
+    /// Records that the behaviour deliberately suppressed a send it would
+    /// have made if honest.
+    #[inline]
+    pub fn note_omission(&mut self) {
+        self.omissions += 1;
+    }
+
+    /// Equivocations reported since the simulator last drained the counters.
+    pub fn equivocations(&self) -> u64 {
+        self.equivocations
+    }
+
+    /// Omissions reported since the simulator last drained the counters.
+    pub fn omissions(&self) -> u64 {
+        self.omissions
+    }
+
+    /// Returns `(equivocations, omissions)` and resets both counters; the
+    /// simulator calls this after applying each hook's steps.
+    pub(crate) fn take_notes(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.equivocations),
+            std::mem::take(&mut self.omissions),
+        )
     }
 }
 

@@ -41,6 +41,14 @@ pub struct NetStats {
     /// shares its original's payload and arrival tick; not counted in
     /// `messages_total`). Always 0 under the legacy schedules.
     pub duplicated: u64,
+    /// Equivocations Byzantine behaviours self-reported via
+    /// [`crate::ByzSink::note_equivocation`]. Always 0 for behaviours that
+    /// don't report (all pre-adaptive behaviours).
+    pub equivocations: u64,
+    /// Deliberate omissions Byzantine behaviours self-reported via
+    /// [`crate::ByzSink::note_omission`]. Always 0 for behaviours that
+    /// don't report.
+    pub omissions: u64,
     /// Time of the first decision by a correct process, if any.
     pub first_decision_at: Option<Time>,
     /// Time of the last decision by a correct process, if any.
@@ -105,6 +113,8 @@ impl NetStats {
         self.timer_fires += other.timer_fires;
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
+        self.equivocations += other.equivocations;
+        self.omissions += other.omissions;
         if self.sent_by.len() < other.sent_by.len() {
             self.sent_by.resize(other.sent_by.len(), 0);
         }
